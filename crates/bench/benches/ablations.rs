@@ -1,0 +1,177 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! measures end-to-end transfer time (the real currency of the paper's
+//! figures) while toggling one mechanism:
+//!
+//! 1. updates on/off (RMC vs H-RMC — Figure 3's own ablation);
+//! 2. dynamic vs fixed vs disabled update timer;
+//! 3. probe-at-release vs early probes (paper future-work 1);
+//! 4. unicast vs multicast probes (paper future-work 2);
+//! 5. buffer size (the paper's primary knob).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrmc_app::Scenario;
+use hrmc_core::{ProbePolicy, ProbeTransport, UpdateMode};
+use hrmc_sim::{SimParams, Simulation};
+
+const KB: usize = 1024;
+
+/// Run one scenario with a protocol-config tweak applied.
+fn run_with(
+    scenario: &Scenario,
+    tweak: impl Fn(&mut hrmc_core::ProtocolConfig),
+) -> hrmc_sim::SimReport {
+    let mut params: SimParams = scenario.params();
+    tweak(&mut params.protocol);
+    Simulation::new(params).run()
+}
+
+fn base() -> Scenario {
+    Scenario::lan(3, 10_000_000, 128 * KB, 400_000)
+}
+
+fn ablation_update_timer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_update_timer");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("dynamic", UpdateMode::Dynamic),
+        ("fixed_50j", UpdateMode::Fixed(50)),
+        ("fixed_5j", UpdateMode::Fixed(5)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_with(&base(), |p| p.update_mode = mode);
+                assert!(r.completed);
+                black_box((r.elapsed_us, r.probes_sent, r.updates_received))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_early_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_early_probe");
+    group.sample_size(10);
+    // Small buffers are where the paper predicts early probes help
+    // ("probing receivers prior to buffer release time to avoid a
+    // stop-and-wait scenario for small buffers").
+    let scenario = Scenario::lan(2, 100_000_000, 64 * KB, 500_000);
+    for (name, policy) in [
+        ("at_release", ProbePolicy::AtRelease),
+        ("early_2rtt", ProbePolicy::Early { lead_rtts: 2 }),
+        ("early_5rtt", ProbePolicy::Early { lead_rtts: 5 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_with(&scenario, |p| p.probe_policy = policy);
+                assert!(r.completed);
+                black_box((r.elapsed_us, r.throughput_mbps))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_multicast_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multicast_probe");
+    group.sample_size(10);
+    let scenario = Scenario::lan(10, 10_000_000, 64 * KB, 200_000);
+    for (name, transport) in [
+        ("unicast", ProbeTransport::Unicast),
+        ("multicast_above_3", ProbeTransport::MulticastAbove(3)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_with(&scenario, |p| p.probe_transport = transport);
+                assert!(r.completed);
+                black_box((r.elapsed_us, r.probes_sent))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_buffer_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer");
+    group.sample_size(10);
+    for buf_kb in [64usize, 256, 1024] {
+        group.bench_function(format!("{buf_kb}K"), |b| {
+            b.iter(|| {
+                let r = Scenario::lan(2, 100_000_000, buf_kb * KB, 500_000).run();
+                assert!(r.completed);
+                black_box(r.throughput_mbps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_fec(c: &mut Criterion) {
+    use hrmc_sim::LossModel;
+    let mut group = c.benchmark_group("ablation_fec");
+    group.sample_size(10);
+    for (name, fec) in [("off", None), ("k4", Some(4)), ("k8", Some(8)), ("k16", Some(16))] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = Scenario::wireless(
+                    2,
+                    10_000_000,
+                    256 * KB,
+                    300_000,
+                    LossModel::wireless_fast_fading(),
+                );
+                if let Some(k) = fec {
+                    s = s.with_fec(k);
+                }
+                let r = s.run();
+                assert!(r.completed);
+                black_box((r.elapsed_us, r.retransmissions))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_local_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_local_recovery");
+    group.sample_size(10);
+    let scenario = Scenario::lan(10, 10_000_000, 256 * KB, 400_000).with_loss(0.01);
+    group.bench_function("centralized", |b| {
+        b.iter(|| {
+            let r = scenario.clone().run();
+            assert!(r.completed);
+            black_box((r.retransmissions, r.elapsed_us))
+        })
+    });
+    group.bench_function("local_recovery", |b| {
+        b.iter(|| {
+            let r = scenario.clone().with_local_recovery().run();
+            assert!(r.completed);
+            black_box((r.retransmissions, r.elapsed_us))
+        })
+    });
+    group.finish();
+}
+
+fn ablation_reliability_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mode");
+    group.sample_size(10);
+    group.bench_function("hybrid", |b| {
+        b.iter(|| black_box(base().run().elapsed_us))
+    });
+    group.bench_function("rmc_nak_only", |b| {
+        b.iter(|| black_box(base().rmc().run().elapsed_us))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_update_timer,
+    ablation_early_probe,
+    ablation_multicast_probe,
+    ablation_buffer_size,
+    ablation_fec,
+    ablation_local_recovery,
+    ablation_reliability_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the protocol engines' hot paths: the transmitter
+//! tick, the receiver's data path (in-order and out-of-order), and the
+//! membership release-gate scan that runs on every buffer release.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hrmc_core::membership::Membership;
+use hrmc_core::{PeerId, ProtocolConfig, ReceiverEngine, SenderEngine, JIFFY_US};
+use hrmc_wire::{Packet, PacketType};
+
+fn data(seq: u32, len: usize) -> Packet {
+    let mut p = Packet::data(7000, 7001, seq, Bytes::from(vec![seq as u8; len]));
+    p.header.rate_adv = 10_000_000;
+    p
+}
+
+fn bench_sender_tick(c: &mut Criterion) {
+    c.bench_function("sender/on_tick_with_traffic", |b| {
+        b.iter_batched(
+            || {
+                let mut s = SenderEngine::new(
+                    ProtocolConfig::hrmc().with_buffer(1 << 20),
+                    7000,
+                    7001,
+                    0,
+                    0,
+                );
+                s.submit(&vec![0u8; 1 << 19], 0);
+                s
+            },
+            |mut s| {
+                for i in 1..=20u64 {
+                    s.on_tick(i * JIFFY_US);
+                    while let Some(out) = s.poll_output() {
+                        black_box(out);
+                    }
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_receiver_paths(c: &mut Criterion) {
+    c.bench_function("receiver/in_order_packet", |b| {
+        b.iter_batched(
+            || {
+                ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0)
+            },
+            |mut r| {
+                for seq in 0..100u32 {
+                    r.handle_packet(&data(seq, 1400), u64::from(seq) * 100);
+                }
+                let mut buf = [0u8; 65536];
+                while r.read(&mut buf, 10_000) > 0 {}
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("receiver/out_of_order_recovery", |b| {
+        b.iter_batched(
+            || {
+                ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0)
+            },
+            |mut r| {
+                // Every 5th packet arrives late: gap detection + NAK +
+                // out-of-order queue + drain.
+                for seq in 0..100u32 {
+                    if seq % 5 != 0 {
+                        r.handle_packet(&data(seq, 1400), u64::from(seq) * 100);
+                    }
+                }
+                for seq in (0..100u32).step_by(5) {
+                    r.handle_packet(&data(seq, 1400), 20_000 + u64::from(seq));
+                }
+                while let Some(out) = r.poll_output() {
+                    black_box(out);
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    for n in [10usize, 100, 1000] {
+        group.bench_function(format!("release_gate_scan/{n}_receivers"), |b| {
+            let mut m = Membership::new();
+            for i in 0..n {
+                m.add(PeerId(i as u32), 0, 0);
+                m.update(PeerId(i as u32), 1000 + i as u32, 1);
+            }
+            b.iter(|| {
+                // The all_have + lacking pair the sender runs per release.
+                let ok = m.all_have(black_box(1500));
+                let lacking = m.lacking(black_box(1500));
+                (ok, lacking.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_feedback_processing(c: &mut Criterion) {
+    c.bench_function("sender/feedback_burst", |b| {
+        b.iter_batched(
+            || {
+                let mut s = SenderEngine::new(
+                    ProtocolConfig::hrmc().with_buffer(1 << 20),
+                    7000,
+                    7001,
+                    0,
+                    0,
+                );
+                for p in 0..50u32 {
+                    let join = Packet::control(PacketType::Join, 9, 7000, 0);
+                    s.handle_packet(&join, PeerId(p), 0);
+                }
+                while s.poll_output().is_some() {}
+                s
+            },
+            |mut s| {
+                // 50 receivers each send an UPDATE: the hrmc_master_rcv path.
+                for p in 0..50u32 {
+                    let upd = Packet::control(PacketType::Update, 9, 7000, 100 + p);
+                    s.handle_packet(&upd, PeerId(p), 1_000 + u64::from(p));
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sender_tick,
+    bench_receiver_paths,
+    bench_membership,
+    bench_feedback_processing
+);
+criterion_main!(benches);

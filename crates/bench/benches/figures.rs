@@ -1,0 +1,134 @@
+//! One benchmark group per paper figure: each runs a scaled-down
+//! representative cell of the figure's parameter grid, so `cargo bench`
+//! exercises every experiment's code path and tracks its cost. The
+//! full-scale series are produced by the `hrmc-experiments` binaries
+//! (`cargo run --release -p hrmc-experiments --bin fig10`, ...).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrmc_app::Scenario;
+use hrmc_sim::{topology::test_case, CharacteristicGroup, GroupSpec};
+
+const KB: usize = 1024;
+
+/// Figure 3: information completeness at buffer release, RMC vs H-RMC.
+fn fig03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03");
+    group.sample_size(10);
+    for (name, rmc) in [("rmc", true), ("hrmc", false)] {
+        group.bench_function(format!("man_10r_128K/{name}"), |b| {
+            b.iter(|| {
+                let mut s = Scenario::groups(
+                    vec![GroupSpec { group: CharacteristicGroup::B, receivers: 10 }],
+                    10_000_000,
+                    128 * KB,
+                    300_000,
+                );
+                if rmc {
+                    s = s.rmc();
+                }
+                black_box(s.run().complete_info_ratio)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: LAN throughput (memory and disk panels).
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("mem_2r_256K_10Mbps", |b| {
+        b.iter(|| black_box(Scenario::lan(2, 10_000_000, 256 * KB, 500_000).run().throughput_mbps))
+    });
+    group.bench_function("disk_2r_256K_10Mbps", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::lan(2, 10_000_000, 256 * KB, 500_000)
+                    .disk_to_disk()
+                    .run()
+                    .throughput_mbps,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Figure 11: feedback activity in the disk tests.
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("feedback_disk_3r_64K", |b| {
+        b.iter(|| {
+            let r = Scenario::lan(3, 10_000_000, 64 * KB, 500_000)
+                .disk_to_disk()
+                .run();
+            black_box((r.rate_requests_received, r.naks_received))
+        })
+    });
+    group.finish();
+}
+
+/// Figure 12: 100 Mbps memory throughput.
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("mem_2r_512K_100Mbps", |b| {
+        b.iter(|| {
+            black_box(Scenario::lan(2, 100_000_000, 512 * KB, 1_000_000).run().throughput_mbps)
+        })
+    });
+    group.finish();
+}
+
+/// Figure 13: NIC-drop NAKs at very large buffers.
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("mem_1r_4096K_fastcpu", |b| {
+        b.iter(|| {
+            let mut s = Scenario::lan(1, 100_000_000, 4096 * KB, 2_000_000);
+            s.cpu_scale = hrmc_experiments::fig13::FIG13_CPU_SCALE;
+            s.max_rate_factor = hrmc_experiments::fig13::FIG13_RATE_FACTOR;
+            let r = s.run();
+            black_box((r.naks_received, r.sender_nic_drops))
+        })
+    });
+    group.finish();
+}
+
+/// Figure 15: the 10 Mbps characteristic-group tests.
+fn fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    for test in [1usize, 3, 5] {
+        group.bench_function(format!("test{test}_6r_512K_10Mbps"), |b| {
+            b.iter(|| {
+                black_box(
+                    Scenario::groups(test_case(test, 6), 10_000_000, 512 * KB, 300_000)
+                        .run()
+                        .throughput_mbps,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 16: the 100 Mbps characteristic-group tests.
+fn fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("test2_6r_512K_100Mbps", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::groups(test_case(2, 6), 100_000_000, 512 * KB, 500_000)
+                    .run()
+                    .throughput_mbps,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig03, fig10, fig11, fig12, fig13, fig15, fig16);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the discrete-event simulator substrate itself: raw
+//! event-queue throughput and complete small transfers (events per
+//! second is what bounds how large an experiment the harnesses can run).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hrmc_app::Scenario;
+use hrmc_sim::queue::EventQueue;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Interleaved schedule/pop with a pseudo-random spread.
+            let mut t = 1u64;
+            for i in 0..n {
+                t = t.wrapping_mul(6364136223846793005).wrapping_add(i) % 1_000_000;
+                q.schedule(t, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_transfer");
+    group.sample_size(10);
+    group.bench_function("lan_200KB_2r_lossless", |b| {
+        b.iter(|| {
+            let r = Scenario::lan(2, 10_000_000, 256 * 1024, 200_000).run();
+            assert!(r.completed);
+            black_box(r.elapsed_us)
+        })
+    });
+    group.bench_function("lan_200KB_2r_1pct_loss", |b| {
+        b.iter(|| {
+            let r = Scenario::lan(2, 10_000_000, 256 * 1024, 200_000)
+                .with_loss(0.01)
+                .run();
+            assert!(r.completed);
+            black_box(r.elapsed_us)
+        })
+    });
+    group.bench_function("wan_200KB_5r_test3", |b| {
+        b.iter(|| {
+            let r = Scenario::groups(
+                hrmc_sim::topology::test_case(3, 5),
+                10_000_000,
+                512 * 1024,
+                200_000,
+            )
+            .run();
+            assert!(r.completed);
+            black_box(r.elapsed_us)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_transfers);
+criterion_main!(benches);

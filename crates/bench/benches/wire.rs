@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the wire format: header and packet
+//! encode/decode, and the Internet checksum — the per-packet costs the
+//! paper models as (10 + 0.025·l) µs of protocol processing.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hrmc_wire::{Header, Packet, PacketType};
+
+fn bench_header(c: &mut Criterion) {
+    let header = Header::new(PacketType::Data, 7000, 7001, 123_456);
+    let encoded = header.encode();
+    c.bench_function("header/encode", |b| {
+        b.iter(|| black_box(header).encode())
+    });
+    c.bench_function("header/decode", |b| {
+        b.iter(|| Header::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet");
+    for size in [64usize, 512, 1400] {
+        let pkt = Packet::data(7000, 7001, 42, Bytes::from(vec![0xabu8; size]));
+        let wire = pkt.encode();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode/{size}B"), |b| {
+            b.iter(|| black_box(&pkt).encode())
+        });
+        group.bench_function(format!("decode/{size}B"), |b| {
+            b.iter(|| Packet::decode(black_box(&wire)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum");
+    for size in [20usize, 1420] {
+        let data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| hrmc_wire::internet_checksum(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_header, bench_packet, bench_checksum);
+criterion_main!(benches);

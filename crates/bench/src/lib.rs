@@ -1,0 +1,18 @@
+//! Criterion benchmark crate for H-RMC; the benches live in `benches/`.
+//! This library only re-exports small helpers shared between them.
+
+/// Standard kernel-buffer sweep used across the paper's figures:
+/// 64 KiB through 1024 KiB in powers of two.
+pub const BUFFER_SWEEP: [usize; 5] = [
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+    512 * 1024,
+    1024 * 1024,
+];
+
+/// 10 Mbps in bits per second.
+pub const MBPS_10: u64 = 10_000_000;
+
+/// 100 Mbps in bits per second.
+pub const MBPS_100: u64 = 100_000_000;

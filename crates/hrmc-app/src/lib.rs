@@ -1,0 +1,14 @@
+//! # hrmc-app
+//!
+//! Application-level building blocks shared by the experiment harnesses,
+//! benches, and examples: a [`Scenario`] abstraction that turns "the
+//! paper's test such-and-such" into a runnable simulation, plus small
+//! statistics helpers for averaging repeated runs (the paper reports
+//! "the average throughput over five tests of the given kernel buffer
+//! size").
+
+pub mod scenario;
+pub mod summary;
+
+pub use scenario::{NetKind, Scenario};
+pub use summary::{mean, stddev, Summary};

@@ -1,0 +1,344 @@
+//! A [`Scenario`] names one experimental configuration — protocol mode,
+//! receiver population, network, buffer size, transfer size, application
+//! I/O — and runs it through the simulator. Every figure harness in
+//! `hrmc-experiments` is a sweep over scenarios.
+
+use hrmc_core::{ProtocolConfig, ReliabilityMode};
+use hrmc_sim::{
+    GroupSpec, IoProfile, LossModel, SimParams, SimReport, Simulation, TopologyBuilder,
+};
+
+/// Which network world the scenario runs in.
+#[derive(Debug, Clone)]
+pub enum NetKind {
+    /// The §5.1 testbed: one shared Ethernet segment.
+    Lan {
+        /// Uniform loss rate split 90/10 between segment and NICs.
+        loss: f64,
+    },
+    /// The §5.2 simulation study: characteristic groups behind a backbone.
+    Groups(Vec<GroupSpec>),
+    /// A wireless cell: shared medium with a (typically Gilbert–Elliott)
+    /// loss model on each receiver's tail link.
+    Wireless {
+        /// The tail-link loss model.
+        model: LossModel,
+    },
+}
+
+/// One experimental configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label used in tables and bench ids.
+    pub name: String,
+    /// RMC baseline or H-RMC.
+    pub mode: ReliabilityMode,
+    /// Number of receivers.
+    pub receivers: usize,
+    /// Link/network speed in bits per second.
+    pub bandwidth_bps: u64,
+    /// Per-socket kernel buffer size in bytes (the paper's sweep knob).
+    pub buffer: usize,
+    /// Transfer size in bytes.
+    pub transfer_bytes: u64,
+    /// Sender application I/O.
+    pub source: IoProfile,
+    /// Receiver application I/O.
+    pub sink: IoProfile,
+    /// Network world.
+    pub net: NetKind,
+    /// Sender NIC transmit-queue capacity (Figure 13's mechanism). The
+    /// default of 30 packets keeps the standing queue's contribution to
+    /// measured RTTs modest (~34 ms at 10 Mbps), as a short device ring
+    /// would.
+    pub sender_txqueue: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulation horizon in µs.
+    pub horizon_us: u64,
+    /// Optional XOR-parity FEC block size (the extension of paper
+    /// future-work item 4); `None` runs the published protocol.
+    pub fec_k: Option<usize>,
+    /// SRM-style local recovery (the extension of paper future-work
+    /// item 3); `false` keeps the paper's centralized recovery.
+    pub local_recovery: bool,
+    /// Host-CPU speed scale (1.0 = the paper's measured 300 MHz
+    /// constants; the Figure 13 experiment lowers it to model the real
+    /// testbed's DMA-overlapped transmit path, which could outrun the
+    /// 100 Mbps NIC and make the card drop).
+    pub cpu_scale: f64,
+    /// Sender rate cap as a multiple of the wire speed. The default of
+    /// 0.95 models the kernel's `max_snd_rate_wnd` calibrated just under
+    /// the device rate: a driver cannot push a card faster than its wire,
+    /// and pinning the data rate at exactly the drain rate leaves no
+    /// headroom for probes and keepalives, so the transmit ring creeps
+    /// full and the card starts dropping the sender's own packets. The
+    /// Figure 13 experiment raises the factor to reproduce exactly that
+    /// overdrive regime.
+    pub max_rate_factor: f64,
+}
+
+impl Scenario {
+    /// An H-RMC memory-to-memory LAN transfer — the workhorse default.
+    pub fn lan(receivers: usize, bandwidth_bps: u64, buffer: usize, transfer: u64) -> Scenario {
+        Scenario {
+            name: format!("lan-{receivers}r-{}K", buffer / 1024),
+            mode: ReliabilityMode::Hybrid,
+            receivers,
+            bandwidth_bps,
+            buffer,
+            transfer_bytes: transfer,
+            source: IoProfile::Memory,
+            sink: IoProfile::Memory,
+            net: NetKind::Lan { loss: 0.0 },
+            sender_txqueue: 30,
+            seed: 1,
+            horizon_us: 1_800 * 1_000_000,
+            fec_k: None,
+            local_recovery: false,
+            cpu_scale: 1.0,
+            max_rate_factor: 0.95,
+        }
+    }
+
+    /// A wireless-cell scenario: `n` receivers behind Gilbert–Elliott
+    /// tail links (the regime the FEC extension targets).
+    pub fn wireless(
+        receivers: usize,
+        bandwidth_bps: u64,
+        buffer: usize,
+        transfer: u64,
+        model: LossModel,
+    ) -> Scenario {
+        let mut s = Scenario::lan(receivers, bandwidth_bps, buffer, transfer);
+        s.name = format!("wireless-{receivers}r-{}K", buffer / 1024);
+        s.net = NetKind::Wireless { model };
+        s
+    }
+
+    /// A characteristic-group scenario (the §5.2 Tests 1–5).
+    pub fn groups(
+        specs: Vec<GroupSpec>,
+        bandwidth_bps: u64,
+        buffer: usize,
+        transfer: u64,
+    ) -> Scenario {
+        let receivers = specs.iter().map(|s| s.receivers).sum();
+        Scenario {
+            name: format!("groups-{receivers}r-{}K", buffer / 1024),
+            mode: ReliabilityMode::Hybrid,
+            receivers,
+            bandwidth_bps,
+            buffer,
+            transfer_bytes: transfer,
+            source: IoProfile::Memory,
+            sink: IoProfile::Memory,
+            net: NetKind::Groups(specs),
+            sender_txqueue: 30,
+            seed: 1,
+            horizon_us: 1_800 * 1_000_000,
+            fec_k: None,
+            local_recovery: false,
+            cpu_scale: 1.0,
+            max_rate_factor: 0.95,
+        }
+    }
+
+    /// Switch to disk-to-disk application I/O (paper §5.1 disk tests).
+    pub fn disk_to_disk(mut self) -> Scenario {
+        self.source = IoProfile::disk_read();
+        self.sink = IoProfile::disk_write();
+        self
+    }
+
+    /// Switch to the RMC pure-NAK baseline.
+    pub fn rmc(mut self) -> Scenario {
+        self.mode = ReliabilityMode::RmcNakOnly;
+        self
+    }
+
+    /// Set the seed (runs are deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the LAN loss rate (panics on non-LAN scenarios).
+    pub fn with_loss(mut self, loss: f64) -> Scenario {
+        match &mut self.net {
+            NetKind::Lan { loss: l } => *l = loss,
+            _ => panic!("uniform loss only applies to Lan scenarios"),
+        }
+        self
+    }
+
+    /// Enable XOR-parity FEC with block size `k`.
+    pub fn with_fec(mut self, k: usize) -> Scenario {
+        self.fec_k = Some(k);
+        self
+    }
+
+    /// Enable SRM-style local recovery (multicast NAKs, peer repairs).
+    pub fn with_local_recovery(mut self) -> Scenario {
+        self.local_recovery = true;
+        self
+    }
+
+    /// The protocol configuration this scenario induces. The rate cap
+    /// (the kernel's `max_snd_rate_wnd` bound) is the smaller of
+    /// `max_rate_factor` × the wire speed and the host-CPU transmit
+    /// ceiling (one 300 MHz CPU cannot emit packets faster than ~195 µs
+    /// apiece; see [`hrmc_sim::cpu_tx_rate_bps`]).
+    pub fn protocol(&self) -> ProtocolConfig {
+        let mut p = match self.mode {
+            ReliabilityMode::Hybrid => ProtocolConfig::hrmc(),
+            ReliabilityMode::RmcNakOnly => ProtocolConfig::rmc(),
+        }
+        .with_buffer(self.buffer);
+        let cpu_cap =
+            (hrmc_sim::cpu_tx_rate_bps(p.segment_size) as f64 / self.cpu_scale) as u64;
+        let wire_cap = (self.bandwidth_bps as f64 / 8.0 * self.max_rate_factor) as u64;
+        p.max_rate = wire_cap.min(cpu_cap).max(p.min_rate);
+        if let Some(k) = self.fec_k {
+            p = p.with_fec(k);
+        }
+        if self.local_recovery {
+            p = p.with_local_recovery();
+        }
+        p
+    }
+
+    /// Build the simulator parameters.
+    pub fn params(&self) -> SimParams {
+        let mut builder = TopologyBuilder::new();
+        builder.sender_txqueue = self.sender_txqueue;
+        let topology = match &self.net {
+            NetKind::Lan { loss } => builder.lan(self.receivers, self.bandwidth_bps, *loss),
+            NetKind::Groups(specs) => builder.groups(specs, self.bandwidth_bps),
+            NetKind::Wireless { model } => {
+                builder.wireless(self.receivers, self.bandwidth_bps, *model)
+            }
+        };
+        let mut params = SimParams::new(self.protocol(), topology, self.transfer_bytes);
+        params.source = self.source;
+        params.sink = self.sink;
+        params.seed = self.seed;
+        params.horizon_us = self.horizon_us;
+        params.cpu_scale = self.cpu_scale;
+        params
+    }
+
+    /// Run once.
+    pub fn run(&self) -> SimReport {
+        Simulation::new(self.params()).run()
+    }
+
+    /// Run `n` times with seeds `1..=n` (the paper averages five runs).
+    pub fn run_seeds(&self, n: u64) -> Vec<SimReport> {
+        (1..=n)
+            .map(|seed| self.clone().with_seed(seed).run())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrmc_sim::CharacteristicGroup;
+
+    #[test]
+    fn lan_scenario_runs_and_completes() {
+        let report = Scenario::lan(2, 10_000_000, 256 * 1024, 500_000).run();
+        assert!(report.completed);
+        assert!(report.all_intact());
+        assert!(report.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn disk_scenario_bounded_by_write_rate() {
+        // The receiver writes at 6 MB/s = 48 Mbit/s; on a 100 Mbps wire
+        // the disk, not the network, must bound the transfer. (Disk
+        // pacing can even slightly *beat* an unpaced memory run by
+        // avoiding loss-driven rate halvings, so no mem-vs-disk ordering
+        // is asserted — only the physical bound.)
+        let disk = Scenario::lan(1, 100_000_000, 512 * 1024, 4_000_000)
+            .disk_to_disk()
+            .run();
+        assert!(disk.completed);
+        assert!(disk.all_intact());
+        assert!(
+            disk.throughput_mbps < 52.0,
+            "disk-bound transfer exceeded the write rate: {} Mbps",
+            disk.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn rmc_builder_switches_mode() {
+        let s = Scenario::lan(1, 10_000_000, 64 * 1024, 100_000).rmc();
+        assert_eq!(s.protocol().mode, ReliabilityMode::RmcNakOnly);
+        let report = s.run();
+        assert_eq!(report.probes_sent, 0);
+    }
+
+    #[test]
+    fn groups_scenario_counts_receivers() {
+        let s = Scenario::groups(
+            vec![
+                GroupSpec { group: CharacteristicGroup::B, receivers: 3 },
+                GroupSpec { group: CharacteristicGroup::C, receivers: 2 },
+            ],
+            10_000_000,
+            256 * 1024,
+            200_000,
+        );
+        assert_eq!(s.receivers, 5);
+        let report = s.run();
+        assert_eq!(report.receivers.len(), 5);
+        assert!(report.completed);
+        assert!(report.all_intact());
+    }
+
+    #[test]
+    fn wireless_fec_reduces_retransmissions() {
+        let base = Scenario::wireless(
+            2,
+            10_000_000,
+            256 * 1024,
+            400_000,
+            LossModel::wireless_fast_fading(),
+        );
+        // Parity packets consume RNG rolls, so the loss patterns of the
+        // two runs differ packet-by-packet; compare aggregates over
+        // several seeds instead of one paired run.
+        let seeds = 6;
+        let mut retrans_plain = 0u64;
+        let mut retrans_fec = 0u64;
+        let mut recoveries = 0u64;
+        for r in base.clone().run_seeds(seeds) {
+            assert!(r.completed && r.all_intact());
+            retrans_plain += r.retransmissions;
+        }
+        for r in base.with_fec(8).run_seeds(seeds) {
+            assert!(r.completed && r.all_intact());
+            retrans_fec += r.retransmissions;
+            recoveries += r.receivers.iter().map(|x| x.stats.fec_recoveries).sum::<u64>();
+        }
+        assert!(recoveries > 0, "no FEC recoveries on the fading channel");
+        assert!(
+            retrans_fec < retrans_plain,
+            "FEC should reduce aggregate retransmissions: {retrans_fec} vs {retrans_plain}"
+        );
+    }
+
+    #[test]
+    fn seeds_vary_runs_deterministically() {
+        let s = Scenario::lan(2, 10_000_000, 128 * 1024, 300_000).with_loss(0.01);
+        let a = s.clone().with_seed(3).run();
+        let b = s.clone().with_seed(3).run();
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        let reports = s.run_seeds(3);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.completed && r.all_intact()));
+    }
+}

@@ -1,0 +1,413 @@
+//! Protocol configuration.
+//!
+//! Constants the paper states explicitly default to the paper's values
+//! (MINBUF = 10 RTTs, WARNBUF = 4 RTTs, urgent stop = 2 RTTs, keepalive
+//! cap 2 s, initial update period 50 jiffies, ±1 jiffy adaptation).
+//! Parameters the paper leaves unstated (slow-start initial window, region
+//! thresholds, NAK suppression interval, ...) get TCP-like defaults and
+//! are exposed here so the ablation benches can vary them.
+
+use crate::fec::FecConfig;
+use crate::time::{Micros, JIFFY_US, MS, SEC};
+
+/// Which reliability architecture the engines run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityMode {
+    /// The original RMC protocol (paper §2): pure NAK-based reliability.
+    /// The sender releases buffers after MINBUF round-trip times without
+    /// consulting receiver state; a NAK for released data is answered with
+    /// NAK_ERR and reliability is *not* guaranteed. Receivers send no
+    /// UPDATEs and the sender sends no PROBEs.
+    RmcNakOnly,
+    /// H-RMC (paper §3): NAK-based feedback plus per-receiver state,
+    /// periodic UPDATEs, and PROBEs before buffer release. Reliability is
+    /// guaranteed: "The send window is advanced only when the sender
+    /// confirms that all receivers have received the data."
+    Hybrid,
+}
+
+/// How the receiver's update timer behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// H-RMC's adaptive timer (paper §4.3): period starts at
+    /// [`ProtocolConfig::initial_update_period_jiffies`], shrinks by one
+    /// jiffy after a period in which a PROBE arrived, and grows by one
+    /// jiffy after a probe-free period.
+    Dynamic,
+    /// A fixed period (the paper's "original design ... fixed
+    /// (0.5 seconds)"), kept for the ablation bench.
+    Fixed(u64),
+    /// No updates at all (RMC baseline).
+    Disabled,
+}
+
+/// When the sender probes receivers it lacks information from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePolicy {
+    /// Probe at the moment buffer release is attempted and blocked
+    /// (H-RMC as published).
+    AtRelease,
+    /// Probe `lead_rtts` round-trip times *before* a block is predicted to
+    /// become release-eligible, so the answer is usually in hand by
+    /// release time. This is the paper's future-work item (1): "probing
+    /// receivers prior to buffer release time to avoid a stop-and-wait
+    /// scenario for small buffers".
+    Early {
+        /// How many RTTs of lead time to give the probe.
+        lead_rtts: u32,
+    },
+}
+
+/// How PROBE packets are transported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeTransport {
+    /// Unicast one PROBE per lacking receiver (H-RMC as published).
+    Unicast,
+    /// Multicast a single PROBE when the number of lacking receivers
+    /// exceeds the threshold; receivers that already confirmed simply
+    /// answer with an UPDATE they would have sent anyway. This is the
+    /// paper's future-work item (2): "multicasting probes when the number
+    /// of receivers to be probed is greater than some threshold".
+    MulticastAbove(usize),
+}
+
+/// Complete protocol configuration shared by sender and receiver engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Reliability architecture; see [`ReliabilityMode`].
+    pub mode: ReliabilityMode,
+
+    // ------------------------------------------------------------------
+    // Segmentation and buffering
+    // ------------------------------------------------------------------
+    /// Payload bytes per DATA packet. 1400 keeps header + payload within
+    /// Ethernet MTU after IP/UDP encapsulation.
+    pub segment_size: usize,
+    /// Send buffer (kernel socket buffer) size in bytes — the paper's
+    /// primary experimental knob, swept 64 KiB – 1024 KiB and beyond.
+    pub sndbuf: usize,
+    /// Receive buffer size in bytes.
+    pub rcvbuf: usize,
+
+    // ------------------------------------------------------------------
+    // Window / buffer-release policy
+    // ------------------------------------------------------------------
+    /// Minimum residency of a packet in the send buffer, in RTTs to the
+    /// most distant receiver. Paper §2: "The minimum time that any data
+    /// packet must be buffered is MINBUF round trip times (set to 10)".
+    pub minbuf_rtts: u32,
+    /// Residency floor applied while the membership table is empty
+    /// (Hybrid mode). IP-multicast membership is anonymous until the
+    /// first JOIN arrives, and on high-delay paths a JOIN can take
+    /// hundreds of milliseconds — longer than MINBUF × the initial RTT
+    /// seed — so without this hold the sender can release data it will
+    /// owe to receivers it has not yet heard of (the join race). Two
+    /// seconds covers several JOIN retries on a 100 ms path.
+    pub anonymous_release_hold: Micros,
+
+    // ------------------------------------------------------------------
+    // Rate control (two-stage: slow start / congestion avoidance)
+    // ------------------------------------------------------------------
+    /// Minimum transmission rate in bytes/second; the rate used at
+    /// connection start and after an urgent rate request.
+    pub min_rate: u64,
+    /// Hard cap on the transmission rate in bytes/second (the sender does
+    /// not know the link speed; drivers may lower this to model one).
+    pub max_rate: u64,
+    /// Slow-start threshold as a fraction of `max_rate` at connection
+    /// start; above it growth turns linear (congestion avoidance).
+    pub initial_ssthresh_fraction: f64,
+    /// Linear-increase step in bytes/second applied once per RTT during
+    /// congestion avoidance.
+    pub linear_increase_per_rtt: u64,
+    /// Stop duration after an urgent rate request, in RTTs. Paper §2
+    /// rule 3: "stop forward transmission for two round-trip times".
+    pub urgent_stop_rtts: u32,
+    /// Minimum spacing between rate halvings, in RTTs: several NAKs from
+    /// one loss burst count as one congestion event (TCP-style).
+    pub halving_min_interval_rtts: f64,
+
+    // ------------------------------------------------------------------
+    // Receiver flow control (paper Figure 2 regions)
+    // ------------------------------------------------------------------
+    /// Receive-window occupancy at which the warning region begins.
+    pub warn_threshold: f64,
+    /// Receive-window occupancy at which the critical region begins.
+    pub critical_threshold: f64,
+    /// Rate rule 2 look-ahead in RTTs. Paper §2: "the amount of data that
+    /// may be sent at the advertised rate for the next WARNBUF (currently
+    /// set to 4) round-trip times".
+    pub warnbuf_rtts: u32,
+    /// Minimum spacing between CONTROL packets from one receiver, in RTTs.
+    pub control_min_interval_rtts: f64,
+
+    // ------------------------------------------------------------------
+    // NAKs
+    // ------------------------------------------------------------------
+    /// Local NAK suppression interval in RTTs: a NAK for a given gap is
+    /// not repeated until the sender has had this long to respond.
+    pub nak_suppress_rtts: f64,
+    /// Floor for the NAK suppression interval (guards tiny RTT estimates).
+    pub nak_suppress_floor: Micros,
+    /// Period of the receiver's NAK manager timer in jiffies.
+    pub nak_timer_jiffies: u64,
+
+    // ------------------------------------------------------------------
+    // Keepalives
+    // ------------------------------------------------------------------
+    /// Initial keepalive delay in microseconds; doubles while idle.
+    pub keepalive_initial: Micros,
+    /// Exponential-backoff cap. Paper §2: "up to a maximum delay
+    /// (currently 2 seconds)".
+    pub keepalive_max: Micros,
+
+    // ------------------------------------------------------------------
+    // Updates (H-RMC)
+    // ------------------------------------------------------------------
+    /// Update timer behaviour; see [`UpdateMode`].
+    pub update_mode: UpdateMode,
+    /// Initial update period in jiffies. Paper §4.3: "initially set at 50
+    /// jiffies".
+    pub initial_update_period_jiffies: u64,
+    /// Lower clamp for the adaptive update period, in jiffies.
+    pub min_update_period_jiffies: u64,
+    /// Upper clamp for the adaptive update period, in jiffies.
+    pub max_update_period_jiffies: u64,
+
+    // ------------------------------------------------------------------
+    // Probes (H-RMC)
+    // ------------------------------------------------------------------
+    /// When to probe; see [`ProbePolicy`].
+    pub probe_policy: ProbePolicy,
+    /// How to transport probes; see [`ProbeTransport`].
+    pub probe_transport: ProbeTransport,
+    /// Re-probe interval for an unanswered probe, in RTTs.
+    pub probe_retry_rtts: f64,
+
+    // ------------------------------------------------------------------
+    // RTT estimation
+    // ------------------------------------------------------------------
+    /// RTT estimate before any sample has been taken.
+    pub initial_rtt: Micros,
+    /// Floor for the RTT estimate.
+    pub min_rtt: Micros,
+
+    // ------------------------------------------------------------------
+    // Connection management
+    // ------------------------------------------------------------------
+    /// JOIN retry interval while unconfirmed.
+    pub join_retry: Micros,
+
+    // ------------------------------------------------------------------
+    // Forward error correction (extension; paper future-work item 4)
+    // ------------------------------------------------------------------
+    /// Optional XOR-parity FEC: one parity packet per `k` data packets,
+    /// letting receivers repair single losses without a NAK round trip.
+    /// `None` (the default) matches the published protocol.
+    pub fec: Option<FecConfig>,
+
+    // ------------------------------------------------------------------
+    // Local recovery (extension; paper future-work item 3)
+    // ------------------------------------------------------------------
+    /// Optional SRM-style local recovery: NAKs are multicast, peers that
+    /// hold the requested data answer with multicast repairs after a
+    /// port-keyed slot delay, and the sender holds its own retransmission
+    /// back one repair window (cancelling it if the group confirms the
+    /// data meanwhile). `false` (the default) keeps the paper's
+    /// centralized recovery: "Recovery of lost packets is centralized:
+    /// the sender is solely responsible for retransmitting data."
+    pub local_recovery: bool,
+    /// Sender hold-back before serving a NAK when local recovery is on,
+    /// in RTTs — the window in which a peer repair can win: first-slot
+    /// repair (~0.5 RTT) + healing (~0.5 RTT) + the requester's recovery
+    /// UPDATE (~0.5 RTT) plus margin.
+    pub local_repair_wait_rtts: f64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            mode: ReliabilityMode::Hybrid,
+            segment_size: 1400,
+            sndbuf: 256 * 1024,
+            rcvbuf: 256 * 1024,
+            minbuf_rtts: 10,
+            anonymous_release_hold: 2 * SEC,
+            min_rate: 64 * 1024,
+            max_rate: 1 << 40,
+            initial_ssthresh_fraction: 1.0,
+            linear_increase_per_rtt: 64 * 1024,
+            urgent_stop_rtts: 2,
+            halving_min_interval_rtts: 1.0,
+            warn_threshold: 0.50,
+            critical_threshold: 0.90,
+            warnbuf_rtts: 4,
+            control_min_interval_rtts: 1.0,
+            nak_suppress_rtts: 1.5,
+            nak_suppress_floor: 2 * MS,
+            nak_timer_jiffies: 1,
+            keepalive_initial: 20 * JIFFY_US,
+            keepalive_max: 2 * SEC,
+            update_mode: UpdateMode::Dynamic,
+            initial_update_period_jiffies: 50,
+            min_update_period_jiffies: 2,
+            max_update_period_jiffies: 500,
+            probe_policy: ProbePolicy::AtRelease,
+            probe_transport: ProbeTransport::Unicast,
+            probe_retry_rtts: 2.0,
+            initial_rtt: 10 * MS,
+            min_rtt: 100,
+            join_retry: 200 * MS,
+            fec: None,
+            local_recovery: false,
+            local_repair_wait_rtts: 4.0,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// H-RMC with the paper's defaults.
+    pub fn hrmc() -> Self {
+        ProtocolConfig::default()
+    }
+
+    /// The original RMC baseline: pure NAK reliability, no updates, no
+    /// probes, unconditional buffer release after MINBUF RTTs.
+    pub fn rmc() -> Self {
+        ProtocolConfig {
+            mode: ReliabilityMode::RmcNakOnly,
+            update_mode: UpdateMode::Disabled,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    /// Enable XOR-parity FEC with block size `k` (overhead 1/k).
+    pub fn with_fec(mut self, k: usize) -> Self {
+        self.fec = Some(FecConfig { k });
+        self
+    }
+
+    /// Enable SRM-style local recovery (multicast NAKs + peer repairs).
+    pub fn with_local_recovery(mut self) -> Self {
+        self.local_recovery = true;
+        self
+    }
+
+    /// Builder-style buffer size setter (sets both sndbuf and rcvbuf, as
+    /// the paper's experiments vary "the per-socket kernel buffer size").
+    pub fn with_buffer(mut self, bytes: usize) -> Self {
+        self.sndbuf = bytes;
+        self.rcvbuf = bytes;
+        self
+    }
+
+    /// Builder-style segment size setter.
+    pub fn with_segment_size(mut self, bytes: usize) -> Self {
+        self.segment_size = bytes;
+        self
+    }
+
+    /// Number of whole segments the send buffer can hold.
+    pub fn sndbuf_segments(&self) -> usize {
+        (self.sndbuf / self.segment_size).max(1)
+    }
+
+    /// Validate invariants; engines call this on construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_size == 0 {
+            return Err("segment_size must be positive".into());
+        }
+        if self.sndbuf < self.segment_size || self.rcvbuf < self.segment_size {
+            return Err("buffers must hold at least one segment".into());
+        }
+        if !(0.0..=1.0).contains(&self.warn_threshold)
+            || !(0.0..=1.0).contains(&self.critical_threshold)
+            || self.warn_threshold > self.critical_threshold
+        {
+            return Err("region thresholds must satisfy 0 <= warn <= critical <= 1".into());
+        }
+        if self.min_rate == 0 || self.min_rate > self.max_rate {
+            return Err("rates must satisfy 0 < min_rate <= max_rate".into());
+        }
+        if self.min_update_period_jiffies == 0
+            || self.min_update_period_jiffies > self.max_update_period_jiffies
+        {
+            return Err("update period clamps must satisfy 0 < min <= max".into());
+        }
+        if self.mode == ReliabilityMode::RmcNakOnly && self.update_mode != UpdateMode::Disabled {
+            return Err("RMC mode requires UpdateMode::Disabled".into());
+        }
+        if let Some(fec) = &self.fec {
+            fec.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.minbuf_rtts, 10); // MINBUF
+        assert_eq!(c.warnbuf_rtts, 4); // WARNBUF
+        assert_eq!(c.urgent_stop_rtts, 2);
+        assert_eq!(c.keepalive_max, 2_000_000); // 2 s cap
+        assert_eq!(c.initial_update_period_jiffies, 50); // 0.5 s
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rmc_preset_disables_hybrid_machinery() {
+        let c = ProtocolConfig::rmc();
+        assert_eq!(c.mode, ReliabilityMode::RmcNakOnly);
+        assert_eq!(c.update_mode, UpdateMode::Disabled);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_buffer_sets_both_sides() {
+        let c = ProtocolConfig::default().with_buffer(64 * 1024);
+        assert_eq!(c.sndbuf, 64 * 1024);
+        assert_eq!(c.rcvbuf, 64 * 1024);
+    }
+
+    #[test]
+    fn sndbuf_segments_counts_whole_segments() {
+        let c = ProtocolConfig::default()
+            .with_buffer(64 * 1024)
+            .with_segment_size(1400);
+        assert_eq!(c.sndbuf_segments(), 64 * 1024 / 1400);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // each case mutates one field
+    fn validate_rejects_bad_configs() {
+        let mut c = ProtocolConfig::default();
+        c.segment_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.sndbuf = 10;
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.warn_threshold = 0.95;
+        c.critical_threshold = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.min_rate = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.mode = ReliabilityMode::RmcNakOnly; // but updates left on
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.min_update_period_jiffies = 1000;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Events the engines raise toward their host applications — the
+//! sans-io analog of the kernel driver waking a blocked process or
+//! signalling an error to user space.
+
+use hrmc_wire::Seq;
+
+use crate::PeerId;
+
+/// Events raised by the sender engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenderEvent {
+    /// A receiver joined the group.
+    MemberJoined(PeerId),
+    /// A receiver left the group.
+    MemberLeft(PeerId),
+    /// Send-buffer space became available after a blocked
+    /// [`submit`](crate::sender::SenderEngine::submit); the application
+    /// may retry.
+    SendSpaceAvailable,
+    /// Every byte of the closed stream has been released: all receivers
+    /// confirmed (Hybrid) or residency expired (RMC). The transfer is over.
+    TransferComplete,
+    /// RMC mode only: a NAK arrived for data already released. The paper:
+    /// "both the sending and the receiving applications are informed of
+    /// the retransmission error and can take appropriate actions".
+    RetransmissionError {
+        /// The receiver that asked.
+        peer: PeerId,
+        /// First released sequence number it asked for.
+        seq: Seq,
+    },
+}
+
+/// Events raised by the receiver engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// The JOIN handshake completed (JOIN_RESPONSE received).
+    Joined,
+    /// In-order data became available to read.
+    DataReady,
+    /// The stream completed: FIN received and every preceding byte
+    /// assembled. (The application may still have unread buffered data.)
+    StreamComplete,
+    /// RMC mode only: the sender answered a NAK with NAK_ERR — bytes are
+    /// irrecoverably missing and the application must recover out of band.
+    DataLost {
+        /// First lost sequence number.
+        seq: Seq,
+        /// Number of lost packets.
+        count: u32,
+    },
+    /// The LEAVE handshake completed.
+    Left,
+}

@@ -1,0 +1,376 @@
+//! Forward error correction — the paper's future-work item (4):
+//! "incorporation of forward error correction, particularly for wireless
+//! environments".
+//!
+//! The scheme is single-loss XOR parity: after every `k` consecutive
+//! first-transmission DATA packets, the sender multicasts one PARITY
+//! packet whose body is the XOR of the block's payloads (each padded to
+//! the block maximum). A receiver that lost exactly one packet of a
+//! block reconstructs it locally — no NAK, no retransmission, no extra
+//! sender round trip — which is what makes the scheme attractive on
+//! lossy tail links where NAK recovery costs a full (possibly wireless)
+//! round trip per loss.
+//!
+//! Wire format of a PARITY packet (type code 11, an extension to the
+//! paper's Table 1):
+//!
+//! * `header.seq` — sequence number of the first packet in the block;
+//! * `header.length` — `k`, the number of packets covered;
+//! * payload — `k` big-endian `u16` payload lengths, then the XOR body
+//!   (`max(len_i)` bytes).
+//!
+//! Zero-length packets (the FIN marker) are never reconstructed from
+//! parity: the FIN *flag* is not covered by the XOR, so recovering the
+//! bytes without the flag would strand stream completion. The ordinary
+//! NAK path recovers those.
+//!
+//! When FEC is enabled the receiver also *holds* fresh-gap NAKs for one
+//! suppression interval instead of firing them on detection: parity
+//! trails its block by at most `k` packet times, and NAKing immediately
+//! would request a retransmission the local repair is about to make
+//! redundant. Gaps the parity cannot fix (≥ 2 losses per block — long
+//! fades) go out with the next `nak_timer` scan.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use hrmc_wire::{Packet, PacketType, Seq};
+
+/// FEC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FecConfig {
+    /// Block size: one parity packet per `k` data packets (overhead 1/k).
+    pub k: usize,
+}
+
+impl FecConfig {
+    /// Validate the block size.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=64).contains(&self.k) {
+            return Err("FEC block size k must be in 2..=64".into());
+        }
+        Ok(())
+    }
+}
+
+/// XOR `src` into `dst`, extending `dst` if `src` is longer.
+fn xor_into(dst: &mut Vec<u8>, src: &[u8]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+/// Sender-side parity builder.
+#[derive(Debug)]
+pub struct FecEncoder {
+    k: usize,
+    /// Sequence number of the first packet in the open block.
+    block_start: Option<Seq>,
+    lengths: Vec<u16>,
+    body: Vec<u8>,
+    /// Parity packets emitted (stat).
+    pub parities_emitted: u64,
+}
+
+impl FecEncoder {
+    /// An encoder emitting one parity per `k` data packets.
+    pub fn new(k: usize) -> FecEncoder {
+        FecEncoder {
+            k,
+            block_start: None,
+            lengths: Vec::with_capacity(k),
+            body: Vec::new(),
+            parities_emitted: 0,
+        }
+    }
+
+    /// Feed one first-transmission DATA packet (in sequence order).
+    /// Returns a PARITY packet when the block completes.
+    pub fn on_data(
+        &mut self,
+        seq: Seq,
+        payload: &Bytes,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Option<Packet> {
+        match self.block_start {
+            None => {
+                self.block_start = Some(seq);
+            }
+            Some(start) => {
+                // A sequence discontinuity (only possible if the caller
+                // skips packets) restarts the block.
+                let expected = start.wrapping_add(self.lengths.len() as u32);
+                if seq != expected {
+                    self.reset();
+                    self.block_start = Some(seq);
+                }
+            }
+        }
+        self.lengths.push(payload.len().min(usize::from(u16::MAX)) as u16);
+        xor_into(&mut self.body, payload);
+        if self.lengths.len() < self.k {
+            return None;
+        }
+        let start = self.block_start.expect("open block");
+        let mut wire = Vec::with_capacity(2 * self.k + self.body.len());
+        for len in &self.lengths {
+            wire.extend_from_slice(&len.to_be_bytes());
+        }
+        wire.extend_from_slice(&self.body);
+        let mut pkt = Packet {
+            header: hrmc_wire::Header::new(PacketType::Parity, src_port, dst_port, start),
+            payload: Bytes::from(wire),
+        };
+        pkt.header.length = self.k as u32;
+        self.reset();
+        self.parities_emitted += 1;
+        Some(pkt)
+    }
+
+    fn reset(&mut self) {
+        self.block_start = None;
+        self.lengths.clear();
+        self.body.clear();
+    }
+}
+
+/// Receiver-side payload cache and reconstructor.
+#[derive(Debug)]
+pub struct FecDecoder {
+    /// Recently seen payloads keyed by *unwrapped* sequence number.
+    cache: BTreeMap<u64, Bytes>,
+    /// Cache budget in packets.
+    retain: usize,
+    /// Successful reconstructions (stat).
+    pub recoveries: u64,
+    /// Parity packets that could not help (0 or ≥2 losses in block).
+    pub unusable_parities: u64,
+}
+
+impl FecDecoder {
+    /// A decoder retaining roughly `retain` recent payloads.
+    pub fn new(retain: usize) -> FecDecoder {
+        FecDecoder {
+            cache: BTreeMap::new(),
+            retain: retain.max(8),
+            recoveries: 0,
+            unusable_parities: 0,
+        }
+    }
+
+    /// Record a received DATA payload (in-order or out-of-order).
+    pub fn on_data(&mut self, useq: u64, payload: Bytes) {
+        self.cache.insert(useq, payload);
+        while self.cache.len() > self.retain {
+            self.cache.pop_first();
+        }
+    }
+
+    /// Process a PARITY packet. `block_start` is the unwrapped sequence
+    /// of the block's first packet; `have` reports whether a sequence has
+    /// been received (delivered in order counts). Returns the
+    /// reconstructed `(useq, payload)` when exactly one covered packet is
+    /// missing and every other payload is cached.
+    pub fn on_parity(
+        &mut self,
+        block_start: u64,
+        pkt: &Packet,
+        have: impl Fn(u64) -> bool,
+    ) -> Option<(u64, Bytes)> {
+        let k = pkt.header.length as usize;
+        if k < 2 || pkt.payload.len() < 2 * k {
+            self.unusable_parities += 1;
+            return None;
+        }
+        let lengths: Vec<usize> = (0..k)
+            .map(|i| usize::from(u16::from_be_bytes([pkt.payload[2 * i], pkt.payload[2 * i + 1]])))
+            .collect();
+        let body = &pkt.payload[2 * k..];
+
+        let missing: Vec<u64> = (0..k as u64)
+            .map(|i| block_start + i)
+            .filter(|s| !have(*s))
+            .collect();
+        let [lost] = missing.as_slice() else {
+            self.unusable_parities += 1;
+            return None; // nothing missing, or more than XOR can fix
+        };
+        let lost = *lost;
+        let lost_len = lengths[(lost - block_start) as usize];
+        if lost_len == 0 {
+            self.unusable_parities += 1;
+            return None; // FIN marker: leave to the NAK path (see module docs)
+        }
+        // Need every other payload in cache.
+        let mut recovered = body.to_vec();
+        for i in 0..k as u64 {
+            let s = block_start + i;
+            if s == lost {
+                continue;
+            }
+            let Some(p) = self.cache.get(&s) else {
+                self.unusable_parities += 1;
+                return None; // a sibling was received but already evicted
+            };
+            xor_into(&mut recovered, p);
+        }
+        recovered.truncate(lost_len);
+        if recovered.len() < lost_len {
+            self.unusable_parities += 1;
+            return None; // body shorter than claimed: corrupt parity
+        }
+        self.recoveries += 1;
+        let payload = Bytes::from(recovered);
+        self.cache.insert(lost, payload.clone());
+        Some((lost, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(seq: u32, len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (seq as usize + i * 7) as u8).collect::<Vec<_>>())
+    }
+
+    fn encode_block(enc: &mut FecEncoder, start: u32, k: usize, lens: &[usize]) -> Option<Packet> {
+        let mut out = None;
+        for (i, &len) in lens.iter().enumerate().take(k) {
+            let seq = start + i as u32;
+            let p = enc.on_data(seq, &payload(seq, len), 1, 2);
+            if p.is_some() {
+                out = p;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parity_emitted_every_k_packets() {
+        let mut enc = FecEncoder::new(4);
+        let parity = encode_block(&mut enc, 0, 4, &[100, 100, 100, 100]).expect("parity");
+        assert_eq!(parity.header.ptype, PacketType::Parity);
+        assert_eq!(parity.header.seq, 0);
+        assert_eq!(parity.header.length, 4);
+        // 4 × u16 lengths + 100-byte body.
+        assert_eq!(parity.payload.len(), 8 + 100);
+        assert_eq!(enc.parities_emitted, 1);
+        // The next block starts fresh.
+        assert!(enc.on_data(4, &payload(4, 50), 1, 2).is_none());
+    }
+
+    #[test]
+    fn recovers_single_loss() {
+        let mut enc = FecEncoder::new(4);
+        let parity = encode_block(&mut enc, 10, 4, &[100, 80, 120, 60]).expect("parity");
+        let mut dec = FecDecoder::new(64);
+        // Receiver got 10, 11, 13 — lost 12.
+        for s in [10u64, 11, 13] {
+            dec.on_data(s, payload(s as u32, [100, 80, 120, 60][(s - 10) as usize]));
+        }
+        let (lost, recovered) = dec
+            .on_parity(10, &parity, |s| s != 12)
+            .expect("reconstruction");
+        assert_eq!(lost, 12);
+        assert_eq!(recovered, payload(12, 120));
+        assert_eq!(dec.recoveries, 1);
+    }
+
+    #[test]
+    fn recovers_loss_of_longest_and_shortest() {
+        for lost_idx in [0usize, 3] {
+            let lens = [40, 100, 70, 10];
+            let mut enc = FecEncoder::new(4);
+            let parity = encode_block(&mut enc, 0, 4, &lens).expect("parity");
+            let mut dec = FecDecoder::new(64);
+            for (i, &len) in lens.iter().enumerate() {
+                if i != lost_idx {
+                    dec.on_data(i as u64, payload(i as u32, len));
+                }
+            }
+            let (lost, recovered) = dec
+                .on_parity(0, &parity, |s| s as usize != lost_idx)
+                .expect("reconstruction");
+            assert_eq!(lost, lost_idx as u64);
+            assert_eq!(recovered, payload(lost_idx as u32, lens[lost_idx]));
+        }
+    }
+
+    #[test]
+    fn two_losses_are_beyond_xor() {
+        let mut enc = FecEncoder::new(4);
+        let parity = encode_block(&mut enc, 0, 4, &[50, 50, 50, 50]).expect("parity");
+        let mut dec = FecDecoder::new(64);
+        dec.on_data(0, payload(0, 50));
+        dec.on_data(3, payload(3, 50));
+        assert!(dec.on_parity(0, &parity, |s| s == 0 || s == 3).is_none());
+        assert_eq!(dec.unusable_parities, 1);
+        assert_eq!(dec.recoveries, 0);
+    }
+
+    #[test]
+    fn no_loss_means_no_work() {
+        let mut enc = FecEncoder::new(2);
+        let parity = encode_block(&mut enc, 0, 2, &[10, 10]).expect("parity");
+        let mut dec = FecDecoder::new(64);
+        dec.on_data(0, payload(0, 10));
+        dec.on_data(1, payload(1, 10));
+        assert!(dec.on_parity(0, &parity, |_| true).is_none());
+    }
+
+    #[test]
+    fn zero_length_fin_is_not_reconstructed() {
+        let mut enc = FecEncoder::new(2);
+        let mut parity = None;
+        for (seq, len) in [(0u32, 100usize), (1, 0)] {
+            let p = enc.on_data(seq, &payload(seq, len), 1, 2);
+            if p.is_some() {
+                parity = p;
+            }
+        }
+        let parity = parity.expect("parity");
+        let mut dec = FecDecoder::new(64);
+        dec.on_data(0, payload(0, 100));
+        assert!(dec.on_parity(0, &parity, |s| s == 0).is_none());
+    }
+
+    #[test]
+    fn evicted_sibling_blocks_recovery() {
+        let mut enc = FecEncoder::new(4);
+        let parity = encode_block(&mut enc, 0, 4, &[50, 50, 50, 50]).expect("parity");
+        let mut dec = FecDecoder::new(8);
+        dec.on_data(0, payload(0, 50));
+        dec.on_data(1, payload(1, 50));
+        dec.on_data(3, payload(3, 50));
+        // Flood the cache so the block's payloads evict.
+        for s in 100..120u64 {
+            dec.on_data(s, payload(s as u32, 10));
+        }
+        assert!(dec.on_parity(0, &parity, |s| s != 2).is_none());
+        assert!(dec.unusable_parities > 0);
+    }
+
+    #[test]
+    fn sequence_gap_restarts_block() {
+        let mut enc = FecEncoder::new(3);
+        assert!(enc.on_data(0, &payload(0, 10), 1, 2).is_none());
+        // Skip seq 1 entirely (caller-side anomaly): block restarts at 2.
+        assert!(enc.on_data(2, &payload(2, 10), 1, 2).is_none());
+        assert!(enc.on_data(3, &payload(3, 10), 1, 2).is_none());
+        let parity = enc.on_data(4, &payload(4, 10), 1, 2).expect("parity");
+        assert_eq!(parity.header.seq, 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FecConfig { k: 1 }.validate().is_err());
+        assert!(FecConfig { k: 2 }.validate().is_ok());
+        assert!(FecConfig { k: 64 }.validate().is_ok());
+        assert!(FecConfig { k: 65 }.validate().is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Group membership state at the sender (paper §3, Membership
+//! Maintenance).
+//!
+//! "In H-RMC, group membership is maintained in the form of a doubly
+//! linked list as well as a hashed list of all the receivers. The space
+//! required is minimal: for each receiver, the sender keeps its (unicast)
+//! IP address and the sequence number that the receiver is expecting
+//! next."
+//!
+//! The kernel's linked-list-plus-hash idiom collapses to a single
+//! `HashMap` in Rust; the map owns the per-receiver records and iteration
+//! replaces the list walk. In the original RMC protocol membership is
+//! anonymous — the sender keeps only a count — but the Figure 3(a)
+//! experiment instruments RMC with the same table *without letting it
+//! gate buffer release*, so the table is maintained in both modes and the
+//! [`ReliabilityMode`](crate::config::ReliabilityMode) decides whether the
+//! sender consults it.
+
+use std::collections::HashMap;
+
+use hrmc_wire::{seq_le, Seq};
+
+use crate::time::Micros;
+use crate::PeerId;
+
+/// Per-receiver state kept by the sender — deliberately minimal, matching
+/// the paper's two fields plus bookkeeping for probes.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// The sequence number this receiver expects next (one past the
+    /// highest in-order packet it has confirmed). Updated from every NAK,
+    /// CONTROL, and UPDATE.
+    pub next_expected: Seq,
+    /// When we last heard any feedback from this receiver.
+    pub last_heard: Micros,
+    /// When we last probed this receiver (rate-limits re-probes).
+    pub last_probed: Option<Micros>,
+    /// When this receiver joined.
+    pub joined_at: Micros,
+}
+
+/// The sender's membership table.
+#[derive(Debug, Clone, Default)]
+pub struct Membership {
+    members: HashMap<PeerId, Member>,
+    /// Total JOINs processed (paper: RMC "approximates the number of
+    /// receivers" from joins; kept as a stat in both modes).
+    pub total_joins: u64,
+    /// Total LEAVEs processed.
+    pub total_leaves: u64,
+}
+
+impl Membership {
+    /// Empty table.
+    pub fn new() -> Membership {
+        Membership::default()
+    }
+
+    /// Number of current members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no receivers are known.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Add a member (the sender's `add_member` routine). `next_expected`
+    /// is seeded with the sequence number echoed in the JOIN — the first
+    /// data packet the receiver saw. Re-joining refreshes `last_heard`
+    /// without regressing `next_expected`.
+    pub fn add(&mut self, peer: PeerId, next_expected: Seq, now: Micros) {
+        self.total_joins += 1;
+        self.members
+            .entry(peer)
+            .and_modify(|m| m.last_heard = now)
+            .or_insert(Member {
+                next_expected,
+                last_heard: now,
+                last_probed: None,
+                joined_at: now,
+            });
+    }
+
+    /// Remove a member (the sender's `rm_member` routine). Returns `true`
+    /// if the peer was present.
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        let removed = self.members.remove(&peer).is_some();
+        if removed {
+            self.total_leaves += 1;
+        }
+        removed
+    }
+
+    /// Update a member's next-expected sequence number from feedback (the
+    /// sender's `update_mem` routine). Sequence state never regresses:
+    /// reordered feedback cannot pull a receiver's confirmed prefix back.
+    /// Unknown peers are ignored (feedback can race a LEAVE).
+    pub fn update(&mut self, peer: PeerId, next_expected: Seq, now: Micros) {
+        if let Some(m) = self.members.get_mut(&peer) {
+            m.last_heard = now;
+            if hrmc_wire::seq_lt(m.next_expected, next_expected) {
+                m.next_expected = next_expected;
+            }
+            m.last_probed = None; // any feedback satisfies a pending probe
+        }
+    }
+
+    /// Look up one member.
+    pub fn get(&self, peer: PeerId) -> Option<&Member> {
+        self.members.get(&peer)
+    }
+
+    /// Iterate over members.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, &Member)> {
+        self.members.iter().map(|(p, m)| (*p, m))
+    }
+
+    /// `true` when the sender has information that **all** receivers have
+    /// received every packet up to and including `seq` — the release-gate
+    /// predicate of paper §3 (Probe Messages): "before releasing buffer
+    /// space, the sender checks the state of all the receivers with
+    /// respect to the sequence number past which it intends to advance
+    /// the window."
+    ///
+    /// With no members the release is trivially safe (there is no one to
+    /// owe the data to; matches IP-multicast anonymous semantics before
+    /// any JOIN arrives).
+    pub fn all_have(&self, seq: Seq) -> bool {
+        self.members
+            .values()
+            .all(|m| seq_le(seq.wrapping_add(1), m.next_expected))
+    }
+
+    /// The receivers lacking confirmation of `seq`, i.e. the PROBE targets.
+    pub fn lacking(&self, seq: Seq) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = self
+            .members
+            .iter()
+            .filter(|(_, m)| !seq_le(seq.wrapping_add(1), m.next_expected))
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable(); // deterministic probe order
+        v
+    }
+
+    /// The group-wide minimum next-expected sequence number, or `None`
+    /// with no members. Everything before this is confirmed everywhere.
+    pub fn min_next_expected(&self) -> Option<Seq> {
+        self.members.values().map(|m| m.next_expected).fold(
+            None,
+            |acc, s| match acc {
+                None => Some(s),
+                Some(cur) if hrmc_wire::seq_lt(s, cur) => Some(s),
+                Some(cur) => Some(cur),
+            },
+        )
+    }
+
+    /// Record that `peer` was probed at `now`.
+    pub fn mark_probed(&mut self, peer: PeerId, now: Micros) {
+        if let Some(m) = self.members.get_mut(&peer) {
+            m.last_probed = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: PeerId = PeerId(1);
+    const P2: PeerId = PeerId(2);
+    const P3: PeerId = PeerId(3);
+
+    #[test]
+    fn add_update_remove() {
+        let mut m = Membership::new();
+        assert!(m.is_empty());
+        m.add(P1, 0, 100);
+        m.add(P2, 0, 100);
+        assert_eq!(m.len(), 2);
+        m.update(P1, 7, 200);
+        assert_eq!(m.get(P1).unwrap().next_expected, 7);
+        assert!(m.remove(P2));
+        assert!(!m.remove(P2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.total_joins, 2);
+        assert_eq!(m.total_leaves, 1);
+    }
+
+    #[test]
+    fn rejoin_does_not_regress_state() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.update(P1, 50, 10);
+        m.add(P1, 0, 20); // duplicate JOIN (retry)
+        assert_eq!(m.get(P1).unwrap().next_expected, 50);
+        assert_eq!(m.get(P1).unwrap().last_heard, 20);
+    }
+
+    #[test]
+    fn feedback_never_regresses_next_expected() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.update(P1, 100, 1);
+        m.update(P1, 40, 2); // stale, reordered feedback
+        assert_eq!(m.get(P1).unwrap().next_expected, 100);
+        assert_eq!(m.get(P1).unwrap().last_heard, 2);
+    }
+
+    #[test]
+    fn update_for_unknown_peer_is_ignored() {
+        let mut m = Membership::new();
+        m.update(P1, 10, 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_have_and_lacking() {
+        let mut m = Membership::new();
+        assert!(m.all_have(1000)); // vacuous with no members
+        m.add(P1, 0, 0);
+        m.add(P2, 0, 0);
+        m.add(P3, 0, 0);
+        m.update(P1, 11, 1); // has 0..=10
+        m.update(P2, 10, 1); // has 0..=9
+        m.update(P3, 11, 1);
+        assert!(m.all_have(9));
+        assert!(!m.all_have(10));
+        assert_eq!(m.lacking(10), vec![P2]);
+        assert_eq!(m.lacking(9), Vec::<PeerId>::new());
+        m.update(P2, 11, 2);
+        assert!(m.all_have(10));
+    }
+
+    #[test]
+    fn lacking_is_sorted_and_complete() {
+        let mut m = Membership::new();
+        for i in (0..10).rev() {
+            m.add(PeerId(i), 0, 0);
+        }
+        let lacking = m.lacking(5);
+        assert_eq!(lacking.len(), 10);
+        assert!(lacking.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn probe_bookkeeping_cleared_by_feedback() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.mark_probed(P1, 5);
+        assert_eq!(m.get(P1).unwrap().last_probed, Some(5));
+        m.update(P1, 3, 6);
+        assert_eq!(m.get(P1).unwrap().last_probed, None);
+    }
+
+    #[test]
+    fn min_next_expected_uses_serial_order() {
+        let mut m = Membership::new();
+        assert_eq!(m.min_next_expected(), None);
+        let base = u32::MAX - 5;
+        m.add(P1, base, 0);
+        m.add(P2, base, 0);
+        m.update(P1, base.wrapping_add(10), 1); // wrapped past 0
+        m.update(P2, base.wrapping_add(2), 1);
+        assert_eq!(m.min_next_expected(), Some(base.wrapping_add(2)));
+    }
+
+    #[test]
+    fn all_have_handles_wraparound() {
+        let mut m = Membership::new();
+        let base = u32::MAX - 1;
+        m.add(P1, base, 0);
+        m.update(P1, base.wrapping_add(3), 1); // confirmed through wrap
+        assert!(m.all_have(base.wrapping_add(2)));
+        assert!(!m.all_have(base.wrapping_add(3)));
+    }
+}

@@ -1,0 +1,233 @@
+//! The receiver's NAK manager (paper Figure 9, `nak_timer`).
+//!
+//! As the receiver reassembles the stream it detects gaps; each missing
+//! sequence number becomes a pending NAK. New gaps are NAKed immediately;
+//! after that, **local NAK suppression** (paper §2) holds each entry back
+//! until the sender has had ample opportunity to respond — a suppression
+//! interval measured in RTTs. The `nak_timer` periodically scans the
+//! pending list and re-sends overdue NAKs.
+//!
+//! Entries are keyed by *unwrapped* (64-bit) sequence numbers, matching
+//! [`crate::rxwindow`]. Adjacent due entries coalesce into `(first,
+//! count)` ranges so a burst loss costs one NAK packet, mirroring the
+//! single NAK-with-length wire encoding.
+
+use std::collections::BTreeMap;
+
+use crate::time::Micros;
+
+/// State of one missing sequence number.
+#[derive(Debug, Clone, Copy)]
+struct NakEntry {
+    /// When a NAK naming this sequence was last sent.
+    last_sent: Micros,
+    /// How many NAKs have named it (wire `tries`).
+    tries: u8,
+}
+
+/// Pending-NAK list with suppression.
+#[derive(Debug, Default)]
+pub struct NakManager {
+    pending: BTreeMap<u64, NakEntry>,
+    /// Total NAK packets requested by this manager (stat).
+    pub naks_generated: u64,
+}
+
+impl NakManager {
+    /// Empty manager.
+    pub fn new() -> NakManager {
+        NakManager::default()
+    }
+
+    /// Number of sequence numbers currently missing.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is missing.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// `true` if `seq` is pending.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.pending.contains_key(&seq)
+    }
+
+    /// Register newly discovered gaps and return the ranges to NAK *right
+    /// now* (a new gap is NAKed immediately; known gaps stay suppressed).
+    pub fn note_missing(&mut self, ranges: &[(u64, u32)], now: Micros) -> Vec<(u64, u32)> {
+        let mut fresh = Vec::new();
+        for &(first, count) in ranges {
+            for seq in first..first + count as u64 {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.pending.entry(seq) {
+                    e.insert(NakEntry { last_sent: now, tries: 0 });
+                    fresh.push(seq);
+                }
+            }
+        }
+        let out = coalesce(&fresh);
+        self.naks_generated += out.len() as u64;
+        out
+    }
+
+    /// Register gaps without emitting NAKs (the PROBE response path
+    /// registers then immediately [`force_below`](NakManager::force_below)s,
+    /// so the registration itself must stay silent).
+    pub fn register(&mut self, ranges: &[(u64, u32)], now: Micros) {
+        for &(first, count) in ranges {
+            for seq in first..first + count as u64 {
+                self.pending
+                    .entry(seq)
+                    .or_insert(NakEntry { last_sent: now, tries: 0 });
+            }
+        }
+    }
+
+    /// Remove a sequence number (its data arrived).
+    pub fn satisfy(&mut self, seq: u64) {
+        self.pending.remove(&seq);
+    }
+
+    /// Remove every entry below `rcv_nxt` (delivered in order).
+    pub fn satisfy_below(&mut self, rcv_nxt: u64) {
+        // split_off keeps >= rcv_nxt; everything before is satisfied.
+        self.pending = self.pending.split_off(&rcv_nxt);
+    }
+
+    /// Scan for entries whose suppression interval has lapsed; mark them
+    /// re-sent at `now` and return the coalesced ranges to NAK. `tries`
+    /// increments per entry so Karn's rule can ignore their RTT samples.
+    pub fn due(&mut self, now: Micros, suppress: Micros) -> Vec<(u64, u32)> {
+        let mut due = Vec::new();
+        for (&seq, entry) in self.pending.iter_mut() {
+            if now.saturating_sub(entry.last_sent) >= suppress {
+                entry.last_sent = now;
+                entry.tries = entry.tries.saturating_add(1);
+                due.push(seq);
+            }
+        }
+        let out = coalesce(&due);
+        self.naks_generated += out.len() as u64;
+        out
+    }
+
+    /// Force-NAK every pending entry at or below `limit` immediately,
+    /// bypassing suppression — the PROBE response path ("Otherwise, the
+    /// receiver generates a NAK message for the needed data").
+    pub fn force_below(&mut self, limit: u64, now: Micros) -> Vec<(u64, u32)> {
+        let mut forced = Vec::new();
+        for (&seq, entry) in self.pending.range_mut(..limit) {
+            entry.last_sent = now;
+            entry.tries = entry.tries.saturating_add(1);
+            forced.push(seq);
+        }
+        let out = coalesce(&forced);
+        self.naks_generated += out.len() as u64;
+        out
+    }
+
+    /// Highest retransmission count across pending entries (stat; useful
+    /// for failure-injection tests).
+    pub fn max_tries(&self) -> u8 {
+        self.pending.values().map(|e| e.tries).max().unwrap_or(0)
+    }
+}
+
+/// Collapse a sorted list of sequence numbers into maximal `(first,
+/// count)` ranges.
+fn coalesce(seqs: &[u64]) -> Vec<(u64, u32)> {
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for &s in seqs {
+        match out.last_mut() {
+            Some((first, count)) if *first + *count as u64 == s => *count += 1,
+            _ => out.push((s, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_gaps_nak_immediately_once() {
+        let mut m = NakManager::new();
+        let fresh = m.note_missing(&[(5, 3)], 100);
+        assert_eq!(fresh, vec![(5, 3)]);
+        // Re-noting the same gap is silent (suppression).
+        let again = m.note_missing(&[(5, 3)], 200);
+        assert!(again.is_empty());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn partial_overlap_naks_only_new_part() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(5, 3)], 100); // 5,6,7
+        let fresh = m.note_missing(&[(7, 3)], 150); // 7 known; 8,9 new
+        assert_eq!(fresh, vec![(8, 2)]);
+    }
+
+    #[test]
+    fn suppression_holds_then_releases() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(10, 2)], 1_000);
+        assert!(m.due(1_500, 1_000).is_empty()); // only 500 µs elapsed
+        let due = m.due(2_000, 1_000);
+        assert_eq!(due, vec![(10, 2)]);
+        // Clock restarts after the re-send.
+        assert!(m.due(2_500, 1_000).is_empty());
+        assert_eq!(m.max_tries(), 1);
+    }
+
+    #[test]
+    fn satisfy_removes_entries() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(0, 5)], 0);
+        m.satisfy(2);
+        assert!(!m.contains(2));
+        assert_eq!(m.len(), 4);
+        m.satisfy_below(4);
+        assert_eq!(m.len(), 1); // only 4 remains
+        assert!(m.contains(4));
+    }
+
+    #[test]
+    fn due_coalesces_adjacent_only() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(0, 2), (5, 2)], 0);
+        let due = m.due(10_000, 1_000);
+        assert_eq!(due, vec![(0, 2), (5, 2)]);
+    }
+
+    #[test]
+    fn force_below_bypasses_suppression() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(0, 4)], 1_000);
+        // Immediately forced despite having just been NAKed.
+        let forced = m.force_below(2, 1_500);
+        assert_eq!(forced, vec![(0, 2)]);
+        // Entries at or above the limit keep their original clocks.
+        assert_eq!(m.due(2_000, 1_000), vec![(2, 2)]);
+        // The forced entries' suppression clocks restarted at 1500.
+        assert_eq!(m.due(2_500, 1_000), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn coalesce_ranges() {
+        assert_eq!(coalesce(&[]), vec![]);
+        assert_eq!(coalesce(&[1]), vec![(1, 1)]);
+        assert_eq!(coalesce(&[1, 2, 3, 7, 8, 10]), vec![(1, 3), (7, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn nak_counter_counts_packets_not_seqs() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(0, 100)], 0); // one coalesced range = one packet
+        assert_eq!(m.naks_generated, 1);
+        m.due(1_000_000, 1_000);
+        assert_eq!(m.naks_generated, 2);
+    }
+}

@@ -1,0 +1,1030 @@
+//! The H-RMC receiver engine (paper §4.3, Figure 9).
+//!
+//! The kernel receiver comprises three packet queues and four functional
+//! components; here they map to one state machine:
+//!
+//! | Paper component | Engine location |
+//! |-----------------|-----------------|
+//! | Initial Packet Processor (`hrmc_ip_rcv`) | driver demux + [`ReceiverEngine::handle_packet`] |
+//! | Backlog Queue (`backlog_queue`) | [`ReceiverEngine::lock`] / [`ReceiverEngine::unlock`] |
+//! | Main Packet Processor (`hrmc_rcv_data`) | DATA path of [`ReceiverEngine::handle_packet`] |
+//! | Out-of-Order Queue (`out_of_order_queue`) | [`crate::rxwindow::ReceiveWindow`] |
+//! | Receive Queue (`receive_queue`) | [`crate::rxwindow::ReceiveWindow`] |
+//! | NAK Manager (`nak_timer`) | [`crate::nak::NakManager`], scanned in [`ReceiverEngine::on_tick`] |
+//! | Update Generator (`update_timer`) | [`crate::update::UpdateGenerator`], polled in [`ReceiverEngine::on_tick`] |
+//! | Application Interface (`hrmc_recvmsg`) | [`ReceiverEngine::read`] |
+
+use bytes::Bytes;
+use hrmc_wire::{Packet, PacketType, Seq};
+use std::collections::BTreeMap;
+
+use crate::config::ProtocolConfig;
+use crate::events::ReceiverEvent;
+use crate::fec::FecDecoder;
+use crate::nak::NakManager;
+use crate::rxwindow::{unwrap_seq, Offer, ReceiveWindow, Region};
+use crate::stats::ReceiverStats;
+use crate::time::{scale, Micros, JIFFY_US};
+use crate::update::UpdateGenerator;
+use crate::{Dest, Outgoing};
+
+/// JOIN handshake progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinState {
+    /// No data seen yet; nothing to join.
+    Idle,
+    /// JOIN sent (echoing `echoed`) at the embedded time; awaiting
+    /// JOIN_RESPONSE.
+    Sent { at: Micros, echoed: Seq },
+    /// JOIN_RESPONSE received.
+    Confirmed,
+}
+
+/// The receiver half of the protocol. See the module docs for the mapping
+/// to the paper's architecture.
+pub struct ReceiverEngine {
+    config: ProtocolConfig,
+    local_port: u16,
+    group_port: u16,
+    window: ReceiveWindow,
+    naks: NakManager,
+    updates: UpdateGenerator,
+    /// Optional FEC payload cache + reconstructor (extension).
+    fec: Option<FecDecoder>,
+    /// Local-recovery repair cache: recently delivered payloads this
+    /// receiver can re-multicast for peers (extension; `None` unless
+    /// `local_recovery` is enabled).
+    repair_cache: Option<BTreeMap<u64, Bytes>>,
+    /// Scheduled peer repairs: unwrapped seq → fire time. Cancelled when
+    /// the data is seen on the wire first (another peer, or the sender,
+    /// answered).
+    pending_repairs: BTreeMap<u64, Micros>,
+    /// Throttle for recovery UPDATEs (local recovery: tell the sender
+    /// promptly that a peer repair filled our gap, so its held-back
+    /// retransmission cancels).
+    last_recovery_update: Option<Micros>,
+    join: JoinState,
+    leaving: bool,
+    /// Receiver-side RTT estimate, seeded from config and refined by the
+    /// JOIN handshake; drives NAK suppression and rate rule 2.
+    rtt: Micros,
+    /// Most recent rate advertisement heard from the sender (bytes/s).
+    advertised_rate: u64,
+    /// Throttles warning CONTROL packets.
+    last_control: Option<Micros>,
+    /// Throttles urgent CONTROL packets.
+    last_urgent: Option<Micros>,
+    /// Socket-locked flag; packets arriving while locked go to the
+    /// backlog queue (paper Figure 9).
+    locked: bool,
+    backlog: Vec<Packet>,
+    had_readable: bool,
+    stream_complete_emitted: bool,
+    out: std::collections::VecDeque<Outgoing>,
+    events: std::collections::VecDeque<ReceiverEvent>,
+    /// Public counters; the experiment harnesses read these.
+    pub stats: ReceiverStats,
+}
+
+impl ReceiverEngine {
+    /// Create a receiver bound to `local_port` listening on the group
+    /// port.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(
+        config: ProtocolConfig,
+        local_port: u16,
+        group_port: u16,
+        now: Micros,
+    ) -> ReceiverEngine {
+        config.validate().expect("invalid ProtocolConfig");
+        let window = ReceiveWindow::new(
+            config.rcvbuf,
+            config.segment_size,
+            config.warn_threshold,
+            config.critical_threshold,
+        );
+        let updates = UpdateGenerator::new(
+            config.update_mode,
+            config.initial_update_period_jiffies,
+            config.min_update_period_jiffies,
+            config.max_update_period_jiffies,
+            now,
+        );
+        let fec = config.fec.map(|f| FecDecoder::new(8 * f.k.max(4)));
+        let repair_cache = config.local_recovery.then(BTreeMap::new);
+        ReceiverEngine {
+            window,
+            naks: NakManager::new(),
+            updates,
+            fec,
+            repair_cache,
+            pending_repairs: BTreeMap::new(),
+            last_recovery_update: None,
+            join: JoinState::Idle,
+            leaving: false,
+            rtt: config.initial_rtt,
+            advertised_rate: 0,
+            last_control: None,
+            last_urgent: None,
+            locked: false,
+            backlog: Vec::new(),
+            had_readable: false,
+            stream_complete_emitted: false,
+            out: std::collections::VecDeque::new(),
+            events: std::collections::VecDeque::new(),
+            stats: ReceiverStats::default(),
+            config,
+            local_port,
+            group_port,
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Pre-attach the receive window at a known initial sequence number.
+    /// Call before any data arrives, for receivers that start before the
+    /// sender (every file-transfer experiment in the paper): a lost
+    /// first packet is then a NAKable gap, not a silently missed prefix.
+    /// Without this the receiver attaches wherever it tunes in
+    /// (late-join semantics).
+    pub fn expect_stream_start(&mut self, seq: Seq) {
+        self.window.attach_at(seq);
+    }
+
+    /// Next expected sequence number, once attached to the stream.
+    pub fn rcv_nxt(&self) -> Option<Seq> {
+        self.window.rcv_nxt()
+    }
+
+    /// Bytes available to [`ReceiverEngine::read`].
+    pub fn readable_bytes(&self) -> usize {
+        self.window.readable_bytes()
+    }
+
+    /// `true` once the FIN arrived and every preceding byte assembled.
+    pub fn stream_complete(&self) -> bool {
+        self.window.stream_complete()
+    }
+
+    /// `true` when complete *and* fully read by the application.
+    pub fn fully_consumed(&self) -> bool {
+        self.window.fully_consumed()
+    }
+
+    /// The recommended driver tick interval (one jiffy).
+    pub fn tick_interval(&self) -> Micros {
+        JIFFY_US
+    }
+
+    /// Receiver-side RTT estimate.
+    pub fn rtt(&self) -> Micros {
+        self.rtt
+    }
+
+    /// Current update period, in jiffies (instrumentation for the
+    /// dynamic-update-timer experiments).
+    pub fn update_period_jiffies(&self) -> u64 {
+        self.updates.period_jiffies()
+    }
+
+    // ------------------------------------------------------------------
+    // Socket lock / backlog queue
+    // ------------------------------------------------------------------
+
+    /// Lock the socket: subsequent packets queue on the backlog, exactly
+    /// as the kernel does while `hrmc_recvmsg` holds the sock. Drivers
+    /// use this to model application read latency (the disk-to-disk
+    /// tests).
+    pub fn lock(&mut self) {
+        self.locked = true;
+    }
+
+    /// Unlock the socket and process everything that backlogged.
+    pub fn unlock(&mut self, now: Micros) {
+        self.locked = false;
+        let backlog = std::mem::take(&mut self.backlog);
+        for pkt in backlog {
+            self.process_packet(&pkt, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet processing
+    // ------------------------------------------------------------------
+
+    /// Process one packet from the sender.
+    pub fn handle_packet(&mut self, pkt: &Packet, now: Micros) {
+        if self.locked {
+            self.stats.backlogged_packets += 1;
+            self.backlog.push(pkt.clone());
+            return;
+        }
+        self.process_packet(pkt, now);
+    }
+
+    fn process_packet(&mut self, pkt: &Packet, now: Micros) {
+        // Every sender packet advertises the current transmission rate.
+        if pkt.header.ptype.is_sender_originated() {
+            self.advertised_rate = u64::from(pkt.header.rate_adv);
+        }
+        match pkt.header.ptype {
+            PacketType::Data => self.on_data(pkt, now),
+            PacketType::Parity => self.on_parity(pkt, now),
+            PacketType::Probe => self.on_probe(pkt, now),
+            PacketType::Keepalive => self.on_keepalive(pkt, now),
+            PacketType::NakErr => self.on_nak_err(pkt, now),
+            PacketType::JoinResponse => self.on_join_response(pkt, now),
+            PacketType::LeaveResponse => {
+                self.events.push_back(ReceiverEvent::Left);
+            }
+            // Local recovery: peers' multicast NAKs are repair requests.
+            PacketType::Nak if self.repair_cache.is_some() => self.on_peer_nak(pkt, now),
+            // Receiver-originated types looped back are ignored.
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, pkt: &Packet, now: Micros) {
+        let seq = pkt.header.seq;
+        let was_nak_pending = self.window.attached()
+            && self
+                .naks
+                .contains(unwrap_seq(seq, self.window.next_u64()));
+        let outcome = self
+            .window
+            .offer(seq, pkt.payload.clone(), pkt.header.flags.fin);
+        if self.window.attached() {
+            let useq = unwrap_seq(seq, self.window.next_u64());
+            // Data on the wire (from the sender or a peer repair)
+            // suppresses our own scheduled repair for it.
+            self.pending_repairs.remove(&useq);
+            if let Some(cache) = self.repair_cache.as_mut() {
+                if !pkt.payload.is_empty() {
+                    cache.insert(useq, pkt.payload.clone());
+                    while cache.len() > 4096 {
+                        cache.pop_first();
+                    }
+                }
+            }
+        }
+        if matches!(self.join, JoinState::Idle) && self.window.attached() {
+            // Paper §2: a receiver "send[s] a JOIN message to the sender
+            // in response to the first data packet that it receives".
+            self.send_join(seq, now);
+        }
+        match outcome {
+            Offer::InOrder => {
+                self.stats.data_packets_received += 1;
+                self.naks.satisfy_below(self.window.next_u64());
+                if let Some(dec) = self.fec.as_mut() {
+                    if !pkt.payload.is_empty() {
+                        let useq = unwrap_seq(seq, self.window.next_u64());
+                        dec.on_data(useq, pkt.payload.clone());
+                    }
+                }
+                self.note_readable();
+            }
+            Offer::OutOfOrder => {
+                self.stats.data_packets_received += 1;
+                let useq = unwrap_seq(seq, self.window.next_u64());
+                self.naks.satisfy(useq);
+                if let Some(dec) = self.fec.as_mut() {
+                    if !pkt.payload.is_empty() {
+                        dec.on_data(useq, pkt.payload.clone());
+                    }
+                }
+                // A gap was revealed (or extended). Without FEC the
+                // fresh part is NAKed immediately; with FEC the NAK is
+                // held one suppression interval (the nak_timer sends it)
+                // so the block's parity gets a chance to repair locally
+                // first — otherwise every recovery still costs a
+                // retransmission that was already requested.
+                let missing = self.window.missing_below(useq);
+                if self.fec.is_some() {
+                    self.naks.register(&missing, now);
+                } else {
+                    let fresh = self.naks.note_missing(&missing, now);
+                    self.send_naks(&fresh, now);
+                }
+            }
+            Offer::Duplicate => self.stats.duplicates_dropped += 1,
+            Offer::Overflow => self.stats.overflow_drops += 1,
+            Offer::BeyondWindow => self.stats.beyond_window_drops += 1,
+        }
+        self.check_stream_complete();
+        self.flow_control(now);
+        // Local recovery: a filled gap we had NAKed means the sender may
+        // be holding a retransmission for us — refresh its state promptly
+        // (throttled to one recovery UPDATE per half RTT).
+        if self.config.local_recovery
+            && was_nak_pending
+            && matches!(outcome, Offer::InOrder | Offer::OutOfOrder)
+        {
+            let min_gap = (self.rtt / 2).max(1_000);
+            if self
+                .last_recovery_update
+                .is_none_or(|t| now.saturating_sub(t) >= min_gap)
+            {
+                self.last_recovery_update = Some(now);
+                self.send_update(0, now);
+            }
+        }
+    }
+
+    /// PARITY (FEC extension): attempt local reconstruction of a single
+    /// lost packet in the covered block; a success is injected through
+    /// the normal DATA path (clearing its pending NAK on the way).
+    fn on_parity(&mut self, pkt: &Packet, now: Micros) {
+        self.stats.fec_parities_received += 1;
+        if !self.window.attached() {
+            return;
+        }
+        let next = self.window.next_u64();
+        let block_start = unwrap_seq(pkt.header.seq, next);
+        let k = u64::from(pkt.header.length);
+        let missing = self.window.missing_below(block_start + k);
+        let have = |s: u64| !missing.iter().any(|&(f, c)| s >= f && s < f + u64::from(c));
+        let recovered = self
+            .fec
+            .as_mut()
+            .and_then(|dec| dec.on_parity(block_start, pkt, have));
+        if let Some((lost, payload)) = recovered {
+            self.stats.fec_recoveries += 1;
+            let mut synth = Packet::data(
+                pkt.header.src_port,
+                pkt.header.dst_port,
+                lost as Seq,
+                payload,
+            );
+            synth.header.rate_adv = pkt.header.rate_adv;
+            self.on_data(&synth, now);
+        }
+    }
+
+    fn on_probe(&mut self, pkt: &Packet, now: Micros) {
+        self.stats.probes_received += 1;
+        self.updates.on_probe();
+        if !self.window.attached() {
+            return; // never heard any data; nothing to confirm or request
+        }
+        let useq = unwrap_seq(pkt.header.seq, self.window.next_u64());
+        if self.window.has_all_through(useq) {
+            // "If so, then it immediately sends an UPDATE packet to the
+            // sender" — echoing the probe nonce for the RTT sample.
+            self.send_update(pkt.header.length, now);
+        } else {
+            // "Otherwise, the receiver generates a NAK message for the
+            // needed data" — immediately, bypassing suppression.
+            let missing = self.window.missing_below(useq + 1);
+            self.naks.register(&missing, now);
+            let ranges = self.naks.force_below(useq + 1, now);
+            self.send_naks(&ranges, now);
+        }
+    }
+
+    fn on_keepalive(&mut self, pkt: &Packet, now: Micros) {
+        self.stats.keepalives_received += 1;
+        if !self.window.attached() {
+            return;
+        }
+        // The keepalive names the last packet transmitted; anything below
+        // it that we lack was lost at the tail of a burst (paper §2).
+        let last = unwrap_seq(pkt.header.seq, self.window.next_u64());
+        let missing = self.window.missing_below(last + 1);
+        let fresh = self.naks.note_missing(&missing, now);
+        self.send_naks(&fresh, now);
+    }
+
+    fn on_nak_err(&mut self, pkt: &Packet, now: Micros) {
+        self.stats.nak_errs_received += 1;
+        if !self.window.attached() {
+            return;
+        }
+        // The sender cannot supply these packets; the application is told
+        // and the stream continues past the hole (each lost packet becomes
+        // a zero-length segment so reassembly can advance). In RMC mode
+        // this is the documented reliability hole; in Hybrid mode it can
+        // only happen for data released before this receiver's JOIN
+        // arrived (the join race — see the sender's NAK handling).
+        let first = pkt.header.seq;
+        let count = pkt.header.length.max(1);
+        self.events.push_back(ReceiverEvent::DataLost { seq: first, count });
+        for i in 0..count {
+            let seq = first.wrapping_add(i);
+            let useq = unwrap_seq(seq, self.window.next_u64());
+            self.naks.satisfy(useq);
+            let _ = self.window.offer(seq, bytes::Bytes::new(), false);
+        }
+        self.naks.satisfy_below(self.window.next_u64());
+        self.check_stream_complete();
+        let _ = now;
+    }
+
+    /// Local recovery: a peer multicast a NAK. If we hold the requested
+    /// data, schedule a repair after a port-keyed slot delay; hearing the
+    /// data from anyone first cancels it (SRM-style suppression).
+    fn on_peer_nak(&mut self, pkt: &Packet, now: Micros) {
+        self.stats.peer_naks_heard += 1;
+        if !self.window.attached() {
+            return;
+        }
+        let Some(cache) = self.repair_cache.as_ref() else { return };
+        let first = unwrap_seq(pkt.header.seq, self.window.next_u64());
+        let count = u64::from(pkt.header.length.max(1));
+        // Slot the response by port with half-RTT spacing: a repair from
+        // an earlier slot propagates to later-slot holders before their
+        // timers fire, so typically one peer answers (SRM-style
+        // suppression without per-pair distance estimates).
+        let slot = u64::from(self.local_port % 16);
+        let fire_at = now + (self.rtt / 2).max(1_000) * (1 + slot);
+        for useq in first..first + count {
+            if cache.contains_key(&useq) {
+                self.pending_repairs.entry(useq).or_insert(fire_at);
+            }
+        }
+    }
+
+    /// Fire scheduled peer repairs that came due.
+    fn fire_repairs(&mut self, now: Micros) {
+        let Some(cache) = self.repair_cache.as_ref() else { return };
+        let due: Vec<u64> = self
+            .pending_repairs
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(s, _)| *s)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        let mut repairs = Vec::new();
+        for useq in due {
+            self.pending_repairs.remove(&useq);
+            if let Some(payload) = cache.get(&useq) {
+                let mut pkt = Packet::data(
+                    self.local_port,
+                    self.group_port,
+                    useq as Seq,
+                    payload.clone(),
+                );
+                // Preserve the sender's advertisement so peers' flow
+                // control keeps a sane rate estimate.
+                pkt.header.rate_adv =
+                    self.advertised_rate.min(u64::from(u32::MAX)) as u32;
+                pkt.header.tries = 1;
+                repairs.push(pkt);
+            }
+        }
+        for pkt in repairs {
+            self.stats.repairs_sent += 1;
+            self.out.push_back(Outgoing { dest: Dest::Multicast, packet: pkt });
+        }
+    }
+
+    fn on_join_response(&mut self, _pkt: &Packet, now: Micros) {
+        if let JoinState::Sent { at, .. } = self.join {
+            // The handshake round trip is the receiver's RTT sample.
+            self.rtt = now.saturating_sub(at).max(self.config.min_rtt);
+            self.join = JoinState::Confirmed;
+            self.events.push_back(ReceiverEvent::Joined);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow control: the three rate-request rules (paper §2)
+    // ------------------------------------------------------------------
+
+    fn flow_control(&mut self, now: Micros) {
+        match self.window.region() {
+            // Rule 1: "if the receive window is filled only into the safe
+            // region, then no flow control action is taken".
+            Region::Safe => {}
+            // Rule 2: warning region — request a lower rate if the sender
+            // would overrun the free window within WARNBUF RTTs at the
+            // advertised rate.
+            Region::Warning => {
+                let lookahead_bytes = self.advertised_rate as f64
+                    * (self.config.warnbuf_rtts as f64 * self.rtt as f64 / 1_000_000.0);
+                if lookahead_bytes > self.window.free_bytes() as f64 {
+                    let min_gap = scale(self.rtt, self.config.control_min_interval_rtts);
+                    if self
+                        .last_control
+                        .is_none_or(|t| now.saturating_sub(t) >= min_gap)
+                    {
+                        self.last_control = Some(now);
+                        self.send_control(false, now);
+                    }
+                }
+            }
+            // Rule 3: critical region — urgent request, which stops
+            // forward transmission for two RTTs regardless of rate.
+            Region::Critical => {
+                let min_gap = scale(self.rtt, self.config.urgent_stop_rtts as f64);
+                if self
+                    .last_urgent
+                    .is_none_or(|t| now.saturating_sub(t) >= min_gap)
+                {
+                    self.last_urgent = Some(now);
+                    self.last_control = Some(now);
+                    self.send_control(true, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers (nak_timer, update_timer, join retry)
+    // ------------------------------------------------------------------
+
+    /// Run one receiver tick at `now`. Drivers call this every jiffy.
+    pub fn on_tick(&mut self, now: Micros) {
+        // NAK manager: re-send suppressed NAKs whose interval lapsed.
+        let suppress = scale(self.rtt, self.config.nak_suppress_rtts)
+            .max(self.config.nak_suppress_floor);
+        let due = self.naks.due(now, suppress);
+        self.send_naks(&due, now);
+
+        // Update generator.
+        if self.window.attached() && self.updates.poll(now) {
+            self.send_update(0, now);
+        }
+
+        // JOIN retry while unconfirmed.
+        if let JoinState::Sent { at, echoed } = self.join {
+            if now.saturating_sub(at) >= self.config.join_retry {
+                self.send_join(echoed, now);
+            }
+        }
+
+        // Local recovery: answer peers whose slot delay has lapsed.
+        self.fire_repairs(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface (hrmc_recvmsg)
+    // ------------------------------------------------------------------
+
+    /// Copy up to `buf.len()` in-order bytes to the application.
+    pub fn read(&mut self, buf: &mut [u8], _now: Micros) -> usize {
+        let n = self.window.read(buf);
+        self.stats.bytes_delivered += n as u64;
+        if self.window.readable_bytes() == 0 {
+            self.had_readable = false;
+        }
+        n
+    }
+
+    /// Discard up to `n` readable bytes (a measuring sink that does not
+    /// need the data). Returns the count discarded.
+    pub fn consume(&mut self, n: usize, _now: Micros) -> usize {
+        let taken = self.window.consume(n);
+        self.stats.bytes_delivered += taken as u64;
+        if self.window.readable_bytes() == 0 {
+            self.had_readable = false;
+        }
+        taken
+    }
+
+    /// Close the connection: "a receiver informs the supporting network
+    /// layer that it wishes to leave the multicast group and sends a
+    /// LEAVE message to the sender" (paper §2).
+    pub fn close(&mut self, _now: Micros) {
+        if self.leaving {
+            return;
+        }
+        self.leaving = true;
+        let seq = self.window.rcv_nxt().unwrap_or(0);
+        let pkt = Packet::control(PacketType::Leave, self.local_port, self.group_port, seq);
+        self.push_out(pkt);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet construction and output
+    // ------------------------------------------------------------------
+
+    fn send_join(&mut self, echoed: Seq, now: Micros) {
+        self.join = JoinState::Sent { at: now, echoed };
+        let pkt = Packet::control(PacketType::Join, self.local_port, self.group_port, echoed);
+        self.push_out(pkt);
+    }
+
+    fn send_update(&mut self, nonce: u32, _now: Micros) {
+        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
+        let mut pkt =
+            Packet::control(PacketType::Update, self.local_port, self.group_port, rcv_nxt);
+        pkt.header.length = nonce;
+        self.stats.updates_sent += 1;
+        self.push_out(pkt);
+    }
+
+    fn send_naks(&mut self, ranges: &[(u64, u32)], _now: Micros) {
+        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
+        for &(first, count) in ranges {
+            let mut pkt = Packet::control(
+                PacketType::Nak,
+                self.local_port,
+                self.group_port,
+                first as Seq,
+            );
+            pkt.header.length = count;
+            // NAKs piggyback rcv_nxt in the rate-advertisement field so
+            // the sender's membership state stays exact (Header docs).
+            pkt.header.rate_adv = rcv_nxt;
+            self.stats.naks_sent += 1;
+            if self.config.local_recovery {
+                // Multicast so peers can repair (the sender hears it too).
+                self.out.push_back(Outgoing { dest: Dest::Multicast, packet: pkt });
+            } else {
+                self.push_out(pkt);
+            }
+        }
+    }
+
+    fn send_control(&mut self, urgent: bool, _now: Micros) {
+        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
+        let mut pkt =
+            Packet::control(PacketType::Control, self.local_port, self.group_port, rcv_nxt);
+        pkt.header.flags.urg = urgent;
+        // Suggest the rate at which the free window would last WARNBUF
+        // round trips.
+        let window_secs =
+            (self.config.warnbuf_rtts as f64 * self.rtt as f64 / 1_000_000.0).max(1e-6);
+        pkt.header.rate_adv =
+            ((self.window.free_bytes() as f64 / window_secs) as u64).min(u64::from(u32::MAX))
+                as u32;
+        self.stats.rate_requests_sent += 1;
+        if urgent {
+            self.stats.urgent_rate_requests_sent += 1;
+        }
+        self.push_out(pkt);
+    }
+
+    fn note_readable(&mut self) {
+        if !self.had_readable && self.window.readable_bytes() > 0 {
+            self.had_readable = true;
+            self.events.push_back(ReceiverEvent::DataReady);
+        }
+    }
+
+    fn check_stream_complete(&mut self) {
+        if self.window.stream_complete() && !self.stream_complete_emitted {
+            self.stream_complete_emitted = true;
+            self.events.push_back(ReceiverEvent::StreamComplete);
+        }
+    }
+
+    fn push_out(&mut self, packet: Packet) {
+        self.out.push_back(Outgoing { dest: Dest::Sender, packet });
+    }
+
+    /// Drain one outgoing packet, if any (always destined to the sender).
+    pub fn poll_output(&mut self) -> Option<Outgoing> {
+        self.out.pop_front()
+    }
+
+    /// Drain one application event, if any.
+    pub fn poll_event(&mut self) -> Option<ReceiverEvent> {
+        self.events.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn engine() -> ReceiverEngine {
+        ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(64 * 1024), 8000, 7001, 0)
+    }
+
+    fn data(seq: Seq, len: usize) -> Packet {
+        let mut p = Packet::data(7000, 7001, seq, Bytes::from(vec![seq as u8; len]));
+        p.header.rate_adv = 1_000_000;
+        p
+    }
+
+    fn drain(r: &mut ReceiverEngine) -> Vec<Outgoing> {
+        std::iter::from_fn(|| r.poll_output()).collect()
+    }
+
+    fn packets_of(out: &[Outgoing], t: PacketType) -> Vec<&Outgoing> {
+        out.iter().filter(|o| o.packet.header.ptype == t).collect()
+    }
+
+    #[test]
+    fn first_data_triggers_join() {
+        let mut r = engine();
+        r.handle_packet(&data(10, 100), 1_000);
+        let out = drain(&mut r);
+        let joins = packets_of(&out, PacketType::Join);
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].packet.header.seq, 10);
+        assert_eq!(r.rcv_nxt(), Some(11));
+    }
+
+    #[test]
+    fn join_response_completes_handshake_and_samples_rtt() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 1_000);
+        drain(&mut r);
+        let resp = Packet::control(PacketType::JoinResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 6_000);
+        assert_eq!(r.rtt(), 5_000);
+        assert_eq!(r.poll_event(), Some(ReceiverEvent::DataReady));
+        assert_eq!(r.poll_event(), Some(ReceiverEvent::Joined));
+    }
+
+    #[test]
+    fn join_retried_until_confirmed() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        r.on_tick(100_000); // before join_retry (200 ms)
+        assert!(drain(&mut r).is_empty());
+        r.on_tick(200_000);
+        let out = drain(&mut r);
+        assert_eq!(packets_of(&out, PacketType::Join).len(), 1);
+        // Confirmed: no more retries.
+        let resp = Packet::control(PacketType::JoinResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 210_000);
+        r.on_tick(600_000);
+        assert!(packets_of(&drain(&mut r), PacketType::Join).is_empty());
+    }
+
+    #[test]
+    fn gap_naks_immediately_with_rcv_nxt_piggyback() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        r.handle_packet(&data(3, 100), 1_000); // gap: 1, 2
+        let out = drain(&mut r);
+        let naks = packets_of(&out, PacketType::Nak);
+        assert_eq!(naks.len(), 1);
+        assert_eq!(naks[0].packet.header.seq, 1);
+        assert_eq!(naks[0].packet.header.length, 2);
+        assert_eq!(naks[0].packet.header.rate_adv, 1); // rcv_nxt
+        assert_eq!(r.stats.naks_sent, 1);
+    }
+
+    #[test]
+    fn nak_suppression_then_timer_resend() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        r.handle_packet(&data(2, 100), 1_000); // gap: 1
+        drain(&mut r);
+        // More out-of-order data does not re-NAK the known gap.
+        r.handle_packet(&data(3, 100), 2_000);
+        assert!(packets_of(&drain(&mut r), PacketType::Nak).is_empty());
+        // The nak_timer re-sends after the suppression interval
+        // (rtt 10 ms default × 1.5 = 15 ms).
+        r.on_tick(10_000);
+        assert!(packets_of(&drain(&mut r), PacketType::Nak).is_empty());
+        r.on_tick(20_000);
+        let naks: Vec<_> = drain(&mut r);
+        assert_eq!(packets_of(&naks, PacketType::Nak).len(), 1);
+    }
+
+    #[test]
+    fn retransmission_fills_gap_and_clears_nak() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        r.handle_packet(&data(2, 100), 1_000);
+        drain(&mut r);
+        r.handle_packet(&data(1, 100), 5_000);
+        assert_eq!(r.rcv_nxt(), Some(3));
+        // No pending NAK left: the timer stays silent forever.
+        r.on_tick(1_000_000);
+        assert!(packets_of(&drain(&mut r), PacketType::Nak).is_empty());
+        let mut buf = [0u8; 1024];
+        assert_eq!(r.read(&mut buf, 5_000), 300);
+    }
+
+    #[test]
+    fn probe_when_complete_sends_update_with_nonce() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        r.handle_packet(&data(1, 100), 1_000);
+        drain(&mut r);
+        let mut probe = Packet::control(PacketType::Probe, 7000, 7001, 1);
+        probe.header.length = 77; // nonce
+        r.handle_packet(&probe, 2_000);
+        let out = drain(&mut r);
+        let ups = packets_of(&out, PacketType::Update);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].packet.header.seq, 2); // rcv_nxt
+        assert_eq!(ups[0].packet.header.length, 77); // echoed nonce
+        assert_eq!(r.stats.probes_received, 1);
+    }
+
+    #[test]
+    fn probe_when_incomplete_naks_immediately() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        // The sender asks about seq 2; we lack 1 and 2 entirely (no gap
+        // was ever visible from data).
+        let probe = Packet::control(PacketType::Probe, 7000, 7001, 2);
+        r.handle_packet(&probe, 2_000);
+        let out = drain(&mut r);
+        let naks = packets_of(&out, PacketType::Nak);
+        assert_eq!(naks.len(), 1);
+        assert_eq!(naks[0].packet.header.seq, 1);
+        assert_eq!(naks[0].packet.header.length, 2);
+        assert!(packets_of(&out, PacketType::Update).is_empty());
+    }
+
+    #[test]
+    fn keepalive_reveals_tail_loss() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        // Sender says the last transmitted packet was 4; 1..=4 missing.
+        let ka = Packet::control(PacketType::Keepalive, 7000, 7001, 4);
+        r.handle_packet(&ka, 50_000);
+        let out = drain(&mut r);
+        let naks = packets_of(&out, PacketType::Nak);
+        assert_eq!(naks.len(), 1);
+        assert_eq!(naks[0].packet.header.seq, 1);
+        assert_eq!(naks[0].packet.header.length, 4);
+        assert_eq!(r.stats.keepalives_received, 1);
+    }
+
+    #[test]
+    fn update_timer_fires_and_adapts() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        assert_eq!(r.update_period_jiffies(), 50);
+        r.on_tick(500_000);
+        let out = drain(&mut r);
+        let ups = packets_of(&out, PacketType::Update);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].packet.header.seq, 1);
+        assert_eq!(ups[0].packet.header.length, 0); // unsolicited: no nonce
+        // Probe-free period: period grew by a jiffy.
+        assert_eq!(r.update_period_jiffies(), 51);
+        // A probed period shrinks back.
+        let probe = Packet::control(PacketType::Probe, 7000, 7001, 0);
+        r.handle_packet(&probe, 600_000);
+        drain(&mut r);
+        r.on_tick(500_000 + 510_000);
+        drain(&mut r);
+        assert_eq!(r.update_period_jiffies(), 50);
+    }
+
+    #[test]
+    fn no_updates_before_attach() {
+        let mut r = engine();
+        r.on_tick(10_000_000);
+        assert!(drain(&mut r).is_empty());
+        assert_eq!(r.stats.updates_sent, 0);
+    }
+
+    #[test]
+    fn warning_region_sends_rate_request() {
+        // Tiny buffer so occupancy rises fast; huge advertised rate so
+        // rule 2 trips.
+        let cfg = ProtocolConfig::hrmc()
+            .with_buffer(4_000)
+            .with_segment_size(1_000);
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 1_000), 0); // 25%
+        r.handle_packet(&data(1, 1_000), 1_000); // 50% → warning
+        let out = drain(&mut r);
+        let ctls = packets_of(&out, PacketType::Control);
+        assert_eq!(ctls.len(), 1);
+        assert!(!ctls[0].packet.header.flags.urg);
+        assert_eq!(ctls[0].packet.header.seq, 2); // rcv_nxt
+        assert!(ctls[0].packet.header.rate_adv > 0); // suggested rate
+        assert_eq!(r.stats.rate_requests_sent, 1);
+    }
+
+    #[test]
+    fn critical_region_sends_urgent() {
+        let cfg = ProtocolConfig::hrmc()
+            .with_buffer(4_000)
+            .with_segment_size(1_000);
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        for i in 0..4 {
+            r.handle_packet(&data(i, 1_000), i as u64 * 100);
+        }
+        let out = drain(&mut r);
+        let urgent: Vec<_> = packets_of(&out, PacketType::Control)
+            .into_iter()
+            .filter(|o| o.packet.header.flags.urg)
+            .collect();
+        assert_eq!(urgent.len(), 1);
+        assert_eq!(r.stats.urgent_rate_requests_sent, 1);
+    }
+
+    #[test]
+    fn safe_region_sends_nothing() {
+        let mut r = engine(); // 64 KiB buffer; 200 bytes is deep in safe
+        r.handle_packet(&data(0, 100), 0);
+        r.handle_packet(&data(1, 100), 100);
+        let out = drain(&mut r);
+        assert!(packets_of(&out, PacketType::Control).is_empty());
+    }
+
+    #[test]
+    fn rate_requests_throttled_per_rtt() {
+        let cfg = ProtocolConfig::hrmc()
+            .with_buffer(8_000)
+            .with_segment_size(1_000);
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        // Fill to warning and keep hammering within one RTT (10 ms).
+        for i in 0..6 {
+            r.handle_packet(&data(i, 1_000), 1_000 + i as u64);
+        }
+        let out = drain(&mut r);
+        let warn: Vec<_> = packets_of(&out, PacketType::Control)
+            .into_iter()
+            .filter(|o| !o.packet.header.flags.urg)
+            .collect();
+        assert_eq!(warn.len(), 1, "warning requests not throttled");
+    }
+
+    #[test]
+    fn locked_socket_backlogs_then_drains() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        r.lock();
+        r.handle_packet(&data(1, 100), 1_000);
+        r.handle_packet(&data(2, 100), 1_100);
+        assert_eq!(r.rcv_nxt(), Some(1)); // nothing processed yet
+        assert_eq!(r.stats.backlogged_packets, 2);
+        r.unlock(2_000);
+        assert_eq!(r.rcv_nxt(), Some(3));
+        let mut buf = [0u8; 1024];
+        assert_eq!(r.read(&mut buf, 2_000), 300);
+    }
+
+    #[test]
+    fn fin_completes_stream() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        let mut fin = data(1, 50);
+        fin.header.flags.fin = true;
+        r.handle_packet(&fin, 1_000);
+        assert!(r.stream_complete());
+        assert!(std::iter::from_fn(|| r.poll_event())
+            .any(|e| e == ReceiverEvent::StreamComplete));
+        let mut buf = [0u8; 1024];
+        assert_eq!(r.read(&mut buf, 2_000), 150);
+        assert!(r.fully_consumed());
+    }
+
+    #[test]
+    fn nak_err_skips_hole_and_informs_app() {
+        let cfg = ProtocolConfig::rmc().with_buffer(64 * 1024);
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 100), 0);
+        r.handle_packet(&data(3, 100), 1_000); // gap 1, 2
+        drain(&mut r);
+        let mut err = Packet::control(PacketType::NakErr, 7000, 7001, 1);
+        err.header.length = 2;
+        r.handle_packet(&err, 2_000);
+        // The hole closed: rcv_nxt advanced past the lost packets.
+        assert_eq!(r.rcv_nxt(), Some(4));
+        assert!(std::iter::from_fn(|| r.poll_event())
+            .any(|e| e == ReceiverEvent::DataLost { seq: 1, count: 2 }));
+        // No NAKs remain pending.
+        r.on_tick(1_000_000);
+        assert!(packets_of(&drain(&mut r), PacketType::Nak).is_empty());
+        assert_eq!(r.stats.nak_errs_received, 1);
+    }
+
+    #[test]
+    fn close_sends_leave_and_response_completes() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        r.close(1_000);
+        let out = drain(&mut r);
+        assert_eq!(packets_of(&out, PacketType::Leave).len(), 1);
+        r.close(1_500); // idempotent
+        assert!(drain(&mut r).is_empty());
+        let resp = Packet::control(PacketType::LeaveResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 2_000);
+        assert!(std::iter::from_fn(|| r.poll_event()).any(|e| e == ReceiverEvent::Left));
+    }
+
+    #[test]
+    fn duplicates_and_overflow_counted() {
+        let cfg = ProtocolConfig::hrmc()
+            .with_buffer(2_000)
+            .with_segment_size(1_000);
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 1_000), 0);
+        r.handle_packet(&data(0, 1_000), 100);
+        assert_eq!(r.stats.duplicates_dropped, 1);
+        r.handle_packet(&data(1, 1_000), 200);
+        r.handle_packet(&data(2, 1_000), 300); // buffer full → drop
+        assert_eq!(r.stats.overflow_drops, 1);
+    }
+}

@@ -1,0 +1,1046 @@
+//! The H-RMC sender engine (paper §4.2, Figure 8).
+//!
+//! The kernel driver runs five concurrent tasks; here they are methods of
+//! one deterministic state machine:
+//!
+//! | Paper task | Engine entry point |
+//! |------------|--------------------|
+//! | Application Interface (`hrmc_sendmsg`) | [`SenderEngine::submit`] / [`SenderEngine::close`] |
+//! | Transmitter (`transmit_timer`, every jiffy) | [`SenderEngine::on_tick`] |
+//! | Feedback Processor (`hrmc_master_rcv`) | [`SenderEngine::handle_packet`] |
+//! | Retransmitter (`retrans_timer`) | retransmission pass inside [`SenderEngine::on_tick`] |
+//! | Keepalive Controller (`ka_timer`) | keepalive pass inside [`SenderEngine::on_tick`] |
+//!
+//! Outgoing packets accumulate on an output queue drained with
+//! [`SenderEngine::poll_output`]; application-visible events with
+//! [`SenderEngine::poll_event`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+use hrmc_wire::{seq_le, Packet, PacketType, Seq};
+
+use crate::config::{ProbePolicy, ProbeTransport, ProtocolConfig, ReliabilityMode};
+use crate::events::SenderEvent;
+use crate::fec::FecEncoder;
+use crate::keepalive::KeepaliveController;
+use crate::membership::Membership;
+use crate::rate::RateController;
+use crate::rtt::RttEstimator;
+use crate::stats::SenderStats;
+use crate::time::{scale, Micros, JIFFY_US};
+use crate::txwindow::SendWindow;
+use crate::{Dest, Outgoing, PeerId};
+
+/// How long probe-nonce RTT bookkeeping survives before pruning, in RTTs.
+const NONCE_TTL_RTTS: f64 = 16.0;
+
+/// Size of the transmission-timestamp ring (power of two).
+const SEND_TIMES_RING: usize = 8192;
+
+/// A ring of recent transmission timestamps, independent of the send
+/// buffer: RTT samples for JOINs and NAKs must survive buffer release,
+/// or a high-delay group can never correct the seed estimate (Karn
+/// catch-22: the estimate stays small, releases happen before feedback
+/// arrives, and no feedback ever finds its slot).
+#[derive(Debug)]
+struct SendTimes {
+    ring: Vec<(Seq, Micros, u8)>,
+}
+
+impl SendTimes {
+    fn new() -> SendTimes {
+        SendTimes { ring: vec![(0, u64::MAX, u8::MAX); SEND_TIMES_RING] }
+    }
+
+    fn record(&mut self, seq: Seq, now: Micros, tries: u8) {
+        self.ring[seq as usize % SEND_TIMES_RING] = (seq, now, tries);
+    }
+
+    fn get(&self, seq: Seq) -> Option<(Micros, u8)> {
+        let (s, t, tries) = self.ring[seq as usize % SEND_TIMES_RING];
+        (s == seq && t != u64::MAX).then_some((t, tries))
+    }
+}
+
+/// The sender half of the protocol. See the module docs for the mapping
+/// to the paper's architecture.
+pub struct SenderEngine {
+    config: ProtocolConfig,
+    local_port: u16,
+    group_port: u16,
+    window: SendWindow,
+    membership: Membership,
+    rate: RateController,
+    rtt: RttEstimator,
+    keepalive: KeepaliveController,
+    /// Retransmission request list (`retrans_queue` in Figure 8), deduped.
+    /// Each entry carries a not-before time — with local recovery the
+    /// sender holds back one repair window to let a peer answer first —
+    /// and the first requester, so the hold can be cancelled when that
+    /// receiver confirms the data (a later requester deduplicated against
+    /// the entry simply re-NAKs after its suppression interval).
+    retrans_queue: VecDeque<(Seq, Micros, PeerId)>,
+    retrans_set: HashSet<Seq>,
+    /// Recent transmission timestamps (survive buffer release).
+    send_times: SendTimes,
+    /// Optional FEC parity builder (extension).
+    fec: Option<FecEncoder>,
+    /// Outstanding probe nonces → issue time, for RTT samples on echo.
+    probe_nonces: HashMap<u32, Micros>,
+    next_nonce: u32,
+    /// Sequence whose release attempt has been counted (Figure 3 metric
+    /// counts each segment's *first* eligibility exactly once).
+    release_attempt_counted_through: Option<Seq>,
+    /// Last sequence number actually transmitted (for KEEPALIVE).
+    last_transmitted: Option<Seq>,
+    closed: bool,
+    transfer_complete_emitted: bool,
+    submit_blocked: bool,
+    out: VecDeque<Outgoing>,
+    events: VecDeque<SenderEvent>,
+    /// Public counters; the experiment harnesses read these.
+    pub stats: SenderStats,
+}
+
+impl SenderEngine {
+    /// Create a sender bound to `local_port`, streaming toward the group
+    /// port, with the first data segment numbered `initial_seq`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(
+        config: ProtocolConfig,
+        local_port: u16,
+        group_port: u16,
+        initial_seq: Seq,
+        now: Micros,
+    ) -> SenderEngine {
+        config.validate().expect("invalid ProtocolConfig");
+        let rate = RateController::new(
+            config.min_rate,
+            config.max_rate,
+            config.initial_ssthresh_fraction,
+            config.linear_increase_per_rtt,
+            config.halving_min_interval_rtts,
+            config.urgent_stop_rtts,
+            now,
+        );
+        let rtt = RttEstimator::new(config.initial_rtt, config.min_rtt);
+        let keepalive = KeepaliveController::new(
+            config.keepalive_initial,
+            config.keepalive_max,
+            now,
+        );
+        SenderEngine {
+            window: SendWindow::new(config.sndbuf, initial_seq),
+            membership: Membership::new(),
+            rate,
+            rtt,
+            keepalive,
+            retrans_queue: VecDeque::new(),
+            retrans_set: HashSet::new(),
+            send_times: SendTimes::new(),
+            fec: config.fec.map(|f| FecEncoder::new(f.k)),
+            probe_nonces: HashMap::new(),
+            next_nonce: 1,
+            release_attempt_counted_through: None,
+            last_transmitted: None,
+            closed: false,
+            transfer_complete_emitted: false,
+            submit_blocked: false,
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: SenderStats::default(),
+            config,
+            local_port,
+            group_port,
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Current RTT estimate (most distant receiver), microseconds.
+    pub fn rtt(&self) -> Micros {
+        self.rtt.rtt()
+    }
+
+    /// Current advertised transmission rate, bytes/second.
+    pub fn rate(&self) -> u64 {
+        self.rate.rate()
+    }
+
+    /// Number of receivers currently in the group.
+    pub fn member_count(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Bytes currently buffered in the send window.
+    pub fn buffered_bytes(&self) -> usize {
+        self.window.buffered_bytes()
+    }
+
+    /// `true` once the stream is closed and every segment released.
+    pub fn is_finished(&self) -> bool {
+        self.closed && self.window.is_empty() && !self.window.has_unsent()
+    }
+
+    /// The recommended driver tick interval (one jiffy).
+    pub fn tick_interval(&self) -> Micros {
+        JIFFY_US
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface (hrmc_sendmsg)
+    // ------------------------------------------------------------------
+
+    /// Hand a slice of the application's stream to the protocol. The data
+    /// is fragmented into segments of `segment_size` and queued in the
+    /// send window. Returns the number of bytes accepted, which is less
+    /// than `data.len()` when the send buffer fills — the application
+    /// blocks and retries after [`SenderEvent::SendSpaceAvailable`].
+    pub fn submit(&mut self, data: &[u8], _now: Micros) -> usize {
+        if self.closed {
+            return 0;
+        }
+        let mut offset = 0;
+        while offset < data.len() {
+            let take = (data.len() - offset).min(self.config.segment_size);
+            let segment = Bytes::copy_from_slice(&data[offset..offset + take]);
+            if !self.window.push(segment, false) {
+                self.submit_blocked = true;
+                break;
+            }
+            offset += take;
+        }
+        offset
+    }
+
+    /// Close the stream: a zero-length FIN segment is queued after the
+    /// data, and the transfer completes once every segment is released.
+    pub fn close(&mut self, _now: Micros) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        // A FIN segment is zero bytes of payload, so it always fits.
+        let pushed = self.window.push(Bytes::new(), true);
+        debug_assert!(pushed, "zero-length FIN must always fit");
+    }
+
+    // ------------------------------------------------------------------
+    // Feedback processor (hrmc_master_rcv)
+    // ------------------------------------------------------------------
+
+    /// Process a packet that arrived from `from`.
+    pub fn handle_packet(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        match pkt.header.ptype {
+            PacketType::Join => self.on_join(pkt, from, now),
+            PacketType::Leave => self.on_leave(pkt, from, now),
+            PacketType::Nak => self.on_nak(pkt, from, now),
+            PacketType::Control => self.on_control(pkt, from, now),
+            PacketType::Update => self.on_update(pkt, from, now),
+            // Sender-originated types echoed back are ignored.
+            _ => {}
+        }
+    }
+
+    fn on_join(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        let echoed = pkt.header.seq;
+        let is_new = self.membership.get(from).is_none();
+        self.membership.add(from, echoed, now);
+        self.stats.joins += 1;
+        if is_new {
+            self.events.push_back(SenderEvent::MemberJoined(from));
+        }
+        // RTT sample: the JOIN echoes the data packet that triggered it.
+        self.rtt_sample_against_slot(echoed, now);
+        self.push_out(
+            Dest::Unicast(from),
+            self.make_control(PacketType::JoinResponse, echoed),
+        );
+    }
+
+    fn on_leave(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        let _ = now;
+        if self.membership.remove(from) {
+            self.stats.leaves += 1;
+            self.events.push_back(SenderEvent::MemberLeft(from));
+        }
+        self.push_out(
+            Dest::Unicast(from),
+            self.make_control(PacketType::LeaveResponse, pkt.header.seq),
+        );
+    }
+
+    fn on_nak(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        self.stats.naks_received += 1;
+        // NAKs piggyback the receiver's next-expected sequence number in
+        // the rate-advertisement field (see the Header docs).
+        self.membership.update(from, pkt.header.rate_adv, now);
+        let first = pkt.header.seq;
+        let count = pkt.header.length.max(1);
+        // RTT sample only from the *first* NAK for this segment: a repeat
+        // NAK measures the age of a still-stuck gap, not a round trip,
+        // and absorbing those ages would inflate the estimate without
+        // bound (each inflation lengthens MINBUF and any local-recovery
+        // hold, keeping the gap stuck even longer).
+        if !self.retrans_set.contains(&first) {
+            self.rtt_sample_against_slot(first, now);
+        }
+        let mut released_start: Option<Seq> = None;
+        let ready_at = if self.config.local_recovery {
+            // Capped: a wild RTT estimate must not park repairs forever.
+            now + scale(self.rtt.rtt(), self.config.local_repair_wait_rtts).min(1_000_000)
+        } else {
+            now
+        };
+        for i in 0..count {
+            let seq = first.wrapping_add(i);
+            if self.window.contains(seq) {
+                if self.retrans_set.insert(seq) {
+                    self.retrans_queue.push_back((seq, ready_at, from));
+                }
+            } else if self.window.is_released(seq) && released_start.is_none() {
+                released_start = Some(seq);
+            }
+        }
+        if let Some(seq) = released_start {
+            // In Hybrid mode a release normally required this receiver's
+            // own confirmation, so a NAK for released data is usually
+            // stale feedback that raced the confirmation — droppable. The
+            // exception is the join race: data released while the
+            // receiver's JOIN was still in flight was never confirmed by
+            // it. The truthful answer in that case (and always in RMC
+            // mode) is NAK_ERR: the data is gone.
+            let confirmed_by_sender_state = self
+                .membership
+                .get(from)
+                .is_some_and(|m| hrmc_wire::seq_lt(seq, m.next_expected));
+            let stale = self.config.mode == ReliabilityMode::Hybrid && confirmed_by_sender_state;
+            if !stale {
+                let mut err = self.make_control(PacketType::NakErr, seq);
+                err.header.length = count;
+                self.push_out(Dest::Unicast(from), err);
+                self.stats.nak_errs_sent += 1;
+                self.events
+                    .push_back(SenderEvent::RetransmissionError { peer: from, seq });
+            }
+        }
+        // A NAK signals loss: halve the rate (one congestion event per RTT).
+        self.rate.on_congestion(now, self.rtt.rtt(), None);
+    }
+
+    fn on_control(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        self.stats.rate_requests_received += 1;
+        self.membership.update(from, pkt.header.seq, now);
+        if pkt.header.flags.urg {
+            self.stats.urgent_rate_requests_received += 1;
+            self.rate.on_urgent(now, self.rtt.rtt());
+        } else {
+            let suggested = u64::from(pkt.header.rate_adv);
+            self.rate
+                .on_congestion(now, self.rtt.rtt(), Some(suggested));
+        }
+    }
+
+    fn on_update(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
+        self.stats.updates_received += 1;
+        self.membership.update(from, pkt.header.seq, now);
+        // A nonzero length echoes a probe nonce: an RTT sample.
+        let nonce = pkt.header.length;
+        if nonce != 0 {
+            if let Some(sent) = self.probe_nonces.remove(&nonce) {
+                self.rtt.sample(now.saturating_sub(sent), 0);
+            }
+        }
+    }
+
+    /// Sample the RTT against a segment's transmission timestamp (kept in
+    /// a ring that survives buffer release), honoring Karn's rule:
+    /// segments transmitted more than once yield no sample.
+    fn rtt_sample_against_slot(&mut self, seq: Seq, now: Micros) {
+        if let Some((sent, tries)) = self.send_times.get(seq) {
+            let karn_tries = if tries == 0 { 0 } else { 1 };
+            self.rtt.sample(now.saturating_sub(sent), karn_tries);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmitter + Retransmitter + Keepalive (transmit_timer, every jiffy)
+    // ------------------------------------------------------------------
+
+    /// Run one transmitter tick at `now`. Drivers call this every jiffy.
+    pub fn on_tick(&mut self, now: Micros) {
+        self.rate.on_tick(now, self.rtt.rtt());
+        let allowance = self.rate.budget(now, JIFFY_US);
+        let mut spent = 0usize;
+
+        // Retransmissions first: Figure 8 gives the retransmitter
+        // priority over new data.
+        while spent < allowance {
+            match self.retrans_queue.front() {
+                Some((_, ready_at, _)) if *ready_at > now => break, // held back
+                Some(_) => {}
+                None => break,
+            }
+            let (seq, _, requester) = self.retrans_queue.pop_front().expect("peeked");
+            self.retrans_set.remove(&seq);
+            // Local recovery: if the requester (or the whole group)
+            // confirmed the data while the sender held back, a peer
+            // repair won — drop the entry.
+            if self.config.local_recovery {
+                let requester_has = self
+                    .membership
+                    .get(requester)
+                    .is_some_and(|m| hrmc_wire::seq_lt(seq, m.next_expected));
+                if requester_has || self.membership.all_have(seq) {
+                    self.stats.retransmissions_cancelled += 1;
+                    continue;
+                }
+            }
+            let Some(slot) = self.window.mark_retransmitted(seq, now) else {
+                continue; // released or still unsent; nothing to resend
+            };
+            let mut pkt = Packet::data(self.local_port, self.group_port, slot.seq, slot.payload);
+            pkt.header.tries = slot.tries;
+            pkt.header.flags.fin = slot.fin;
+            pkt.header.rate_adv = self.rate_adv();
+            spent += pkt.wire_len();
+            self.send_times.record(slot.seq, now, slot.tries);
+            self.stats.retransmissions += 1;
+            self.keepalive.on_activity(now);
+            self.push_out(Dest::Multicast, pkt);
+        }
+
+        // New data from the backlog.
+        while spent < allowance && self.window.has_unsent() {
+            let Some(slot) = self.window.take_unsent(now) else { break };
+            let mut pkt = Packet::data(self.local_port, self.group_port, slot.seq, slot.payload);
+            pkt.header.tries = slot.tries;
+            pkt.header.flags.fin = slot.fin;
+            pkt.header.rate_adv = self.rate_adv();
+            spent += pkt.wire_len();
+            self.send_times.record(slot.seq, now, slot.tries);
+            self.stats.data_packets_sent += 1;
+            self.stats.data_bytes_sent += pkt.header.length as u64;
+            self.last_transmitted = Some(slot.seq);
+            self.keepalive.on_activity(now);
+            // FEC: fold first transmissions into the parity block; a
+            // completed block's parity rides in the same budget.
+            let parity = self.fec.as_mut().and_then(|enc| {
+                enc.on_data(slot.seq, &pkt.payload, self.local_port, self.group_port)
+            });
+            self.push_out(Dest::Multicast, pkt);
+            if let Some(mut parity) = parity {
+                parity.header.rate_adv = self.rate_adv();
+                spent += parity.wire_len();
+                self.stats.fec_parities_sent += 1;
+                self.push_out(Dest::Multicast, parity);
+            }
+        }
+
+        if spent < allowance {
+            self.rate.refund(allowance - spent, JIFFY_US);
+        } else if spent > allowance {
+            self.rate.overdraw(spent - allowance);
+        }
+
+        self.try_release(now);
+        self.maybe_early_probe(now);
+        self.maybe_keepalive(now);
+        self.maybe_finish();
+        self.prune_nonces(now);
+    }
+
+    /// Attempt to advance the send window (release buffer space). This is
+    /// the heart of the Figure 3 experiment: each segment's first
+    /// eligibility is counted, and whether the sender already had complete
+    /// receiver information decides whether the release proceeds (Hybrid)
+    /// or merely whether it was *safe* (RMC).
+    fn try_release(&mut self, now: Micros) {
+        let mut minbuf = scale(self.rtt.rtt(), self.config.minbuf_rtts as f64);
+        // Join race guard: while nobody has joined there is no RTT sample
+        // and (in Hybrid mode) the membership gate is vacuous, so hold
+        // releases long enough for a high-delay JOIN to arrive (see
+        // `ProtocolConfig::anonymous_release_hold`). Both modes need it:
+        // the paper's RMC, too, seeds its release clock from JOIN-derived
+        // RTT estimates.
+        if self.membership.is_empty() {
+            minbuf = minbuf.max(self.config.anonymous_release_hold);
+        }
+        let mut released_any = false;
+        #[allow(clippy::while_let_loop)] // two let-else exits; loop reads clearer
+        loop {
+            let Some(front) = self.window.front() else { break };
+            let Some(last_sent) = front.last_sent else { break };
+            if now.saturating_sub(last_sent) < minbuf {
+                break; // MINBUF residency not yet met
+            }
+            let seq = front.seq;
+            let complete = self.membership.all_have(seq);
+            // Count each segment's first eligibility exactly once.
+            let counted = self
+                .release_attempt_counted_through
+                .is_some_and(|c| seq_le(seq, c));
+            if !counted {
+                self.stats.release_attempts += 1;
+                if complete {
+                    self.stats.release_attempts_with_complete_info += 1;
+                }
+                self.release_attempt_counted_through = Some(seq);
+            }
+            match self.config.mode {
+                ReliabilityMode::RmcNakOnly => {
+                    if !complete {
+                        self.stats.unsafe_releases += 1;
+                    }
+                    self.window.release_front();
+                    self.stats.segments_released += 1;
+                    released_any = true;
+                }
+                ReliabilityMode::Hybrid => {
+                    if complete {
+                        self.window.release_front();
+                        self.stats.segments_released += 1;
+                        released_any = true;
+                    } else {
+                        // Poll the receivers we lack information from.
+                        self.send_probes(seq, now);
+                        break;
+                    }
+                }
+            }
+        }
+        if released_any && self.submit_blocked {
+            self.submit_blocked = false;
+            self.events.push_back(SenderEvent::SendSpaceAvailable);
+        }
+    }
+
+    /// Unicast (or multicast, per policy) PROBE packets to the receivers
+    /// whose state for `seq` is unknown, rate-limited per receiver.
+    fn send_probes(&mut self, seq: Seq, now: Micros) {
+        let retry = scale(self.rtt.rtt(), self.config.probe_retry_rtts).max(JIFFY_US);
+        let lacking: Vec<PeerId> = self
+            .membership
+            .lacking(seq)
+            .into_iter()
+            .filter(|p| {
+                self.membership
+                    .get(*p)
+                    .and_then(|m| m.last_probed)
+                    .is_none_or(|t| now.saturating_sub(t) >= retry)
+            })
+            .collect();
+        if lacking.is_empty() {
+            return;
+        }
+        let multicast = match self.config.probe_transport {
+            ProbeTransport::Unicast => false,
+            ProbeTransport::MulticastAbove(n) => lacking.len() > n,
+        };
+        if multicast {
+            let pkt = self.make_probe(seq, now);
+            self.stats.probes_sent += 1;
+            for p in &lacking {
+                self.membership.mark_probed(*p, now);
+            }
+            self.push_out(Dest::Multicast, pkt);
+        } else {
+            for p in lacking {
+                let pkt = self.make_probe(seq, now);
+                self.stats.probes_sent += 1;
+                self.membership.mark_probed(p, now);
+                self.push_out(Dest::Unicast(p), pkt);
+            }
+        }
+    }
+
+    /// Early-probe optimization (paper future-work item 1): probe lacking
+    /// receivers `lead_rtts` before the front segment becomes
+    /// release-eligible, so the stop-and-wait stall disappears.
+    fn maybe_early_probe(&mut self, now: Micros) {
+        let ProbePolicy::Early { lead_rtts } = self.config.probe_policy else {
+            return;
+        };
+        if self.config.mode != ReliabilityMode::Hybrid {
+            return;
+        }
+        let Some(front) = self.window.front() else { return };
+        let Some(last_sent) = front.last_sent else { return };
+        let seq = front.seq;
+        let eligible_at = last_sent + scale(self.rtt.rtt(), self.config.minbuf_rtts as f64);
+        let lead = scale(self.rtt.rtt(), lead_rtts as f64);
+        if now + lead >= eligible_at && !self.membership.all_have(seq) {
+            self.send_probes(seq, now);
+        }
+    }
+
+    fn maybe_keepalive(&mut self, now: Micros) {
+        // No keepalives before anything was transmitted.
+        let Some(last) = self.last_transmitted else { return };
+        if self.is_finished() {
+            return;
+        }
+        if self.keepalive.poll(now) {
+            let pkt = self.make_control(PacketType::Keepalive, last);
+            self.stats.keepalives_sent += 1;
+            self.push_out(Dest::Multicast, pkt);
+        }
+    }
+
+    fn maybe_finish(&mut self) {
+        if self.is_finished() && !self.transfer_complete_emitted {
+            self.transfer_complete_emitted = true;
+            self.events.push_back(SenderEvent::TransferComplete);
+        }
+    }
+
+    fn prune_nonces(&mut self, now: Micros) {
+        if self.probe_nonces.len() < 1024 {
+            return;
+        }
+        let ttl = scale(self.rtt.rtt(), NONCE_TTL_RTTS);
+        self.probe_nonces
+            .retain(|_, sent| now.saturating_sub(*sent) < ttl);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet construction and output
+    // ------------------------------------------------------------------
+
+    fn rate_adv(&self) -> u32 {
+        self.rate.rate().min(u64::from(u32::MAX)) as u32
+    }
+
+    fn make_control(&self, ptype: PacketType, seq: Seq) -> Packet {
+        let mut pkt = Packet::control(ptype, self.local_port, self.group_port, seq);
+        pkt.header.rate_adv = self.rate_adv();
+        pkt
+    }
+
+    fn make_probe(&mut self, seq: Seq, now: Micros) -> Packet {
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(1).max(1);
+        self.probe_nonces.insert(nonce, now);
+        let mut pkt = self.make_control(PacketType::Probe, seq);
+        pkt.header.length = nonce;
+        pkt
+    }
+
+    fn push_out(&mut self, dest: Dest, packet: Packet) {
+        self.out.push_back(Outgoing { dest, packet });
+    }
+
+    /// Drain one outgoing packet, if any.
+    pub fn poll_output(&mut self) -> Option<Outgoing> {
+        self.out.pop_front()
+    }
+
+    /// Drain one application event, if any.
+    pub fn poll_event(&mut self) -> Option<SenderEvent> {
+        self.events.pop_front()
+    }
+
+    /// Read-only view of the membership table (for instrumentation).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: PeerId = PeerId(1);
+
+    fn engine(mode: ReliabilityMode) -> SenderEngine {
+        let config = match mode {
+            ReliabilityMode::Hybrid => ProtocolConfig::hrmc(),
+            ReliabilityMode::RmcNakOnly => ProtocolConfig::rmc(),
+        }
+        .with_buffer(64 * 1024);
+        SenderEngine::new(config, 7000, 7001, 0, 0)
+    }
+
+    fn drain(s: &mut SenderEngine) -> Vec<Outgoing> {
+        std::iter::from_fn(|| s.poll_output()).collect()
+    }
+
+    fn join(s: &mut SenderEngine, peer: PeerId, echoed: Seq, now: Micros) {
+        let pkt = Packet::control(PacketType::Join, 9, 7000, echoed);
+        s.handle_packet(&pkt, peer, now);
+    }
+
+    fn update(s: &mut SenderEngine, peer: PeerId, next_expected: Seq, now: Micros) {
+        let pkt = Packet::control(PacketType::Update, 9, 7000, next_expected);
+        s.handle_packet(&pkt, peer, now);
+    }
+
+    /// Drive ticks until `deadline`, draining output.
+    fn run_until(s: &mut SenderEngine, from: Micros, deadline: Micros) -> Vec<Outgoing> {
+        let mut all = Vec::new();
+        let mut t = from;
+        while t <= deadline {
+            s.on_tick(t);
+            all.extend(drain(s));
+            t += JIFFY_US;
+        }
+        all
+    }
+
+    #[test]
+    fn submit_fragments_into_segments() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        let n = s.submit(&vec![7u8; 3000], 0);
+        assert_eq!(n, 3000);
+        // 1400 + 1400 + 200.
+        assert_eq!(s.buffered_bytes(), 3000);
+        let sent = run_until(&mut s, 0, 500_000);
+        let data: Vec<_> = sent
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Data)
+            .collect();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data[0].packet.header.seq, 0);
+        assert_eq!(data[0].packet.payload.len(), 1400);
+        assert_eq!(data[2].packet.payload.len(), 200);
+        assert!(data.iter().all(|o| o.dest == Dest::Multicast));
+        assert_eq!(s.stats.data_packets_sent, 3);
+    }
+
+    #[test]
+    fn submit_blocks_at_sndbuf() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        let big = vec![0u8; 128 * 1024];
+        let n = s.submit(&big, 0);
+        assert!(n < big.len());
+        assert!(n >= 64 * 1024 - 1400);
+        assert_eq!(s.submit(&big, 0), 0); // still blocked
+    }
+
+    #[test]
+    fn rate_limits_transmission_per_tick() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        s.submit(&vec![0u8; 60_000], 0);
+        // min_rate = 64 KiB/s → ~655 bytes per 10 ms jiffy: one segment
+        // roughly every other tick at the start.
+        s.on_tick(JIFFY_US);
+        let first = drain(&mut s).len();
+        assert!(first <= 1, "sent {first} packets in one minimum-rate tick");
+    }
+
+    #[test]
+    fn join_creates_member_and_responds() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 1000);
+        assert_eq!(s.member_count(), 1);
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.header.ptype, PacketType::JoinResponse);
+        assert_eq!(out[0].dest, Dest::Unicast(P1));
+        assert_eq!(s.poll_event(), Some(SenderEvent::MemberJoined(P1)));
+    }
+
+    #[test]
+    fn leave_removes_member_and_responds() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 1000);
+        drain(&mut s);
+        let _ = s.poll_event();
+        let pkt = Packet::control(PacketType::Leave, 9, 7000, 5);
+        s.handle_packet(&pkt, P1, 2000);
+        assert_eq!(s.member_count(), 0);
+        let out = drain(&mut s);
+        assert_eq!(out[0].packet.header.ptype, PacketType::LeaveResponse);
+        assert_eq!(s.poll_event(), Some(SenderEvent::MemberLeft(P1)));
+    }
+
+    #[test]
+    fn nak_triggers_retransmission_with_tries() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        // Join first so the membership gate keeps the segments buffered.
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 2800], 0);
+        run_until(&mut s, 0, 300_000);
+        assert_eq!(s.stats.data_packets_sent, 2);
+        // NAK for seq 0 (rate_adv piggybacks rcv_nxt = 0).
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = 1;
+        nak.header.rate_adv = 0;
+        s.handle_packet(&nak, P1, 310_000);
+        let out = run_until(&mut s, 310_000, 400_000);
+        let retrans: Vec<_> = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Data && o.packet.header.seq == 0)
+            .collect();
+        assert_eq!(retrans.len(), 1);
+        assert_eq!(retrans[0].packet.header.tries, 1);
+        assert_eq!(s.stats.retransmissions, 1);
+        assert_eq!(s.stats.naks_received, 1);
+    }
+
+    #[test]
+    fn duplicate_naks_queue_one_retransmission() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        run_until(&mut s, 0, 200_000);
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = 1;
+        s.handle_packet(&nak, P1, 210_000);
+        s.handle_packet(&nak, P1, 210_500);
+        let out = run_until(&mut s, 220_000, 400_000);
+        let retrans = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Data)
+            .count();
+        assert_eq!(retrans, 1);
+    }
+
+    #[test]
+    fn nak_halves_rate_once_per_rtt() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        s.submit(&vec![0u8; 1400], 0);
+        run_until(&mut s, 0, 1_000_000);
+        let before = s.rate();
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = 1;
+        s.handle_packet(&nak, P1, 1_000_000);
+        s.handle_packet(&nak, P1, 1_000_100);
+        assert_eq!(s.rate(), before / 2);
+    }
+
+    #[test]
+    fn urgent_control_stops_transmission() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        s.submit(&vec![0u8; 60_000], 0);
+        run_until(&mut s, 0, 200_000);
+        let mut ctl = Packet::control(PacketType::Control, 9, 7000, 0);
+        ctl.header.flags.urg = true;
+        s.handle_packet(&ctl, P1, 200_000);
+        assert_eq!(s.stats.urgent_rate_requests_received, 1);
+        // Refill the window (slow start drained the first batch long ago).
+        s.submit(&vec![0u8; 20_000], 200_000);
+        // No data for the next two RTTs (rtt default 10 ms → 20 ms).
+        s.on_tick(205_000);
+        s.on_tick(215_000);
+        let during: Vec<_> = drain(&mut s)
+            .into_iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Data)
+            .collect();
+        assert!(during.is_empty(), "data sent during urgent stop");
+        // Transmission resumes afterwards, from the minimum rate.
+        let after = run_until(&mut s, 230_000, 500_000);
+        assert!(after
+            .iter()
+            .any(|o| o.packet.header.ptype == PacketType::Data));
+        assert_eq!(s.stats.rate_requests_received, 1);
+    }
+
+    #[test]
+    fn hybrid_release_waits_for_confirmation_and_probes() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        // Transmit, then run well past MINBUF × RTT (10 × 10 ms = 100 ms).
+        let out = run_until(&mut s, 0, 400_000);
+        assert_eq!(s.stats.segments_released, 0, "released unconfirmed data");
+        let probes: Vec<_> = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Probe)
+            .collect();
+        assert!(!probes.is_empty(), "no probes for the lacking receiver");
+        assert!(probes.iter().all(|o| o.dest == Dest::Unicast(P1)));
+        // The UPDATE confirming receipt unblocks the release.
+        update(&mut s, P1, 1, 400_000);
+        run_until(&mut s, 400_000, 450_000);
+        assert_eq!(s.stats.segments_released, 1);
+        assert_eq!(s.stats.unsafe_releases, 0);
+    }
+
+    #[test]
+    fn rmc_releases_unconditionally_and_nak_errs() {
+        let mut s = engine(ReliabilityMode::RmcNakOnly);
+        join(&mut s, P1, 0, 0);
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        let out = run_until(&mut s, 0, 400_000);
+        assert_eq!(s.stats.segments_released, 1);
+        assert_eq!(s.stats.unsafe_releases, 1);
+        assert!(
+            !out.iter().any(|o| o.packet.header.ptype == PacketType::Probe),
+            "RMC must not probe"
+        );
+        // A late NAK for the released segment gets NAK_ERR.
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = 1;
+        s.handle_packet(&nak, P1, 500_000);
+        let out = drain(&mut s);
+        assert!(out
+            .iter()
+            .any(|o| o.packet.header.ptype == PacketType::NakErr));
+        assert!(matches!(
+            std::iter::from_fn(|| s.poll_event())
+                .find(|e| matches!(e, SenderEvent::RetransmissionError { .. })),
+            Some(SenderEvent::RetransmissionError { peer: P1, seq: 0 })
+        ));
+    }
+
+    #[test]
+    fn hybrid_ignores_stale_nak_for_released_data() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        run_until(&mut s, 0, 150_000);
+        update(&mut s, P1, 1, 150_000);
+        run_until(&mut s, 150_000, 300_000);
+        assert_eq!(s.stats.segments_released, 1);
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = 1;
+        s.handle_packet(&nak, P1, 310_000);
+        let out = drain(&mut s);
+        assert!(!out
+            .iter()
+            .any(|o| o.packet.header.ptype == PacketType::NakErr));
+        assert_eq!(s.stats.nak_errs_sent, 0);
+    }
+
+    #[test]
+    fn release_attempt_counted_once_per_segment() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        // Many ticks past eligibility: still one attempt counted.
+        run_until(&mut s, 0, 800_000);
+        assert_eq!(s.stats.release_attempts, 1);
+        assert_eq!(s.stats.release_attempts_with_complete_info, 0);
+        update(&mut s, P1, 1, 800_000);
+        run_until(&mut s, 800_000, 900_000);
+        assert_eq!(s.stats.release_attempts, 1);
+        assert_eq!(s.complete_info_ratio_test(), 0.0);
+    }
+
+    #[test]
+    fn keepalive_fires_when_idle_with_backoff() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        update(&mut s, P1, 1, 0);
+        let out = run_until(&mut s, 0, 10_000_000);
+        let kas: Vec<&Outgoing> = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Keepalive)
+            .collect();
+        assert!(kas.len() >= 3, "got {} keepalives", kas.len());
+        assert!(kas
+            .iter()
+            .all(|o| o.packet.header.seq == 0 && o.dest == Dest::Multicast));
+        // Backoff: inter-keepalive spacing must reach but not exceed 2 s.
+        assert!(s.stats.keepalives_sent as usize == kas.len());
+        assert!(kas.len() <= 10, "backoff failed: {} keepalives", kas.len());
+    }
+
+    #[test]
+    fn transfer_completes_after_close_and_confirmation() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        s.close(0);
+        assert!(!s.is_finished());
+        let out = run_until(&mut s, 0, 200_000);
+        // FIN segment (seq 1, empty) transmitted with the FIN flag.
+        assert!(out.iter().any(|o| {
+            o.packet.header.ptype == PacketType::Data
+                && o.packet.header.seq == 1
+                && o.packet.header.flags.fin
+        }));
+        update(&mut s, P1, 2, 200_000); // receiver confirms both segments
+        run_until(&mut s, 200_000, 400_000);
+        assert!(s.is_finished());
+        assert!(std::iter::from_fn(|| s.poll_event())
+            .any(|e| e == SenderEvent::TransferComplete));
+    }
+
+    #[test]
+    fn multicast_probe_above_threshold() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.probe_transport = ProbeTransport::MulticastAbove(2);
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        for p in 1..=4u32 {
+            join(&mut s, PeerId(p), 0, 0);
+        }
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        let out = run_until(&mut s, 0, 300_000);
+        let probes: Vec<_> = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Probe)
+            .collect();
+        assert!(!probes.is_empty());
+        assert!(
+            probes.iter().all(|o| o.dest == Dest::Multicast),
+            "4 lacking receivers > threshold 2 must multicast the probe"
+        );
+    }
+
+    #[test]
+    fn early_probe_fires_before_eligibility() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.probe_policy = ProbePolicy::Early { lead_rtts: 4 };
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        join(&mut s, P1, 0, 0);
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        // Eligibility at first_sent + 10 RTTs ≈ 100 ms; early probe must
+        // appear by ~6 RTTs ≈ 60 ms + transmission time.
+        let out = run_until(&mut s, 0, 80_000);
+        assert!(
+            out.iter().any(|o| o.packet.header.ptype == PacketType::Probe),
+            "no early probe before release eligibility"
+        );
+        assert_eq!(s.stats.segments_released, 0);
+    }
+
+    #[test]
+    fn update_with_nonce_samples_rtt() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        let out = run_until(&mut s, 0, 300_000);
+        let probe = out
+            .iter()
+            .find(|o| o.packet.header.ptype == PacketType::Probe)
+            .expect("probe");
+        let nonce = probe.packet.header.length;
+        assert_ne!(nonce, 0);
+        let before_samples = s.rtt.samples_taken();
+        let mut upd = Packet::control(PacketType::Update, 9, 7000, 1);
+        upd.header.length = nonce;
+        s.handle_packet(&upd, P1, 305_000);
+        assert_eq!(s.rtt.samples_taken(), before_samples + 1);
+    }
+
+    #[test]
+    fn send_space_event_after_blocked_submit() {
+        let mut s = engine(ReliabilityMode::RmcNakOnly);
+        let n = s.submit(&vec![0u8; 128 * 1024], 0);
+        assert!(n < 128 * 1024);
+        // No members: the anonymous-release hold (2 s) applies first.
+        run_until(&mut s, 0, 6_000_000);
+        assert!(s.stats.segments_released > 0);
+        assert!(std::iter::from_fn(|| s.poll_event())
+            .any(|e| e == SenderEvent::SendSpaceAvailable));
+    }
+
+    impl SenderEngine {
+        fn complete_info_ratio_test(&self) -> f64 {
+            self.stats.complete_info_ratio()
+        }
+    }
+}

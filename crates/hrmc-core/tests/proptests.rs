@@ -1,0 +1,199 @@
+//! Property-based tests on the core protocol invariants.
+
+use bytes::Bytes;
+use hrmc_core::membership::Membership;
+use hrmc_core::nak::NakManager;
+use hrmc_core::rate::RateController;
+use hrmc_core::rxwindow::{Offer, ReceiveWindow};
+use hrmc_core::PeerId;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// ReceiveWindow: any arrival order of any subset (with duplicates) of a
+// stream reassembles exactly the in-order prefix available, never
+// corrupts bytes, and never double-counts buffer space.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rxwindow_reassembles_any_arrival_order(
+        n_packets in 1usize..40,
+        order in proptest::collection::vec(any::<prop::sample::Index>(), 0..120),
+    ) {
+        // Stream: packet i carries byte value i, 10 bytes each.
+        let mut w = ReceiveWindow::new(1 << 20, 10, 0.5, 0.9);
+        // Attach at 0 deterministically.
+        w.offer(0, Bytes::from(vec![0u8; 10]), false);
+        let mut offered = vec![false; n_packets];
+        offered[0] = true;
+        for idx in order {
+            let i = idx.index(n_packets);
+            let out = w.offer(i as u32, Bytes::from(vec![i as u8; 10]), false);
+            match out {
+                Offer::Duplicate => prop_assert!(offered[i]),
+                Offer::InOrder | Offer::OutOfOrder => {
+                    prop_assert!(!offered[i]);
+                    offered[i] = true;
+                }
+                Offer::BeyondWindow | Offer::Overflow => {
+                    prop_assert!(false, "huge window must accept everything: {out:?}");
+                }
+            }
+        }
+        // rcv_nxt must equal the length of the received prefix.
+        let prefix = offered.iter().take_while(|&&x| x).count();
+        prop_assert_eq!(w.rcv_nxt(), Some(prefix as u32));
+        // The readable bytes must be exactly the prefix, in order.
+        let mut buf = vec![0u8; prefix * 10 + 16];
+        let n = w.read(&mut buf);
+        prop_assert_eq!(n, prefix * 10);
+        for i in 0..prefix {
+            prop_assert!(buf[i * 10..(i + 1) * 10].iter().all(|&b| b == i as u8));
+        }
+        // After reading, buffered bytes are exactly the out-of-order ones.
+        let ooo_count = offered.iter().skip(prefix).filter(|&&x| x).count();
+        prop_assert_eq!(w.buffered_bytes(), ooo_count * 10);
+    }
+
+    #[test]
+    fn rxwindow_missing_plus_present_partitions_space(
+        present in proptest::collection::btree_set(1u32..60, 0..30),
+        limit in 1u64..80,
+    ) {
+        let mut w = ReceiveWindow::new(1 << 20, 10, 0.5, 0.9);
+        w.offer(0, Bytes::from(vec![0u8; 10]), false);
+        for &s in &present {
+            w.offer(s, Bytes::from(vec![1u8; 10]), false);
+        }
+        let next = u64::from(w.rcv_nxt().unwrap());
+        let missing = w.missing_below(limit);
+        // Missing ranges are sorted, disjoint, within [rcv_nxt, limit).
+        let mut cursor = next;
+        for &(first, count) in &missing {
+            prop_assert!(first >= cursor);
+            prop_assert!(count > 0);
+            prop_assert!(first + count as u64 <= limit);
+            cursor = first + count as u64;
+        }
+        // Every seq in [next, limit) is either present (delivered or ooo)
+        // or covered by exactly one missing range.
+        for s in next..limit {
+            let in_missing = missing
+                .iter()
+                .any(|&(f, c)| s >= f && s < f + c as u64);
+            let is_present = s < next || present.contains(&(s as u32));
+            prop_assert_eq!(in_missing, !is_present, "seq {}", s);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NakManager: no matter the interleaving of note/satisfy/due, an
+    // entry is never reported twice within a suppression window, and
+    // satisfied entries never resurface.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn nak_manager_suppression_invariant(
+        ops in proptest::collection::vec((0u8..3, 0u64..30, 1u32..4), 1..60),
+    ) {
+        let mut m = NakManager::new();
+        let mut now = 0u64;
+        let suppress = 1_000u64;
+        let mut last_reported: std::collections::HashMap<u64, u64> = Default::default();
+        for (op, seq, count) in ops {
+            now += 100;
+            let reported: Vec<(u64, u32)> = match op {
+                0 => m.note_missing(&[(seq, count)], now),
+                1 => {
+                    m.satisfy(seq);
+                    prop_assert!(!m.contains(seq));
+                    // A later note for this seq is a brand-new gap.
+                    last_reported.remove(&seq);
+                    Vec::new()
+                }
+                _ => m.due(now, suppress),
+            };
+            for (first, c) in reported {
+                for s in first..first + c as u64 {
+                    if let Some(&t) = last_reported.get(&s) {
+                        prop_assert!(
+                            now - t >= suppress || t == now,
+                            "seq {s} re-reported after {} µs", now - t
+                        );
+                    }
+                    last_reported.insert(s, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RateController: the rate never leaves [min_rate, max_rate], and the
+    // long-run byte budget never exceeds rate × time by more than the
+    // carry-over bound.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rate_stays_in_bounds_under_any_event_sequence(
+        events in proptest::collection::vec(0u8..4, 1..200),
+    ) {
+        let min_rate = 1_000u64;
+        let max_rate = 1_000_000u64;
+        let mut c = RateController::new(min_rate, max_rate, 1.0, 1_000, 1.0, 2, 0);
+        let rtt = 10_000u64;
+        let mut now = 0u64;
+        for e in events {
+            now += 5_000;
+            match e {
+                0 => c.on_tick(now, rtt),
+                1 => c.on_congestion(now, rtt, None),
+                2 => c.on_congestion(now, rtt, Some(u64::from(now as u32))),
+                _ => c.on_urgent(now, rtt),
+            }
+            prop_assert!(c.rate() >= min_rate, "rate {} < min", c.rate());
+            prop_assert!(c.rate() <= max_rate, "rate {} > max", c.rate());
+        }
+    }
+
+    #[test]
+    fn rate_budget_bounded_by_rate_times_time(
+        ticks in proptest::collection::vec(1_000u64..50_000, 1..100),
+    ) {
+        let max_rate = 500_000u64;
+        let mut c = RateController::new(10_000, max_rate, 1.0, 1_000, 1.0, 2, 0);
+        let mut now = 0u64;
+        let mut total = 0u128;
+        for dt in ticks {
+            now += dt;
+            c.on_tick(now, 10_000);
+            total += c.budget(now, 10_000) as u128;
+        }
+        // Ceiling: max_rate for the whole run plus two ticks of carry.
+        let bound = (max_rate as u128 * now as u128) / 1_000_000 + 2 * (max_rate as u128 / 100);
+        prop_assert!(total <= bound, "budget {total} exceeds bound {bound}");
+    }
+
+    // ------------------------------------------------------------------
+    // Membership: all_have(s) is exactly min(next_expected) > s.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn membership_all_have_equals_min_gate(
+        peers in proptest::collection::vec(0u32..1_000, 1..20),
+        probe in 0u32..1_000,
+    ) {
+        let mut m = Membership::new();
+        for (i, &ne) in peers.iter().enumerate() {
+            m.add(PeerId(i as u32), 0, 0);
+            m.update(PeerId(i as u32), ne, 1);
+        }
+        let min = peers.iter().copied().min().unwrap();
+        prop_assert_eq!(m.all_have(probe), min > probe);
+        prop_assert_eq!(m.min_next_expected(), Some(min));
+        let lacking = m.lacking(probe);
+        let expected: usize = peers.iter().filter(|&&ne| ne <= probe).count();
+        prop_assert_eq!(lacking.len(), expected);
+    }
+}

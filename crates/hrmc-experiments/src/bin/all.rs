@@ -1,0 +1,20 @@
+//! Regenerates every figure in sequence (the EXPERIMENTS.md pipeline).
+
+fn main() {
+    let opts = hrmc_experiments::ExpOptions::from_env();
+    eprintln!("all figures: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    for (name, run) in [
+        ("fig03", hrmc_experiments::fig03::run as fn(&hrmc_experiments::ExpOptions) -> serde_json::Value),
+        ("fig10", hrmc_experiments::fig10::run),
+        ("fig11", hrmc_experiments::fig11::run),
+        ("fig12", hrmc_experiments::fig12::run),
+        ("fig13", hrmc_experiments::fig13::run),
+        ("fig15", hrmc_experiments::fig15::run),
+        ("fig16", hrmc_experiments::fig16::run),
+    ] {
+        let t = std::time::Instant::now();
+        eprintln!("--- {name} ---");
+        run(&opts);
+        eprintln!("--- {name} done in {:.1}s ---", t.elapsed().as_secs_f64());
+    }
+}

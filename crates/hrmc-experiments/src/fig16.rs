@@ -1,0 +1,80 @@
+//! Figure 16: "Performance of H-RMC on a 100 Mbps network (simulated)"
+//! — (a) throughput and (b) rate-reduce requests for 10 receivers across
+//! Tests 1–5, plus the §5.2 closing claim (experiment id S1): "For 100
+//! receivers ... the maximum throughput of H-RMC reduced to
+//! approximately 66 Mbps on the 100 Mbps network with large buffers,
+//! which is not a significant decrease."
+
+use serde_json::json;
+
+use crate::fig15::panels;
+use crate::{ExpOptions, MBPS_100};
+
+/// Run both panels and the S1 claim check.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let mut out = serde_json::Map::new();
+    let (thr, rr, series) = panels(
+        opts.receivers.unwrap_or(10),
+        MBPS_100,
+        "Figure 16(a/b): 10 receivers, 100 Mbps",
+        opts,
+    );
+    thr.print();
+    rr.print();
+    out.insert("ab_10_receivers".into(), series);
+
+    // S1: 100 receivers, Test 1, large buffer.
+    let receivers = opts.receivers.map(|r| r * 10).unwrap_or(100);
+    let (thr100, _) = crate::fig15::cell(1, receivers, 1024 * 1024, MBPS_100, opts);
+    println!(
+        "== S1: Test 1, {receivers} receivers, 1024K buffers, 100 Mbps ==\n\
+         max throughput = {thr100:.1} Mbps (paper: ~66 Mbps, \"not a significant decrease\")\n"
+    );
+    out.insert(
+        "s1_100_receivers".into(),
+        json!({"receivers": receivers, "mbps": thr100}),
+    );
+
+    let value = serde_json::Value::Object(out);
+    opts.save_json("fig16", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig15::cell;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 20,
+            out_dir: std::env::temp_dir().join("hrmc-fig16-test"),
+            receivers: Some(5),
+        }
+    }
+
+    #[test]
+    fn hundred_mbps_ordering_holds() {
+        let opts = quick();
+        let buffer = 1024 * 1024;
+        let (t1, _) = cell(1, 5, buffer, MBPS_100, &opts);
+        let (t3, _) = cell(3, 5, buffer, MBPS_100, &opts);
+        assert!(t1 > t3, "Test 1 must beat Test 3 at 100 Mbps: {t1:.1} vs {t3:.1}");
+    }
+
+    #[test]
+    fn rate_requests_exceed_10mbps_levels() {
+        // Paper: "the number of rate requests is relatively larger than
+        // that obtained for the 10Mbps network" (receiver windows fill
+        // faster while the application drains no faster).
+        let opts = quick();
+        let buffer = 64 * 1024;
+        let (_, rr_fast) = cell(3, 5, buffer, MBPS_100, &opts);
+        let (_, rr_slow) = cell(3, 5, buffer, crate::MBPS_10, &opts);
+        assert!(
+            rr_fast >= rr_slow,
+            "100 Mbps should provoke at least as many rate requests: {rr_fast} vs {rr_slow}"
+        );
+    }
+}

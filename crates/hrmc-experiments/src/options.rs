@@ -1,0 +1,124 @@
+//! Shared experiment options parsed from the command line and
+//! environment.
+
+use std::path::PathBuf;
+
+/// Options common to every figure harness.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Runs per configuration (seeds 1..=repeats); paper averages 5.
+    pub repeats: u64,
+    /// Transfer-size divisor (quick mode sets 10).
+    pub scale_down: u64,
+    /// Directory for JSON output.
+    pub out_dir: PathBuf,
+    /// Receiver-count override where a figure supports it.
+    pub receivers: Option<usize>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            repeats: 3,
+            scale_down: 1,
+            out_dir: PathBuf::from("results"),
+            receivers: None,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parse from `std::env::args` plus environment variables.
+    pub fn from_env() -> ExpOptions {
+        let mut o = ExpOptions::default();
+        if std::env::var("HRMC_EXP_QUICK").is_ok_and(|v| v != "0") {
+            o.repeats = 1;
+            o.scale_down = 10;
+        }
+        if let Ok(r) = std::env::var("HRMC_EXP_REPEATS") {
+            if let Ok(r) = r.parse() {
+                o.repeats = r;
+            }
+        }
+        if let Ok(d) = std::env::var("HRMC_EXP_OUT") {
+            o.out_dir = PathBuf::from(d);
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    o.repeats = 1;
+                    o.scale_down = 10;
+                }
+                "--repeats" if i + 1 < args.len() => {
+                    i += 1;
+                    o.repeats = args[i].parse().unwrap_or(o.repeats);
+                }
+                "--receivers" if i + 1 < args.len() => {
+                    i += 1;
+                    o.receivers = args[i].parse().ok();
+                }
+                "--out" if i + 1 < args.len() => {
+                    i += 1;
+                    o.out_dir = PathBuf::from(&args[i]);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        o
+    }
+
+    /// Apply the quick-mode divisor to a transfer size.
+    pub fn transfer(&self, full: u64) -> u64 {
+        (full / self.scale_down).max(100_000)
+    }
+
+    /// Write a JSON value under `out_dir/<name>.json`.
+    pub fn save_json(&self, name: &str, value: &serde_json::Value) {
+        if std::fs::create_dir_all(&self.out_dir).is_err() {
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(path, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExpOptions::default();
+        assert_eq!(o.repeats, 3);
+        assert_eq!(o.scale_down, 1);
+        assert_eq!(o.transfer(40_000_000), 40_000_000);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn transfer_scaling_floors() {
+        let mut o = ExpOptions::default();
+        o.scale_down = 10;
+        assert_eq!(o.transfer(40_000_000), 4_000_000);
+        assert_eq!(o.transfer(200_000), 100_000); // floor
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn save_json_roundtrip() {
+        let mut o = ExpOptions::default();
+        o.out_dir = std::env::temp_dir().join("hrmc-exp-test");
+        let v = serde_json::json!({"a": [1, 2, 3]});
+        o.save_json("unit", &v);
+        let read: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(o.out_dir.join("unit.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(read, v);
+    }
+}

@@ -1,0 +1,52 @@
+//! Monotonic microsecond clock shared by a driver's threads. The engines
+//! are sans-io and take `now` explicitly; this clock is the single time
+//! source so packets and ticks observe a consistent timeline.
+
+use std::time::Instant;
+
+/// Microseconds since the driver started.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverClock {
+    epoch: Instant,
+}
+
+impl DriverClock {
+    /// A clock starting now.
+    pub fn new() -> DriverClock {
+        DriverClock { epoch: Instant::now() }
+    }
+
+    /// Microseconds elapsed since the clock was created.
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for DriverClock {
+    fn default() -> Self {
+        DriverClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = DriverClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b >= a + 1_000, "a={a} b={b}");
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let c = DriverClock::new();
+        let d = c;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(d.now() >= 1_000);
+        assert!(c.now().abs_diff(d.now()) < 1_000);
+    }
+}

@@ -1,0 +1,66 @@
+//! # hrmc-net
+//!
+//! Real-socket driver for the H-RMC engines: the user-space analog of the
+//! kernel driver's placement in the Linux network stack (paper §4,
+//! Figure 4). Where the paper's AF_HRMC socket rides directly on IP, this
+//! crate rides the sans-io engines of `hrmc-core` on UDP multicast —
+//! preserving the protocol exactly while staying deployable without a
+//! kernel module.
+//!
+//! The socket API mirrors the paper's application model (§4.1):
+//!
+//! * the sending application "binds to a local port, connects to a known
+//!   multicast address and port number, and uses the send system call to
+//!   transmit data" — [`SenderHandle::send`], then [`SenderHandle::close`];
+//! * the receiving application "uses setsockopt to join the multicast
+//!   group, and the recv system call to receive data" —
+//!   [`ReceiverHandle::recv`].
+//!
+//! Each endpoint runs two background threads: an RX thread feeding
+//! packets to the engine and a timer thread delivering jiffy ticks, with
+//! engine output flushed to the socket after every entry point — the
+//! user-space equivalents of softirq packet delivery and the kernel timer
+//! wheel.
+
+pub mod clock;
+pub mod receiver;
+pub mod sender;
+pub mod socket;
+
+pub use clock::DriverClock;
+pub use receiver::{HrmcReceiver, ReceiverHandle};
+pub use sender::{HrmcSender, SenderHandle};
+pub use socket::McastSocket;
+
+/// Errors surfaced by the socket drivers.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The transfer did not complete within the caller's deadline.
+    Timeout,
+    /// The sender reported an unrecoverable retransmission error (RMC
+    /// mode, or the join race).
+    DataLost,
+    /// The endpoint was already closed.
+    Closed,
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout => f.write_str("operation timed out"),
+            NetError::DataLost => f.write_str("data irrecoverably lost"),
+            NetError::Closed => f.write_str("endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,245 @@
+//! The receiving endpoint: a [`ReceiverEngine`] driven by real sockets
+//! and real time.
+
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hrmc_core::{ProtocolConfig, ReceiverEngine, ReceiverEvent, ReceiverStats};
+use hrmc_wire::Packet;
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::DriverClock;
+use crate::socket::McastSocket;
+use crate::NetError;
+
+struct Inner {
+    engine: Mutex<ReceiverEngine>,
+    /// The sender's unicast address, learned from the first packet; all
+    /// feedback goes there.
+    sender_addr: Mutex<Option<SocketAddr>>,
+    /// Group-port multicast socket (receive only). Several receivers on
+    /// one host share this port via SO_REUSEPORT.
+    socket: McastSocket,
+    /// Ephemeral unicast socket: feedback leaves from here, so the
+    /// sender's unicast PROBE / JOIN_RESPONSE / NAK_ERR replies come back
+    /// here — to *this* receiver, not whichever SO_REUSEPORT sibling the
+    /// kernel would hash a group-port unicast to.
+    ucast: McastSocket,
+    clock: DriverClock,
+    shutdown: AtomicBool,
+    complete: AtomicBool,
+    lost: AtomicBool,
+    wakeup: Condvar,
+    wakeup_lock: Mutex<()>,
+}
+
+impl Inner {
+    fn flush(&self) {
+        let target = *self.sender_addr.lock();
+        let mut engine = self.engine.lock();
+        while let Some(out) = engine.poll_output() {
+            match out.dest {
+                // Local-recovery NAKs and repairs go to the whole group.
+                hrmc_core::Dest::Multicast => {
+                    let _ = self.ucast.send_multicast(&out.packet.encode());
+                }
+                _ => {
+                    if let Some(addr) = target {
+                        let _ = self.ucast.send_unicast(&out.packet.encode(), addr);
+                    }
+                }
+            }
+        }
+        while let Some(ev) = engine.poll_event() {
+            match ev {
+                ReceiverEvent::DataReady => {
+                    self.wakeup.notify_all();
+                }
+                ReceiverEvent::StreamComplete => {
+                    self.complete.store(true, Ordering::SeqCst);
+                    self.wakeup.notify_all();
+                }
+                ReceiverEvent::DataLost { .. } => {
+                    self.lost.store(true, Ordering::SeqCst);
+                    self.wakeup.notify_all();
+                }
+                ReceiverEvent::Joined | ReceiverEvent::Left => {}
+            }
+        }
+    }
+}
+
+/// Owner handle for a live receiving endpoint; dropping it sends LEAVE
+/// and shuts the background threads down.
+pub struct ReceiverHandle {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Constructor namespace (mirrors the paper's socket-call sequence).
+pub struct HrmcReceiver;
+
+impl HrmcReceiver {
+    /// Join `group` on `interface` ("the receiving application uses
+    /// setsockopt to join the multicast group").
+    pub fn join(
+        group: SocketAddrV4,
+        interface: Ipv4Addr,
+        config: ProtocolConfig,
+    ) -> Result<ReceiverHandle, NetError> {
+        let socket = McastSocket::receiver(group, interface)?;
+        socket.set_read_timeout(Duration::from_millis(5))?;
+        let ucast = McastSocket::sender(group, interface)?;
+        ucast.set_read_timeout(Duration::from_millis(5))?;
+        let local_port = match ucast.local_addr()? {
+            SocketAddr::V4(a) => a.port(),
+            SocketAddr::V6(a) => a.port(),
+        };
+        let clock = DriverClock::new();
+        let engine = ReceiverEngine::new(config, local_port, group.port(), clock.now());
+        let inner = Arc::new(Inner {
+            engine: Mutex::new(engine),
+            sender_addr: Mutex::new(None),
+            socket,
+            ucast,
+            clock,
+            shutdown: AtomicBool::new(false),
+            complete: AtomicBool::new(false),
+            lost: AtomicBool::new(false),
+            wakeup: Condvar::new(),
+            wakeup_lock: Mutex::new(()),
+        });
+        let mut threads = Vec::new();
+        for (name, which) in [("hrmc-rcv-mrx", RxSock::Mcast), ("hrmc-rcv-urx", RxSock::Ucast)] {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name.into())
+                    .spawn(move || rx_loop(&inner, which))
+                    .map_err(NetError::Io)?,
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("hrmc-rcv-timer".into())
+                    .spawn(move || timer_loop(&inner))
+                    .map_err(NetError::Io)?,
+            );
+        }
+        Ok(ReceiverHandle { inner, threads })
+    }
+}
+
+/// Which socket an RX thread drains.
+#[derive(Clone, Copy)]
+enum RxSock {
+    /// The shared group-port socket (DATA, KEEPALIVE, multicast PROBE).
+    Mcast,
+    /// The private unicast socket (JOIN_RESPONSE, unicast PROBE, NAK_ERR).
+    Ucast,
+}
+
+fn rx_loop(inner: &Inner, which: RxSock) {
+    let mut buf = vec![0u8; 64 * 1024];
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let sock = match which {
+            RxSock::Mcast => &inner.socket,
+            RxSock::Ucast => &inner.ucast,
+        };
+        let Ok((n, from)) = sock.recv_from(&mut buf) else { continue };
+        let Ok(pkt) = Packet::decode(&buf[..n]) else { continue };
+        // Peer NAKs pass through for local recovery; other
+        // receiver-originated feedback is ignored. The sender's address
+        // is learned from control packets unconditionally, and from
+        // DATA/PARITY only while unknown (a local-recovery peer repair
+        // is DATA from a *peer* and must not hijack the feedback path).
+        use hrmc_wire::PacketType as PT;
+        let sender_originated = pkt.header.ptype.is_sender_originated();
+        if !sender_originated && pkt.header.ptype != PT::Nak {
+            continue;
+        }
+        if sender_originated {
+            let mut addr = inner.sender_addr.lock();
+            match pkt.header.ptype {
+                PT::Data | PT::Parity => {
+                    if addr.is_none() {
+                        *addr = Some(from);
+                    }
+                }
+                _ => *addr = Some(from),
+            }
+        }
+        inner.engine.lock().handle_packet(&pkt, inner.clock.now());
+        inner.flush();
+    }
+}
+
+fn timer_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_micros(hrmc_core::JIFFY_US));
+        inner.engine.lock().on_tick(inner.clock.now());
+        inner.flush();
+    }
+}
+
+impl ReceiverHandle {
+    /// Read in-order stream bytes, blocking until some are available, the
+    /// stream completes (returns `Ok(0)`), or `timeout` elapses.
+    pub fn recv(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            {
+                let mut engine = self.inner.engine.lock();
+                let n = engine.read(buf, self.inner.clock.now());
+                if n > 0 {
+                    return Ok(n);
+                }
+                if engine.fully_consumed() {
+                    return Ok(0);
+                }
+            }
+            if self.inner.lost.load(Ordering::SeqCst) {
+                return Err(NetError::DataLost);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let mut guard = self.inner.wakeup_lock.lock();
+            self.inner
+                .wakeup
+                .wait_for(&mut guard, Duration::from_millis(10));
+        }
+    }
+
+    /// `true` once the whole stream (through FIN) has been assembled.
+    pub fn is_complete(&self) -> bool {
+        self.inner.complete.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.inner.engine.lock().stats.clone()
+    }
+
+    /// Leave the group (the paper's `close`): sends LEAVE to the sender.
+    pub fn close(&self) {
+        self.inner.engine.lock().close(self.inner.clock.now());
+        self.inner.flush();
+    }
+}
+
+impl Drop for ReceiverHandle {
+    fn drop(&mut self) {
+        self.close();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wakeup.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

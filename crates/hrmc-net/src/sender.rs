@@ -1,0 +1,245 @@
+//! The sending endpoint: a [`SenderEngine`] driven by real sockets and
+//! real time.
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hrmc_core::{Dest, PeerId, ProtocolConfig, SenderEngine, SenderEvent, SenderStats};
+use hrmc_wire::Packet;
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::DriverClock;
+use crate::socket::McastSocket;
+use crate::NetError;
+
+/// Maps receiver socket addresses to the engine's [`PeerId`]s. The
+/// paper's sender keys membership by the receiver's unicast IP address;
+/// the engine is transport-agnostic, so the driver owns this mapping.
+#[derive(Debug, Default)]
+struct PeerTable {
+    by_addr: HashMap<SocketAddr, PeerId>,
+    by_id: Vec<SocketAddr>,
+}
+
+impl PeerTable {
+    fn get_or_insert(&mut self, addr: SocketAddr) -> PeerId {
+        if let Some(&id) = self.by_addr.get(&addr) {
+            return id;
+        }
+        let id = PeerId(self.by_id.len() as u32);
+        self.by_addr.insert(addr, id);
+        self.by_id.push(addr);
+        id
+    }
+
+    fn addr(&self, id: PeerId) -> Option<SocketAddr> {
+        self.by_id.get(id.0 as usize).copied()
+    }
+}
+
+struct Inner {
+    engine: Mutex<SenderEngine>,
+    peers: Mutex<PeerTable>,
+    socket: McastSocket,
+    clock: DriverClock,
+    shutdown: AtomicBool,
+    finished: AtomicBool,
+    lost: AtomicBool,
+    wakeup: Condvar,
+    wakeup_lock: Mutex<()>,
+}
+
+impl Inner {
+    /// Drain engine output to the socket and surface events. Callers hold
+    /// no locks on entry.
+    fn flush(&self) {
+        let mut engine = self.engine.lock();
+        while let Some(out) = engine.poll_output() {
+            let bytes = out.packet.encode();
+            match out.dest {
+                Dest::Multicast => {
+                    let _ = self.socket.send_multicast(&bytes);
+                }
+                Dest::Unicast(p) => {
+                    if let Some(addr) = self.peers.lock().addr(p) {
+                        let _ = self.socket.send_unicast(&bytes, addr);
+                    }
+                }
+                Dest::Sender => unreachable!("sender engine never targets Sender"),
+            }
+        }
+        while let Some(ev) = engine.poll_event() {
+            match ev {
+                SenderEvent::SendSpaceAvailable => {
+                    self.wakeup.notify_all();
+                }
+                SenderEvent::TransferComplete => {
+                    self.finished.store(true, Ordering::SeqCst);
+                    self.wakeup.notify_all();
+                }
+                SenderEvent::RetransmissionError { .. } => {
+                    self.lost.store(true, Ordering::SeqCst);
+                }
+                SenderEvent::MemberJoined(_) | SenderEvent::MemberLeft(_) => {}
+            }
+        }
+    }
+}
+
+/// Owner handle for a live sending endpoint; dropping it shuts the
+/// background threads down.
+pub struct SenderHandle {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Constructor namespace (mirrors the paper's socket-call sequence).
+pub struct HrmcSender;
+
+impl HrmcSender {
+    /// Bind a sender to `group` via `interface` ("binds to a local port,
+    /// connects to a known multicast address and port number").
+    pub fn bind(
+        group: SocketAddrV4,
+        interface: Ipv4Addr,
+        config: ProtocolConfig,
+    ) -> Result<SenderHandle, NetError> {
+        let socket = McastSocket::sender(group, interface)?;
+        socket.set_read_timeout(Duration::from_millis(5))?;
+        let local_port = match socket.local_addr()? {
+            SocketAddr::V4(a) => a.port(),
+            SocketAddr::V6(a) => a.port(),
+        };
+        let clock = DriverClock::new();
+        let engine = SenderEngine::new(config, local_port, group.port(), 0, clock.now());
+        let inner = Arc::new(Inner {
+            engine: Mutex::new(engine),
+            peers: Mutex::new(PeerTable::default()),
+            socket,
+            clock,
+            shutdown: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            lost: AtomicBool::new(false),
+            wakeup: Condvar::new(),
+            wakeup_lock: Mutex::new(()),
+        });
+
+        let rx = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hrmc-snd-rx".into())
+                .spawn(move || rx_loop(&inner))
+                .map_err(NetError::Io)?
+        };
+        let timer = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hrmc-snd-timer".into())
+                .spawn(move || timer_loop(&inner))
+                .map_err(NetError::Io)?
+        };
+        Ok(SenderHandle { inner, threads: vec![rx, timer] })
+    }
+}
+
+fn rx_loop(inner: &Inner) {
+    let mut buf = vec![0u8; 64 * 1024];
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let Ok((n, from)) = inner.socket.recv_from(&mut buf) else { continue };
+        let Ok(pkt) = Packet::decode(&buf[..n]) else { continue };
+        let peer = inner.peers.lock().get_or_insert(from);
+        inner.engine.lock().handle_packet(&pkt, peer, inner.clock.now());
+        inner.flush();
+    }
+}
+
+fn timer_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_micros(hrmc_core::JIFFY_US));
+        inner.engine.lock().on_tick(inner.clock.now());
+        inner.flush();
+    }
+}
+
+impl SenderHandle {
+    /// Queue the whole of `data` on the stream, blocking while the send
+    /// buffer is full (the paper's blocking `send` system call).
+    pub fn send(&self, data: &[u8]) -> Result<(), NetError> {
+        let mut offset = 0;
+        while offset < data.len() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Err(NetError::Closed);
+            }
+            let n = {
+                let mut engine = self.inner.engine.lock();
+                engine.submit(&data[offset..], self.inner.clock.now())
+            };
+            offset += n;
+            if n == 0 {
+                // Wait for SendSpaceAvailable (with a safety timeout so a
+                // vanished group cannot wedge the application forever).
+                let mut guard = self.inner.wakeup_lock.lock();
+                self.inner
+                    .wakeup
+                    .wait_for(&mut guard, Duration::from_millis(50));
+            }
+        }
+        Ok(())
+    }
+
+    /// Close the stream without blocking: the FIN segment is queued
+    /// behind the data. Use [`SenderHandle::close_and_wait`] to block
+    /// until every byte is confirmed released.
+    pub fn close(&self) {
+        self.inner.engine.lock().close(self.inner.clock.now());
+    }
+
+    /// Close the stream and wait until every byte is confirmed released
+    /// (Hybrid: every receiver confirmed it). Returns the final stats.
+    pub fn close_and_wait(&self, timeout: Duration) -> Result<SenderStats, NetError> {
+        self.close();
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.inner.finished.load(Ordering::SeqCst) {
+            if std::time::Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let mut guard = self.inner.wakeup_lock.lock();
+            self.inner
+                .wakeup
+                .wait_for(&mut guard, Duration::from_millis(20));
+        }
+        if self.inner.lost.load(Ordering::SeqCst) {
+            return Err(NetError::DataLost);
+        }
+        Ok(self.stats())
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> SenderStats {
+        self.inner.engine.lock().stats.clone()
+    }
+
+    /// Number of receivers currently in the group.
+    pub fn member_count(&self) -> usize {
+        self.inner.engine.lock().member_count()
+    }
+
+    /// Current RTT estimate (most distant receiver), microseconds.
+    pub fn rtt(&self) -> u64 {
+        self.inner.engine.lock().rtt()
+    }
+}
+
+impl Drop for SenderHandle {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wakeup.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

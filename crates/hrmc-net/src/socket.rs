@@ -1,0 +1,184 @@
+//! Multicast UDP socket setup.
+//!
+//! `std::net::UdpSocket` cannot set `SO_REUSEADDR`/`SO_REUSEPORT` before
+//! binding, which several receivers sharing one group port on one machine
+//! require — exactly the configuration of every multi-receiver test in
+//! the paper. The two `setsockopt` calls are issued through `libc` on the
+//! raw fd before `bind`; everything else stays `std`.
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, FromRawFd};
+
+/// A UDP socket configured for multicast experiments on one machine.
+#[derive(Debug)]
+pub struct McastSocket {
+    inner: UdpSocket,
+    group: SocketAddrV4,
+}
+
+#[cfg(unix)]
+fn bind_reuse(addr: SocketAddrV4) -> io::Result<UdpSocket> {
+    unsafe {
+        let fd = libc::socket(libc::AF_INET, libc::SOCK_DGRAM, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let one: libc::c_int = 1;
+        for opt in [libc::SO_REUSEADDR, libc::SO_REUSEPORT] {
+            if libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                opt,
+                &one as *const _ as *const libc::c_void,
+                std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+            ) < 0
+            {
+                let e = io::Error::last_os_error();
+                libc::close(fd);
+                return Err(e);
+            }
+        }
+        let sin = libc::sockaddr_in {
+            sin_family: libc::AF_INET as libc::sa_family_t,
+            sin_port: addr.port().to_be(),
+            sin_addr: libc::in_addr {
+                s_addr: u32::from_ne_bytes(addr.ip().octets()),
+            },
+            sin_zero: [0; 8],
+        };
+        if libc::bind(
+            fd,
+            &sin as *const _ as *const libc::sockaddr,
+            std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        ) < 0
+        {
+            let e = io::Error::last_os_error();
+            libc::close(fd);
+            return Err(e);
+        }
+        Ok(UdpSocket::from_raw_fd(fd))
+    }
+}
+
+impl McastSocket {
+    /// A receiver socket: binds the group port with address/port reuse,
+    /// joins `group` on `interface`, and enables multicast loopback so
+    /// several processes on one host form a working group.
+    pub fn receiver(group: SocketAddrV4, interface: Ipv4Addr) -> io::Result<McastSocket> {
+        let sock = bind_reuse(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, group.port()))?;
+        sock.join_multicast_v4(group.ip(), &interface)?;
+        sock.set_multicast_loop_v4(true)?;
+        Ok(McastSocket { inner: sock, group })
+    }
+
+    /// A sender socket: binds an ephemeral port, scopes multicast to
+    /// `interface`, enables loopback, TTL 1 (the paper's LAN scope).
+    pub fn sender(group: SocketAddrV4, interface: Ipv4Addr) -> io::Result<McastSocket> {
+        let sock = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0))?;
+        sock.set_multicast_loop_v4(true)?;
+        sock.set_multicast_ttl_v4(1)?;
+        set_multicast_if(&sock, interface)?;
+        Ok(McastSocket { inner: sock, group })
+    }
+
+    /// The group this socket addresses.
+    pub fn group(&self) -> SocketAddrV4 {
+        self.group
+    }
+
+    /// Local bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Send `buf` to the multicast group.
+    pub fn send_multicast(&self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.send_to(buf, SocketAddr::V4(self.group))
+    }
+
+    /// Send `buf` to a specific peer (unicast).
+    pub fn send_unicast(&self, buf: &[u8], to: SocketAddr) -> io::Result<usize> {
+        self.inner.send_to(buf, to)
+    }
+
+    /// Receive one datagram (honors the configured read timeout).
+    pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.inner.recv_from(buf)
+    }
+
+    /// Set the blocking-read timeout (drivers use a short timeout so
+    /// shutdown flags are observed).
+    pub fn set_read_timeout(&self, dur: std::time::Duration) -> io::Result<()> {
+        self.inner.set_read_timeout(Some(dur))
+    }
+
+    /// Clone the underlying socket handle (same fd, shared by threads).
+    pub fn try_clone(&self) -> io::Result<McastSocket> {
+        Ok(McastSocket { inner: self.inner.try_clone()?, group: self.group })
+    }
+}
+
+#[cfg(unix)]
+fn set_multicast_if(sock: &UdpSocket, interface: Ipv4Addr) -> io::Result<()> {
+    let addr = libc::in_addr { s_addr: u32::from_ne_bytes(interface.octets()) };
+    let rc = unsafe {
+        libc::setsockopt(
+            sock.as_raw_fd(),
+            libc::IPPROTO_IP,
+            libc::IP_MULTICAST_IF,
+            &addr as *const _ as *const libc::c_void,
+            std::mem::size_of::<libc::in_addr>() as libc::socklen_t,
+        )
+    };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+
+    fn group(port: u16) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(239, 255, 77, 7), port)
+    }
+
+    #[test]
+    fn multicast_reaches_two_receivers_on_one_port() {
+        let g = group(46001);
+        let rx1 = McastSocket::receiver(g, LO).expect("rx1");
+        let rx2 = McastSocket::receiver(g, LO).expect("rx2");
+        let tx = McastSocket::sender(g, LO).expect("tx");
+        rx1.set_read_timeout(Duration::from_secs(2)).unwrap();
+        rx2.set_read_timeout(Duration::from_secs(2)).unwrap();
+        tx.send_multicast(b"both-of-you").unwrap();
+        let mut buf = [0u8; 64];
+        let (n1, _) = rx1.recv_from(&mut buf).expect("rx1 recv");
+        assert_eq!(&buf[..n1], b"both-of-you");
+        let (n2, _) = rx2.recv_from(&mut buf).expect("rx2 recv");
+        assert_eq!(&buf[..n2], b"both-of-you");
+    }
+
+    #[test]
+    fn unicast_reply_path() {
+        let g = group(46002);
+        let rx = McastSocket::receiver(g, LO).expect("rx");
+        let tx = McastSocket::sender(g, LO).expect("tx");
+        rx.set_read_timeout(Duration::from_secs(2)).unwrap();
+        tx.set_read_timeout(Duration::from_secs(2)).unwrap();
+        tx.send_multicast(b"ping").unwrap();
+        let mut buf = [0u8; 64];
+        let (_, sender_addr) = rx.recv_from(&mut buf).expect("rx recv");
+        rx.send_unicast(b"pong", sender_addr).unwrap();
+        let (n, _) = tx.recv_from(&mut buf).expect("tx recv reply");
+        assert_eq!(&buf[..n], b"pong");
+    }
+}

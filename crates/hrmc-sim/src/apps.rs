@@ -1,0 +1,351 @@
+//! Application processes for the simulated hosts: the data source at the
+//! sender and the data sink at each receiver.
+//!
+//! The paper's §5.1 experiments run two application shapes:
+//!
+//! * **memory-to-memory** — "the sender sent data from memory and each of
+//!   the receivers received data in a memory buffer": the application is
+//!   always ready ([`IoProfile::Memory`]);
+//! * **disk-to-disk** — "the sender sent a file that it read from the
+//!   local disk, and each of the receivers stored the received data to a
+//!   file on local disk": the application is "slowed by I/O operations"
+//!   ([`IoProfile::Disk`]), modelled as a sustained transfer rate plus a
+//!   periodic seek-like stall. The stalls are what make the 40 MB disk
+//!   feedback traces "noticeable and seemingly unpredictable"
+//!   (Figure 11(c)) — OS jitter in the paper, deterministic here.
+//!
+//! Stream bytes follow a deterministic pattern so every sink can verify
+//! integrity with a rolling checksum instead of storing the whole stream.
+
+use bytes::Bytes;
+
+/// Deterministic stream pattern: byte `i` of the stream.
+#[inline]
+pub fn pattern_byte(i: u64) -> u8 {
+    ((i.wrapping_mul(31)) % 251) as u8
+}
+
+/// FNV-1a over the pattern-checked stream, used to verify integrity.
+#[inline]
+fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Compute the checksum of the first `len` pattern bytes.
+pub fn pattern_checksum(len: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    for i in 0..len {
+        h = fnv1a(h, pattern_byte(i));
+    }
+    h
+}
+
+/// I/O behaviour of an application endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IoProfile {
+    /// Always ready (memory-to-memory tests).
+    Memory,
+    /// Rate-limited with periodic stalls (disk-to-disk tests).
+    Disk {
+        /// Sustained transfer rate in bytes/second (late-90s IDE:
+        /// ~8 MB/s reads, ~6 MB/s writes).
+        rate_bps: u64,
+        /// A short (seek-like) stall occurs each time this many bytes
+        /// have moved.
+        pause_every_bytes: u64,
+        /// Short-stall duration in microseconds.
+        pause_us: u64,
+        /// A long stall (page-cache flush / "different activities in the
+        /// operating system", paper §5.1) occurs each time this many
+        /// bytes have moved; 0 disables.
+        long_every_bytes: u64,
+        /// Long-stall duration in microseconds.
+        long_pause_us: u64,
+    },
+}
+
+impl IoProfile {
+    /// The paper-calibrated disk-read profile for the sender.
+    pub fn disk_read() -> IoProfile {
+        IoProfile::Disk {
+            rate_bps: 8_000_000,
+            pause_every_bytes: 1_000_000,
+            pause_us: 30_000,
+            long_every_bytes: 0,
+            long_pause_us: 0,
+        }
+    }
+
+    /// The paper-calibrated disk-write profile for receivers: a sustained
+    /// 6 MB/s with seek-like 40 ms stalls, plus a ~150 ms stall every
+    /// 4 MB — the OS jitter the paper blames for the disk tests'
+    /// "noticeable and seemingly unpredictable" rate requests. During a
+    /// long stall the receive window backs up by ~wire-rate × 300 ms,
+    /// crossing the warning region for the smaller kernel buffers.
+    pub fn disk_write() -> IoProfile {
+        IoProfile::Disk {
+            rate_bps: 6_000_000,
+            pause_every_bytes: 800_000,
+            pause_us: 40_000,
+            long_every_bytes: 4_000_000,
+            long_pause_us: 150_000,
+        }
+    }
+}
+
+/// Shared budget machinery: how many bytes may move at `now`.
+#[derive(Debug, Clone)]
+struct IoBudget {
+    profile: IoProfile,
+    /// Fractional-byte accumulator in byte·µs.
+    credit_us_bytes: u128,
+    last: u64,
+    moved_since_pause: u64,
+    moved_since_long: u64,
+    paused_until: u64,
+}
+
+impl IoBudget {
+    fn new(profile: IoProfile, now: u64) -> IoBudget {
+        IoBudget {
+            profile,
+            credit_us_bytes: 0,
+            last: now,
+            moved_since_pause: 0,
+            moved_since_long: 0,
+            paused_until: 0,
+        }
+    }
+
+    /// Bytes allowed to move at `now` (before calling [`IoBudget::spend`]).
+    fn available(&mut self, now: u64, want: u64) -> u64 {
+        match self.profile {
+            IoProfile::Memory => want,
+            IoProfile::Disk { rate_bps, .. } => {
+                if now < self.paused_until {
+                    self.last = now;
+                    return 0;
+                }
+                let elapsed = now.saturating_sub(self.last);
+                self.last = now;
+                // Cap banked credit at one second of transfer.
+                let cap = rate_bps as u128 * 1_000_000;
+                self.credit_us_bytes =
+                    (self.credit_us_bytes + rate_bps as u128 * elapsed as u128).min(cap);
+                let bytes = (self.credit_us_bytes / 1_000_000) as u64;
+                bytes.min(want)
+            }
+        }
+    }
+
+    /// Record that `bytes` actually moved; may trigger a stall.
+    fn spend(&mut self, bytes: u64, now: u64) {
+        let IoProfile::Disk {
+            pause_every_bytes,
+            pause_us,
+            long_every_bytes,
+            long_pause_us,
+            ..
+        } = self.profile
+        else {
+            return;
+        };
+        self.credit_us_bytes = self
+            .credit_us_bytes
+            .saturating_sub(bytes as u128 * 1_000_000);
+        self.moved_since_pause += bytes;
+        self.moved_since_long += bytes;
+        if pause_every_bytes > 0 && self.moved_since_pause >= pause_every_bytes {
+            self.moved_since_pause = 0;
+            self.paused_until = self.paused_until.max(now + pause_us);
+            self.credit_us_bytes = 0;
+        }
+        if long_every_bytes > 0 && self.moved_since_long >= long_every_bytes {
+            self.moved_since_long = 0;
+            self.paused_until = self.paused_until.max(now + long_pause_us);
+            self.credit_us_bytes = 0;
+        }
+    }
+}
+
+/// The sending application: a file of `total` pattern bytes read through
+/// an [`IoProfile`].
+#[derive(Debug, Clone)]
+pub struct SourceApp {
+    total: u64,
+    produced: u64,
+    budget: IoBudget,
+}
+
+impl SourceApp {
+    /// A source of `total` bytes with the given I/O profile.
+    pub fn new(total: u64, profile: IoProfile, now: u64) -> SourceApp {
+        SourceApp {
+            total,
+            produced: 0,
+            budget: IoBudget::new(profile, now),
+        }
+    }
+
+    /// Bytes not yet handed to the protocol.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.produced
+    }
+
+    /// `true` when the whole file has been handed to the protocol.
+    pub fn exhausted(&self) -> bool {
+        self.produced >= self.total
+    }
+
+    /// Produce up to `max` bytes at `now` (limited by the I/O profile).
+    pub fn produce(&mut self, max: usize, now: u64) -> Bytes {
+        let want = (self.remaining()).min(max as u64);
+        let allowed = self.budget.available(now, want);
+        if allowed == 0 {
+            return Bytes::new();
+        }
+        let mut buf = Vec::with_capacity(allowed as usize);
+        for i in self.produced..self.produced + allowed {
+            buf.push(pattern_byte(i));
+        }
+        self.budget.spend(allowed, now);
+        self.produced += allowed;
+        Bytes::from(buf)
+    }
+}
+
+/// The receiving application: writes the stream through an [`IoProfile`]
+/// while verifying it against the pattern.
+#[derive(Debug, Clone)]
+pub struct SinkApp {
+    received: u64,
+    checksum: u64,
+    corrupt: bool,
+    budget: IoBudget,
+}
+
+impl SinkApp {
+    /// A sink with the given I/O profile.
+    pub fn new(profile: IoProfile, now: u64) -> SinkApp {
+        SinkApp {
+            received: 0,
+            checksum: 0xcbf2_9ce4_8422_2325,
+            corrupt: false,
+            budget: IoBudget::new(profile, now),
+        }
+    }
+
+    /// How many bytes the application can absorb at `now`.
+    pub fn capacity(&mut self, now: u64, want: usize) -> usize {
+        self.budget.available(now, want as u64) as usize
+    }
+
+    /// Absorb `data` (the application's `recv` return), verifying it
+    /// against the expected pattern position.
+    pub fn absorb(&mut self, data: &[u8], now: u64) {
+        for &b in data {
+            if b != pattern_byte(self.received) {
+                self.corrupt = true;
+            }
+            self.checksum = fnv1a(self.checksum, b);
+            self.received += 1;
+        }
+        self.budget.spend(data.len() as u64, now);
+    }
+
+    /// Total bytes absorbed.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// `true` if every byte matched the pattern so far.
+    pub fn intact(&self) -> bool {
+        !self.corrupt
+    }
+
+    /// Rolling checksum (equals [`pattern_checksum`]`(received)` iff intact).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_source_produces_everything_at_once() {
+        let mut s = SourceApp::new(10_000, IoProfile::Memory, 0);
+        let a = s.produce(4_000, 0);
+        assert_eq!(a.len(), 4_000);
+        let b = s.produce(100_000, 0);
+        assert_eq!(b.len(), 6_000);
+        assert!(s.exhausted());
+        assert!(s.produce(100, 0).is_empty());
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_verified() {
+        let mut src = SourceApp::new(5_000, IoProfile::Memory, 0);
+        let mut sink = SinkApp::new(IoProfile::Memory, 0);
+        while !src.exhausted() {
+            let chunk = src.produce(700, 0);
+            sink.absorb(&chunk, 0);
+        }
+        assert_eq!(sink.received(), 5_000);
+        assert!(sink.intact());
+        assert_eq!(sink.checksum(), pattern_checksum(5_000));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut sink = SinkApp::new(IoProfile::Memory, 0);
+        let mut data: Vec<u8> = (0..100).map(pattern_byte).collect();
+        data[50] ^= 0xff;
+        sink.absorb(&data, 0);
+        assert!(!sink.intact());
+        assert_ne!(sink.checksum(), pattern_checksum(100));
+    }
+
+    #[test]
+    fn disk_source_rate_limited() {
+        // 8 MB/s: in 10 ms, at most 80 KB.
+        let mut s = SourceApp::new(10_000_000, IoProfile::disk_read(), 0);
+        let chunk = s.produce(1_000_000, 10_000);
+        assert_eq!(chunk.len(), 80_000);
+        // No time elapsed, no more budget.
+        assert!(s.produce(1_000_000, 10_000).is_empty());
+    }
+
+    #[test]
+    fn disk_stalls_after_pause_threshold() {
+        let profile = IoProfile::Disk {
+            rate_bps: 8_000_000,
+            pause_every_bytes: 100_000,
+            pause_us: 50_000,
+            long_every_bytes: 0,
+            long_pause_us: 0,
+        };
+        let mut s = SourceApp::new(10_000_000, profile, 0);
+        // 100 ms of budget = 800 KB allowed, but the 100 KB pause
+        // threshold fires after the first chunk.
+        let a = s.produce(100_000, 100_000);
+        assert_eq!(a.len(), 100_000);
+        // Paused for 50 ms: nothing at t = 120 ms.
+        assert!(s.produce(100_000, 120_000).is_empty());
+        // After the stall, budget accrues again.
+        let b = s.produce(100_000, 200_000);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn disk_sink_capacity_follows_rate() {
+        let mut sink = SinkApp::new(IoProfile::disk_write(), 0);
+        // 6 MB/s for 10 ms = 60 KB.
+        assert_eq!(sink.capacity(10_000, 1 << 20), 60_000);
+        sink.absorb(&[pattern_byte(0)], 10_000);
+        // Memory sink is unbounded.
+        let mut m = SinkApp::new(IoProfile::Memory, 0);
+        assert_eq!(m.capacity(0, 12345), 12345);
+    }
+}

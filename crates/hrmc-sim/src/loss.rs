@@ -1,0 +1,211 @@
+//! Loss models for links and interfaces.
+//!
+//! The paper's simulator assigns each router and network interface a
+//! simple (Bernoulli) loss rate. For the wireless regime its conclusions
+//! point at — "incorporation of forward error correction, particularly
+//! for wireless environments" — independent drops are a poor model:
+//! radio losses arrive in fades. The classic two-state Gilbert–Elliott
+//! chain captures that: a *good* state with little loss and a *bad*
+//! (fade) state with heavy loss, with geometric dwell times.
+
+/// A loss model (stateless description).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Independent drops with the given probability.
+    Bernoulli(f64),
+    /// Two-state Gilbert–Elliott channel.
+    GilbertElliott {
+        /// Per-packet probability of entering the bad state from good.
+        p_good_to_bad: f64,
+        /// Per-packet probability of returning to good from bad.
+        p_bad_to_good: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state (a fade).
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// A lossless channel.
+    pub const NONE: LossModel = LossModel::Bernoulli(0.0);
+
+    /// A moderate 802.11-like *slow*-fading channel: ~1.9% mean loss
+    /// arriving in long bursts (mean fade length 10 packets). Long fades
+    /// defeat single-parity XOR FEC — more than one loss per block — so
+    /// this channel exercises the NAK recovery path.
+    pub fn wireless_default() -> LossModel {
+        LossModel::GilbertElliott {
+            p_good_to_bad: 0.002,
+            p_bad_to_good: 0.10,
+            loss_good: 0.0005,
+            loss_bad: 0.95,
+        }
+    }
+
+    /// A *fast*-fading channel: similar mean loss (~1.4%) but fades of
+    /// 1–2 packets, so most blocks see at most one loss — the regime
+    /// where the XOR-parity FEC extension repairs locally instead of
+    /// paying a NAK round trip.
+    pub fn wireless_fast_fading() -> LossModel {
+        LossModel::GilbertElliott {
+            p_good_to_bad: 0.010,
+            p_bad_to_good: 0.60,
+            loss_good: 0.0005,
+            loss_bad: 0.85,
+        }
+    }
+
+    /// Long-run mean loss probability.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli(p) => p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom == 0.0 {
+                    return loss_good;
+                }
+                let p_bad = p_good_to_bad / denom;
+                loss_good * (1.0 - p_bad) + loss_bad * p_bad
+            }
+        }
+    }
+}
+
+/// A loss model plus its channel state.
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    /// Gilbert–Elliott state: `true` while in the bad (fade) state.
+    in_bad: bool,
+    /// Packets dropped (stat).
+    pub drops: u64,
+    /// Packets offered (stat).
+    pub offered: u64,
+}
+
+impl LossProcess {
+    /// A process starting in the good state.
+    pub fn new(model: LossModel) -> LossProcess {
+        LossProcess { model, in_bad: false, drops: 0, offered: 0 }
+    }
+
+    /// The model.
+    pub fn model(&self) -> LossModel {
+        self.model
+    }
+
+    /// Decide one packet's fate. `roll_transition` and `roll_loss` are
+    /// independent uniform samples in `[0, 1)` from the simulator's
+    /// seeded RNG (the process holds no RNG so determinism audits stay
+    /// trivial). Returns `true` when the packet is dropped.
+    pub fn drop(&mut self, roll_transition: f64, roll_loss: f64) -> bool {
+        self.offered += 1;
+        let p = match self.model {
+            LossModel::Bernoulli(p) => p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                if self.in_bad {
+                    if roll_transition < p_bad_to_good {
+                        self.in_bad = false;
+                    }
+                } else if roll_transition < p_good_to_bad {
+                    self.in_bad = true;
+                }
+                if self.in_bad {
+                    loss_bad
+                } else {
+                    loss_good
+                }
+            }
+        };
+        let dropped = roll_loss < p;
+        if dropped {
+            self.drops += 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let mut p = LossProcess::new(LossModel::Bernoulli(0.02));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200_000 {
+            p.drop(rng.gen(), rng.gen());
+        }
+        let rate = p.drops as f64 / p.offered as f64;
+        assert!((rate - 0.02).abs() < 0.003, "rate = {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_matches_formula() {
+        let model = LossModel::wireless_default();
+        let expected = model.mean_loss();
+        let mut p = LossProcess::new(model);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..500_000 {
+            p.drop(rng.gen(), rng.gen());
+        }
+        let rate = p.drops as f64 / p.offered as f64;
+        assert!(
+            (rate - expected).abs() < 0.005,
+            "rate = {rate}, expected = {expected}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare the burst structure: GE at ~2% mean loss must produce
+        // far more back-to-back drops than Bernoulli at the same mean.
+        let count_pairs = |model: LossModel, seed: u64| {
+            let mut p = LossProcess::new(model);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut prev = false;
+            let mut pairs = 0u64;
+            for _ in 0..300_000 {
+                let d = p.drop(rng.gen(), rng.gen());
+                if d && prev {
+                    pairs += 1;
+                }
+                prev = d;
+            }
+            pairs
+        };
+        let ge_pairs = count_pairs(LossModel::wireless_default(), 5);
+        let b = LossModel::Bernoulli(LossModel::wireless_default().mean_loss());
+        let bern_pairs = count_pairs(b, 5);
+        assert!(
+            ge_pairs > 10 * bern_pairs.max(1),
+            "GE pairs {ge_pairs} vs Bernoulli pairs {bern_pairs}"
+        );
+    }
+
+    #[test]
+    fn mean_loss_formula_edges() {
+        assert_eq!(LossModel::Bernoulli(0.5).mean_loss(), 0.5);
+        let stuck = LossModel::GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.01,
+            loss_bad: 0.9,
+        };
+        assert_eq!(stuck.mean_loss(), 0.01); // never leaves good
+        assert_eq!(LossModel::NONE.mean_loss(), 0.0);
+    }
+}

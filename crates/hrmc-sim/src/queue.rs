@@ -1,0 +1,147 @@
+//! The simulator's event queue: a time-ordered priority queue with a
+//! monotone tiebreak counter so simultaneous events fire in insertion
+//! order — making every run deterministic for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fire time plus a payload.
+struct Scheduled<E> {
+    time: u64,
+    tiebreak: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.tiebreak == other.tiebreak
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.tiebreak.cmp(&self.tiebreak))
+    }
+}
+
+/// Deterministic discrete-event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    counter: u64,
+    now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), counter: 0, now: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the fire time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is
+    /// clamped to `now` (events cannot time-travel).
+    pub fn schedule(&mut self, at: u64, event: E) {
+        let time = at.max(self.now);
+        self.counter += 1;
+        self.heap.push(Scheduled { time, tiebreak: self.counter, event });
+    }
+
+    /// Pop the next event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "event queue went backwards");
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Fire time of the next event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "later");
+        q.pop();
+        q.schedule(50, "stale"); // clamped to 100
+        assert_eq!(q.pop(), Some((100, "stale")));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(30, 3);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert!(q.is_empty());
+    }
+}

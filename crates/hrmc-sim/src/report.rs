@@ -1,0 +1,94 @@
+//! Simulation output: everything the paper's figures are plotted from.
+
+use hrmc_core::{ReceiverStats, SenderStats};
+use serde::Serialize;
+
+/// Per-receiver results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReceiverReport {
+    /// Protocol counters.
+    #[serde(skip)]
+    pub stats: ReceiverStats,
+    /// Bytes the application absorbed.
+    pub bytes: u64,
+    /// Simulation time at which the application finished absorbing the
+    /// stream (µs), if it did.
+    pub completed_at: Option<u64>,
+    /// `true` when every byte matched the expected pattern.
+    pub intact: bool,
+    /// NAKs sent (duplicated out of `stats` for serialization).
+    pub naks_sent: u64,
+    /// Rate requests sent.
+    pub rate_requests_sent: u64,
+    /// Updates sent.
+    pub updates_sent: u64,
+    /// Peer repairs multicast (local-recovery extension).
+    pub repairs_sent: u64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// `true` when the transfer completed everywhere before the horizon.
+    pub completed: bool,
+    /// Wall-clock of the simulation: the time the *last* receiver
+    /// finished absorbing the stream (µs).
+    pub elapsed_us: u64,
+    /// Application-level throughput in Mbit/s: transfer size over
+    /// `elapsed_us`, matching the paper's file-transfer metric.
+    pub throughput_mbps: f64,
+    /// Transfer size in bytes.
+    pub transfer_bytes: u64,
+    /// Sender counters.
+    #[serde(skip)]
+    pub sender: SenderStats,
+    /// Key sender counters (duplicated for serialization).
+    pub naks_received: u64,
+    /// Rate requests that reached the sender.
+    pub rate_requests_received: u64,
+    /// Updates that reached the sender.
+    pub updates_received: u64,
+    /// Probes the sender issued.
+    pub probes_sent: u64,
+    /// Retransmitted DATA packets.
+    pub retransmissions: u64,
+    /// Figure 3 metric: fraction of buffer-release attempts with complete
+    /// receiver information.
+    pub complete_info_ratio: f64,
+    /// Packets dropped by router loss models (correlated loss).
+    pub router_loss_drops: u64,
+    /// Packets dropped by router queue overflow.
+    pub router_overflow_drops: u64,
+    /// Packets dropped at the sender NIC transmit queue (Figure 13).
+    pub sender_nic_drops: u64,
+    /// Packets dropped by receiver-NIC loss (uncorrelated loss).
+    pub nic_rx_drops: u64,
+    /// Packets dropped at host RX backlogs (overdriven-CPU load shedding).
+    pub host_backlog_drops: u64,
+    /// The sender's final RTT estimate (µs) — the MINBUF clock base.
+    pub final_rtt_us: u64,
+    /// The sender's final transmission rate (bytes/s).
+    pub final_rate_bps: u64,
+    /// Per-receiver reports.
+    pub receivers: Vec<ReceiverReport>,
+    /// Bucketed activity timeline, when tracing was enabled.
+    #[serde(skip)]
+    pub trace: Option<crate::trace::Trace>,
+}
+
+impl SimReport {
+    /// Total NAKs sent by all receivers.
+    pub fn total_naks(&self) -> u64 {
+        self.receivers.iter().map(|r| r.naks_sent).sum()
+    }
+
+    /// Total rate requests sent by all receivers.
+    pub fn total_rate_requests(&self) -> u64 {
+        self.receivers.iter().map(|r| r.rate_requests_sent).sum()
+    }
+
+    /// `true` when every receiver's stream verified intact.
+    pub fn all_intact(&self) -> bool {
+        self.receivers.iter().all(|r| r.intact)
+    }
+}

@@ -1,0 +1,252 @@
+//! Router processes (paper §5.2): "Each router is assigned a network
+//! speed, a queue size, and a loss rate. ... Within a router, the packets
+//! are taken from the local queue, assigned a delay according to the
+//! network speed, and passed on to the next router or to the appropriate
+//! network interface, as dictated by the IP destination. Multicast
+//! packets are duplicated within a router as necessary."
+//!
+//! A router serializes each packet once at its network speed regardless
+//! of how many downstream branches it fans out to (duplication happens on
+//! output and is free), so the shared-Ethernet broadcast of the LAN
+//! experiments and the branch-point duplication of the WAN topologies
+//! both fall out of the same model. The router's loss rate applies once
+//! per packet traversal — a dropped multicast packet is lost to every
+//! downstream receiver, which is exactly the *correlated* loss the paper
+//! assigns to routers (90% of total loss).
+
+use std::collections::VecDeque;
+
+use hrmc_wire::Packet;
+
+/// Configuration of one router.
+#[derive(Debug, Clone)]
+pub struct RouterParams {
+    /// Link speed in bits/second; 0 means pass-through (no serialization).
+    pub bandwidth_bps: u64,
+    /// Output queue capacity in packets; arrivals beyond it are dropped.
+    pub queue_packets: usize,
+    /// Per-traversal drop probability (correlated loss).
+    pub loss: f64,
+    /// One-way propagation delay added after serialization.
+    pub delay_us: u64,
+}
+
+impl Default for RouterParams {
+    fn default() -> Self {
+        RouterParams {
+            bandwidth_bps: 0,
+            queue_packets: 512,
+            loss: 0.0,
+            delay_us: 0,
+        }
+    }
+}
+
+/// Direction and progress of a packet through the topology.
+#[derive(Debug, Clone)]
+pub enum Route {
+    /// Sender → receivers: the destination host ids still to reach, and
+    /// the index of the next hop along each destination's router path.
+    Down {
+        /// Receiver host ids this copy must still reach.
+        dests: Vec<usize>,
+        /// Index into each destination's router path (sender-rooted
+        /// trees place a shared router at the same depth on every path).
+        hop: usize,
+    },
+    /// Receiver → sender feedback, walking the receiver's path in
+    /// reverse.
+    Up {
+        /// Originating receiver host id.
+        from: usize,
+        /// Index into the *reversed* router path.
+        hop: usize,
+    },
+}
+
+/// A queued packet with its routing state.
+#[derive(Debug, Clone)]
+pub struct Transit {
+    /// The packet in flight.
+    pub pkt: Packet,
+    /// Where it is going.
+    pub route: Route,
+}
+
+/// Runtime state of one router.
+#[derive(Debug)]
+pub struct Router {
+    /// Static parameters.
+    pub params: RouterParams,
+    queue: VecDeque<Transit>,
+    /// `true` while a serialization event is outstanding.
+    busy: bool,
+    /// Packets dropped by the loss model (stat).
+    pub loss_drops: u64,
+    /// Packets dropped by queue overflow (stat).
+    pub overflow_drops: u64,
+    /// Packets forwarded (stat).
+    pub forwarded: u64,
+}
+
+/// What the router asks the simulator to do after an `enqueue`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Packet queued; no new event needed (server already busy).
+    Queued,
+    /// Packet queued and the server was idle: schedule a dequeue after
+    /// the embedded serialization time.
+    StartService {
+        /// Serialization time for the packet now at the head.
+        service_us: u64,
+    },
+    /// Packet dropped (loss or overflow).
+    Dropped,
+}
+
+impl Router {
+    /// Create a router from its parameters.
+    pub fn new(params: RouterParams) -> Router {
+        Router {
+            params,
+            queue: VecDeque::new(),
+            busy: false,
+            loss_drops: 0,
+            overflow_drops: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Offer a packet. `roll` is a uniform sample in `[0, 1)` supplied by
+    /// the simulator's seeded RNG (keeping the router itself free of RNG
+    /// state simplifies determinism audits).
+    pub fn enqueue(&mut self, transit: Transit, roll: f64) -> EnqueueOutcome {
+        if roll < self.params.loss {
+            self.loss_drops += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if self.queue.len() >= self.params.queue_packets {
+            self.overflow_drops += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        let service = crate::serialize_us(transit.pkt.wire_len(), self.params.bandwidth_bps);
+        self.queue.push_back(transit);
+        if self.busy {
+            EnqueueOutcome::Queued
+        } else {
+            self.busy = true;
+            EnqueueOutcome::StartService { service_us: service }
+        }
+    }
+
+    /// Complete service of the head packet: returns it (for forwarding
+    /// after the router's propagation delay) plus, if more packets wait,
+    /// the service time of the next one.
+    pub fn dequeue(&mut self) -> (Transit, Option<u64>) {
+        let t = self
+            .queue
+            .pop_front()
+            .expect("dequeue fired with empty router queue");
+        self.forwarded += 1;
+        let next = self.queue.front().map(|n| {
+            crate::serialize_us(n.pkt.wire_len(), self.params.bandwidth_bps)
+        });
+        if next.is_none() {
+            self.busy = false;
+        }
+        (t, next)
+    }
+
+    /// Current queue depth in packets.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt() -> Packet {
+        Packet::data(1, 2, 0, Bytes::from(vec![0u8; 1000]))
+    }
+
+    fn transit() -> Transit {
+        Transit {
+            pkt: pkt(),
+            route: Route::Down { dests: vec![0, 1], hop: 0 },
+        }
+    }
+
+    #[test]
+    fn idle_router_starts_service() {
+        let mut r = Router::new(RouterParams {
+            bandwidth_bps: 10_000_000,
+            ..RouterParams::default()
+        });
+        match r.enqueue(transit(), 0.99) {
+            EnqueueOutcome::StartService { service_us } => {
+                // wire_len = 1000 payload + 20-byte header.
+                assert_eq!(service_us, crate::serialize_us(1020, 10_000_000));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Busy router only queues.
+        assert_eq!(r.enqueue(transit(), 0.99), EnqueueOutcome::Queued);
+        assert_eq!(r.depth(), 2);
+    }
+
+    #[test]
+    fn dequeue_chains_service() {
+        let mut r = Router::new(RouterParams {
+            bandwidth_bps: 10_000_000,
+            ..RouterParams::default()
+        });
+        r.enqueue(transit(), 0.99);
+        r.enqueue(transit(), 0.99);
+        let (_, next) = r.dequeue();
+        assert!(next.is_some(), "second packet must start service");
+        let (_, next) = r.dequeue();
+        assert!(next.is_none());
+        assert_eq!(r.forwarded, 2);
+        // Idle again: the next enqueue restarts service.
+        assert!(matches!(
+            r.enqueue(transit(), 0.99),
+            EnqueueOutcome::StartService { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_roll_drops() {
+        let mut r = Router::new(RouterParams { loss: 0.02, ..RouterParams::default() });
+        assert_eq!(r.enqueue(transit(), 0.0199), EnqueueOutcome::Dropped);
+        assert_eq!(r.loss_drops, 1);
+        assert!(matches!(
+            r.enqueue(transit(), 0.02),
+            EnqueueOutcome::StartService { .. }
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_overflows() {
+        let mut r = Router::new(RouterParams {
+            queue_packets: 2,
+            bandwidth_bps: 10_000_000,
+            ..RouterParams::default()
+        });
+        r.enqueue(transit(), 0.9);
+        r.enqueue(transit(), 0.9);
+        assert_eq!(r.enqueue(transit(), 0.9), EnqueueOutcome::Dropped);
+        assert_eq!(r.overflow_drops, 1);
+    }
+
+    #[test]
+    fn pass_through_router_has_zero_service() {
+        let mut r = Router::new(RouterParams::default());
+        match r.enqueue(transit(), 0.9) {
+            EnqueueOutcome::StartService { service_us } => assert_eq!(service_us, 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

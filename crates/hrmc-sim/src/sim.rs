@@ -1,0 +1,623 @@
+//! The simulation event loop (paper §5.2).
+//!
+//! "The simulation of packet flow work\[s\] as follows. At a given host,
+//! outgoing packets are constructed with a full H-RMC header and a
+//! partial IP header, and then passed to the local router. Within a
+//! router, the packets are taken from the local queue, assigned a delay
+//! according to the network speed, and passed on to the next router or to
+//! the appropriate network interface, as dictated by the IP destination.
+//! Multicast packets are duplicated within a router as necessary. At the
+//! network interface, packets are received one at a time, held for the
+//! assigned delay, and then passed to the host. At the host, incoming
+//! packets are passed to the H-RMC protocol, where normal processing
+//! continues."
+//!
+//! Host 0 is the sender; receiver `i` (0-based) is host `i + 1` and is
+//! identified to the sender engine as `PeerId(i)`. All routing state uses
+//! receiver indices; conversion to host ids happens only at delivery.
+
+use hrmc_core::{
+    Dest, PeerId, ProtocolConfig, ReceiverEngine, SenderEngine, JIFFY_US,
+};
+use hrmc_wire::Packet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::{IoProfile, SinkApp, SourceApp};
+use crate::host::{Engine, Host};
+use crate::nic::{Nic, TxOutcome};
+use crate::queue::EventQueue;
+use crate::report::{ReceiverReport, SimReport};
+use crate::router::{EnqueueOutcome, Route, Router, Transit};
+use crate::topology::Topology;
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Protocol configuration shared by the sender and every receiver.
+    pub protocol: ProtocolConfig,
+    /// Network topology.
+    pub topology: Topology,
+    /// Transfer size in bytes (the paper's 10 MB / 40 MB files).
+    pub transfer_bytes: u64,
+    /// Sender application I/O profile (memory or disk read).
+    pub source: IoProfile,
+    /// Receiver application I/O profile (memory or disk write).
+    pub sink: IoProfile,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Give up after this much simulated time (µs).
+    pub horizon_us: u64,
+    /// Scale factor on the paper's per-packet host processing delays
+    /// (1.0 = the measured 300 MHz constants).
+    pub cpu_scale: f64,
+    /// Drop an arriving packet when the destination host's RX processing
+    /// backlog exceeds this many microseconds (`netdev_max_backlog`
+    /// analog): an overdriven host sheds load instead of queueing
+    /// unboundedly.
+    pub host_backlog_us: u64,
+    /// When set, record a bucketed activity timeline with this bucket
+    /// width (µs); retrieve it from [`SimReport::trace`].
+    pub trace_bucket_us: Option<u64>,
+}
+
+impl SimParams {
+    /// Defaults for a memory-to-memory transfer on the given topology.
+    pub fn new(protocol: ProtocolConfig, topology: Topology, transfer_bytes: u64) -> SimParams {
+        SimParams {
+            protocol,
+            topology,
+            transfer_bytes,
+            source: IoProfile::Memory,
+            sink: IoProfile::Memory,
+            seed: 1,
+            horizon_us: 3_600 * 1_000_000, // one simulated hour
+            cpu_scale: 1.0,
+            host_backlog_us: 50_000,
+            trace_bucket_us: None,
+        }
+    }
+}
+
+enum Ev {
+    /// Per-host jiffy timer.
+    Tick { host: usize },
+    /// A packet finished host RX processing and reaches the engine.
+    HostRx { host: usize, from: Option<usize>, pkt: Packet },
+    /// A packet finished host TX processing and reaches the host's NIC.
+    NicEnq { host: usize, transit: Transit },
+    /// A host NIC finished serializing its head packet.
+    NicTxDeq { host: usize },
+    /// A packet arrives at a router's input.
+    RouterArrive { router: usize, transit: Transit },
+    /// A router finished serializing its head packet.
+    RouterDeq { router: usize },
+    /// A packet finished the router's propagation delay; fan out.
+    Forward { router: usize, transit: Transit },
+}
+
+/// One simulation run. Build with [`Simulation::new`], execute with
+/// [`Simulation::run`].
+pub struct Simulation {
+    params: SimParams,
+    queue: EventQueue<Ev>,
+    hosts: Vec<Host>,
+    nics: Vec<Nic>,
+    routers: Vec<Router>,
+    rng: SmallRng,
+    trace: Option<crate::trace::Trace>,
+    done: bool,
+}
+
+impl Simulation {
+    /// Construct the simulation world from its parameters.
+    pub fn new(params: SimParams) -> Simulation {
+        let n = params.topology.receivers();
+        let mut hosts = Vec::with_capacity(n + 1);
+        let sender = SenderEngine::new(params.protocol.clone(), 7000, 7001, 0, 0);
+        hosts.push(Host::sender(
+            sender,
+            SourceApp::new(params.transfer_bytes, params.source, 0),
+        ));
+        for i in 0..n {
+            let mut engine =
+                ReceiverEngine::new(params.protocol.clone(), 8000 + i as u16, 7001, 0);
+            // Experiment semantics: receivers start before the sender and
+            // expect the stream from its first segment.
+            engine.expect_stream_start(0);
+            hosts.push(Host::receiver(engine, SinkApp::new(params.sink, 0)));
+        }
+        for h in &mut hosts {
+            h.cpu_scale = params.cpu_scale;
+        }
+        let mut nics = Vec::with_capacity(n + 1);
+        nics.push(Nic::new(params.topology.sender_nic.clone()));
+        for p in &params.topology.receiver_nics {
+            nics.push(Nic::new(p.clone()));
+        }
+        let routers = params
+            .topology
+            .routers
+            .iter()
+            .map(|p| Router::new(p.clone()))
+            .collect();
+        let mut queue = EventQueue::new();
+        for host in 0..=n {
+            queue.schedule(JIFFY_US, Ev::Tick { host });
+        }
+        let rng = SmallRng::seed_from_u64(params.seed);
+        let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
+        Simulation {
+            params,
+            queue,
+            hosts,
+            nics,
+            routers,
+            rng,
+            trace,
+            done: false,
+        }
+    }
+
+    /// Run like [`Simulation::run`] but also return the sender-NIC drop
+    /// timestamps (diagnostics).
+    pub fn run_with_drop_trace(mut self) -> (SimReport, Vec<(u64, hrmc_wire::PacketType, usize)>) {
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.params.horizon_us {
+                break;
+            }
+            self.dispatch(now, ev);
+            if self.done {
+                break;
+            }
+        }
+        let times = self.nics[0].tx_drop_times.clone();
+        (self.report(), times)
+    }
+
+    /// Run to completion (or the horizon) and report.
+    pub fn run(mut self) -> SimReport {
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.params.horizon_us {
+                break;
+            }
+            self.dispatch(now, ev);
+            if self.done {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    fn dispatch(&mut self, now: u64, ev: Ev) {
+        match ev {
+            Ev::Tick { host } => self.on_tick(host, now),
+            Ev::HostRx { host, from, pkt } => self.on_host_rx(host, from, &pkt, now),
+            Ev::NicEnq { host, transit } => self.on_nic_enq(host, transit, now),
+            Ev::NicTxDeq { host } => self.on_nic_tx_deq(host, now),
+            Ev::RouterArrive { router, transit } => self.on_router_arrive(router, transit, now),
+            Ev::RouterDeq { router } => self.on_router_deq(router, now),
+            Ev::Forward { router, transit } => self.on_forward(router, transit, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hosts
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self, host: usize, now: u64) {
+        {
+            let h = &mut self.hosts[host];
+            if matches!(h.engine, Engine::Sender(_)) {
+                h.pump_source(now);
+                if let Engine::Sender(e) = &mut h.engine {
+                    e.on_tick(now);
+                }
+            } else {
+                if let Engine::Receiver(e) = &mut h.engine {
+                    e.on_tick(now);
+                }
+                h.pump_sink(now);
+            }
+        }
+        self.drain_engine(host, now);
+        if host == 0 && self.check_done(now) {
+            self.done = true;
+            return;
+        }
+        self.queue.schedule(now + JIFFY_US, Ev::Tick { host });
+    }
+
+    fn on_host_rx(&mut self, host: usize, from: Option<usize>, pkt: &Packet, now: u64) {
+        match &mut self.hosts[host].engine {
+            Engine::Sender(engine) => {
+                let from = from.expect("sender RX without source receiver");
+                engine.handle_packet(pkt, PeerId(from as u32), now);
+                if let Some(trace) = self.trace.as_mut() {
+                    if pkt.header.ptype.carries_receiver_state() {
+                        trace.on_feedback(now);
+                    }
+                }
+            }
+            Engine::Receiver(engine) => {
+                engine.handle_packet(pkt, now);
+            }
+        }
+        if host != 0 {
+            self.hosts[host].pump_sink(now);
+        }
+        self.drain_engine(host, now);
+    }
+
+    /// Move every packet the host's engine queued onto the wire: charge
+    /// the host CPU, then hand to the NIC transmit queue.
+    fn drain_engine(&mut self, host: usize, now: u64) {
+        loop {
+            let out = match &mut self.hosts[host].engine {
+                Engine::Sender(e) => e.poll_output(),
+                Engine::Receiver(e) => e.poll_output(),
+            };
+            let Some(out) = out else { break };
+            let n = self.params.topology.receivers();
+            let routes: Vec<Route> = match out.dest {
+                Dest::Multicast if host == 0 => {
+                    vec![Route::Down { dests: (0..n).collect(), hop: 0 }]
+                }
+                // Receiver-originated multicast (local-recovery NAKs and
+                // repairs): one copy climbs to the sender, one is
+                // injected at the root and fans to the other receivers
+                // (approximation documented in DESIGN.md — the climb to
+                // the root is not charged for the fan-out copy).
+                Dest::Multicast => {
+                    let peers: Vec<usize> = (0..n).filter(|&d| d != host - 1).collect();
+                    let mut v = vec![Route::Up { from: host - 1, hop: 0 }];
+                    if !peers.is_empty() {
+                        v.push(Route::Down { dests: peers, hop: 0 });
+                    }
+                    v
+                }
+                Dest::Unicast(p) => vec![Route::Down { dests: vec![p.0 as usize], hop: 0 }],
+                Dest::Sender => vec![Route::Up { from: host - 1, hop: 0 }],
+            };
+            let len = out.packet.payload.len();
+            if host == 0 {
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.on_send(now, out.packet.header.ptype, len);
+                    trace.on_rate(now, u64::from(out.packet.header.rate_adv));
+                }
+            }
+            let ready = self.hosts[host].charge_cpu(len, now);
+            for route in routes {
+                self.queue.schedule(
+                    ready,
+                    Ev::NicEnq {
+                        host,
+                        transit: Transit { pkt: out.packet.clone(), route },
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NICs
+    // ------------------------------------------------------------------
+
+    fn on_nic_enq(&mut self, host: usize, transit: Transit, now: u64) {
+        match self.nics[host].tx_enqueue(transit, now) {
+            TxOutcome::StartService { service_us } => {
+                self.queue.schedule(now + service_us, Ev::NicTxDeq { host });
+            }
+            TxOutcome::Queued => {}
+            TxOutcome::Dropped => {
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.on_drop(now);
+                }
+            }
+        }
+    }
+
+    fn on_nic_tx_deq(&mut self, host: usize, now: u64) {
+        let (transit, next) = self.nics[host].tx_dequeue();
+        if let Some(svc) = next {
+            self.queue.schedule(now + svc, Ev::NicTxDeq { host });
+        }
+        // The packet is on the wire: route it to its first router.
+        let first_router = match &transit.route {
+            Route::Down { dests, .. } => {
+                // Sender-rooted paths share their first router.
+                self.params.topology.paths[dests[0]][0]
+            }
+            Route::Up { from, .. } => self.params.topology.paths[*from]
+                .last()
+                .copied()
+                .expect("receiver with empty router path"),
+        };
+        self.queue
+            .schedule(now, Ev::RouterArrive { router: first_router, transit });
+    }
+
+    // ------------------------------------------------------------------
+    // Routers
+    // ------------------------------------------------------------------
+
+    fn on_router_arrive(&mut self, router: usize, transit: Transit, now: u64) {
+        let roll = self.rng.gen::<f64>();
+        match self.routers[router].enqueue(transit, roll) {
+            EnqueueOutcome::StartService { service_us } => {
+                self.queue.schedule(now + service_us, Ev::RouterDeq { router });
+            }
+            EnqueueOutcome::Queued => {}
+            EnqueueOutcome::Dropped => {
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.on_drop(now);
+                }
+            }
+        }
+    }
+
+    fn on_router_deq(&mut self, router: usize, now: u64) {
+        let (transit, next) = self.routers[router].dequeue();
+        if let Some(svc) = next {
+            self.queue.schedule(now + svc, Ev::RouterDeq { router });
+        }
+        let delay = self.routers[router].params.delay_us;
+        self.queue.schedule(now + delay, Ev::Forward { router, transit });
+    }
+
+    /// Fan a served packet out of a router: on toward next-hop routers
+    /// (multicast duplication happens here, for free, per the paper) or
+    /// down to receiver NICs; feedback climbs the reversed path.
+    fn on_forward(&mut self, router: usize, transit: Transit, now: u64) {
+        match transit.route {
+            Route::Down { dests, hop } => {
+                let mut by_next: std::collections::BTreeMap<usize, Vec<usize>> =
+                    std::collections::BTreeMap::new();
+                for d in dests {
+                    let path = &self.params.topology.paths[d];
+                    debug_assert_eq!(path[hop], router, "routing went off-path");
+                    if hop + 1 < path.len() {
+                        by_next.entry(path[hop + 1]).or_default().push(d);
+                    } else {
+                        // Last router: deliver via the receiver's NIC.
+                        self.deliver_to_receiver(d, &transit.pkt, now);
+                    }
+                }
+                for (next_router, group) in by_next {
+                    self.queue.schedule(
+                        now,
+                        Ev::RouterArrive {
+                            router: next_router,
+                            transit: Transit {
+                                pkt: transit.pkt.clone(),
+                                route: Route::Down { dests: group, hop: hop + 1 },
+                            },
+                        },
+                    );
+                }
+            }
+            Route::Up { from, hop } => {
+                let path = &self.params.topology.paths[from];
+                // Reversed path: index hop counts from the tail.
+                let pos_from_tail = hop + 1;
+                if pos_from_tail < path.len() {
+                    let next_router = path[path.len() - 1 - pos_from_tail];
+                    self.queue.schedule(
+                        now,
+                        Ev::RouterArrive {
+                            router: next_router,
+                            transit: Transit {
+                                pkt: transit.pkt,
+                                route: Route::Up { from, hop: hop + 1 },
+                            },
+                        },
+                    );
+                } else {
+                    // Reached the sender's side: deliver to host 0.
+                    if self.hosts[0].cpu_backlog(now) > self.params.host_backlog_us {
+                        self.hosts[0].backlog_drops += 1;
+                        return; // feedback implosion sheds load too
+                    }
+                    let len = transit.pkt.payload.len();
+                    let ready = self.hosts[0].charge_cpu(len, now);
+                    self.queue.schedule(
+                        ready,
+                        Ev::HostRx { host: 0, from: Some(from), pkt: transit.pkt },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_to_receiver(&mut self, receiver: usize, pkt: &Packet, now: u64) {
+        let host = receiver + 1;
+        let rolls = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
+        if !self.nics[host].rx_accept(rolls.0, rolls.1) {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.on_drop(now);
+            }
+            return; // uncorrelated NIC loss
+        }
+        if self.hosts[host].cpu_backlog(now) > self.params.host_backlog_us {
+            self.hosts[host].backlog_drops += 1;
+            return; // RX backlog overflow: shed load
+        }
+        let len = pkt.payload.len();
+        let ready = self.hosts[host].charge_cpu(len, now);
+        self.queue.schedule(
+            ready,
+            Ev::HostRx { host, from: None, pkt: pkt.clone() },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Completion and reporting
+    // ------------------------------------------------------------------
+
+    fn check_done(&self, _now: u64) -> bool {
+        let Engine::Sender(sender) = &self.hosts[0].engine else { unreachable!() };
+        if !(self.hosts[0].closed && sender.is_finished()) {
+            return false;
+        }
+        self.hosts[1..].iter().all(|h| h.completed_at.is_some())
+    }
+
+    fn report(self) -> SimReport {
+        let Engine::Sender(sender) = &self.hosts[0].engine else { unreachable!() };
+        let receivers: Vec<ReceiverReport> = self.hosts[1..]
+            .iter()
+            .map(|h| {
+                let Engine::Receiver(r) = &h.engine else { unreachable!() };
+                let sink = h.sink.as_ref().expect("receiver host without sink");
+                ReceiverReport {
+                    stats: r.stats.clone(),
+                    bytes: sink.received(),
+                    completed_at: h.completed_at,
+                    intact: sink.intact(),
+                    naks_sent: r.stats.naks_sent,
+                    rate_requests_sent: r.stats.rate_requests_sent,
+                    updates_sent: r.stats.updates_sent,
+                    repairs_sent: r.stats.repairs_sent,
+                }
+            })
+            .collect();
+        let completed = self.done;
+        let elapsed_us = receivers
+            .iter()
+            .filter_map(|r| r.completed_at)
+            .max()
+            .unwrap_or(self.queue.now());
+        let throughput_mbps = if elapsed_us > 0 {
+            (self.params.transfer_bytes as f64 * 8.0) / elapsed_us as f64
+        } else {
+            0.0
+        };
+        SimReport {
+            completed,
+            elapsed_us,
+            throughput_mbps,
+            transfer_bytes: self.params.transfer_bytes,
+            naks_received: sender.stats.naks_received,
+            rate_requests_received: sender.stats.rate_requests_received,
+            updates_received: sender.stats.updates_received,
+            probes_sent: sender.stats.probes_sent,
+            retransmissions: sender.stats.retransmissions,
+            complete_info_ratio: sender.stats.complete_info_ratio(),
+            sender: sender.stats.clone(),
+            router_loss_drops: self.routers.iter().map(|r| r.loss_drops).sum(),
+            router_overflow_drops: self.routers.iter().map(|r| r.overflow_drops).sum(),
+            sender_nic_drops: self.nics[0].tx_drops,
+            nic_rx_drops: self.nics[1..].iter().map(|n| n.rx_drops()).sum(),
+            host_backlog_drops: self.hosts.iter().map(|h| h.backlog_drops).sum(),
+            final_rtt_us: sender.rtt(),
+            final_rate_bps: sender.rate(),
+            receivers,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn lan_params(
+        n: usize,
+        bandwidth: u64,
+        loss: f64,
+        bytes: u64,
+        buffer: usize,
+    ) -> SimParams {
+        let mut protocol = ProtocolConfig::hrmc().with_buffer(buffer);
+        protocol.max_rate = 2 * bandwidth / 8;
+        let topology = TopologyBuilder::new().lan(n, bandwidth, loss);
+        let mut p = SimParams::new(protocol, topology, bytes);
+        p.horizon_us = 600 * 1_000_000;
+        p
+    }
+
+    #[test]
+    fn lossless_lan_transfer_completes_intact() {
+        let report = Simulation::new(lan_params(2, 10_000_000, 0.0, 1_000_000, 256 * 1024)).run();
+        assert!(report.completed, "transfer did not complete");
+        assert!(report.all_intact());
+        for r in &report.receivers {
+            assert_eq!(r.bytes, 1_000_000);
+        }
+        // Throughput must be positive and below the wire speed.
+        assert!(report.throughput_mbps > 0.5, "{}", report.throughput_mbps);
+        assert!(report.throughput_mbps < 10.0, "{}", report.throughput_mbps);
+        assert_eq!(report.sender.unsafe_releases, 0);
+    }
+
+    #[test]
+    fn lossy_lan_transfer_still_reliable() {
+        let report = Simulation::new(lan_params(3, 10_000_000, 0.01, 500_000, 256 * 1024)).run();
+        assert!(report.completed, "transfer stalled under loss");
+        assert!(report.all_intact());
+        assert!(
+            report.router_loss_drops + report.nic_rx_drops > 0,
+            "loss model never fired"
+        );
+        assert!(report.retransmissions > 0);
+        assert_eq!(report.sender.nak_errs_sent, 0);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let a = Simulation::new(lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024)).run();
+        let b = Simulation::new(lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024)).run();
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        assert_eq!(a.naks_received, b.naks_received);
+        assert_eq!(a.retransmissions, b.retransmissions);
+        let mut c_params = lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024);
+        c_params.seed = 99;
+        let c = Simulation::new(c_params).run();
+        // Different seed: overwhelmingly likely a different trajectory.
+        assert!(
+            c.elapsed_us != a.elapsed_us || c.naks_received != a.naks_received,
+            "different seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn wan_groups_transfer_completes() {
+        let specs = crate::topology::test_case(3, 4); // all in C: 100 ms, 2%
+        let topology = TopologyBuilder::new().groups(&specs, 10_000_000);
+        let mut protocol = ProtocolConfig::hrmc().with_buffer(512 * 1024);
+        protocol.max_rate = 2 * 10_000_000 / 8;
+        let mut params = SimParams::new(protocol, topology, 300_000);
+        params.horizon_us = 1_200 * 1_000_000;
+        let report = Simulation::new(params).run();
+        assert!(report.completed, "WAN transfer stalled");
+        assert!(report.all_intact());
+        assert!(report.naks_received > 0, "2% loss must cause NAKs");
+    }
+
+    #[test]
+    fn bigger_buffers_do_not_reduce_throughput_lan() {
+        // The paper's headline: throughput rises with kernel buffer size
+        // until ~512K. Check the direction with two sizes.
+        let small = Simulation::new(lan_params(1, 10_000_000, 0.0, 2_000_000, 64 * 1024)).run();
+        let large = Simulation::new(lan_params(1, 10_000_000, 0.0, 2_000_000, 1024 * 1024)).run();
+        assert!(small.completed && large.completed);
+        assert!(
+            large.throughput_mbps >= small.throughput_mbps * 0.95,
+            "large-buffer throughput regressed: {} vs {}",
+            large.throughput_mbps,
+            small.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn rmc_mode_runs_and_measures_info_ratio() {
+        let mut params = lan_params(2, 10_000_000, 0.005, 500_000, 64 * 1024);
+        params.protocol = ProtocolConfig::rmc().with_buffer(64 * 1024);
+        params.protocol.max_rate = 2 * 10_000_000 / 8;
+        let report = Simulation::new(params).run();
+        assert!(report.sender.release_attempts > 0);
+        assert!(report.probes_sent == 0);
+        assert!(report.complete_info_ratio <= 1.0);
+    }
+}

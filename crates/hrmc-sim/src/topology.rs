@@ -1,0 +1,312 @@
+//! Topology builders for the paper's two experimental worlds.
+//!
+//! * **LAN testbed (§5.1)** — "All the machines were connected to the
+//!   same Ethernet LAN running at either 10 or 100 Mbps": the sender's
+//!   NIC serializes once onto the shared medium; a pass-through router
+//!   broadcasts to every receiver NIC.
+//! * **Characteristic groups (§5.2, Figure 14)** — receivers are divided
+//!   into groups "defined by its network delay and loss properties":
+//!   group A (2 ms, 0.005%) simulates a local environment, group B
+//!   (20 ms, 0.5%) a metropolitan area, and group C (100 ms, 2%) a wide
+//!   area. "90% of the loss was correlated and occurred at the router
+//!   process and 10% of the loss was uncorrelated and occurred at the
+//!   network interface process."
+
+use crate::loss::LossModel;
+use crate::nic::NicParams;
+use crate::router::RouterParams;
+
+/// Share of each group's loss placed at its router (correlated loss).
+pub const CORRELATED_LOSS_SHARE: f64 = 0.90;
+
+/// A characteristic group (paper Figure 14(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacteristicGroup {
+    /// Human-readable name ("A", "B", "C").
+    pub name: &'static str,
+    /// One-way network delay.
+    pub delay_us: u64,
+    /// Total loss rate (fraction, e.g. 0.02 for 2%).
+    pub loss: f64,
+}
+
+impl CharacteristicGroup {
+    /// Group A: local environment — 2 ms, 0.005% loss.
+    pub const A: CharacteristicGroup = CharacteristicGroup {
+        name: "A",
+        delay_us: 2_000,
+        loss: 0.00005,
+    };
+    /// Group B: metropolitan area — 20 ms, 0.5% loss.
+    pub const B: CharacteristicGroup = CharacteristicGroup {
+        name: "B",
+        delay_us: 20_000,
+        loss: 0.005,
+    };
+    /// Group C: wide area — 100 ms, 2% loss.
+    pub const C: CharacteristicGroup = CharacteristicGroup {
+        name: "C",
+        delay_us: 100_000,
+        loss: 0.02,
+    };
+}
+
+/// A group of receivers sharing one characteristic group.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupSpec {
+    /// Delay/loss characteristics.
+    pub group: CharacteristicGroup,
+    /// Number of receivers in this group.
+    pub receivers: usize,
+}
+
+/// A built topology: routers, NICs, and per-receiver router paths.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// All routers; `paths` index into this.
+    pub routers: Vec<RouterParams>,
+    /// The sender host's NIC.
+    pub sender_nic: NicParams,
+    /// One NIC per receiver host.
+    pub receiver_nics: Vec<NicParams>,
+    /// `paths[i]` is the ordered list of router indices between the
+    /// sender and receiver `i`. Feedback walks it in reverse.
+    pub paths: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Number of receivers.
+    pub fn receivers(&self) -> usize {
+        self.receiver_nics.len()
+    }
+}
+
+/// Builder for the standard topologies.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    /// Sender transmit-queue capacity (Linux `txqueuelen` analog; the
+    /// Figure 13 knob).
+    pub sender_txqueue: usize,
+    /// Receiver transmit-queue capacity (feedback packets are small, so
+    /// this rarely matters).
+    pub receiver_txqueue: usize,
+    /// Router queue capacity in packets.
+    pub router_queue: usize,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            sender_txqueue: 100,
+            receiver_txqueue: 100,
+            router_queue: 512,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Standard knobs.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// The §5.1 testbed: `n` receivers on one shared Ethernet of
+    /// `bandwidth_bps`, with optional uniform loss (split 90/10 between
+    /// the shared segment and the receiver NICs, matching the simulation
+    /// study's convention).
+    pub fn lan(&self, n: usize, bandwidth_bps: u64, loss: f64) -> Topology {
+        let router = RouterParams {
+            // The sender NIC serializes onto the shared medium; the
+            // "router" is the medium itself: no extra serialization.
+            bandwidth_bps: 0,
+            queue_packets: self.router_queue,
+            loss: loss * CORRELATED_LOSS_SHARE,
+            delay_us: 50, // propagation + hub latency on a LAN segment
+        };
+        Topology {
+            routers: vec![router],
+            sender_nic: NicParams {
+                bandwidth_bps,
+                tx_queue_packets: self.sender_txqueue,
+                rx_loss: LossModel::NONE,
+            },
+            receiver_nics: (0..n)
+                .map(|_| NicParams {
+                    bandwidth_bps,
+                    tx_queue_packets: self.receiver_txqueue,
+                    rx_loss: LossModel::Bernoulli(loss * (1.0 - CORRELATED_LOSS_SHARE)),
+                })
+                .collect(),
+            paths: (0..n).map(|_| vec![0]).collect(),
+        }
+    }
+
+    /// A wireless cell: the shared-medium LAN shape, but each receiver's
+    /// tail link runs a (typically Gilbert–Elliott) loss model — the
+    /// environment the paper's FEC future-work targets.
+    pub fn wireless(&self, n: usize, bandwidth_bps: u64, model: LossModel) -> Topology {
+        let mut t = self.lan(n, bandwidth_bps, 0.0);
+        for nic in &mut t.receiver_nics {
+            nic.rx_loss = model;
+        }
+        t
+    }
+
+    /// The §5.2 simulation study: a backbone router fans out to one
+    /// router per characteristic group; each group router carries the
+    /// group's delay and the correlated 90% of its loss; each receiver
+    /// NIC carries the uncorrelated 10%. `bandwidth_bps` is the network
+    /// speed assigned to every router (the paper's 10 or 100 Mbps).
+    pub fn groups(&self, specs: &[GroupSpec], bandwidth_bps: u64) -> Topology {
+        // Router 0: the backbone — "The network backbone and the
+        // individual sites are mostly loss free."
+        let mut routers = vec![RouterParams {
+            bandwidth_bps,
+            queue_packets: self.router_queue,
+            loss: 0.0,
+            delay_us: 1_000,
+        }];
+        let mut receiver_nics = Vec::new();
+        let mut paths = Vec::new();
+        for spec in specs {
+            let router_idx = routers.len();
+            routers.push(RouterParams {
+                bandwidth_bps,
+                queue_packets: self.router_queue,
+                loss: spec.group.loss * CORRELATED_LOSS_SHARE,
+                delay_us: spec.group.delay_us,
+            });
+            for _ in 0..spec.receivers {
+                receiver_nics.push(NicParams {
+                    bandwidth_bps,
+                    tx_queue_packets: self.receiver_txqueue,
+                    rx_loss: LossModel::Bernoulli(
+                        spec.group.loss * (1.0 - CORRELATED_LOSS_SHARE),
+                    ),
+                });
+                paths.push(vec![0, router_idx]);
+            }
+        }
+        Topology {
+            routers,
+            sender_nic: NicParams {
+                bandwidth_bps,
+                tx_queue_packets: self.sender_txqueue,
+                rx_loss: LossModel::NONE,
+            },
+            receiver_nics,
+            paths,
+        }
+    }
+}
+
+/// The paper's five test cases (Figure 14(b)) over `n` receivers.
+pub fn test_case(test: usize, n: usize) -> Vec<GroupSpec> {
+    let split = |frac: f64| ((n as f64 * frac).round() as usize).min(n);
+    match test {
+        1 => vec![GroupSpec { group: CharacteristicGroup::A, receivers: n }],
+        2 => vec![GroupSpec { group: CharacteristicGroup::B, receivers: n }],
+        3 => vec![GroupSpec { group: CharacteristicGroup::C, receivers: n }],
+        4 => {
+            let b = split(0.8);
+            vec![
+                GroupSpec { group: CharacteristicGroup::B, receivers: b },
+                GroupSpec { group: CharacteristicGroup::C, receivers: n - b },
+            ]
+        }
+        5 => {
+            let b = split(0.2);
+            vec![
+                GroupSpec { group: CharacteristicGroup::B, receivers: b },
+                GroupSpec { group: CharacteristicGroup::C, receivers: n - b },
+            ]
+        }
+        other => panic!("test case {other} is not one of the paper's Tests 1-5"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characteristic_groups_match_figure_14() {
+        assert_eq!(CharacteristicGroup::A.delay_us, 2_000);
+        assert!((CharacteristicGroup::A.loss - 0.00005).abs() < 1e-12);
+        assert_eq!(CharacteristicGroup::B.delay_us, 20_000);
+        assert!((CharacteristicGroup::B.loss - 0.005).abs() < 1e-12);
+        assert_eq!(CharacteristicGroup::C.delay_us, 100_000);
+        assert!((CharacteristicGroup::C.loss - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lan_topology_shape() {
+        let t = TopologyBuilder::new().lan(3, 10_000_000, 0.0);
+        assert_eq!(t.routers.len(), 1);
+        assert_eq!(t.receivers(), 3);
+        assert!(t.paths.iter().all(|p| p == &vec![0]));
+        assert_eq!(t.sender_nic.bandwidth_bps, 10_000_000);
+        // The shared medium is serialized at the sender NIC, not again at
+        // the router.
+        assert_eq!(t.routers[0].bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn lan_loss_split_90_10() {
+        let t = TopologyBuilder::new().lan(2, 10_000_000, 0.01);
+        assert!((t.routers[0].loss - 0.009).abs() < 1e-12);
+        assert!((t.receiver_nics[0].rx_loss.mean_loss() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wireless_topology_uses_model_on_tails() {
+        let model = LossModel::wireless_default();
+        let t = TopologyBuilder::new().wireless(3, 10_000_000, model);
+        assert_eq!(t.receivers(), 3);
+        assert!(t.receiver_nics.iter().all(|n| n.rx_loss == model));
+        assert_eq!(t.routers[0].loss, 0.0);
+    }
+
+    #[test]
+    fn group_topology_shape() {
+        let specs = [
+            GroupSpec { group: CharacteristicGroup::B, receivers: 8 },
+            GroupSpec { group: CharacteristicGroup::C, receivers: 2 },
+        ];
+        let t = TopologyBuilder::new().groups(&specs, 10_000_000);
+        assert_eq!(t.routers.len(), 3); // backbone + 2 groups
+        assert_eq!(t.receivers(), 10);
+        assert_eq!(t.paths[0], vec![0, 1]);
+        assert_eq!(t.paths[8], vec![0, 2]);
+        // Group C router: 100 ms delay, 1.8% correlated loss.
+        assert_eq!(t.routers[2].delay_us, 100_000);
+        assert!((t.routers[2].loss - 0.018).abs() < 1e-12);
+        assert!((t.receiver_nics[9].rx_loss.mean_loss() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn test_cases_match_figure_14b() {
+        assert_eq!(test_case(1, 10)[0].group.name, "A");
+        assert_eq!(test_case(2, 10)[0].group.name, "B");
+        assert_eq!(test_case(3, 10)[0].group.name, "C");
+        let t4 = test_case(4, 10);
+        assert_eq!((t4[0].group.name, t4[0].receivers), ("B", 8));
+        assert_eq!((t4[1].group.name, t4[1].receivers), ("C", 2));
+        let t5 = test_case(5, 10);
+        assert_eq!((t5[0].group.name, t5[0].receivers), ("B", 2));
+        assert_eq!((t5[1].group.name, t5[1].receivers), ("C", 8));
+        // Counts always total n.
+        for t in 1..=5 {
+            for n in [1, 7, 10, 100] {
+                let total: usize = test_case(t, n).iter().map(|s| s.receivers).sum();
+                assert_eq!(total, n, "test {t} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of the paper's Tests")]
+    fn unknown_test_case_panics() {
+        test_case(6, 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Time-series instrumentation: bucketed counters over simulation time,
+//! for timeline analysis of a run (rate evolution, feedback bursts,
+//! queue behaviour) beyond the end-of-run totals in
+//! [`SimReport`](crate::report::SimReport).
+
+use hrmc_wire::PacketType;
+
+/// One time bucket of activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBucket {
+    /// DATA packets put on the wire by the sender (first transmissions
+    /// and retransmissions).
+    pub data_sent: u64,
+    /// DATA payload bytes put on the wire.
+    pub data_bytes: u64,
+    /// Feedback packets (NAK / CONTROL / UPDATE) that reached the sender.
+    pub feedback: u64,
+    /// PROBE packets sent.
+    pub probes: u64,
+    /// Packets dropped anywhere (loss models, queue overflows).
+    pub drops: u64,
+    /// The sender's advertised rate at the end of the bucket (bytes/s).
+    pub rate_bps: u64,
+}
+
+/// A bucketed activity trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    bucket_us: u64,
+    buckets: Vec<TraceBucket>,
+}
+
+impl Trace {
+    /// A trace with the given bucket width.
+    pub fn new(bucket_us: u64) -> Trace {
+        Trace { bucket_us: bucket_us.max(1), buckets: Vec::new() }
+    }
+
+    /// Bucket width in microseconds.
+    pub fn bucket_us(&self) -> u64 {
+        self.bucket_us
+    }
+
+    fn bucket_mut(&mut self, now: u64) -> &mut TraceBucket {
+        let idx = (now / self.bucket_us) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, TraceBucket::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Record a sender transmission.
+    pub fn on_send(&mut self, now: u64, ptype: PacketType, payload_len: usize) {
+        let b = self.bucket_mut(now);
+        match ptype {
+            PacketType::Data => {
+                b.data_sent += 1;
+                b.data_bytes += payload_len as u64;
+            }
+            PacketType::Probe => b.probes += 1,
+            _ => {}
+        }
+    }
+
+    /// Record feedback arriving at the sender.
+    pub fn on_feedback(&mut self, now: u64) {
+        self.bucket_mut(now).feedback += 1;
+    }
+
+    /// Record a drop anywhere in the network.
+    pub fn on_drop(&mut self, now: u64) {
+        self.bucket_mut(now).drops += 1;
+    }
+
+    /// Record the sender's advertised rate (kept as last-write-wins per
+    /// bucket).
+    pub fn on_rate(&mut self, now: u64, rate_bps: u64) {
+        self.bucket_mut(now).rate_bps = rate_bps;
+    }
+
+    /// The buckets recorded so far.
+    pub fn buckets(&self) -> &[TraceBucket] {
+        &self.buckets
+    }
+
+    /// Render a compact text timeline (one line per bucket with any
+    /// activity).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  t(s)   data  bytes      fbk  probe  drops  rate(KB/s)\n");
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b == TraceBucket::default() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>6.2} {:>6} {:>10} {:>6} {:>6} {:>6} {:>11}\n",
+                (i as u64 * self.bucket_us) as f64 / 1e6,
+                b.data_sent,
+                b.data_bytes,
+                b.feedback,
+                b.probes,
+                b.drops,
+                b.rate_bps / 1024,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_by_time() {
+        let mut t = Trace::new(1_000_000); // 1 s buckets
+        t.on_send(100, PacketType::Data, 1400);
+        t.on_send(900_000, PacketType::Data, 1400);
+        t.on_send(1_100_000, PacketType::Data, 700);
+        t.on_feedback(1_500_000);
+        t.on_drop(2_000_001);
+        assert_eq!(t.buckets().len(), 3);
+        assert_eq!(t.buckets()[0].data_sent, 2);
+        assert_eq!(t.buckets()[0].data_bytes, 2800);
+        assert_eq!(t.buckets()[1].data_sent, 1);
+        assert_eq!(t.buckets()[1].feedback, 1);
+        assert_eq!(t.buckets()[2].drops, 1);
+    }
+
+    #[test]
+    fn probes_and_rate_tracked() {
+        let mut t = Trace::new(10_000);
+        t.on_send(5_000, PacketType::Probe, 0);
+        t.on_rate(5_000, 1_000_000);
+        t.on_rate(9_999, 2_000_000); // last write wins within the bucket
+        assert_eq!(t.buckets()[0].probes, 1);
+        assert_eq!(t.buckets()[0].rate_bps, 2_000_000);
+    }
+
+    #[test]
+    fn render_skips_empty_buckets() {
+        let mut t = Trace::new(1_000);
+        t.on_send(0, PacketType::Data, 10);
+        t.on_send(5_500, PacketType::Data, 10);
+        let s = t.render();
+        // Header + two active buckets.
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn control_packets_do_not_count_as_data() {
+        let mut t = Trace::new(1_000);
+        t.on_send(0, PacketType::Keepalive, 0);
+        t.on_send(0, PacketType::Update, 0);
+        assert_eq!(t.buckets()[0].data_sent, 0);
+        assert_eq!(t.buckets()[0].probes, 0);
+    }
+}

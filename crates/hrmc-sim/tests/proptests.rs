@@ -1,0 +1,141 @@
+//! Property-based tests for the simulator substrate.
+
+use hrmc_sim::loss::{LossModel, LossProcess};
+use hrmc_sim::queue::EventQueue;
+use hrmc_sim::topology::{test_case, TopologyBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue is a stable priority queue: pops are globally
+    /// time-ordered, and equal-time events preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_and_ordered(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated at equal times");
+            }
+        }
+        // Every scheduled event fired at its scheduled time.
+        for (t, i) in popped {
+            prop_assert_eq!(t, times[i]);
+        }
+    }
+
+    /// Interleaved schedule/pop never pops out of order relative to the
+    /// current clock.
+    #[test]
+    fn event_queue_clock_is_monotone(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..500), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut last = 0u64;
+        for (push, t) in ops {
+            if push {
+                q.schedule(t, ());
+            } else if let Some((when, ())) = q.pop() {
+                prop_assert!(when >= last);
+                last = when;
+            }
+        }
+    }
+
+    /// Bernoulli loss empirical rate converges to p for any p.
+    #[test]
+    fn bernoulli_rate_converges(p in 0.0f64..0.3) {
+        use rand::{Rng, SeedableRng};
+        let mut proc = LossProcess::new(LossModel::Bernoulli(p));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let n = 60_000;
+        for _ in 0..n {
+            proc.drop(rng.gen(), rng.gen());
+        }
+        let rate = proc.drops as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.012, "rate {rate} for p {p}");
+    }
+
+    /// Gilbert–Elliott empirical loss converges to the closed-form mean
+    /// for arbitrary (sane) parameters.
+    #[test]
+    fn gilbert_elliott_matches_closed_form(
+        p_gb in 0.001f64..0.05,
+        p_bg in 0.05f64..0.9,
+        loss_bad in 0.3f64..1.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+            loss_good: 0.0,
+            loss_bad,
+        };
+        let mut proc = LossProcess::new(model);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let n = 300_000;
+        for _ in 0..n {
+            proc.drop(rng.gen(), rng.gen());
+        }
+        let rate = proc.drops as f64 / n as f64;
+        let expected = model.mean_loss();
+        prop_assert!(
+            (rate - expected).abs() < 0.01,
+            "rate {rate} expected {expected} (p_gb={p_gb} p_bg={p_bg})"
+        );
+    }
+
+    /// Topology invariants hold for every test case and population.
+    #[test]
+    fn topologies_are_well_formed(test in 1usize..=5, n in 1usize..=60) {
+        let specs = test_case(test, n);
+        let total: usize = specs.iter().map(|s| s.receivers).sum();
+        prop_assert_eq!(total, n);
+        let t = TopologyBuilder::new().groups(&specs, 10_000_000);
+        prop_assert_eq!(t.receivers(), n);
+        for path in &t.paths {
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(path[0], 0, "every path starts at the backbone");
+            for &r in path {
+                prop_assert!(r < t.routers.len(), "dangling router index");
+            }
+        }
+        // Sender-rooted tree property the simulator relies on: any two
+        // paths sharing a router have it at the same depth.
+        for a in &t.paths {
+            for b in &t.paths {
+                for (i, ra) in a.iter().enumerate() {
+                    if let Some(j) = b.iter().position(|rb| rb == ra) {
+                        prop_assert_eq!(i, j, "shared router at different depths");
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end under arbitrary seed and loss: transfers complete,
+    /// streams verify, and Hybrid never emits NAK_ERR or unsafe releases.
+    #[test]
+    fn sim_reliability_invariant(seed in 1u64..500, loss in 0.0f64..0.04) {
+        let mut s = hrmc_app::Scenario::lan(2, 10_000_000, 128 * 1024, 120_000)
+            .with_loss(loss)
+            .with_seed(seed);
+        s.horizon_us = 600 * 1_000_000;
+        let r = s.run();
+        prop_assert!(r.completed, "stalled: seed {seed} loss {loss}");
+        prop_assert!(r.all_intact());
+        prop_assert_eq!(r.sender.nak_errs_sent, 0);
+        prop_assert_eq!(r.sender.unsafe_releases, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The 16-bit one's-complement Internet checksum (RFC 1071), as used by
+//! TCP/UDP and by the kernel H-RMC driver to validate packets ("the RMC
+//! protocol checks the packets for correctness", paper §2).
+
+/// Compute the Internet checksum over `data`.
+///
+/// The sum is the one's-complement of the one's-complement sum of all
+/// 16-bit words; an odd trailing byte is padded with zero, exactly as in
+/// RFC 1071. A packet whose stored checksum field was zeroed before the
+/// computation will verify iff recomputing over the received bytes
+/// (checksum field zeroed again) yields the stored value.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verify data whose checksum was computed with the checksum field zeroed
+/// and then stored at `data[at..at + 2]`.
+pub fn verify_with_field(data: &[u8], at: usize) -> bool {
+    if data.len() < at + 2 {
+        return false;
+    }
+    let stored = u16::from_be_bytes([data[at], data[at + 1]]);
+    let mut scratch = data.to_vec();
+    scratch[at] = 0;
+    scratch[at + 1] = 0;
+    internet_checksum(&scratch) == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        // [0xab] pads to [0xab, 0x00].
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let good = internet_checksum(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(
+                    internet_checksum(&corrupted),
+                    good,
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_with_field_round_trip() {
+        let mut data: Vec<u8> = (0u8..32).collect();
+        data[6] = 0;
+        data[7] = 0;
+        let ck = internet_checksum(&data);
+        data[6..8].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_with_field(&data, 6));
+        data[0] ^= 0x40;
+        assert!(!verify_with_field(&data, 6));
+    }
+
+    #[test]
+    fn verify_with_field_bounds() {
+        assert!(!verify_with_field(&[0u8; 3], 2));
+        assert!(!verify_with_field(&[], 0));
+    }
+}

@@ -1,0 +1,245 @@
+//! The 20-byte RMC/H-RMC packet header (paper Figure 1).
+
+use crate::types::PacketType;
+use crate::Seq;
+
+/// Size of the fixed header in bytes. The paper: "All RMC segments are
+/// prefixed with a 20-byte header".
+pub const HEADER_LEN: usize = 20;
+
+/// Byte offset of the checksum field within the header (used when zeroing
+/// the field for checksum computation).
+pub const CHECKSUM_OFFSET: usize = 16;
+
+/// The URG / FIN flag bits, packed into the top bits of the final header
+/// byte (the type byte). URG marks a critical-region rate request that
+/// stops forward transmission for two RTTs; FIN marks the end of the data
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// Urgent: on a CONTROL packet, the receive window has filled into the
+    /// critical region and the sender must stop forward transmission for
+    /// two round-trip times regardless of the advertised rate (paper §2,
+    /// flow-control rule 3).
+    pub urg: bool,
+    /// Finish: the sending application has closed the stream; the sequence
+    /// number of the FIN-bearing packet is the last of the connection.
+    pub fin: bool,
+}
+
+const FLAG_URG: u8 = 0b1000_0000;
+const FLAG_FIN: u8 = 0b0100_0000;
+const TYPE_MASK: u8 = 0b0011_1111;
+
+impl Flags {
+    /// Encode into the flag bits of the type byte.
+    #[inline]
+    pub fn to_wire(self) -> u8 {
+        (if self.urg { FLAG_URG } else { 0 }) | (if self.fin { FLAG_FIN } else { 0 })
+    }
+
+    /// Decode from a raw type byte (ignores the type bits).
+    #[inline]
+    pub fn from_wire(byte: u8) -> Flags {
+        Flags {
+            urg: byte & FLAG_URG != 0,
+            fin: byte & FLAG_FIN != 0,
+        }
+    }
+}
+
+/// The fixed 20-byte header carried by every RMC/H-RMC packet.
+///
+/// Field semantics per packet type (the paper reuses fields rather than
+/// defining per-type layouts; we document our reuse precisely):
+///
+/// | Type | `seq` | `length` |
+/// |------|-------|----------|
+/// | DATA | sequence number of this packet | payload bytes |
+/// | NAK | first missing sequence number | count of consecutive missing packets |
+/// | NAK_ERR | first unsatisfiable sequence number | count |
+/// | JOIN / LEAVE | echo of the triggering data packet's seq (RTT sample) | 0 |
+/// | JOIN_RESPONSE / LEAVE_RESPONSE | echo of the request's seq | 0 |
+/// | CONTROL | receiver's next expected seq (`rcv_nxt`) | free receive-window bytes |
+/// | KEEPALIVE | seq of the last packet transmitted | 0 |
+/// | UPDATE | receiver's next expected seq (`rcv_nxt`) | echo of probe nonce (0 if unsolicited) |
+/// | PROBE | seq the sender wants confirmed received (release point) | probe nonce for RTT measurement |
+///
+/// `rate_adv` always carries the sender's current advertised transmission
+/// rate in bytes/second on sender-originated packets, and the receiver's
+/// suggested rate on CONTROL packets. On NAK packets, whose `seq` names
+/// the first missing packet of a gap, `rate_adv` instead piggybacks the
+/// receiver's next-expected sequence number — the paper requires that
+/// "both rate requests and NAKs carry the next expected sequence number"
+/// so the sender's membership state stays exact even when the NAKed gap
+/// starts beyond `rcv_nxt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Sending process's port.
+    pub src_port: u16,
+    /// Destination (multicast group) port.
+    pub dst_port: u16,
+    /// Sequence number; see the type table above.
+    pub seq: Seq,
+    /// Rate advertisement in bytes/second (paper: "the sender uses this
+    /// field to inform the receivers of the current transmission rate, and
+    /// the receivers use it in feedback messages to suggest a lower
+    /// sending rate").
+    pub rate_adv: u32,
+    /// Length field; payload bytes for DATA, otherwise see the type table.
+    pub length: u32,
+    /// Internet checksum over header (checksum field zeroed) + payload.
+    pub checksum: u16,
+    /// Transmission attempt counter for this packet (0 on first send).
+    /// Karn's algorithm skips RTT samples from packets with `tries > 0`.
+    pub tries: u8,
+    /// Packet type (Table 1).
+    pub ptype: PacketType,
+    /// URG / FIN flags.
+    pub flags: Flags,
+}
+
+impl Header {
+    /// Construct a header with zero checksum and default flags.
+    pub fn new(ptype: PacketType, src_port: u16, dst_port: u16, seq: Seq) -> Header {
+        Header {
+            src_port,
+            dst_port,
+            seq,
+            rate_adv: 0,
+            length: 0,
+            checksum: 0,
+            tries: 0,
+            ptype,
+            flags: Flags::default(),
+        }
+    }
+
+    /// Serialize into exactly [`HEADER_LEN`] bytes (network byte order).
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serialize into the first [`HEADER_LEN`] bytes of `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() < HEADER_LEN`.
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.rate_adv.to_be_bytes());
+        buf[12..16].copy_from_slice(&self.length.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[18] = self.tries;
+        buf[19] = self.flags.to_wire() | (self.ptype.to_wire() & TYPE_MASK);
+    }
+
+    /// Parse a header from the first [`HEADER_LEN`] bytes of `buf`.
+    ///
+    /// Returns `None` if `buf` is too short or the type code is unknown.
+    pub fn decode(buf: &[u8]) -> Option<Header> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        let ptype = PacketType::from_wire(buf[19] & TYPE_MASK)?;
+        Some(Header {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            rate_adv: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            length: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+            tries: buf[18],
+            ptype,
+            flags: Flags::from_wire(buf[19]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            src_port: 0x1234,
+            dst_port: 0x5678,
+            seq: 0xdead_beef,
+            rate_adv: 1_250_000,
+            length: 1400,
+            checksum: 0xabcd,
+            tries: 3,
+            ptype: PacketType::Data,
+            flags: Flags { urg: true, fin: false },
+        }
+    }
+
+    #[test]
+    fn header_is_twenty_bytes() {
+        assert_eq!(HEADER_LEN, 20);
+        assert_eq!(sample().encode().len(), 20);
+    }
+
+    #[test]
+    fn field_offsets_match_figure_1() {
+        let h = sample();
+        let b = h.encode();
+        // Row 1: ports.
+        assert_eq!(&b[0..2], &[0x12, 0x34]);
+        assert_eq!(&b[2..4], &[0x56, 0x78]);
+        // Row 2: sequence number.
+        assert_eq!(&b[4..8], &[0xde, 0xad, 0xbe, 0xef]);
+        // Row 3: rate advertisement.
+        assert_eq!(u32::from_be_bytes([b[8], b[9], b[10], b[11]]), 1_250_000);
+        // Row 4: length.
+        assert_eq!(u32::from_be_bytes([b[12], b[13], b[14], b[15]]), 1400);
+        // Row 5: checksum, tries, flags|type.
+        assert_eq!(&b[16..18], &[0xab, 0xcd]);
+        assert_eq!(b[18], 3);
+        assert_eq!(b[19] & TYPE_MASK, PacketType::Data.to_wire());
+        assert_ne!(b[19] & FLAG_URG, 0);
+        assert_eq!(b[19] & FLAG_FIN, 0);
+    }
+
+    #[test]
+    fn round_trip_all_types_and_flags() {
+        for ptype in PacketType::ALL {
+            for (urg, fin) in [(false, false), (true, false), (false, true), (true, true)] {
+                let mut h = sample();
+                h.ptype = ptype;
+                h.flags = Flags { urg, fin };
+                let decoded = Header::decode(&h.encode()).expect("decode");
+                assert_eq!(decoded, h);
+            }
+        }
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let b = sample().encode();
+        for n in 0..HEADER_LEN {
+            assert!(Header::decode(&b[..n]).is_none());
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut b = sample().encode();
+        b[19] = (b[19] & !TYPE_MASK) | 0x3f; // type code 63: undefined
+        assert!(Header::decode(&b).is_none());
+    }
+
+    #[test]
+    fn checksum_offset_constant_is_correct() {
+        let mut h = sample();
+        h.checksum = 0xbeef;
+        let b = h.encode();
+        assert_eq!(
+            u16::from_be_bytes([b[CHECKSUM_OFFSET], b[CHECKSUM_OFFSET + 1]]),
+            0xbeef
+        );
+    }
+}

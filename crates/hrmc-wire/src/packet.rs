@@ -1,0 +1,177 @@
+//! Complete packets: header + payload, with checksum computation and
+//! validation on encode/decode.
+
+use bytes::Bytes;
+
+use crate::checksum::internet_checksum;
+use crate::header::{Header, CHECKSUM_OFFSET, HEADER_LEN};
+use crate::types::PacketType;
+use crate::Seq;
+
+/// Errors produced when decoding bytes into a [`Packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer than [`HEADER_LEN`] bytes.
+    Truncated,
+    /// The 6-bit type code does not name a packet type.
+    UnknownType,
+    /// The stored checksum does not match the computed checksum.
+    BadChecksum,
+    /// A DATA packet whose header `length` disagrees with the payload size.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "packet shorter than the 20-byte header",
+            WireError::UnknownType => "unknown packet type code",
+            WireError::BadChecksum => "checksum verification failed",
+            WireError::LengthMismatch => "header length disagrees with payload size",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A complete H-RMC packet: one header plus (for DATA packets) a payload.
+///
+/// Payloads are [`Bytes`] so that a packet buffered in the send window, a
+/// retransmission of it, and the copy handed to a receiving application all
+/// share one allocation — the same economy the kernel driver gets from
+/// `sk_buff` reference counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The fixed header. `header.checksum` holds the last computed or
+    /// received checksum; [`Packet::encode`] recomputes it.
+    pub header: Header,
+    /// Payload; empty for every type except DATA.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Build a DATA packet carrying `payload`.
+    pub fn data(src_port: u16, dst_port: u16, seq: Seq, payload: Bytes) -> Packet {
+        let mut header = Header::new(PacketType::Data, src_port, dst_port, seq);
+        header.length = payload.len() as u32;
+        Packet { header, payload }
+    }
+
+    /// Build a payload-less control packet of the given type.
+    pub fn control(ptype: PacketType, src_port: u16, dst_port: u16, seq: Seq) -> Packet {
+        Packet {
+            header: Header::new(ptype, src_port, dst_port, seq),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Total on-wire size in bytes.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize to bytes, computing and embedding the checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        let mut header = self.header;
+        header.checksum = 0;
+        buf.extend_from_slice(&header.encode());
+        buf.extend_from_slice(&self.payload);
+        let ck = internet_checksum(&buf);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 2].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+
+    /// Parse and validate a packet from received bytes.
+    pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let header = Header::decode(buf).ok_or(WireError::UnknownType)?;
+        let mut scratch = buf.to_vec();
+        scratch[CHECKSUM_OFFSET] = 0;
+        scratch[CHECKSUM_OFFSET + 1] = 0;
+        if internet_checksum(&scratch) != header.checksum {
+            return Err(WireError::BadChecksum);
+        }
+        let payload = Bytes::copy_from_slice(&buf[HEADER_LEN..]);
+        if header.ptype == PacketType::Data && header.length as usize != payload.len() {
+            return Err(WireError::LengthMismatch);
+        }
+        Ok(Packet { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let payload = Bytes::from_static(b"hello multicast world");
+        let pkt = Packet::data(7000, 7001, 42, payload.clone());
+        let wire = pkt.encode();
+        assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        let decoded = Packet::decode(&wire).expect("decode");
+        assert_eq!(decoded.header.ptype, PacketType::Data);
+        assert_eq!(decoded.header.seq, 42);
+        assert_eq!(decoded.header.length, payload.len() as u32);
+        assert_eq!(decoded.payload, payload);
+    }
+
+    #[test]
+    fn control_round_trip_all_types() {
+        for ptype in PacketType::ALL {
+            if ptype == PacketType::Data {
+                continue;
+            }
+            let pkt = Packet::control(ptype, 1, 2, 99);
+            let decoded = Packet::decode(&pkt.encode()).expect("decode");
+            assert_eq!(decoded.header.ptype, ptype);
+            assert!(decoded.payload.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_packet_rejected() {
+        let pkt = Packet::data(1, 2, 3, Bytes::from_static(b"payload bytes"));
+        let wire = pkt.encode();
+        for i in 0..wire.len() {
+            let mut corrupted = wire.clone();
+            corrupted[i] ^= 0x01;
+            let result = Packet::decode(&corrupted);
+            assert!(
+                result.is_err(),
+                "bit flip at byte {i} produced a valid packet: {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let wire = Packet::data(1, 2, 3, Bytes::from_static(b"xyz")).encode();
+        assert_eq!(Packet::decode(&wire[..10]), Err(WireError::Truncated));
+        // Cutting payload bytes breaks the checksum (and the length check).
+        assert!(Packet::decode(&wire[..wire.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        // Hand-build a DATA packet whose header length lies, with a
+        // checksum that is nevertheless correct for the bytes.
+        let mut pkt = Packet::data(1, 2, 3, Bytes::from_static(b"abcd"));
+        pkt.header.length = 3;
+        let wire = pkt.encode();
+        assert_eq!(Packet::decode(&wire), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn empty_data_packet_is_valid() {
+        let pkt = Packet::data(1, 2, 3, Bytes::new());
+        let decoded = Packet::decode(&pkt.encode()).expect("decode");
+        assert!(decoded.payload.is_empty());
+        assert_eq!(decoded.header.length, 0);
+    }
+}

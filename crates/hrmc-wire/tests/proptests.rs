@@ -1,0 +1,117 @@
+//! Property-based tests for the wire format: arbitrary packets round-trip,
+//! arbitrary garbage never decodes into an inconsistent packet, and
+//! sequence arithmetic is a total serial order on windows < 2^31.
+
+use bytes::Bytes;
+use hrmc_wire::{seq_cmp, seq_le, seq_lt, Flags, Header, Packet, PacketType, HEADER_LEN};
+use proptest::prelude::*;
+
+fn arb_ptype() -> impl Strategy<Value = PacketType> {
+    (0usize..PacketType::ALL.len()).prop_map(|i| PacketType::ALL[i])
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        arb_ptype(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(src_port, dst_port, seq, rate_adv, length, tries, ptype, urg, fin)| Header {
+                src_port,
+                dst_port,
+                seq,
+                rate_adv,
+                length,
+                checksum: 0,
+                tries,
+                ptype,
+                flags: Flags { urg, fin },
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn header_round_trips(h in arb_header()) {
+        let decoded = Header::decode(&h.encode()).expect("well-formed header must decode");
+        prop_assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn data_packet_round_trips(
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let pkt = Packet::data(src, dst, seq, Bytes::from(payload));
+        let decoded = Packet::decode(&pkt.encode()).expect("encoded packet must decode");
+        prop_assert_eq!(decoded.header.seq, seq);
+        prop_assert_eq!(decoded.payload, pkt.payload);
+    }
+
+    #[test]
+    fn control_packet_round_trips(h in arb_header()) {
+        let mut pkt = Packet { header: h, payload: Bytes::new() };
+        // DATA length must match the (empty) payload to round-trip.
+        if pkt.header.ptype == PacketType::Data {
+            pkt.header.length = 0;
+        }
+        let wire = pkt.encode();
+        let decoded = Packet::decode(&wire).expect("decode");
+        prop_assert_eq!(decoded.header.ptype, h.ptype);
+        prop_assert_eq!(decoded.header.seq, h.seq);
+        prop_assert_eq!(decoded.header.rate_adv, h.rate_adv);
+        prop_assert_eq!(decoded.header.flags, h.flags);
+    }
+
+    /// Arbitrary bytes either fail to decode, or decode into a packet whose
+    /// re-encoding equals the input (i.e. decode is a partial inverse of
+    /// encode and never fabricates state).
+    #[test]
+    fn garbage_never_decodes_inconsistently(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(pkt) = Packet::decode(&bytes) {
+            prop_assert_eq!(pkt.encode(), bytes);
+        }
+    }
+
+    /// Flipping any single bit of a valid encoding must be detected.
+    #[test]
+    fn single_bit_corruption_detected(
+        seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let wire = Packet::data(9, 10, seq, Bytes::from(payload)).encode();
+        let (pos, bit) = flip;
+        let mut corrupted = wire.clone();
+        let i = pos % corrupted.len();
+        corrupted[i] ^= 1 << (bit % 8);
+        if corrupted != wire {
+            prop_assert!(Packet::decode(&corrupted).is_err());
+        }
+    }
+
+    /// Serial arithmetic: for offsets below 2^31, ordering matches integer
+    /// ordering regardless of the window base (wrap-around safe).
+    #[test]
+    fn seq_order_is_translation_invariant(base in any::<u32>(), a in 0u32..1 << 30, b in 0u32..1 << 30) {
+        let sa = base.wrapping_add(a);
+        let sb = base.wrapping_add(b);
+        prop_assert_eq!(seq_lt(sa, sb), a < b);
+        prop_assert_eq!(seq_le(sa, sb), a <= b);
+        prop_assert_eq!(seq_cmp(sa, sb).signum(), (a as i64 - b as i64).signum() as i32);
+    }
+
+    #[test]
+    fn short_buffers_always_truncated(bytes in proptest::collection::vec(any::<u8>(), 0..HEADER_LEN)) {
+        prop_assert_eq!(Packet::decode(&bytes), Err(hrmc_wire::WireError::Truncated));
+    }
+}

@@ -1,0 +1,54 @@
+//! Bulk software distribution — the paper's motivating "bulk
+//! distribution of software upgrades" workload: one sender pushes a
+//! 40 MB image to a mixed receiver population (a campus LAN group plus a
+//! remote WAN site), disk-to-disk, and we compare H-RMC against the RMC
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example file_distribution
+//! ```
+
+use hrmc::app::Scenario;
+use hrmc::sim::{CharacteristicGroup, GroupSpec};
+
+fn main() {
+    let specs = vec![
+        GroupSpec { group: CharacteristicGroup::A, receivers: 6 }, // campus
+        GroupSpec { group: CharacteristicGroup::C, receivers: 2 }, // remote
+    ];
+    let image_bytes = 40_000_000;
+
+    println!("distributing a {} MB image to 6 campus + 2 remote receivers\n", image_bytes / 1_000_000);
+
+    for (label, scenario) in [
+        (
+            "H-RMC",
+            Scenario::groups(specs.clone(), 10_000_000, 512 * 1024, image_bytes).disk_to_disk(),
+        ),
+        (
+            "RMC (pure NAK baseline)",
+            Scenario::groups(specs.clone(), 10_000_000, 512 * 1024, image_bytes)
+                .disk_to_disk()
+                .rmc(),
+        ),
+    ] {
+        let report = scenario.run();
+        println!("{label}:");
+        println!("  completed        : {}", report.completed);
+        println!("  all intact       : {}", report.all_intact());
+        println!("  throughput       : {:.2} Mbps", report.throughput_mbps);
+        println!("  NAK_ERRs         : {}", report.sender.nak_errs_sent);
+        println!("  unsafe releases  : {}", report.sender.unsafe_releases);
+        println!(
+            "  info-complete    : {:.1}% of buffer releases",
+            report.complete_info_ratio * 100.0
+        );
+        println!();
+    }
+
+    println!(
+        "The RMC baseline may release buffers before every receiver has the\n\
+         data (unsafe releases) and must answer late NAKs with NAK_ERR; the\n\
+         hybrid machinery (updates + probes) removes both failure modes."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run one reliable multicast transfer on the simulated
+//! 10 Mbps Ethernet of the paper's testbed and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hrmc::app::Scenario;
+
+fn main() {
+    // Three receivers, 256 KiB kernel buffers, a 5 MB transfer — the
+    // shape of one cell of the paper's Figure 10.
+    let scenario = Scenario::lan(3, 10_000_000, 256 * 1024, 5_000_000);
+    println!("running: {}", scenario.name);
+    let report = scenario.run();
+
+    assert!(report.completed, "transfer did not complete");
+    assert!(report.all_intact(), "a receiver's stream was corrupted");
+
+    println!("transfer complete:");
+    println!("  bytes           : {}", report.transfer_bytes);
+    println!("  elapsed         : {:.2} s", report.elapsed_us as f64 / 1e6);
+    println!("  throughput      : {:.2} Mbps", report.throughput_mbps);
+    println!("  retransmissions : {}", report.retransmissions);
+    println!("  NAKs at sender  : {}", report.naks_received);
+    println!("  rate requests   : {}", report.rate_requests_received);
+    println!("  updates         : {}", report.updates_received);
+    println!("  probes sent     : {}", report.probes_sent);
+    println!(
+        "  info-complete   : {:.1}% of buffer releases",
+        report.complete_info_ratio * 100.0
+    );
+    for (i, r) in report.receivers.iter().enumerate() {
+        println!(
+            "  receiver {i}: {} bytes, done at {:.2} s, intact = {}",
+            r.bytes,
+            r.completed_at.unwrap_or(0) as f64 / 1e6,
+            r.intact
+        );
+    }
+}

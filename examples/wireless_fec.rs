@@ -1,0 +1,72 @@
+//! Forward error correction on a wireless cell — the paper's future-work
+//! item (4) in action. Two Gilbert–Elliott channels, with and without
+//! XOR parity:
+//!
+//! * **fast fading** (1–2 packet fades): most blocks lose at most one
+//!   packet, so single-parity FEC repairs locally and retransmissions
+//!   fall;
+//! * **slow fading** (~10 packet fades): whole blocks vanish and XOR
+//!   parity cannot help — the NAK path carries the load, showing the
+//!   extension's honest limits.
+//!
+//! ```sh
+//! cargo run --release --example wireless_fec
+//! ```
+
+use hrmc::app::Scenario;
+use hrmc::sim::LossModel;
+
+fn run(model: LossModel, fec: Option<usize>, seeds: u64) -> (f64, u64, u64, u64) {
+    let mut retrans = 0;
+    let mut recoveries = 0;
+    let mut naks = 0;
+    let mut thr = 0.0;
+    for seed in 1..=seeds {
+        let mut s = Scenario::wireless(3, 10_000_000, 256 * 1024, 2_000_000, model)
+            .with_seed(seed);
+        if let Some(k) = fec {
+            s = s.with_fec(k);
+        }
+        let r = s.run();
+        assert!(r.completed && r.all_intact(), "unreliable transfer!");
+        retrans += r.retransmissions;
+        naks += r.naks_received;
+        recoveries += r.receivers.iter().map(|x| x.stats.fec_recoveries).sum::<u64>();
+        thr += r.throughput_mbps;
+    }
+    (thr / seeds as f64, retrans, naks, recoveries)
+}
+
+fn main() {
+    let seeds = 5;
+    println!(
+        "3 receivers on a 10 Mbps wireless cell, 2 MB transfer, {seeds} seeds each\n"
+    );
+    println!(
+        "{:<26} {:>6} {:>12} {:>8} {:>8} {:>11}",
+        "channel", "FEC", "throughput", "retrans", "NAKs", "recoveries"
+    );
+    for (name, model) in [
+        ("fast fading (1-2 pkt)", LossModel::wireless_fast_fading()),
+        ("slow fading (~10 pkt)", LossModel::wireless_default()),
+    ] {
+        for fec in [None, Some(8)] {
+            let (thr, retrans, naks, recoveries) = run(model, fec, seeds);
+            println!(
+                "{:<26} {:>6} {:>7.2} Mbps {:>8} {:>8} {:>11}",
+                name,
+                fec.map(|k| format!("k={k}")).unwrap_or_else(|| "off".into()),
+                thr,
+                retrans,
+                naks,
+                recoveries,
+            );
+        }
+    }
+    println!(
+        "\nSingle-parity XOR repairs isolated losses without a NAK round trip\n\
+         (fast fading: retransmissions drop, recoveries appear), but long\n\
+         fades lose several packets per block and fall back to NAK recovery —\n\
+         reliability holds either way."
+    );
+}

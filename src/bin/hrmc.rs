@@ -1,0 +1,235 @@
+//! `hrmc` — reliable multicast file transfer over UDP, from the command
+//! line. One sender, any number of receivers, one H-RMC session.
+//!
+//! ```sh
+//! # On each receiving machine (or terminal):
+//! hrmc recv out.bin --group 239.255.42.9:47500
+//!
+//! # Then on the sender:
+//! hrmc send big.iso --group 239.255.42.9:47500 --wait-receivers 2
+//!
+//! # Single-machine smoke test over loopback (spawns 2 in-process receivers):
+//! hrmc selftest
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::Duration;
+
+use hrmc::net::{HrmcReceiver, HrmcSender};
+use hrmc::ProtocolConfig;
+
+struct Opts {
+    group: SocketAddrV4,
+    iface: Ipv4Addr,
+    rate: u64,
+    buffer: usize,
+    wait_receivers: usize,
+    fec: Option<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            group: SocketAddrV4::new(Ipv4Addr::new(239, 255, 42, 9), 47500),
+            iface: Ipv4Addr::new(127, 0, 0, 1),
+            rate: 20 * 1024 * 1024,
+            buffer: 512 * 1024,
+            wait_receivers: 1,
+            fec: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         hrmc send <file>  [--group A.B.C.D:port] [--iface ip] [--rate-mbps N]\n            \
+                           [--buffer-kb N] [--wait-receivers N] [--fec K]\n  \
+         hrmc recv <file>  [--group A.B.C.D:port] [--iface ip] [--buffer-kb N]\n  \
+         hrmc selftest     [--group A.B.C.D:port]\n\n\
+         Reliable multicast file transfer (H-RMC, SC'99). The group address\n\
+         must be a multicast address (239.0.0.0/8 recommended); every\n\
+         participant must use the same group and interface."
+    );
+    std::process::exit(2);
+}
+
+fn parse(args: &[String]) -> (Opts, Vec<String>) {
+    let mut opts = Opts::default();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--group" => {
+                i += 1;
+                opts.group = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--iface" => {
+                i += 1;
+                opts.iface = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--rate-mbps" => {
+                i += 1;
+                let mbps: u64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.rate = mbps * 1_000_000 / 8;
+            }
+            "--buffer-kb" => {
+                i += 1;
+                let kb: usize = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.buffer = kb * 1024;
+            }
+            "--wait-receivers" => {
+                i += 1;
+                opts.wait_receivers =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--fec" => {
+                i += 1;
+                opts.fec = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (opts, positional)
+}
+
+fn config(opts: &Opts) -> ProtocolConfig {
+    let mut c = ProtocolConfig::hrmc().with_buffer(opts.buffer);
+    c.max_rate = opts.rate;
+    if let Some(k) = opts.fec {
+        c = c.with_fec(k);
+    }
+    c
+}
+
+fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut f = std::fs::File::open(file)?;
+    let size = f.metadata()?.len();
+    let sender = HrmcSender::bind(opts.group, opts.iface, config(opts))?;
+    eprintln!(
+        "sending {file} ({size} bytes) to {} — waiting for {} receiver(s)...",
+        opts.group, opts.wait_receivers
+    );
+    // Kick the group with a trickle so receivers can JOIN (membership is
+    // data-triggered), then wait for the roster.
+    let started = std::time::Instant::now();
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut sent: u64 = 0;
+    // Send the first chunk to trigger JOINs.
+    let n = f.read(&mut buf)?;
+    sender.send(&buf[..n])?;
+    sent += n as u64;
+    while sender.member_count() < opts.wait_receivers {
+        if started.elapsed() > Duration::from_secs(60) {
+            return Err("timed out waiting for receivers to join".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("{} receiver(s) joined; streaming...", sender.member_count());
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        sender.send(&buf[..n])?;
+        sent += n as u64;
+        eprint!("\r{:>3}%", sent * 100 / size.max(1));
+    }
+    let stats = sender.close_and_wait(Duration::from_secs(600))?;
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "\rdone: {sent} bytes in {secs:.2} s ({:.2} Mbit/s), {} retransmissions, rtt {:.1} ms",
+        sent as f64 * 8.0 / secs / 1e6,
+        stats.retransmissions,
+        sender.rtt() as f64 / 1000.0
+    );
+    Ok(())
+}
+
+fn cmd_recv(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(file)?);
+    let receiver = HrmcReceiver::join(opts.group, opts.iface, config(opts))?;
+    eprintln!("joined {}; waiting for the stream...", opts.group);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut total: u64 = 0;
+    let started = std::time::Instant::now();
+    loop {
+        match receiver.recv(&mut buf, Duration::from_secs(3600)) {
+            Ok(0) => break,
+            Ok(n) => {
+                out.write_all(&buf[..n])?;
+                total += n as u64;
+            }
+            Err(e) => return Err(format!("receive failed: {e}").into()),
+        }
+    }
+    out.flush()?;
+    receiver.close();
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "received {total} bytes into {file} in {secs:.2} s ({:.2} Mbit/s)",
+        total as f64 * 8.0 / secs / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("selftest: 2 in-process receivers over loopback, 1 MB");
+    let payload: Vec<u8> = (0..1_000_000usize).map(|i| (i * 31 % 251) as u8).collect();
+    let mut cfg = config(opts);
+    cfg.initial_rtt = 2_000;
+    cfg.anonymous_release_hold = 500_000;
+    let receivers: Vec<_> = (0..2)
+        .map(|i| {
+            HrmcReceiver::join(opts.group, opts.iface, cfg.clone())
+                .unwrap_or_else(|e| panic!("receiver {i}: {e}"))
+        })
+        .collect();
+    let sender = HrmcSender::bind(opts.group, opts.iface, cfg)?;
+    let readers: Vec<_> = receivers
+        .into_iter()
+        .map(|r| {
+            let expect = payload.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(expect.len());
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match r.recv(&mut buf, Duration::from_secs(60)) {
+                        Ok(0) => break,
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) => panic!("recv: {e}"),
+                    }
+                }
+                assert_eq!(got, expect, "stream corrupted");
+            })
+        })
+        .collect();
+    sender.send(&payload)?;
+    sender.close_and_wait(Duration::from_secs(120))?;
+    for t in readers {
+        t.join().expect("reader panicked");
+    }
+    eprintln!("selftest passed: both receivers verified 1 MB byte-for-byte");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let (opts, positional) = parse(&args[1..]);
+    let result = match (args[0].as_str(), positional.as_slice()) {
+        ("send", [file]) => cmd_send(file, &opts),
+        ("recv", [file]) => cmd_recv(file, &opts),
+        ("selftest", []) => cmd_selftest(&opts),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
