@@ -41,7 +41,11 @@ fn ablation_update_timer(c: &mut Criterion) {
             b.iter(|| {
                 let r = run_with(&base(), |p| p.update_mode = mode);
                 assert!(r.completed);
-                black_box((r.elapsed_us, r.probes_sent, r.updates_received))
+                black_box((
+                    r.elapsed_us,
+                    r.sender.probes_sent,
+                    r.sender.updates_received,
+                ))
             })
         });
     }
@@ -83,7 +87,7 @@ fn ablation_multicast_probe(c: &mut Criterion) {
             b.iter(|| {
                 let r = run_with(&scenario, |p| p.probe_transport = transport);
                 assert!(r.completed);
-                black_box((r.elapsed_us, r.probes_sent))
+                black_box((r.elapsed_us, r.sender.probes_sent))
             })
         });
     }
@@ -109,7 +113,12 @@ fn ablation_fec(c: &mut Criterion) {
     use hrmc_sim::LossModel;
     let mut group = c.benchmark_group("ablation_fec");
     group.sample_size(10);
-    for (name, fec) in [("off", None), ("k4", Some(4)), ("k8", Some(8)), ("k16", Some(16))] {
+    for (name, fec) in [
+        ("off", None),
+        ("k4", Some(4)),
+        ("k8", Some(8)),
+        ("k16", Some(16)),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut s = Scenario::wireless(
@@ -124,7 +133,7 @@ fn ablation_fec(c: &mut Criterion) {
                 }
                 let r = s.run();
                 assert!(r.completed);
-                black_box((r.elapsed_us, r.retransmissions))
+                black_box((r.elapsed_us, r.sender.retransmissions))
             })
         });
     }
@@ -139,14 +148,14 @@ fn ablation_local_recovery(c: &mut Criterion) {
         b.iter(|| {
             let r = scenario.clone().run();
             assert!(r.completed);
-            black_box((r.retransmissions, r.elapsed_us))
+            black_box((r.sender.retransmissions, r.elapsed_us))
         })
     });
     group.bench_function("local_recovery", |b| {
         b.iter(|| {
             let r = scenario.clone().with_local_recovery().run();
             assert!(r.completed);
-            black_box((r.retransmissions, r.elapsed_us))
+            black_box((r.sender.retransmissions, r.elapsed_us))
         })
     });
     group.finish();
@@ -155,9 +164,7 @@ fn ablation_local_recovery(c: &mut Criterion) {
 fn ablation_reliability_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mode");
     group.sample_size(10);
-    group.bench_function("hybrid", |b| {
-        b.iter(|| black_box(base().run().elapsed_us))
-    });
+    group.bench_function("hybrid", |b| b.iter(|| black_box(base().run().elapsed_us)));
     group.bench_function("rmc_nak_only", |b| {
         b.iter(|| black_box(base().rmc().run().elapsed_us))
     });

@@ -45,9 +45,7 @@ fn bench_sender_tick(c: &mut Criterion) {
 fn bench_receiver_paths(c: &mut Criterion) {
     c.bench_function("receiver/in_order_packet", |b| {
         b.iter_batched(
-            || {
-                ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0)
-            },
+            || ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0),
             |mut r| {
                 for seq in 0..100u32 {
                     r.handle_packet(&data(seq, 1400), u64::from(seq) * 100);
@@ -62,9 +60,7 @@ fn bench_receiver_paths(c: &mut Criterion) {
 
     c.bench_function("receiver/out_of_order_recovery", |b| {
         b.iter_batched(
-            || {
-                ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0)
-            },
+            || ReceiverEngine::new(ProtocolConfig::hrmc().with_buffer(1 << 22), 8000, 7001, 0),
             |mut r| {
                 // Every 5th packet arrives late: gap detection + NAK +
                 // out-of-order queue + drain.

@@ -18,7 +18,10 @@ fn fig03(c: &mut Criterion) {
         group.bench_function(format!("man_10r_128K/{name}"), |b| {
             b.iter(|| {
                 let mut s = Scenario::groups(
-                    vec![GroupSpec { group: CharacteristicGroup::B, receivers: 10 }],
+                    vec![GroupSpec {
+                        group: CharacteristicGroup::B,
+                        receivers: 10,
+                    }],
                     10_000_000,
                     128 * KB,
                     300_000,
@@ -38,7 +41,13 @@ fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10");
     group.sample_size(10);
     group.bench_function("mem_2r_256K_10Mbps", |b| {
-        b.iter(|| black_box(Scenario::lan(2, 10_000_000, 256 * KB, 500_000).run().throughput_mbps))
+        b.iter(|| {
+            black_box(
+                Scenario::lan(2, 10_000_000, 256 * KB, 500_000)
+                    .run()
+                    .throughput_mbps,
+            )
+        })
     });
     group.bench_function("disk_2r_256K_10Mbps", |b| {
         b.iter(|| {
@@ -62,7 +71,7 @@ fn fig11(c: &mut Criterion) {
             let r = Scenario::lan(3, 10_000_000, 64 * KB, 500_000)
                 .disk_to_disk()
                 .run();
-            black_box((r.rate_requests_received, r.naks_received))
+            black_box((r.sender.rate_requests_received, r.sender.naks_received))
         })
     });
     group.finish();
@@ -74,7 +83,11 @@ fn fig12(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mem_2r_512K_100Mbps", |b| {
         b.iter(|| {
-            black_box(Scenario::lan(2, 100_000_000, 512 * KB, 1_000_000).run().throughput_mbps)
+            black_box(
+                Scenario::lan(2, 100_000_000, 512 * KB, 1_000_000)
+                    .run()
+                    .throughput_mbps,
+            )
         })
     });
     group.finish();
@@ -90,7 +103,7 @@ fn fig13(c: &mut Criterion) {
             s.cpu_scale = hrmc_experiments::fig13::FIG13_CPU_SCALE;
             s.max_rate_factor = hrmc_experiments::fig13::FIG13_RATE_FACTOR;
             let r = s.run();
-            black_box((r.naks_received, r.sender_nic_drops))
+            black_box((r.sender.naks_received, r.sender_nic_drops))
         })
     });
     group.finish();

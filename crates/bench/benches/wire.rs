@@ -9,9 +9,7 @@ use hrmc_wire::{Header, Packet, PacketType};
 fn bench_header(c: &mut Criterion) {
     let header = Header::new(PacketType::Data, 7000, 7001, 123_456);
     let encoded = header.encode();
-    c.bench_function("header/encode", |b| {
-        b.iter(|| black_box(header).encode())
-    });
+    c.bench_function("header/encode", |b| b.iter(|| black_box(header).encode()));
     c.bench_function("header/decode", |b| {
         b.iter(|| Header::decode(black_box(&encoded)).unwrap())
     });

@@ -3,13 +3,7 @@
 
 /// Standard kernel-buffer sweep used across the paper's figures:
 /// 64 KiB through 1024 KiB in powers of two.
-pub const BUFFER_SWEEP: [usize; 5] = [
-    64 * 1024,
-    128 * 1024,
-    256 * 1024,
-    512 * 1024,
-    1024 * 1024,
-];
+pub const BUFFER_SWEEP: [usize; 5] = [64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
 
 /// 10 Mbps in bits per second.
 pub const MBPS_10: u64 = 10_000_000;

@@ -195,8 +195,7 @@ impl Scenario {
             ReliabilityMode::RmcNakOnly => ProtocolConfig::rmc(),
         }
         .with_buffer(self.buffer);
-        let cpu_cap =
-            (hrmc_sim::cpu_tx_rate_bps(p.segment_size) as f64 / self.cpu_scale) as u64;
+        let cpu_cap = (hrmc_sim::cpu_tx_rate_bps(p.segment_size) as f64 / self.cpu_scale) as u64;
         let wire_cap = (self.bandwidth_bps as f64 / 8.0 * self.max_rate_factor) as u64;
         p.max_rate = wire_cap.min(cpu_cap).max(p.min_rate);
         if let Some(k) = self.fec_k {
@@ -278,15 +277,21 @@ mod tests {
         let s = Scenario::lan(1, 10_000_000, 64 * 1024, 100_000).rmc();
         assert_eq!(s.protocol().mode, ReliabilityMode::RmcNakOnly);
         let report = s.run();
-        assert_eq!(report.probes_sent, 0);
+        assert_eq!(report.sender.probes_sent, 0);
     }
 
     #[test]
     fn groups_scenario_counts_receivers() {
         let s = Scenario::groups(
             vec![
-                GroupSpec { group: CharacteristicGroup::B, receivers: 3 },
-                GroupSpec { group: CharacteristicGroup::C, receivers: 2 },
+                GroupSpec {
+                    group: CharacteristicGroup::B,
+                    receivers: 3,
+                },
+                GroupSpec {
+                    group: CharacteristicGroup::C,
+                    receivers: 2,
+                },
             ],
             10_000_000,
             256 * 1024,
@@ -317,12 +322,16 @@ mod tests {
         let mut recoveries = 0u64;
         for r in base.clone().run_seeds(seeds) {
             assert!(r.completed && r.all_intact());
-            retrans_plain += r.retransmissions;
+            retrans_plain += r.sender.retransmissions;
         }
         for r in base.with_fec(8).run_seeds(seeds) {
             assert!(r.completed && r.all_intact());
-            retrans_fec += r.retransmissions;
-            recoveries += r.receivers.iter().map(|x| x.stats.fec_recoveries).sum::<u64>();
+            retrans_fec += r.sender.retransmissions;
+            recoveries += r
+                .receivers
+                .iter()
+                .map(|x| x.stats.fec_recoveries)
+                .sum::<u64>();
         }
         assert!(recoveries > 0, "no FEC recoveries on the fading channel");
         assert!(

@@ -39,8 +39,16 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Summary {
         Summary {
             mean: mean(xs),
-            min: xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY),
-            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(f64::NEG_INFINITY),
+            min: xs
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .min(f64::INFINITY),
+            max: xs
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+                .max(f64::NEG_INFINITY),
             stddev: stddev(xs),
             n: xs.len(),
         }

@@ -110,7 +110,8 @@ impl FecEncoder {
                 }
             }
         }
-        self.lengths.push(payload.len().min(usize::from(u16::MAX)) as u16);
+        self.lengths
+            .push(payload.len().min(usize::from(u16::MAX)) as u16);
         xor_into(&mut self.body, payload);
         if self.lengths.len() < self.k {
             return None;
@@ -187,7 +188,12 @@ impl FecDecoder {
             return None;
         }
         let lengths: Vec<usize> = (0..k)
-            .map(|i| usize::from(u16::from_be_bytes([pkt.payload[2 * i], pkt.payload[2 * i + 1]])))
+            .map(|i| {
+                usize::from(u16::from_be_bytes([
+                    pkt.payload[2 * i],
+                    pkt.payload[2 * i + 1],
+                ]))
+            })
             .collect();
         let body = &pkt.payload[2 * k..];
 
@@ -235,7 +241,11 @@ mod tests {
     use super::*;
 
     fn payload(seq: u32, len: usize) -> Bytes {
-        Bytes::from((0..len).map(|i| (seq as usize + i * 7) as u8).collect::<Vec<_>>())
+        Bytes::from(
+            (0..len)
+                .map(|i| (seq as usize + i * 7) as u8)
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn encode_block(enc: &mut FecEncoder, start: u32, k: usize, lens: &[usize]) -> Option<Packet> {

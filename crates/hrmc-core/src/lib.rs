@@ -44,13 +44,25 @@
 //! slow start and congestion avoidance grow the rate, NAKs and warning
 //! rate-requests halve it, and urgent rate-requests stop transmission for
 //! two RTTs and restart from the minimum rate.
+//!
+//! ## Observability
+//!
+//! Both engines accept an optional [`ProtocolObserver`] (see [`obs`]): a
+//! synchronous hook invoked at every protocol state transition — rate
+//! phase changes, window-region crossings, NAK emission/suppression,
+//! PROBE/UPDATE exchanges, RTT samples, keepalive backoff, and each
+//! buffer-release decision. The hook costs one branch per site when no
+//! observer is installed. [`metrics`] provides the matching aggregation
+//! primitives (counters, gauges, log2 histograms with p50/p90/p99).
 
 pub mod config;
 pub mod events;
 pub mod fec;
 pub mod keepalive;
 pub mod membership;
+pub mod metrics;
 pub mod nak;
+pub mod obs;
 pub mod rate;
 pub mod receiver;
 pub mod rtt;
@@ -64,6 +76,8 @@ pub mod update;
 pub use config::{ProbePolicy, ProbeTransport, ProtocolConfig, ReliabilityMode, UpdateMode};
 pub use events::{ReceiverEvent, SenderEvent};
 pub use fec::FecConfig;
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry};
+pub use obs::{Event, JsonlObserver, MetricsObserver, MultiObserver, NakTrigger, ProtocolObserver};
 pub use receiver::ReceiverEngine;
 pub use sender::SenderEngine;
 pub use stats::{ReceiverStats, SenderStats};

@@ -148,14 +148,14 @@ impl Membership {
     /// The group-wide minimum next-expected sequence number, or `None`
     /// with no members. Everything before this is confirmed everywhere.
     pub fn min_next_expected(&self) -> Option<Seq> {
-        self.members.values().map(|m| m.next_expected).fold(
-            None,
-            |acc, s| match acc {
+        self.members
+            .values()
+            .map(|m| m.next_expected)
+            .fold(None, |acc, s| match acc {
                 None => Some(s),
                 Some(cur) if hrmc_wire::seq_lt(s, cur) => Some(s),
                 Some(cur) => Some(cur),
-            },
-        )
+            })
     }
 
     /// Record that `peer` was probed at `now`.

@@ -1,0 +1,415 @@
+//! Lightweight metrics primitives for the observability layer: counters,
+//! gauges, and log2-bucketed histograms with cheap snapshots.
+//!
+//! The paper's evaluation reports end-of-run totals; reproducing its
+//! *dynamics* (rate evolution, recovery latency, probe round trips) needs
+//! distributions. A [`Histogram`] buckets values by their bit width
+//! (bucket `i` holds values in `[2^(i-1), 2^i)`, bucket 0 holds zero), so
+//! recording is a handful of integer ops and the whole structure is a
+//! fixed ~0.5 KB — cheap enough to keep per engine and to clone for
+//! snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: one per possible bit width of a `u64`,
+/// plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: its bit width (0 for 0, 1 for 1,
+    /// 2 for 2–3, 3 for 4–7, ...).
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= 64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket sample counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimate the `p`-quantile (`0.0 < p <= 1.0`): walk the cumulative
+    /// bucket counts and report the matched bucket's upper bound, clamped
+    /// to the observed max. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Condensed view for reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// Condensed histogram statistics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are `&'static str` so recording never allocates; the registry is
+/// plain data — wrap it in a mutex (see
+/// [`MetricsObserver`](crate::obs::MetricsObserver)) to share it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &'static str, v: u64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Read a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read a histogram, if any samples were recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Cheap snapshot of the whole registry (a clone; histograms are
+    /// fixed-size arrays).
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Render the registry as a single JSON object (hand-rolled: names
+    /// are identifiers and values numeric, so no escaping is needed).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = h.summary();
+            let _ = write!(
+                out,
+                "\"{k}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                s.count, s.min, s.max, s.mean, s.p50, s.p90, s.p99
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_width() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_index() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 123_456_789, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(300);
+        // Clamped to the observed max, so every percentile is the value.
+        assert_eq!(h.p50(), 300);
+        assert_eq!(h.p90(), 300);
+        assert_eq!(h.p99(), 300);
+        assert_eq!(h.min(), Some(300));
+        assert_eq!(h.max(), Some(300));
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        // 90 small samples and 10 large ones.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        // p50 lands in the small bucket [8, 15].
+        assert!(h.p50() >= 10 && h.p50() < 16, "p50 = {}", h.p50());
+        // p99 lands in the large bucket and clamps to max.
+        assert_eq!(h.p99(), 100_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 10 + 10 * 100_000);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), Some(0));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+        assert_eq!(a.sum(), 512);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.inc("naks");
+        r.add("naks", 2);
+        r.set_gauge("rate", 100);
+        r.set_gauge("rate", 200);
+        r.observe("rtt", 1000);
+        r.observe("rtt", 3000);
+        assert_eq!(r.counter("naks"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("rate"), Some(200));
+        assert_eq!(r.histogram("rtt").unwrap().count(), 2);
+        let snap = r.snapshot();
+        r.inc("naks");
+        assert_eq!(snap.counter("naks"), 3);
+        assert_eq!(r.counter("naks"), 4);
+    }
+
+    #[test]
+    fn registry_renders_json() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a");
+        r.set_gauge("g", 7);
+        r.observe("h", 42);
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"g\":7"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50\":42"));
+    }
+}

@@ -19,6 +19,8 @@ use crate::time::Micros;
 /// State of one missing sequence number.
 #[derive(Debug, Clone, Copy)]
 struct NakEntry {
+    /// When the gap was first noted (recovery-latency base).
+    first_noted: Micros,
     /// When a NAK naming this sequence was last sent.
     last_sent: Micros,
     /// How many NAKs have named it (wire `tries`).
@@ -61,7 +63,11 @@ impl NakManager {
         for &(first, count) in ranges {
             for seq in first..first + count as u64 {
                 if let std::collections::btree_map::Entry::Vacant(e) = self.pending.entry(seq) {
-                    e.insert(NakEntry { last_sent: now, tries: 0 });
+                    e.insert(NakEntry {
+                        first_noted: now,
+                        last_sent: now,
+                        tries: 0,
+                    });
                     fresh.push(seq);
                 }
             }
@@ -77,22 +83,32 @@ impl NakManager {
     pub fn register(&mut self, ranges: &[(u64, u32)], now: Micros) {
         for &(first, count) in ranges {
             for seq in first..first + count as u64 {
-                self.pending
-                    .entry(seq)
-                    .or_insert(NakEntry { last_sent: now, tries: 0 });
+                self.pending.entry(seq).or_insert(NakEntry {
+                    first_noted: now,
+                    last_sent: now,
+                    tries: 0,
+                });
             }
         }
     }
 
-    /// Remove a sequence number (its data arrived).
-    pub fn satisfy(&mut self, seq: u64) {
-        self.pending.remove(&seq);
+    /// Remove a sequence number (its data arrived). Returns the time the
+    /// gap was first noted, for recovery-latency measurement.
+    pub fn satisfy(&mut self, seq: u64) -> Option<Micros> {
+        self.pending.remove(&seq).map(|e| e.first_noted)
     }
 
-    /// Remove every entry below `rcv_nxt` (delivered in order).
-    pub fn satisfy_below(&mut self, rcv_nxt: u64) {
+    /// Remove every entry below `rcv_nxt` (delivered in order). Returns
+    /// the removed `(seq, first_noted)` pairs in order; empty — and
+    /// allocation-free — in the common nothing-was-pending case.
+    pub fn satisfy_below(&mut self, rcv_nxt: u64) -> Vec<(u64, Micros)> {
         // split_off keeps >= rcv_nxt; everything before is satisfied.
-        self.pending = self.pending.split_off(&rcv_nxt);
+        let kept = self.pending.split_off(&rcv_nxt);
+        let removed = std::mem::replace(&mut self.pending, kept);
+        removed
+            .into_iter()
+            .map(|(s, e)| (s, e.first_noted))
+            .collect()
     }
 
     /// Scan for entries whose suppression interval has lapsed; mark them
@@ -195,6 +211,18 @@ mod tests {
     }
 
     #[test]
+    fn satisfy_reports_first_noted_times() {
+        let mut m = NakManager::new();
+        m.note_missing(&[(5, 2)], 1_000);
+        m.due(10_000, 1_000); // re-send; first_noted must not move
+        assert_eq!(m.satisfy(5), Some(1_000));
+        assert_eq!(m.satisfy(5), None);
+        let removed = m.satisfy_below(10);
+        assert_eq!(removed, vec![(6, 1_000)]);
+        assert!(m.satisfy_below(10).is_empty());
+    }
+
+    #[test]
     fn due_coalesces_adjacent_only() {
         let mut m = NakManager::new();
         m.note_missing(&[(0, 2), (5, 2)], 0);
@@ -219,7 +247,10 @@ mod tests {
     fn coalesce_ranges() {
         assert_eq!(coalesce(&[]), vec![]);
         assert_eq!(coalesce(&[1]), vec![(1, 1)]);
-        assert_eq!(coalesce(&[1, 2, 3, 7, 8, 10]), vec![(1, 3), (7, 2), (10, 1)]);
+        assert_eq!(
+            coalesce(&[1, 2, 3, 7, 8, 10]),
+            vec![(1, 3), (7, 2), (10, 1)]
+        );
     }
 
     #[test]

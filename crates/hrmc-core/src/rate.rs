@@ -85,8 +85,8 @@ impl RateController {
         urgent_stop_rtts: u32,
         now: Micros,
     ) -> RateController {
-        let ssthresh = ((max_rate as f64 * initial_ssthresh_fraction) as u64)
-            .clamp(min_rate, max_rate);
+        let ssthresh =
+            ((max_rate as f64 * initial_ssthresh_fraction) as u64).clamp(min_rate, max_rate);
         RateController {
             rate: min_rate,
             ssthresh,
@@ -238,8 +238,7 @@ impl RateController {
     /// to [`RateController::budget`].
     pub fn refund(&mut self, bytes: usize, tick: Micros) {
         let cap = 2 * (self.rate as u128) * (tick.max(1) as u128);
-        self.credit_us_bytes =
-            (self.credit_us_bytes + bytes as u128 * 1_000_000).min(cap);
+        self.credit_us_bytes = (self.credit_us_bytes + bytes as u128 * 1_000_000).min(cap);
     }
 }
 

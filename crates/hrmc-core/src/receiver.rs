@@ -22,6 +22,8 @@ use crate::config::ProtocolConfig;
 use crate::events::ReceiverEvent;
 use crate::fec::FecDecoder;
 use crate::nak::NakManager;
+use crate::obs::emit;
+use crate::obs::{Event, NakTrigger, ProtocolObserver};
 use crate::rxwindow::{unwrap_seq, Offer, ReceiveWindow, Region};
 use crate::stats::ReceiverStats;
 use crate::time::{scale, Micros, JIFFY_US};
@@ -84,6 +86,11 @@ pub struct ReceiverEngine {
     events: std::collections::VecDeque<ReceiverEvent>,
     /// Public counters; the experiment harnesses read these.
     pub stats: ReceiverStats,
+    /// Optional observability hook (None by default: zero-cost).
+    observer: Option<Box<dyn ProtocolObserver>>,
+    /// Window region last reported to the observer, diffed to detect
+    /// safe → warning → critical crossings in either direction.
+    last_region: Region,
 }
 
 impl ReceiverEngine {
@@ -135,10 +142,18 @@ impl ReceiverEngine {
             out: std::collections::VecDeque::new(),
             events: std::collections::VecDeque::new(),
             stats: ReceiverStats::default(),
+            observer: None,
+            last_region: Region::Safe,
             config,
             local_port,
             group_port,
         }
+    }
+
+    /// Install a [`ProtocolObserver`], replacing any previous one. The
+    /// engine reports every protocol state transition to it.
+    pub fn set_observer(&mut self, observer: Box<dyn ProtocolObserver>) {
+        self.observer = Some(observer);
     }
 
     /// The configuration this engine runs.
@@ -251,10 +266,10 @@ impl ReceiverEngine {
 
     fn on_data(&mut self, pkt: &Packet, now: Micros) {
         let seq = pkt.header.seq;
-        let was_nak_pending = self.window.attached()
-            && self
-                .naks
-                .contains(unwrap_seq(seq, self.window.next_u64()));
+        let was_nak_pending =
+            self.window.attached() && self.naks.contains(unwrap_seq(seq, self.window.next_u64()));
+        // Delivery frontier before the offer, for the Delivered event.
+        let next_before = self.window.attached().then(|| self.window.next_u64());
         let outcome = self
             .window
             .offer(seq, pkt.payload.clone(), pkt.header.flags.fin);
@@ -280,7 +295,22 @@ impl ReceiverEngine {
         match outcome {
             Offer::InOrder => {
                 self.stats.data_packets_received += 1;
-                self.naks.satisfy_below(self.window.next_u64());
+                let next = self.window.next_u64();
+                if self.observer.is_some() {
+                    let first = next_before.unwrap_or(next.saturating_sub(1));
+                    emit!(
+                        self,
+                        now,
+                        Event::Delivered {
+                            first,
+                            count: next.saturating_sub(first) as u32
+                        }
+                    );
+                }
+                let filled = self.naks.satisfy_below(next);
+                if !filled.is_empty() {
+                    self.emit_recovered(&filled, now);
+                }
                 if let Some(dec) = self.fec.as_mut() {
                     if !pkt.payload.is_empty() {
                         let useq = unwrap_seq(seq, self.window.next_u64());
@@ -292,7 +322,9 @@ impl ReceiverEngine {
             Offer::OutOfOrder => {
                 self.stats.data_packets_received += 1;
                 let useq = unwrap_seq(seq, self.window.next_u64());
-                self.naks.satisfy(useq);
+                if let Some(noted) = self.naks.satisfy(useq) {
+                    self.emit_recovered(&[(useq, noted)], now);
+                }
                 if let Some(dec) = self.fec.as_mut() {
                     if !pkt.payload.is_empty() {
                         dec.on_data(useq, pkt.payload.clone());
@@ -309,7 +341,8 @@ impl ReceiverEngine {
                     self.naks.register(&missing, now);
                 } else {
                     let fresh = self.naks.note_missing(&missing, now);
-                    self.send_naks(&fresh, now);
+                    self.note_suppressed(&missing, &fresh, now);
+                    self.send_naks(&fresh, now, NakTrigger::Gap);
                 }
             }
             Offer::Duplicate => self.stats.duplicates_dropped += 1,
@@ -383,7 +416,7 @@ impl ReceiverEngine {
             let missing = self.window.missing_below(useq + 1);
             self.naks.register(&missing, now);
             let ranges = self.naks.force_below(useq + 1, now);
-            self.send_naks(&ranges, now);
+            self.send_naks(&ranges, now, NakTrigger::Probe);
         }
     }
 
@@ -397,7 +430,8 @@ impl ReceiverEngine {
         let last = unwrap_seq(pkt.header.seq, self.window.next_u64());
         let missing = self.window.missing_below(last + 1);
         let fresh = self.naks.note_missing(&missing, now);
-        self.send_naks(&fresh, now);
+        self.note_suppressed(&missing, &fresh, now);
+        self.send_naks(&fresh, now, NakTrigger::Keepalive);
     }
 
     fn on_nak_err(&mut self, pkt: &Packet, now: Micros) {
@@ -413,7 +447,8 @@ impl ReceiverEngine {
         // arrived (the join race — see the sender's NAK handling).
         let first = pkt.header.seq;
         let count = pkt.header.length.max(1);
-        self.events.push_back(ReceiverEvent::DataLost { seq: first, count });
+        self.events
+            .push_back(ReceiverEvent::DataLost { seq: first, count });
         for i in 0..count {
             let seq = first.wrapping_add(i);
             let useq = unwrap_seq(seq, self.window.next_u64());
@@ -433,7 +468,9 @@ impl ReceiverEngine {
         if !self.window.attached() {
             return;
         }
-        let Some(cache) = self.repair_cache.as_ref() else { return };
+        let Some(cache) = self.repair_cache.as_ref() else {
+            return;
+        };
         let first = unwrap_seq(pkt.header.seq, self.window.next_u64());
         let count = u64::from(pkt.header.length.max(1));
         // Slot the response by port with half-RTT spacing: a repair from
@@ -451,7 +488,9 @@ impl ReceiverEngine {
 
     /// Fire scheduled peer repairs that came due.
     fn fire_repairs(&mut self, now: Micros) {
-        let Some(cache) = self.repair_cache.as_ref() else { return };
+        let Some(cache) = self.repair_cache.as_ref() else {
+            return;
+        };
         let due: Vec<u64> = self
             .pending_repairs
             .iter()
@@ -473,15 +512,17 @@ impl ReceiverEngine {
                 );
                 // Preserve the sender's advertisement so peers' flow
                 // control keeps a sane rate estimate.
-                pkt.header.rate_adv =
-                    self.advertised_rate.min(u64::from(u32::MAX)) as u32;
+                pkt.header.rate_adv = self.advertised_rate.min(u64::from(u32::MAX)) as u32;
                 pkt.header.tries = 1;
                 repairs.push(pkt);
             }
         }
         for pkt in repairs {
             self.stats.repairs_sent += 1;
-            self.out.push_back(Outgoing { dest: Dest::Multicast, packet: pkt });
+            self.out.push_back(Outgoing {
+                dest: Dest::Multicast,
+                packet: pkt,
+            });
         }
     }
 
@@ -491,6 +532,92 @@ impl ReceiverEngine {
             self.rtt = now.saturating_sub(at).max(self.config.min_rtt);
             self.join = JoinState::Confirmed;
             self.events.push_back(ReceiverEvent::Joined);
+            emit!(self, now, Event::Joined { rtt_us: self.rtt });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observer helpers
+    // ------------------------------------------------------------------
+
+    /// Report each coalesced run of satisfied NAK entries as one recovery,
+    /// with latency measured from the earliest first-noted time in the run.
+    fn emit_recovered(&mut self, filled: &[(u64, Micros)], now: Micros) {
+        if self.observer.is_none() {
+            return;
+        }
+        let mut iter = filled.iter().copied();
+        let Some((mut first, mut noted)) = iter.next() else {
+            return;
+        };
+        let mut count = 1u32;
+        for (seq, n) in iter {
+            if seq == first + u64::from(count) {
+                count += 1;
+                noted = noted.min(n);
+            } else {
+                let elapsed_us = now.saturating_sub(noted);
+                emit!(
+                    self,
+                    now,
+                    Event::Recovered {
+                        first,
+                        count,
+                        elapsed_us
+                    }
+                );
+                first = seq;
+                noted = n;
+                count = 1;
+            }
+        }
+        let elapsed_us = now.saturating_sub(noted);
+        emit!(
+            self,
+            now,
+            Event::Recovered {
+                first,
+                count,
+                elapsed_us
+            }
+        );
+    }
+
+    /// Report how many already-pending gaps local NAK suppression held
+    /// back (the difference between the gaps noted and the fresh ones).
+    fn note_suppressed(&mut self, missing: &[(u64, u32)], fresh: &[(u64, u32)], now: Micros) {
+        if self.observer.is_none() {
+            return;
+        }
+        let total: u64 = missing.iter().map(|&(_, c)| u64::from(c)).sum();
+        let fresh_n: u64 = fresh.iter().map(|&(_, c)| u64::from(c)).sum();
+        if total > fresh_n {
+            emit!(
+                self,
+                now,
+                Event::NakSuppressed {
+                    pending: (total - fresh_n) as u32
+                }
+            );
+        }
+    }
+
+    /// Report window-region crossings (both fill-side and drain-side).
+    fn note_region(&mut self, now: Micros) {
+        if self.observer.is_none() {
+            return;
+        }
+        let region = self.window.region();
+        if region != self.last_region {
+            emit!(
+                self,
+                now,
+                Event::RegionChanged {
+                    from: self.last_region,
+                    to: region
+                }
+            );
+            self.last_region = region;
         }
     }
 
@@ -499,6 +626,7 @@ impl ReceiverEngine {
     // ------------------------------------------------------------------
 
     fn flow_control(&mut self, now: Micros) {
+        self.note_region(now);
         match self.window.region() {
             // Rule 1: "if the receive window is filled only into the safe
             // region, then no flow control action is taken".
@@ -543,10 +671,10 @@ impl ReceiverEngine {
     /// Run one receiver tick at `now`. Drivers call this every jiffy.
     pub fn on_tick(&mut self, now: Micros) {
         // NAK manager: re-send suppressed NAKs whose interval lapsed.
-        let suppress = scale(self.rtt, self.config.nak_suppress_rtts)
-            .max(self.config.nak_suppress_floor);
+        let suppress =
+            scale(self.rtt, self.config.nak_suppress_rtts).max(self.config.nak_suppress_floor);
         let due = self.naks.due(now, suppress);
-        self.send_naks(&due, now);
+        self.send_naks(&due, now, NakTrigger::Timer);
 
         // Update generator.
         if self.window.attached() && self.updates.poll(now) {
@@ -569,23 +697,25 @@ impl ReceiverEngine {
     // ------------------------------------------------------------------
 
     /// Copy up to `buf.len()` in-order bytes to the application.
-    pub fn read(&mut self, buf: &mut [u8], _now: Micros) -> usize {
+    pub fn read(&mut self, buf: &mut [u8], now: Micros) -> usize {
         let n = self.window.read(buf);
         self.stats.bytes_delivered += n as u64;
         if self.window.readable_bytes() == 0 {
             self.had_readable = false;
         }
+        self.note_region(now);
         n
     }
 
     /// Discard up to `n` readable bytes (a measuring sink that does not
     /// need the data). Returns the count discarded.
-    pub fn consume(&mut self, n: usize, _now: Micros) -> usize {
+    pub fn consume(&mut self, n: usize, now: Micros) -> usize {
         let taken = self.window.consume(n);
         self.stats.bytes_delivered += taken as u64;
         if self.window.readable_bytes() == 0 {
             self.had_readable = false;
         }
+        self.note_region(now);
         taken
     }
 
@@ -612,17 +742,26 @@ impl ReceiverEngine {
         self.push_out(pkt);
     }
 
-    fn send_update(&mut self, nonce: u32, _now: Micros) {
-        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
-        let mut pkt =
-            Packet::control(PacketType::Update, self.local_port, self.group_port, rcv_nxt);
+    fn send_update(&mut self, nonce: u32, now: Micros) {
+        let Some(rcv_nxt) = self.window.rcv_nxt() else {
+            return;
+        };
+        let mut pkt = Packet::control(
+            PacketType::Update,
+            self.local_port,
+            self.group_port,
+            rcv_nxt,
+        );
         pkt.header.length = nonce;
         self.stats.updates_sent += 1;
+        emit!(self, now, Event::UpdateSent { nonce });
         self.push_out(pkt);
     }
 
-    fn send_naks(&mut self, ranges: &[(u64, u32)], _now: Micros) {
-        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
+    fn send_naks(&mut self, ranges: &[(u64, u32)], now: Micros, trigger: NakTrigger) {
+        let Some(rcv_nxt) = self.window.rcv_nxt() else {
+            return;
+        };
         for &(first, count) in ranges {
             let mut pkt = Packet::control(
                 PacketType::Nak,
@@ -635,9 +774,21 @@ impl ReceiverEngine {
             // the sender's membership state stays exact (Header docs).
             pkt.header.rate_adv = rcv_nxt;
             self.stats.naks_sent += 1;
+            emit!(
+                self,
+                now,
+                Event::NakSent {
+                    first,
+                    count,
+                    trigger
+                }
+            );
             if self.config.local_recovery {
                 // Multicast so peers can repair (the sender hears it too).
-                self.out.push_back(Outgoing { dest: Dest::Multicast, packet: pkt });
+                self.out.push_back(Outgoing {
+                    dest: Dest::Multicast,
+                    packet: pkt,
+                });
             } else {
                 self.push_out(pkt);
             }
@@ -645,17 +796,22 @@ impl ReceiverEngine {
     }
 
     fn send_control(&mut self, urgent: bool, _now: Micros) {
-        let Some(rcv_nxt) = self.window.rcv_nxt() else { return };
-        let mut pkt =
-            Packet::control(PacketType::Control, self.local_port, self.group_port, rcv_nxt);
+        let Some(rcv_nxt) = self.window.rcv_nxt() else {
+            return;
+        };
+        let mut pkt = Packet::control(
+            PacketType::Control,
+            self.local_port,
+            self.group_port,
+            rcv_nxt,
+        );
         pkt.header.flags.urg = urgent;
         // Suggest the rate at which the free window would last WARNBUF
         // round trips.
         let window_secs =
             (self.config.warnbuf_rtts as f64 * self.rtt as f64 / 1_000_000.0).max(1e-6);
-        pkt.header.rate_adv =
-            ((self.window.free_bytes() as f64 / window_secs) as u64).min(u64::from(u32::MAX))
-                as u32;
+        pkt.header.rate_adv = ((self.window.free_bytes() as f64 / window_secs) as u64)
+            .min(u64::from(u32::MAX)) as u32;
         self.stats.rate_requests_sent += 1;
         if urgent {
             self.stats.urgent_rate_requests_sent += 1;
@@ -678,7 +834,10 @@ impl ReceiverEngine {
     }
 
     fn push_out(&mut self, packet: Packet) {
-        self.out.push_back(Outgoing { dest: Dest::Sender, packet });
+        self.out.push_back(Outgoing {
+            dest: Dest::Sender,
+            packet,
+        });
     }
 
     /// Drain one outgoing packet, if any (always destined to the sender).
@@ -865,7 +1024,7 @@ mod tests {
         assert_eq!(ups.len(), 1);
         assert_eq!(ups[0].packet.header.seq, 1);
         assert_eq!(ups[0].packet.header.length, 0); // unsolicited: no nonce
-        // Probe-free period: period grew by a jiffy.
+                                                    // Probe-free period: period grew by a jiffy.
         assert_eq!(r.update_period_jiffies(), 51);
         // A probed period shrinks back.
         let probe = Packet::control(PacketType::Probe, 7000, 7001, 0);
@@ -972,8 +1131,7 @@ mod tests {
         fin.header.flags.fin = true;
         r.handle_packet(&fin, 1_000);
         assert!(r.stream_complete());
-        assert!(std::iter::from_fn(|| r.poll_event())
-            .any(|e| e == ReceiverEvent::StreamComplete));
+        assert!(std::iter::from_fn(|| r.poll_event()).any(|e| e == ReceiverEvent::StreamComplete));
         let mut buf = [0u8; 1024];
         assert_eq!(r.read(&mut buf, 2_000), 150);
         assert!(r.fully_consumed());

@@ -254,7 +254,9 @@ impl ReceiveWindow {
     pub fn read(&mut self, buf: &mut [u8]) -> usize {
         let mut copied = 0;
         while copied < buf.len() {
-            let Some(front) = self.ready.front() else { break };
+            let Some(front) = self.ready.front() else {
+                break;
+            };
             let avail = front.len() - self.front_offset;
             let take = avail.min(buf.len() - copied);
             buf[copied..copied + take]
@@ -275,7 +277,9 @@ impl ReceiveWindow {
     pub fn consume(&mut self, n: usize) -> usize {
         let mut left = n;
         while left > 0 {
-            let Some(front) = self.ready.front() else { break };
+            let Some(front) = self.ready.front() else {
+                break;
+            };
             let avail = front.len() - self.front_offset;
             let take = avail.min(left);
             left -= take;
@@ -294,7 +298,9 @@ impl ReceiveWindow {
     /// nor in the out-of-order queue. These are the ranges the NAK manager
     /// must request.
     pub fn missing_below(&self, limit: u64) -> Vec<(u64, u32)> {
-        let Some(next) = self.next else { return Vec::new() };
+        let Some(next) = self.next else {
+            return Vec::new();
+        };
         if limit <= next {
             return Vec::new();
         }

@@ -25,7 +25,9 @@ use crate::events::SenderEvent;
 use crate::fec::FecEncoder;
 use crate::keepalive::KeepaliveController;
 use crate::membership::Membership;
-use crate::rate::RateController;
+use crate::obs::emit;
+use crate::obs::{Event, ProtocolObserver};
+use crate::rate::{RateController, RatePhase};
 use crate::rtt::RttEstimator;
 use crate::stats::SenderStats;
 use crate::time::{scale, Micros, JIFFY_US};
@@ -50,7 +52,9 @@ struct SendTimes {
 
 impl SendTimes {
     fn new() -> SendTimes {
-        SendTimes { ring: vec![(0, u64::MAX, u8::MAX); SEND_TIMES_RING] }
+        SendTimes {
+            ring: vec![(0, u64::MAX, u8::MAX); SEND_TIMES_RING],
+        }
     }
 
     fn record(&mut self, seq: Seq, now: Micros, tries: u8) {
@@ -99,6 +103,13 @@ pub struct SenderEngine {
     submit_blocked: bool,
     out: VecDeque<Outgoing>,
     events: VecDeque<SenderEvent>,
+    /// Optional observability hook (None by default: zero-cost).
+    observer: Option<Box<dyn ProtocolObserver>>,
+    /// Rate-controller state last reported to the observer, diffed after
+    /// every rate-affecting input to detect transitions.
+    last_phase: RatePhase,
+    last_halvings: u64,
+    last_urgent_stops: u64,
     /// Public counters; the experiment harnesses read these.
     pub stats: SenderStats,
 }
@@ -127,11 +138,9 @@ impl SenderEngine {
             now,
         );
         let rtt = RttEstimator::new(config.initial_rtt, config.min_rtt);
-        let keepalive = KeepaliveController::new(
-            config.keepalive_initial,
-            config.keepalive_max,
-            now,
-        );
+        let keepalive =
+            KeepaliveController::new(config.keepalive_initial, config.keepalive_max, now);
+        let last_phase = rate.phase();
         SenderEngine {
             window: SendWindow::new(config.sndbuf, initial_seq),
             membership: Membership::new(),
@@ -151,11 +160,21 @@ impl SenderEngine {
             submit_blocked: false,
             out: VecDeque::new(),
             events: VecDeque::new(),
+            observer: None,
+            last_phase,
+            last_halvings: 0,
+            last_urgent_stops: 0,
             stats: SenderStats::default(),
             config,
             local_port,
             group_port,
         }
+    }
+
+    /// Install a [`ProtocolObserver`], replacing any previous one. The
+    /// engine reports every protocol state transition to it.
+    pub fn set_observer(&mut self, observer: Box<dyn ProtocolObserver>) {
+        self.observer = Some(observer);
     }
 
     /// The configuration this engine runs.
@@ -255,6 +274,7 @@ impl SenderEngine {
         self.stats.joins += 1;
         if is_new {
             self.events.push_back(SenderEvent::MemberJoined(from));
+            emit!(self, now, Event::PeerJoined { peer: from });
         }
         // RTT sample: the JOIN echoes the data packet that triggered it.
         self.rtt_sample_against_slot(echoed, now);
@@ -332,6 +352,7 @@ impl SenderEngine {
         }
         // A NAK signals loss: halve the rate (one congestion event per RTT).
         self.rate.on_congestion(now, self.rtt.rtt(), None);
+        self.note_rate_events(now);
     }
 
     fn on_control(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
@@ -345,6 +366,7 @@ impl SenderEngine {
             self.rate
                 .on_congestion(now, self.rtt.rtt(), Some(suggested));
         }
+        self.note_rate_events(now);
     }
 
     fn on_update(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
@@ -355,6 +377,15 @@ impl SenderEngine {
         if nonce != 0 {
             if let Some(sent) = self.probe_nonces.remove(&nonce) {
                 self.rtt.sample(now.saturating_sub(sent), 0);
+                emit!(
+                    self,
+                    now,
+                    Event::RttSample {
+                        sample_us: now.saturating_sub(sent),
+                        srtt_us: self.rtt.rtt(),
+                        probe: true,
+                    }
+                );
             }
         }
     }
@@ -366,6 +397,55 @@ impl SenderEngine {
         if let Some((sent, tries)) = self.send_times.get(seq) {
             let karn_tries = if tries == 0 { 0 } else { 1 };
             self.rtt.sample(now.saturating_sub(sent), karn_tries);
+            if karn_tries == 0 {
+                emit!(
+                    self,
+                    now,
+                    Event::RttSample {
+                        sample_us: now.saturating_sub(sent),
+                        srtt_us: self.rtt.rtt(),
+                        probe: false,
+                    }
+                );
+            }
+        }
+    }
+
+    /// Report rate-controller transitions to the observer by diffing its
+    /// state against the last reported snapshot. Called after every
+    /// rate-affecting input (NAK, CONTROL, tick).
+    fn note_rate_events(&mut self, now: Micros) {
+        if self.observer.is_none() {
+            return;
+        }
+        if self.rate.halvings != self.last_halvings {
+            self.last_halvings = self.rate.halvings;
+            emit!(
+                self,
+                now,
+                Event::RateHalved {
+                    rate_bps: self.rate.rate()
+                }
+            );
+        }
+        if self.rate.urgent_stops != self.last_urgent_stops {
+            self.last_urgent_stops = self.rate.urgent_stops;
+            if let RatePhase::Stopped { until } = self.rate.phase() {
+                emit!(self, now, Event::UrgentStopped { until });
+            }
+        }
+        let phase = self.rate.phase();
+        if std::mem::discriminant(&phase) != std::mem::discriminant(&self.last_phase) {
+            emit!(
+                self,
+                now,
+                Event::RatePhaseChanged {
+                    from: self.last_phase,
+                    to: phase,
+                    rate_bps: self.rate.rate(),
+                }
+            );
+            self.last_phase = phase;
         }
     }
 
@@ -376,6 +456,7 @@ impl SenderEngine {
     /// Run one transmitter tick at `now`. Drivers call this every jiffy.
     pub fn on_tick(&mut self, now: Micros) {
         self.rate.on_tick(now, self.rtt.rtt());
+        self.note_rate_events(now);
         let allowance = self.rate.budget(now, JIFFY_US);
         let mut spent = 0usize;
 
@@ -413,12 +494,23 @@ impl SenderEngine {
             self.send_times.record(slot.seq, now, slot.tries);
             self.stats.retransmissions += 1;
             self.keepalive.on_activity(now);
+            emit!(
+                self,
+                now,
+                Event::DataSent {
+                    seq: pkt.header.seq,
+                    bytes: pkt.header.length,
+                    retransmission: true,
+                }
+            );
             self.push_out(Dest::Multicast, pkt);
         }
 
         // New data from the backlog.
         while spent < allowance && self.window.has_unsent() {
-            let Some(slot) = self.window.take_unsent(now) else { break };
+            let Some(slot) = self.window.take_unsent(now) else {
+                break;
+            };
             let mut pkt = Packet::data(self.local_port, self.group_port, slot.seq, slot.payload);
             pkt.header.tries = slot.tries;
             pkt.header.flags.fin = slot.fin;
@@ -434,6 +526,15 @@ impl SenderEngine {
             let parity = self.fec.as_mut().and_then(|enc| {
                 enc.on_data(slot.seq, &pkt.payload, self.local_port, self.group_port)
             });
+            emit!(
+                self,
+                now,
+                Event::DataSent {
+                    seq: pkt.header.seq,
+                    bytes: pkt.header.length,
+                    retransmission: false,
+                }
+            );
             self.push_out(Dest::Multicast, pkt);
             if let Some(mut parity) = parity {
                 parity.header.rate_adv = self.rate_adv();
@@ -475,8 +576,12 @@ impl SenderEngine {
         let mut released_any = false;
         #[allow(clippy::while_let_loop)] // two let-else exits; loop reads clearer
         loop {
-            let Some(front) = self.window.front() else { break };
-            let Some(last_sent) = front.last_sent else { break };
+            let Some(front) = self.window.front() else {
+                break;
+            };
+            let Some(last_sent) = front.last_sent else {
+                break;
+            };
             if now.saturating_sub(last_sent) < minbuf {
                 break; // MINBUF residency not yet met
             }
@@ -501,13 +606,40 @@ impl SenderEngine {
                     self.window.release_front();
                     self.stats.segments_released += 1;
                     released_any = true;
+                    emit!(
+                        self,
+                        now,
+                        Event::ReleaseAttempt {
+                            seq,
+                            complete,
+                            released: true
+                        }
+                    );
                 }
                 ReliabilityMode::Hybrid => {
                     if complete {
                         self.window.release_front();
                         self.stats.segments_released += 1;
                         released_any = true;
+                        emit!(
+                            self,
+                            now,
+                            Event::ReleaseAttempt {
+                                seq,
+                                complete,
+                                released: true
+                            }
+                        );
                     } else {
+                        emit!(
+                            self,
+                            now,
+                            Event::ReleaseAttempt {
+                                seq,
+                                complete,
+                                released: false
+                            }
+                        );
                         // Poll the receivers we lack information from.
                         self.send_probes(seq, now);
                         break;
@@ -549,12 +681,28 @@ impl SenderEngine {
             for p in &lacking {
                 self.membership.mark_probed(*p, now);
             }
+            emit!(
+                self,
+                now,
+                Event::ProbeSent {
+                    seq,
+                    multicast: true
+                }
+            );
             self.push_out(Dest::Multicast, pkt);
         } else {
             for p in lacking {
                 let pkt = self.make_probe(seq, now);
                 self.stats.probes_sent += 1;
                 self.membership.mark_probed(p, now);
+                emit!(
+                    self,
+                    now,
+                    Event::ProbeSent {
+                        seq,
+                        multicast: false
+                    }
+                );
                 self.push_out(Dest::Unicast(p), pkt);
             }
         }
@@ -570,8 +718,12 @@ impl SenderEngine {
         if self.config.mode != ReliabilityMode::Hybrid {
             return;
         }
-        let Some(front) = self.window.front() else { return };
-        let Some(last_sent) = front.last_sent else { return };
+        let Some(front) = self.window.front() else {
+            return;
+        };
+        let Some(last_sent) = front.last_sent else {
+            return;
+        };
         let seq = front.seq;
         let eligible_at = last_sent + scale(self.rtt.rtt(), self.config.minbuf_rtts as f64);
         let lead = scale(self.rtt.rtt(), lead_rtts as f64);
@@ -582,13 +734,22 @@ impl SenderEngine {
 
     fn maybe_keepalive(&mut self, now: Micros) {
         // No keepalives before anything was transmitted.
-        let Some(last) = self.last_transmitted else { return };
+        let Some(last) = self.last_transmitted else {
+            return;
+        };
         if self.is_finished() {
             return;
         }
         if self.keepalive.poll(now) {
             let pkt = self.make_control(PacketType::Keepalive, last);
             self.stats.keepalives_sent += 1;
+            emit!(
+                self,
+                now,
+                Event::KeepaliveSent {
+                    backoff_us: self.keepalive.delay()
+                }
+            );
             self.push_out(Dest::Multicast, pkt);
         }
     }
@@ -874,7 +1035,8 @@ mod tests {
         assert_eq!(s.stats.segments_released, 1);
         assert_eq!(s.stats.unsafe_releases, 1);
         assert!(
-            !out.iter().any(|o| o.packet.header.ptype == PacketType::Probe),
+            !out.iter()
+                .any(|o| o.packet.header.ptype == PacketType::Probe),
             "RMC must not probe"
         );
         // A late NAK for the released segment gets NAK_ERR.
@@ -963,8 +1125,7 @@ mod tests {
         update(&mut s, P1, 2, 200_000); // receiver confirms both segments
         run_until(&mut s, 200_000, 400_000);
         assert!(s.is_finished());
-        assert!(std::iter::from_fn(|| s.poll_event())
-            .any(|e| e == SenderEvent::TransferComplete));
+        assert!(std::iter::from_fn(|| s.poll_event()).any(|e| e == SenderEvent::TransferComplete));
     }
 
     #[test]
@@ -1001,7 +1162,8 @@ mod tests {
         // appear by ~6 RTTs ≈ 60 ms + transmission time.
         let out = run_until(&mut s, 0, 80_000);
         assert!(
-            out.iter().any(|o| o.packet.header.ptype == PacketType::Probe),
+            out.iter()
+                .any(|o| o.packet.header.ptype == PacketType::Probe),
             "no early probe before release eligibility"
         );
         assert_eq!(s.stats.segments_released, 0);
@@ -1034,8 +1196,7 @@ mod tests {
         // No members: the anonymous-release hold (2 s) applies first.
         run_until(&mut s, 0, 6_000_000);
         assert!(s.stats.segments_released > 0);
-        assert!(std::iter::from_fn(|| s.poll_event())
-            .any(|e| e == SenderEvent::SendSpaceAvailable));
+        assert!(std::iter::from_fn(|| s.poll_event()).any(|e| e == SenderEvent::SendSpaceAvailable));
     }
 
     impl SenderEngine {

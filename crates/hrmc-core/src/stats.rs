@@ -4,8 +4,10 @@
 //! rate-request counts (Figures 11(a)(c), 15(b), 16(b)), and the
 //! buffer-release information-completeness ratio (Figure 3).
 
+use serde::Serialize;
+
 /// Sender-side counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct SenderStats {
     /// DATA packets first-transmitted.
     pub data_packets_sent: u64,
@@ -68,7 +70,7 @@ impl SenderStats {
 }
 
 /// Receiver-side counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct ReceiverStats {
     /// DATA packets accepted (in order or out of order).
     pub data_packets_received: u64,

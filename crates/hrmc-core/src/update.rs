@@ -87,7 +87,9 @@ impl UpdateGenerator {
             } else {
                 self.period_jiffies += 1;
             }
-            self.period_jiffies = self.period_jiffies.clamp(self.min_jiffies, self.max_jiffies);
+            self.period_jiffies = self
+                .period_jiffies
+                .clamp(self.min_jiffies, self.max_jiffies);
         }
         self.probes_this_period = 0;
         self.next_fire = now + jiffies(self.period_jiffies);

@@ -2,9 +2,7 @@
 //! hostile network or an unlucky schedule can produce.
 
 use bytes::Bytes;
-use hrmc_core::{
-    PeerId, ProtocolConfig, ReceiverEngine, ReceiverEvent, SenderEngine, JIFFY_US,
-};
+use hrmc_core::{PeerId, ProtocolConfig, ReceiverEngine, ReceiverEvent, SenderEngine, JIFFY_US};
 use hrmc_wire::{Packet, PacketType};
 
 fn receiver() -> ReceiverEngine {
@@ -12,7 +10,13 @@ fn receiver() -> ReceiverEngine {
 }
 
 fn sender() -> SenderEngine {
-    SenderEngine::new(ProtocolConfig::hrmc().with_buffer(64 * 1024), 7000, 7001, 0, 0)
+    SenderEngine::new(
+        ProtocolConfig::hrmc().with_buffer(64 * 1024),
+        7000,
+        7001,
+        0,
+        0,
+    )
 }
 
 fn data(seq: u32, len: usize) -> Packet {
@@ -20,7 +24,9 @@ fn data(seq: u32, len: usize) -> Packet {
 }
 
 fn drain_r(r: &mut ReceiverEngine) -> Vec<Packet> {
-    std::iter::from_fn(|| r.poll_output()).map(|o| o.packet).collect()
+    std::iter::from_fn(|| r.poll_output())
+        .map(|o| o.packet)
+        .collect()
 }
 
 fn drain_s(s: &mut SenderEngine) -> Vec<hrmc_core::Outgoing> {
@@ -36,7 +42,10 @@ fn probe_before_any_data_is_ignored() {
     let mut r = receiver();
     let probe = Packet::control(PacketType::Probe, 7000, 7001, 100);
     r.handle_packet(&probe, 1_000);
-    assert!(drain_r(&mut r).is_empty(), "unattached receiver must stay silent");
+    assert!(
+        drain_r(&mut r).is_empty(),
+        "unattached receiver must stay silent"
+    );
     assert_eq!(r.stats.probes_received, 1);
 }
 
@@ -104,11 +113,19 @@ fn receiver_ignores_receiver_originated_types() {
     let mut r = receiver();
     r.handle_packet(&data(0, 100), 0);
     drain_r(&mut r);
-    for ptype in [PacketType::Nak, PacketType::Control, PacketType::Update, PacketType::Join] {
+    for ptype in [
+        PacketType::Nak,
+        PacketType::Control,
+        PacketType::Update,
+        PacketType::Join,
+    ] {
         let pkt = Packet::control(ptype, 9999, 7001, 0);
         r.handle_packet(&pkt, 1_000);
     }
-    assert!(drain_r(&mut r).is_empty(), "looped-back feedback must be inert");
+    assert!(
+        drain_r(&mut r).is_empty(),
+        "looped-back feedback must be inert"
+    );
 }
 
 #[test]
@@ -124,7 +141,10 @@ fn duplicate_fin_is_harmless() {
     assert_eq!(r.stats.duplicates_dropped, 2);
     let events: Vec<_> = std::iter::from_fn(|| r.poll_event()).collect();
     assert_eq!(
-        events.iter().filter(|e| **e == ReceiverEvent::StreamComplete).count(),
+        events
+            .iter()
+            .filter(|e| **e == ReceiverEvent::StreamComplete)
+            .count(),
         1,
         "StreamComplete must fire exactly once"
     );
@@ -180,7 +200,8 @@ fn nak_for_never_sent_data_is_safe() {
     s.on_tick(JIFFY_US);
     let out = drain_s(&mut s);
     assert!(
-        !out.iter().any(|o| o.packet.header.ptype == PacketType::Data),
+        !out.iter()
+            .any(|o| o.packet.header.ptype == PacketType::Data),
         "must not retransmit data that was never sent"
     );
 }
@@ -190,7 +211,11 @@ fn feedback_from_unknown_peer_does_not_create_membership() {
     let mut s = sender();
     let upd = Packet::control(PacketType::Update, 9, 7000, 50);
     s.handle_packet(&upd, PeerId(7), 0);
-    assert_eq!(s.member_count(), 0, "UPDATE without JOIN must not add a member");
+    assert_eq!(
+        s.member_count(),
+        0,
+        "UPDATE without JOIN must not add a member"
+    );
     assert_eq!(s.stats.updates_received, 1);
 }
 
@@ -253,7 +278,10 @@ fn member_churn_does_not_wedge_release() {
         s.on_tick(t);
         drain_s(&mut s);
     }
-    assert_eq!(s.stats.segments_released, 1, "leave must unblock the release");
+    assert_eq!(
+        s.stats.segments_released, 1,
+        "leave must unblock the release"
+    );
 }
 
 #[test]

@@ -2,9 +2,15 @@
 
 fn main() {
     let opts = hrmc_experiments::ExpOptions::from_env();
-    eprintln!("all figures: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    eprintln!(
+        "all figures: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
     for (name, run) in [
-        ("fig03", hrmc_experiments::fig03::run as fn(&hrmc_experiments::ExpOptions) -> serde_json::Value),
+        (
+            "fig03",
+            hrmc_experiments::fig03::run as fn(&hrmc_experiments::ExpOptions) -> serde_json::Value,
+        ),
         ("fig10", hrmc_experiments::fig10::run),
         ("fig11", hrmc_experiments::fig11::run),
         ("fig12", hrmc_experiments::fig12::run),

@@ -3,6 +3,9 @@
 
 fn main() {
     let opts = hrmc_experiments::ExpOptions::from_env();
-    eprintln!("fig03: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    eprintln!(
+        "fig03: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
     hrmc_experiments::fig03::run(&opts);
 }

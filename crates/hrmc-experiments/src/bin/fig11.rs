@@ -3,6 +3,9 @@
 
 fn main() {
     let opts = hrmc_experiments::ExpOptions::from_env();
-    eprintln!("fig11: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    eprintln!(
+        "fig11: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
     hrmc_experiments::fig11::run(&opts);
 }

@@ -3,6 +3,9 @@
 
 fn main() {
     let opts = hrmc_experiments::ExpOptions::from_env();
-    eprintln!("fig12: repeats={} scale_down={}", opts.repeats, opts.scale_down);
+    eprintln!(
+        "fig12: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
     hrmc_experiments::fig12::run(&opts);
 }

@@ -26,7 +26,15 @@ fn main() {
             transfer / 1_000_000,
             loss * 100.0
         ),
-        &["receivers", "central", "local", "peer repairs", "cancelled", "thr c", "thr l"],
+        &[
+            "receivers",
+            "central",
+            "local",
+            "peer repairs",
+            "cancelled",
+            "thr c",
+            "thr l",
+        ],
     );
     let mut series = serde_json::Map::new();
     for receivers in [2usize, 5, 10, 20, 40] {
@@ -36,14 +44,32 @@ fn main() {
             .map(|seed| base.clone().with_local_recovery().with_seed(seed).run())
             .collect();
         for r in central.iter().chain(local.iter()) {
-            assert!(r.completed && r.all_intact(), "unreliable run at n={receivers}");
+            assert!(
+                r.completed && r.all_intact(),
+                "unreliable run at n={receivers}"
+            );
         }
-        let c_retrans = mean(&central.iter().map(|r| r.retransmissions as f64).collect::<Vec<_>>());
-        let l_retrans = mean(&local.iter().map(|r| r.retransmissions as f64).collect::<Vec<_>>());
+        let c_retrans = mean(
+            &central
+                .iter()
+                .map(|r| r.sender.retransmissions as f64)
+                .collect::<Vec<_>>(),
+        );
+        let l_retrans = mean(
+            &local
+                .iter()
+                .map(|r| r.sender.retransmissions as f64)
+                .collect::<Vec<_>>(),
+        );
         let repairs = mean(
             &local
                 .iter()
-                .map(|r| r.receivers.iter().map(|x| x.repairs_sent).sum::<u64>() as f64)
+                .map(|r| {
+                    r.receivers
+                        .iter()
+                        .map(|x| x.stats.repairs_sent)
+                        .sum::<u64>() as f64
+                })
                 .collect::<Vec<_>>(),
         );
         let cancelled = mean(
@@ -52,7 +78,12 @@ fn main() {
                 .map(|r| r.sender.retransmissions_cancelled as f64)
                 .collect::<Vec<_>>(),
         );
-        let thr_c = mean(&central.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>());
+        let thr_c = mean(
+            &central
+                .iter()
+                .map(|r| r.throughput_mbps)
+                .collect::<Vec<_>>(),
+        );
         let thr_l = mean(&local.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>());
         table.row(vec![
             receivers.to_string(),

@@ -1,10 +1,14 @@
 //! Timeline view of one transfer: second-by-second sender activity
 //! (data, feedback, probes, drops, advertised rate) for a chosen
-//! scenario. A debugging/analysis companion to the figure harnesses.
+//! scenario, plus delivery/recovery latency percentiles from the
+//! observer pipeline. With `--events <path>`, every protocol state
+//! transition from every host is streamed to the file as JSON lines
+//! (simulation timestamps) for offline analysis.
 //!
 //! ```sh
 //! cargo run --release -p hrmc-experiments --bin timeline -- \
-//!     [--receivers N] [--buffer-kb N] [--loss PCT] [--bandwidth-mbps N]
+//!     [--receivers N] [--buffer-kb N] [--loss PCT] [--bandwidth-mbps N] \
+//!     [--events trace.jsonl]
 //! ```
 
 use hrmc_app::Scenario;
@@ -16,6 +20,7 @@ fn main() {
     let mut buffer_kb = 256usize;
     let mut loss_pct = 0.5f64;
     let mut mbps = 10u64;
+    let mut events: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +40,10 @@ fn main() {
                 i += 1;
                 mbps = args[i].parse().unwrap_or(mbps);
             }
+            "--events" if i + 1 < args.len() => {
+                i += 1;
+                events = Some(args[i].clone());
+            }
             _ => {}
         }
         i += 1;
@@ -46,7 +55,15 @@ fn main() {
     );
     let mut params = scenario.params();
     params.trace_bucket_us = Some(1_000_000);
-    let report = Simulation::new(params).run();
+    params.observe = true;
+    let mut sim = Simulation::new(params);
+    if let Some(path) = &events {
+        match std::fs::File::create(path) {
+            Ok(f) => sim.set_event_log(Box::new(std::io::BufWriter::new(f))),
+            Err(e) => eprintln!("cannot open {path}: {e}"),
+        }
+    }
+    let report = sim.run();
     if let Some(trace) = &report.trace {
         print!("{}", trace.render());
     }
@@ -54,9 +71,22 @@ fn main() {
         "\ncompleted={} throughput={:.2} Mbps naks={} rate_requests={} probes={} retrans={}",
         report.completed,
         report.throughput_mbps,
-        report.naks_received,
-        report.rate_requests_received,
-        report.probes_sent,
-        report.retransmissions,
+        report.sender.naks_received,
+        report.sender.rate_requests_received,
+        report.sender.probes_sent,
+        report.sender.retransmissions,
     );
+    if let Some(lat) = &report.latency {
+        println!(
+            "delivery latency (µs): n={} p50={} p90={} p99={}",
+            lat.delivery.count, lat.delivery.p50, lat.delivery.p90, lat.delivery.p99,
+        );
+        println!(
+            "recovery latency (µs): n={} p50={} p90={} p99={}",
+            lat.recovery.count, lat.recovery.p50, lat.recovery.p90, lat.recovery.p99,
+        );
+    }
+    if let Some(path) = &events {
+        println!("event log: {path}");
+    }
 }

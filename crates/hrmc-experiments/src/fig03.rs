@@ -45,7 +45,10 @@ fn cell(rmc: bool, group: CharacteristicGroup, buffer: usize, opts: &ExpOptions)
 /// Run the whole figure; prints both panels and returns the series.
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let mut out = serde_json::Map::new();
-    for (panel, rmc) in [("a_without_updates_rmc", true), ("b_with_updates_hrmc", false)] {
+    for (panel, rmc) in [
+        ("a_without_updates_rmc", true),
+        ("b_with_updates_hrmc", false),
+    ] {
         let title = if rmc {
             "Figure 3(a): % complete info at release — WITHOUT updates (RMC)"
         } else {

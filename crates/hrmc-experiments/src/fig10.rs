@@ -67,10 +67,30 @@ pub fn panel(
 /// Run all four panels.
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let panels = [
-        ("a_mem_10MB", "Figure 10(a): memory-to-memory, 10 MB (Mbps)", MB_10, false),
-        ("b_mem_40MB", "Figure 10(b): memory-to-memory, 40 MB (Mbps)", MB_40, false),
-        ("c_disk_10MB", "Figure 10(c): disk-to-disk, 10 MB (Mbps)", MB_10, true),
-        ("d_disk_40MB", "Figure 10(d): disk-to-disk, 40 MB (Mbps)", MB_40, true),
+        (
+            "a_mem_10MB",
+            "Figure 10(a): memory-to-memory, 10 MB (Mbps)",
+            MB_10,
+            false,
+        ),
+        (
+            "b_mem_40MB",
+            "Figure 10(b): memory-to-memory, 40 MB (Mbps)",
+            MB_40,
+            false,
+        ),
+        (
+            "c_disk_10MB",
+            "Figure 10(c): disk-to-disk, 10 MB (Mbps)",
+            MB_10,
+            true,
+        ),
+        (
+            "d_disk_40MB",
+            "Figure 10(d): disk-to-disk, 40 MB (Mbps)",
+            MB_40,
+            true,
+        ),
     ];
     let mut out = serde_json::Map::new();
     for (key, title, transfer, disk) in panels {

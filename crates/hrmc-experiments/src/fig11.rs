@@ -14,17 +14,18 @@ use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_10, MB_10, MB_40};
 fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f64, f64) {
     let s = Scenario::lan(receivers, MBPS_10, buffer, opts.transfer(transfer)).disk_to_disk();
     let runs = s.run_seeds(opts.repeats);
-    let rr: Vec<f64> = runs.iter().map(|r| r.rate_requests_received as f64).collect();
-    let naks: Vec<f64> = runs.iter().map(|r| r.naks_received as f64).collect();
+    let rr: Vec<f64> = runs
+        .iter()
+        .map(|r| r.sender.rate_requests_received as f64)
+        .collect();
+    let naks: Vec<f64> = runs.iter().map(|r| r.sender.naks_received as f64).collect();
     (mean(&rr), mean(&naks))
 }
 
 /// Run all four panels.
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let mut out = serde_json::Map::new();
-    for (size_key, size_name, transfer) in
-        [("10MB", "10 MB", MB_10), ("40MB", "40 MB", MB_40)]
-    {
+    for (size_key, size_name, transfer) in [("10MB", "10 MB", MB_10), ("40MB", "40 MB", MB_40)] {
         let mut rr_table = Table::new(
             &format!("Figure 11: rate requests, {size_name}, disk-to-disk"),
             &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"],
@@ -56,8 +57,14 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
         }
         rr_table.print();
         nak_table.print();
-        out.insert(format!("rate_requests_{size_key}"), serde_json::Value::Object(rr_series));
-        out.insert(format!("naks_{size_key}"), serde_json::Value::Object(nak_series));
+        out.insert(
+            format!("rate_requests_{size_key}"),
+            serde_json::Value::Object(rr_series),
+        );
+        out.insert(
+            format!("naks_{size_key}"),
+            serde_json::Value::Object(nak_series),
+        );
     }
     let value = serde_json::Value::Object(out);
     opts.save_json("fig11", &value);

@@ -23,8 +23,16 @@ fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> f6
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let mut out = serde_json::Map::new();
     for (key, title, transfer) in [
-        ("a_mem_10MB", "Figure 12(a): memory-to-memory, 10 MB, 100 Mbps (Mbps)", MB_10),
-        ("b_mem_40MB", "Figure 12(b): memory-to-memory, 40 MB, 100 Mbps (Mbps)", MB_40),
+        (
+            "a_mem_10MB",
+            "Figure 12(a): memory-to-memory, 10 MB, 100 Mbps (Mbps)",
+            MB_10,
+        ),
+        (
+            "b_mem_40MB",
+            "Figure 12(b): memory-to-memory, 40 MB, 100 Mbps (Mbps)",
+            MB_40,
+        ),
     ] {
         let mut table = Table::new(title, &["buffer", "1 rcvr", "2 rcvrs", "3 rcvrs"]);
         let mut series = serde_json::Map::new();

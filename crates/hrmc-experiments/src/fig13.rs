@@ -41,7 +41,7 @@ fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f
     s.max_rate_factor = FIG13_RATE_FACTOR;
     s.sender_txqueue = 100; // a 100 Mbps card's deeper ring (Linux default)
     let runs = s.run_seeds(opts.repeats);
-    let naks: Vec<f64> = runs.iter().map(|r| r.naks_received as f64).collect();
+    let naks: Vec<f64> = runs.iter().map(|r| r.sender.naks_received as f64).collect();
     let drops: Vec<f64> = runs.iter().map(|r| r.sender_nic_drops as f64).collect();
     (mean(&naks), mean(&drops))
 }
@@ -50,12 +50,26 @@ fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let mut out = serde_json::Map::new();
     for (key, title, transfer) in [
-        ("a_naks_10MB", "Figure 13(a): NAK activity, 10 MB, memory-to-memory, 100 Mbps", MB_10),
-        ("b_naks_40MB", "Figure 13(b): NAK activity, 40 MB, memory-to-memory, 100 Mbps", MB_40),
+        (
+            "a_naks_10MB",
+            "Figure 13(a): NAK activity, 10 MB, memory-to-memory, 100 Mbps",
+            MB_10,
+        ),
+        (
+            "b_naks_40MB",
+            "Figure 13(b): NAK activity, 40 MB, memory-to-memory, 100 Mbps",
+            MB_40,
+        ),
     ] {
         let mut table = Table::new(
             title,
-            &["buffer", "NAKs(1r)", "NAKs(2r)", "NAKs(3r)", "nic_drops(1r)"],
+            &[
+                "buffer",
+                "NAKs(1r)",
+                "NAKs(2r)",
+                "NAKs(3r)",
+                "nic_drops(1r)",
+            ],
         );
         let mut series = serde_json::Map::new();
         for &buffer in &BUFFERS_EXTENDED {

@@ -34,7 +34,10 @@ pub fn cell(
     );
     let runs = s.run_seeds(opts.repeats);
     let thr: Vec<f64> = runs.iter().map(|r| r.throughput_mbps).collect();
-    let rr: Vec<f64> = runs.iter().map(|r| r.rate_requests_received as f64).collect();
+    let rr: Vec<f64> = runs
+        .iter()
+        .map(|r| r.sender.rate_requests_received as f64)
+        .collect();
     (mean(&thr), mean(&rr))
 }
 

@@ -34,13 +34,7 @@ pub use options::ExpOptions;
 pub use table::Table;
 
 /// The paper's kernel-buffer sweep: 64 K – 1024 K.
-pub const BUFFERS: [usize; 5] = [
-    64 * 1024,
-    128 * 1024,
-    256 * 1024,
-    512 * 1024,
-    1024 * 1024,
-];
+pub const BUFFERS: [usize; 5] = [64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
 
 /// Extended sweep for Figure 13 ("an increase in buffer size beyond
 /// 1024K causes some NAKs to be generated").

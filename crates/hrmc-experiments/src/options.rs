@@ -115,10 +115,9 @@ mod tests {
         o.out_dir = std::env::temp_dir().join("hrmc-exp-test");
         let v = serde_json::json!({"a": [1, 2, 3]});
         o.save_json("unit", &v);
-        let read: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(o.out_dir.join("unit.json")).unwrap(),
-        )
-        .unwrap();
+        let read: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(o.out_dir.join("unit.json")).unwrap())
+                .unwrap();
         assert_eq!(read, v);
     }
 }

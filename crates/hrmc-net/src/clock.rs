@@ -13,7 +13,9 @@ pub struct DriverClock {
 impl DriverClock {
     /// A clock starting now.
     pub fn new() -> DriverClock {
-        DriverClock { epoch: Instant::now() }
+        DriverClock {
+            epoch: Instant::now(),
+        }
     }
 
     /// Microseconds elapsed since the clock was created.

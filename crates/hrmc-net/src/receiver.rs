@@ -113,7 +113,10 @@ impl HrmcReceiver {
             wakeup_lock: Mutex::new(()),
         });
         let mut threads = Vec::new();
-        for (name, which) in [("hrmc-rcv-mrx", RxSock::Mcast), ("hrmc-rcv-urx", RxSock::Ucast)] {
+        for (name, which) in [
+            ("hrmc-rcv-mrx", RxSock::Mcast),
+            ("hrmc-rcv-urx", RxSock::Ucast),
+        ] {
             let inner = Arc::clone(&inner);
             threads.push(
                 std::thread::Builder::new()
@@ -151,8 +154,12 @@ fn rx_loop(inner: &Inner, which: RxSock) {
             RxSock::Mcast => &inner.socket,
             RxSock::Ucast => &inner.ucast,
         };
-        let Ok((n, from)) = sock.recv_from(&mut buf) else { continue };
-        let Ok(pkt) = Packet::decode(&buf[..n]) else { continue };
+        let Ok((n, from)) = sock.recv_from(&mut buf) else {
+            continue;
+        };
+        let Ok(pkt) = Packet::decode(&buf[..n]) else {
+            continue;
+        };
         // Peer NAKs pass through for local recovery; other
         // receiver-originated feedback is ignored. The sender's address
         // is learned from control packets unconditionally, and from
@@ -224,6 +231,13 @@ impl ReceiverHandle {
     /// Snapshot of the engine's counters.
     pub fn stats(&self) -> ReceiverStats {
         self.inner.engine.lock().stats.clone()
+    }
+
+    /// Install a [`hrmc_core::ProtocolObserver`] on the engine (wall-clock
+    /// microsecond timestamps relative to join time). The observer runs
+    /// under the engine lock; keep it cheap.
+    pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
+        self.inner.engine.lock().set_observer(observer);
     }
 
     /// Leave the group (the paper's `close`): sends LEAVE to the sender.

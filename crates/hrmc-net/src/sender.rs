@@ -142,17 +142,27 @@ impl HrmcSender {
                 .spawn(move || timer_loop(&inner))
                 .map_err(NetError::Io)?
         };
-        Ok(SenderHandle { inner, threads: vec![rx, timer] })
+        Ok(SenderHandle {
+            inner,
+            threads: vec![rx, timer],
+        })
     }
 }
 
 fn rx_loop(inner: &Inner) {
     let mut buf = vec![0u8; 64 * 1024];
     while !inner.shutdown.load(Ordering::SeqCst) {
-        let Ok((n, from)) = inner.socket.recv_from(&mut buf) else { continue };
-        let Ok(pkt) = Packet::decode(&buf[..n]) else { continue };
+        let Ok((n, from)) = inner.socket.recv_from(&mut buf) else {
+            continue;
+        };
+        let Ok(pkt) = Packet::decode(&buf[..n]) else {
+            continue;
+        };
         let peer = inner.peers.lock().get_or_insert(from);
-        inner.engine.lock().handle_packet(&pkt, peer, inner.clock.now());
+        inner
+            .engine
+            .lock()
+            .handle_packet(&pkt, peer, inner.clock.now());
         inner.flush();
     }
 }
@@ -221,6 +231,13 @@ impl SenderHandle {
     /// Snapshot of the engine's counters.
     pub fn stats(&self) -> SenderStats {
         self.inner.engine.lock().stats.clone()
+    }
+
+    /// Install a [`hrmc_core::ProtocolObserver`] on the engine (wall-clock
+    /// microsecond timestamps relative to bind time). The observer runs
+    /// under the engine lock; keep it cheap.
+    pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
+        self.inner.engine.lock().set_observer(observer);
     }
 
     /// Number of receivers currently in the group.

@@ -117,13 +117,18 @@ impl McastSocket {
 
     /// Clone the underlying socket handle (same fd, shared by threads).
     pub fn try_clone(&self) -> io::Result<McastSocket> {
-        Ok(McastSocket { inner: self.inner.try_clone()?, group: self.group })
+        Ok(McastSocket {
+            inner: self.inner.try_clone()?,
+            group: self.group,
+        })
     }
 }
 
 #[cfg(unix)]
 fn set_multicast_if(sock: &UdpSocket, interface: Ipv4Addr) -> io::Result<()> {
-    let addr = libc::in_addr { s_addr: u32::from_ne_bytes(interface.octets()) };
+    let addr = libc::in_addr {
+        s_addr: u32::from_ne_bytes(interface.octets()),
+    };
     let rc = unsafe {
         libc::setsockopt(
             sock.as_raw_fd(),

@@ -13,8 +13,12 @@ const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
 
 fn multicast_available(port: u16) -> bool {
     let g = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 11), port);
-    let Ok(rx) = McastSocket::receiver(g, LO) else { return false };
-    let Ok(tx) = McastSocket::sender(g, LO) else { return false };
+    let Ok(rx) = McastSocket::receiver(g, LO) else {
+        return false;
+    };
+    let Ok(tx) = McastSocket::sender(g, LO) else {
+        return false;
+    };
     let _ = rx.set_read_timeout(Duration::from_millis(500));
     if tx.send_multicast(b"probe").is_err() {
         return false;
@@ -138,7 +142,9 @@ fn garbage_datagrams_are_ignored() {
         }
     }
     assert_eq!(got, data, "noise corrupted the stream");
-    sender.close_and_wait(Duration::from_secs(30)).expect("close");
+    sender
+        .close_and_wait(Duration::from_secs(30))
+        .expect("close");
 }
 
 #[test]
@@ -163,5 +169,7 @@ fn sender_observes_membership() {
     while total < 5_000 {
         total += r.recv(&mut buf, Duration::from_secs(10)).expect("recv");
     }
-    sender.close_and_wait(Duration::from_secs(30)).expect("close");
+    sender
+        .close_and_wait(Duration::from_secs(30))
+        .expect("close");
 }

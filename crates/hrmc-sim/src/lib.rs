@@ -33,6 +33,7 @@ pub mod apps;
 pub mod host;
 pub mod loss;
 pub mod nic;
+pub mod obs;
 pub mod queue;
 pub mod report;
 pub mod router;
@@ -42,7 +43,8 @@ pub mod trace;
 
 pub use apps::{IoProfile, SinkApp, SourceApp};
 pub use loss::{LossModel, LossProcess};
-pub use report::{ReceiverReport, SimReport};
+pub use obs::{HostObserver, SharedObs};
+pub use report::{LatencyReport, ReceiverReport, SimReport};
 pub use sim::{SimParams, Simulation};
 pub use topology::{CharacteristicGroup, GroupSpec, Topology, TopologyBuilder};
 pub use trace::{Trace, TraceBucket};

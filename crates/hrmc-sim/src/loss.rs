@@ -92,7 +92,12 @@ pub struct LossProcess {
 impl LossProcess {
     /// A process starting in the good state.
     pub fn new(model: LossModel) -> LossProcess {
-        LossProcess { model, in_bad: false, drops: 0, offered: 0 }
+        LossProcess {
+            model,
+            in_bad: false,
+            drops: 0,
+            offered: 0,
+        }
     }
 
     /// The model.

@@ -113,7 +113,9 @@ impl Nic {
             TxOutcome::Queued
         } else {
             self.busy = true;
-            TxOutcome::StartService { service_us: service }
+            TxOutcome::StartService {
+                service_us: service,
+            }
         }
     }
 
@@ -122,9 +124,10 @@ impl Nic {
     pub fn tx_dequeue(&mut self) -> (Transit, Option<u64>) {
         let t = self.tx.pop_front().expect("tx_dequeue on empty NIC queue");
         self.transmitted += 1;
-        let next = self.tx.front().map(|n| {
-            crate::serialize_us(n.pkt.wire_len(), self.params.bandwidth_bps)
-        });
+        let next = self
+            .tx
+            .front()
+            .map(|n| crate::serialize_us(n.pkt.wire_len(), self.params.bandwidth_bps));
         if next.is_none() {
             self.busy = false;
         }
@@ -158,7 +161,10 @@ mod tests {
     fn transit() -> Transit {
         Transit {
             pkt: Packet::data(1, 2, 0, Bytes::from(vec![0u8; 1400])),
-            route: crate::router::Route::Down { dests: vec![0], hop: 0 },
+            route: crate::router::Route::Down {
+                dests: vec![0],
+                hop: 0,
+            },
         }
     }
 

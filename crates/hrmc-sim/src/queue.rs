@@ -42,7 +42,11 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), counter: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            counter: 0,
+            now: 0,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: u64, event: E) {
         let time = at.max(self.now);
         self.counter += 1;
-        self.heap.push(Scheduled { time, tiebreak: self.counter, event });
+        self.heap.push(Scheduled {
+            time,
+            tiebreak: self.counter,
+            event,
+        });
     }
 
     /// Pop the next event, advancing the clock to its fire time.

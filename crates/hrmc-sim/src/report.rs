@@ -1,13 +1,12 @@
 //! Simulation output: everything the paper's figures are plotted from.
 
-use hrmc_core::{ReceiverStats, SenderStats};
+use hrmc_core::{HistogramSummary, ReceiverStats, SenderStats};
 use serde::Serialize;
 
 /// Per-receiver results.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReceiverReport {
-    /// Protocol counters.
-    #[serde(skip)]
+    /// Protocol counters, serialized in full.
     pub stats: ReceiverStats,
     /// Bytes the application absorbed.
     pub bytes: u64,
@@ -16,14 +15,18 @@ pub struct ReceiverReport {
     pub completed_at: Option<u64>,
     /// `true` when every byte matched the expected pattern.
     pub intact: bool,
-    /// NAKs sent (duplicated out of `stats` for serialization).
-    pub naks_sent: u64,
-    /// Rate requests sent.
-    pub rate_requests_sent: u64,
-    /// Updates sent.
-    pub updates_sent: u64,
-    /// Peer repairs multicast (local-recovery extension).
-    pub repairs_sent: u64,
+}
+
+/// Latency percentiles collected by the observer pipeline (present when
+/// [`SimParams::observe`](crate::sim::SimParams::observe) was set).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyReport {
+    /// Sender first-transmission → in-order delivery at a receiver (µs),
+    /// all receivers pooled.
+    pub delivery: HistogramSummary,
+    /// Gap first noted → gap filled, i.e. NAK-to-repair recovery (µs),
+    /// all receivers pooled.
+    pub recovery: HistogramSummary,
 }
 
 /// Complete result of one simulation run.
@@ -39,19 +42,8 @@ pub struct SimReport {
     pub throughput_mbps: f64,
     /// Transfer size in bytes.
     pub transfer_bytes: u64,
-    /// Sender counters.
-    #[serde(skip)]
+    /// Sender counters, serialized in full.
     pub sender: SenderStats,
-    /// Key sender counters (duplicated for serialization).
-    pub naks_received: u64,
-    /// Rate requests that reached the sender.
-    pub rate_requests_received: u64,
-    /// Updates that reached the sender.
-    pub updates_received: u64,
-    /// Probes the sender issued.
-    pub probes_sent: u64,
-    /// Retransmitted DATA packets.
-    pub retransmissions: u64,
     /// Figure 3 metric: fraction of buffer-release attempts with complete
     /// receiver information.
     pub complete_info_ratio: f64,
@@ -69,6 +61,8 @@ pub struct SimReport {
     pub final_rtt_us: u64,
     /// The sender's final transmission rate (bytes/s).
     pub final_rate_bps: u64,
+    /// Delivery- and recovery-latency percentiles, when observed.
+    pub latency: Option<LatencyReport>,
     /// Per-receiver reports.
     pub receivers: Vec<ReceiverReport>,
     /// Bucketed activity timeline, when tracing was enabled.
@@ -79,12 +73,15 @@ pub struct SimReport {
 impl SimReport {
     /// Total NAKs sent by all receivers.
     pub fn total_naks(&self) -> u64 {
-        self.receivers.iter().map(|r| r.naks_sent).sum()
+        self.receivers.iter().map(|r| r.stats.naks_sent).sum()
     }
 
     /// Total rate requests sent by all receivers.
     pub fn total_rate_requests(&self) -> u64 {
-        self.receivers.iter().map(|r| r.rate_requests_sent).sum()
+        self.receivers
+            .iter()
+            .map(|r| r.stats.rate_requests_sent)
+            .sum()
     }
 
     /// `true` when every receiver's stream verified intact.

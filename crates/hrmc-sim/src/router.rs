@@ -135,7 +135,9 @@ impl Router {
             EnqueueOutcome::Queued
         } else {
             self.busy = true;
-            EnqueueOutcome::StartService { service_us: service }
+            EnqueueOutcome::StartService {
+                service_us: service,
+            }
         }
     }
 
@@ -148,9 +150,10 @@ impl Router {
             .pop_front()
             .expect("dequeue fired with empty router queue");
         self.forwarded += 1;
-        let next = self.queue.front().map(|n| {
-            crate::serialize_us(n.pkt.wire_len(), self.params.bandwidth_bps)
-        });
+        let next = self
+            .queue
+            .front()
+            .map(|n| crate::serialize_us(n.pkt.wire_len(), self.params.bandwidth_bps));
         if next.is_none() {
             self.busy = false;
         }
@@ -175,7 +178,10 @@ mod tests {
     fn transit() -> Transit {
         Transit {
             pkt: pkt(),
-            route: Route::Down { dests: vec![0, 1], hop: 0 },
+            route: Route::Down {
+                dests: vec![0, 1],
+                hop: 0,
+            },
         }
     }
 
@@ -219,7 +225,10 @@ mod tests {
 
     #[test]
     fn loss_roll_drops() {
-        let mut r = Router::new(RouterParams { loss: 0.02, ..RouterParams::default() });
+        let mut r = Router::new(RouterParams {
+            loss: 0.02,
+            ..RouterParams::default()
+        });
         assert_eq!(r.enqueue(transit(), 0.0199), EnqueueOutcome::Dropped);
         assert_eq!(r.loss_drops, 1);
         assert!(matches!(

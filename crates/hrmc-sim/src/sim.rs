@@ -16,18 +16,19 @@
 //! identified to the sender engine as `PeerId(i)`. All routing state uses
 //! receiver indices; conversion to host ids happens only at delivery.
 
-use hrmc_core::{
-    Dest, PeerId, ProtocolConfig, ReceiverEngine, SenderEngine, JIFFY_US,
-};
+use hrmc_core::{Dest, PeerId, ProtocolConfig, ReceiverEngine, SenderEngine, JIFFY_US};
 use hrmc_wire::Packet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::{Arc, Mutex};
+
 use crate::apps::{IoProfile, SinkApp, SourceApp};
 use crate::host::{Engine, Host};
 use crate::nic::{Nic, TxOutcome};
+use crate::obs::{HostObserver, SharedObs};
 use crate::queue::EventQueue;
-use crate::report::{ReceiverReport, SimReport};
+use crate::report::{LatencyReport, ReceiverReport, SimReport};
 use crate::router::{EnqueueOutcome, Route, Router, Transit};
 use crate::topology::Topology;
 
@@ -59,6 +60,11 @@ pub struct SimParams {
     /// When set, record a bucketed activity timeline with this bucket
     /// width (µs); retrieve it from [`SimReport::trace`].
     pub trace_bucket_us: Option<u64>,
+    /// Install [`crate::obs`] observers into every engine, collecting
+    /// delivery- and recovery-latency histograms reported through
+    /// [`SimReport::latency`] (and merged into the trace, when both are
+    /// on).
+    pub observe: bool,
 }
 
 impl SimParams {
@@ -75,6 +81,7 @@ impl SimParams {
             cpu_scale: 1.0,
             host_backlog_us: 50_000,
             trace_bucket_us: None,
+            observe: false,
         }
     }
 }
@@ -83,7 +90,11 @@ enum Ev {
     /// Per-host jiffy timer.
     Tick { host: usize },
     /// A packet finished host RX processing and reaches the engine.
-    HostRx { host: usize, from: Option<usize>, pkt: Packet },
+    HostRx {
+        host: usize,
+        from: Option<usize>,
+        pkt: Packet,
+    },
     /// A packet finished host TX processing and reaches the host's NIC.
     NicEnq { host: usize, transit: Transit },
     /// A host NIC finished serializing its head packet.
@@ -106,6 +117,7 @@ pub struct Simulation {
     routers: Vec<Router>,
     rng: SmallRng,
     trace: Option<crate::trace::Trace>,
+    obs: Option<Arc<Mutex<SharedObs>>>,
     done: bool,
 }
 
@@ -120,8 +132,7 @@ impl Simulation {
             SourceApp::new(params.transfer_bytes, params.source, 0),
         ));
         for i in 0..n {
-            let mut engine =
-                ReceiverEngine::new(params.protocol.clone(), 8000 + i as u16, 7001, 0);
+            let mut engine = ReceiverEngine::new(params.protocol.clone(), 8000 + i as u16, 7001, 0);
             // Experiment semantics: receivers start before the sender and
             // expect the stream from its first segment.
             engine.expect_stream_start(0);
@@ -147,7 +158,7 @@ impl Simulation {
         }
         let rng = SmallRng::seed_from_u64(params.seed);
         let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
-        Simulation {
+        let mut sim = Simulation {
             params,
             queue,
             hosts,
@@ -155,8 +166,44 @@ impl Simulation {
             routers,
             rng,
             trace,
+            obs: None,
             done: false,
+        };
+        if sim.params.observe {
+            sim.install_observers();
         }
+        sim
+    }
+
+    /// Install a [`HostObserver`] into every engine, all feeding one
+    /// shared collector. Idempotent.
+    fn install_observers(&mut self) {
+        let shared = self
+            .obs
+            .get_or_insert_with(|| Arc::new(Mutex::new(SharedObs::new())))
+            .clone();
+        for (host, h) in self.hosts.iter_mut().enumerate() {
+            let obs = Box::new(HostObserver::new(host, shared.clone()));
+            match &mut h.engine {
+                Engine::Sender(e) => e.set_observer(obs),
+                Engine::Receiver(e) => e.set_observer(obs),
+            }
+        }
+    }
+
+    /// Stream every protocol event from every host to `w` as JSON lines
+    /// (simulation timestamps, a `"host"` field per line). Implies
+    /// observation even when [`SimParams::observe`] was not set.
+    pub fn set_event_log(&mut self, w: Box<dyn std::io::Write + Send>) {
+        if self.obs.is_none() {
+            self.install_observers();
+        }
+        self.obs
+            .as_ref()
+            .expect("just installed")
+            .lock()
+            .unwrap()
+            .set_log(w);
     }
 
     /// Run like [`Simulation::run`] but also return the sender-NIC drop
@@ -261,7 +308,10 @@ impl Simulation {
             let n = self.params.topology.receivers();
             let routes: Vec<Route> = match out.dest {
                 Dest::Multicast if host == 0 => {
-                    vec![Route::Down { dests: (0..n).collect(), hop: 0 }]
+                    vec![Route::Down {
+                        dests: (0..n).collect(),
+                        hop: 0,
+                    }]
                 }
                 // Receiver-originated multicast (local-recovery NAKs and
                 // repairs): one copy climbs to the sender, one is
@@ -270,14 +320,26 @@ impl Simulation {
                 // the root is not charged for the fan-out copy).
                 Dest::Multicast => {
                     let peers: Vec<usize> = (0..n).filter(|&d| d != host - 1).collect();
-                    let mut v = vec![Route::Up { from: host - 1, hop: 0 }];
+                    let mut v = vec![Route::Up {
+                        from: host - 1,
+                        hop: 0,
+                    }];
                     if !peers.is_empty() {
-                        v.push(Route::Down { dests: peers, hop: 0 });
+                        v.push(Route::Down {
+                            dests: peers,
+                            hop: 0,
+                        });
                     }
                     v
                 }
-                Dest::Unicast(p) => vec![Route::Down { dests: vec![p.0 as usize], hop: 0 }],
-                Dest::Sender => vec![Route::Up { from: host - 1, hop: 0 }],
+                Dest::Unicast(p) => vec![Route::Down {
+                    dests: vec![p.0 as usize],
+                    hop: 0,
+                }],
+                Dest::Sender => vec![Route::Up {
+                    from: host - 1,
+                    hop: 0,
+                }],
             };
             let len = out.packet.payload.len();
             if host == 0 {
@@ -292,7 +354,10 @@ impl Simulation {
                     ready,
                     Ev::NicEnq {
                         host,
-                        transit: Transit { pkt: out.packet.clone(), route },
+                        transit: Transit {
+                            pkt: out.packet.clone(),
+                            route,
+                        },
                     },
                 );
             }
@@ -333,8 +398,13 @@ impl Simulation {
                 .copied()
                 .expect("receiver with empty router path"),
         };
-        self.queue
-            .schedule(now, Ev::RouterArrive { router: first_router, transit });
+        self.queue.schedule(
+            now,
+            Ev::RouterArrive {
+                router: first_router,
+                transit,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -345,7 +415,8 @@ impl Simulation {
         let roll = self.rng.gen::<f64>();
         match self.routers[router].enqueue(transit, roll) {
             EnqueueOutcome::StartService { service_us } => {
-                self.queue.schedule(now + service_us, Ev::RouterDeq { router });
+                self.queue
+                    .schedule(now + service_us, Ev::RouterDeq { router });
             }
             EnqueueOutcome::Queued => {}
             EnqueueOutcome::Dropped => {
@@ -362,7 +433,8 @@ impl Simulation {
             self.queue.schedule(now + svc, Ev::RouterDeq { router });
         }
         let delay = self.routers[router].params.delay_us;
-        self.queue.schedule(now + delay, Ev::Forward { router, transit });
+        self.queue
+            .schedule(now + delay, Ev::Forward { router, transit });
     }
 
     /// Fan a served packet out of a router: on toward next-hop routers
@@ -390,7 +462,10 @@ impl Simulation {
                             router: next_router,
                             transit: Transit {
                                 pkt: transit.pkt.clone(),
-                                route: Route::Down { dests: group, hop: hop + 1 },
+                                route: Route::Down {
+                                    dests: group,
+                                    hop: hop + 1,
+                                },
                             },
                         },
                     );
@@ -422,7 +497,11 @@ impl Simulation {
                     let ready = self.hosts[0].charge_cpu(len, now);
                     self.queue.schedule(
                         ready,
-                        Ev::HostRx { host: 0, from: Some(from), pkt: transit.pkt },
+                        Ev::HostRx {
+                            host: 0,
+                            from: Some(from),
+                            pkt: transit.pkt,
+                        },
                     );
                 }
             }
@@ -446,7 +525,11 @@ impl Simulation {
         let ready = self.hosts[host].charge_cpu(len, now);
         self.queue.schedule(
             ready,
-            Ev::HostRx { host, from: None, pkt: pkt.clone() },
+            Ev::HostRx {
+                host,
+                from: None,
+                pkt: pkt.clone(),
+            },
         );
     }
 
@@ -455,7 +538,9 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn check_done(&self, _now: u64) -> bool {
-        let Engine::Sender(sender) = &self.hosts[0].engine else { unreachable!() };
+        let Engine::Sender(sender) = &self.hosts[0].engine else {
+            unreachable!()
+        };
         if !(self.hosts[0].closed && sender.is_finished()) {
             return false;
         }
@@ -463,21 +548,21 @@ impl Simulation {
     }
 
     fn report(self) -> SimReport {
-        let Engine::Sender(sender) = &self.hosts[0].engine else { unreachable!() };
+        let Engine::Sender(sender) = &self.hosts[0].engine else {
+            unreachable!()
+        };
         let receivers: Vec<ReceiverReport> = self.hosts[1..]
             .iter()
             .map(|h| {
-                let Engine::Receiver(r) = &h.engine else { unreachable!() };
+                let Engine::Receiver(r) = &h.engine else {
+                    unreachable!()
+                };
                 let sink = h.sink.as_ref().expect("receiver host without sink");
                 ReceiverReport {
                     stats: r.stats.clone(),
                     bytes: sink.received(),
                     completed_at: h.completed_at,
                     intact: sink.intact(),
-                    naks_sent: r.stats.naks_sent,
-                    rate_requests_sent: r.stats.rate_requests_sent,
-                    updates_sent: r.stats.updates_sent,
-                    repairs_sent: r.stats.repairs_sent,
                 }
             })
             .collect();
@@ -492,16 +577,23 @@ impl Simulation {
         } else {
             0.0
         };
+        let mut trace = self.trace.clone();
+        let latency = self.obs.as_ref().map(|shared| {
+            let mut s = shared.lock().unwrap();
+            s.flush();
+            if let Some(t) = trace.as_mut() {
+                t.merge_latency(&s.delivery);
+            }
+            LatencyReport {
+                delivery: s.delivery.summary(),
+                recovery: s.recovery.summary(),
+            }
+        });
         SimReport {
             completed,
             elapsed_us,
             throughput_mbps,
             transfer_bytes: self.params.transfer_bytes,
-            naks_received: sender.stats.naks_received,
-            rate_requests_received: sender.stats.rate_requests_received,
-            updates_received: sender.stats.updates_received,
-            probes_sent: sender.stats.probes_sent,
-            retransmissions: sender.stats.retransmissions,
             complete_info_ratio: sender.stats.complete_info_ratio(),
             sender: sender.stats.clone(),
             router_loss_drops: self.routers.iter().map(|r| r.loss_drops).sum(),
@@ -511,8 +603,9 @@ impl Simulation {
             host_backlog_drops: self.hosts.iter().map(|h| h.backlog_drops).sum(),
             final_rtt_us: sender.rtt(),
             final_rate_bps: sender.rate(),
+            latency,
             receivers,
-            trace: self.trace.clone(),
+            trace,
         }
     }
 }
@@ -522,13 +615,7 @@ mod tests {
     use super::*;
     use crate::topology::TopologyBuilder;
 
-    fn lan_params(
-        n: usize,
-        bandwidth: u64,
-        loss: f64,
-        bytes: u64,
-        buffer: usize,
-    ) -> SimParams {
+    fn lan_params(n: usize, bandwidth: u64, loss: f64, bytes: u64, buffer: usize) -> SimParams {
         let mut protocol = ProtocolConfig::hrmc().with_buffer(buffer);
         protocol.max_rate = 2 * bandwidth / 8;
         let topology = TopologyBuilder::new().lan(n, bandwidth, loss);
@@ -560,8 +647,69 @@ mod tests {
             report.router_loss_drops + report.nic_rx_drops > 0,
             "loss model never fired"
         );
-        assert!(report.retransmissions > 0);
+        assert!(report.sender.retransmissions > 0);
         assert_eq!(report.sender.nak_errs_sent, 0);
+    }
+
+    #[test]
+    fn observed_lossy_run_reports_latency_percentiles() {
+        let mut params = lan_params(2, 10_000_000, 0.01, 500_000, 256 * 1024);
+        params.observe = true;
+        let report = Simulation::new(params).run();
+        assert!(report.completed);
+        let lat = report.latency.expect("observe=true must yield latency");
+        // Every delivered segment was first sent: the pooled delivery
+        // histogram covers both receivers' full streams.
+        assert!(lat.delivery.count > 0);
+        assert!(lat.delivery.p50 > 0);
+        assert!(lat.delivery.p50 <= lat.delivery.p90);
+        assert!(lat.delivery.p90 <= lat.delivery.p99);
+        // 1% loss forces NAK-driven recoveries.
+        assert!(lat.recovery.count > 0);
+        assert!(lat.recovery.p99 >= lat.recovery.p50);
+    }
+
+    #[test]
+    fn observation_does_not_change_the_run() {
+        let base = Simulation::new(lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024)).run();
+        let mut params = lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024);
+        params.observe = true;
+        let observed = Simulation::new(params).run();
+        assert_eq!(base.elapsed_us, observed.elapsed_us);
+        assert_eq!(base.sender.naks_received, observed.sender.naks_received);
+        assert_eq!(base.sender.retransmissions, observed.sender.retransmissions);
+    }
+
+    #[test]
+    fn event_log_writes_jsonl() {
+        use std::sync::{Arc as A, Mutex as M};
+        struct Tee(A<M<Vec<u8>>>);
+        impl std::io::Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = A::new(M::new(Vec::new()));
+        let mut sim = Simulation::new(lan_params(1, 10_000_000, 0.0, 100_000, 128 * 1024));
+        sim.set_event_log(Box::new(Tee(buf.clone())));
+        let report = sim.run();
+        assert!(report.completed);
+        let log = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(!log.is_empty());
+        for line in log.lines() {
+            assert!(line.starts_with("{\"t_us\":"), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+            assert!(line.contains("\"host\":"), "bad line: {line}");
+            assert!(line.contains("\"event\":\""), "bad line: {line}");
+        }
+        // A clean 1-receiver run still joins, sends data, and delivers.
+        assert!(log.contains("\"event\":\"peer_joined\""));
+        assert!(log.contains("\"event\":\"data_sent\""));
+        assert!(log.contains("\"event\":\"delivered\""));
     }
 
     #[test]
@@ -569,14 +717,14 @@ mod tests {
         let a = Simulation::new(lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024)).run();
         let b = Simulation::new(lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024)).run();
         assert_eq!(a.elapsed_us, b.elapsed_us);
-        assert_eq!(a.naks_received, b.naks_received);
-        assert_eq!(a.retransmissions, b.retransmissions);
+        assert_eq!(a.sender.naks_received, b.sender.naks_received);
+        assert_eq!(a.sender.retransmissions, b.sender.retransmissions);
         let mut c_params = lan_params(2, 10_000_000, 0.02, 300_000, 128 * 1024);
         c_params.seed = 99;
         let c = Simulation::new(c_params).run();
         // Different seed: overwhelmingly likely a different trajectory.
         assert!(
-            c.elapsed_us != a.elapsed_us || c.naks_received != a.naks_received,
+            c.elapsed_us != a.elapsed_us || c.sender.naks_received != a.sender.naks_received,
             "different seeds produced identical runs"
         );
     }
@@ -592,7 +740,7 @@ mod tests {
         let report = Simulation::new(params).run();
         assert!(report.completed, "WAN transfer stalled");
         assert!(report.all_intact());
-        assert!(report.naks_received > 0, "2% loss must cause NAKs");
+        assert!(report.sender.naks_received > 0, "2% loss must cause NAKs");
     }
 
     #[test]
@@ -617,7 +765,7 @@ mod tests {
         params.protocol.max_rate = 2 * 10_000_000 / 8;
         let report = Simulation::new(params).run();
         assert!(report.sender.release_attempts > 0);
-        assert!(report.probes_sent == 0);
+        assert!(report.sender.probes_sent == 0);
         assert!(report.complete_info_ratio <= 1.0);
     }
 }

@@ -180,9 +180,7 @@ impl TopologyBuilder {
                 receiver_nics.push(NicParams {
                     bandwidth_bps,
                     tx_queue_packets: self.receiver_txqueue,
-                    rx_loss: LossModel::Bernoulli(
-                        spec.group.loss * (1.0 - CORRELATED_LOSS_SHARE),
-                    ),
+                    rx_loss: LossModel::Bernoulli(spec.group.loss * (1.0 - CORRELATED_LOSS_SHARE)),
                 });
                 paths.push(vec![0, router_idx]);
             }
@@ -204,21 +202,42 @@ impl TopologyBuilder {
 pub fn test_case(test: usize, n: usize) -> Vec<GroupSpec> {
     let split = |frac: f64| ((n as f64 * frac).round() as usize).min(n);
     match test {
-        1 => vec![GroupSpec { group: CharacteristicGroup::A, receivers: n }],
-        2 => vec![GroupSpec { group: CharacteristicGroup::B, receivers: n }],
-        3 => vec![GroupSpec { group: CharacteristicGroup::C, receivers: n }],
+        1 => vec![GroupSpec {
+            group: CharacteristicGroup::A,
+            receivers: n,
+        }],
+        2 => vec![GroupSpec {
+            group: CharacteristicGroup::B,
+            receivers: n,
+        }],
+        3 => vec![GroupSpec {
+            group: CharacteristicGroup::C,
+            receivers: n,
+        }],
         4 => {
             let b = split(0.8);
             vec![
-                GroupSpec { group: CharacteristicGroup::B, receivers: b },
-                GroupSpec { group: CharacteristicGroup::C, receivers: n - b },
+                GroupSpec {
+                    group: CharacteristicGroup::B,
+                    receivers: b,
+                },
+                GroupSpec {
+                    group: CharacteristicGroup::C,
+                    receivers: n - b,
+                },
             ]
         }
         5 => {
             let b = split(0.2);
             vec![
-                GroupSpec { group: CharacteristicGroup::B, receivers: b },
-                GroupSpec { group: CharacteristicGroup::C, receivers: n - b },
+                GroupSpec {
+                    group: CharacteristicGroup::B,
+                    receivers: b,
+                },
+                GroupSpec {
+                    group: CharacteristicGroup::C,
+                    receivers: n - b,
+                },
             ]
         }
         other => panic!("test case {other} is not one of the paper's Tests 1-5"),
@@ -270,8 +289,14 @@ mod tests {
     #[test]
     fn group_topology_shape() {
         let specs = [
-            GroupSpec { group: CharacteristicGroup::B, receivers: 8 },
-            GroupSpec { group: CharacteristicGroup::C, receivers: 2 },
+            GroupSpec {
+                group: CharacteristicGroup::B,
+                receivers: 8,
+            },
+            GroupSpec {
+                group: CharacteristicGroup::C,
+                receivers: 2,
+            },
         ];
         let t = TopologyBuilder::new().groups(&specs, 10_000_000);
         assert_eq!(t.routers.len(), 3); // backbone + 2 groups

@@ -3,6 +3,7 @@
 //! queue behaviour) beyond the end-of-run totals in
 //! [`SimReport`](crate::report::SimReport).
 
+use hrmc_core::Histogram;
 use hrmc_wire::PacketType;
 
 /// One time bucket of activity.
@@ -28,12 +29,19 @@ pub struct TraceBucket {
 pub struct Trace {
     bucket_us: u64,
     buckets: Vec<TraceBucket>,
+    /// End-to-end delivery latency (µs), fed from the observer pipeline
+    /// when observation is on; empty otherwise.
+    latency: Histogram,
 }
 
 impl Trace {
     /// A trace with the given bucket width.
     pub fn new(bucket_us: u64) -> Trace {
-        Trace { bucket_us: bucket_us.max(1), buckets: Vec::new() }
+        Trace {
+            bucket_us: bucket_us.max(1),
+            buckets: Vec::new(),
+            latency: Histogram::new(),
+        }
     }
 
     /// Bucket width in microseconds.
@@ -78,6 +86,16 @@ impl Trace {
         self.bucket_mut(now).rate_bps = rate_bps;
     }
 
+    /// Merge observed delivery-latency samples into the trace.
+    pub fn merge_latency(&mut self, h: &Histogram) {
+        self.latency.merge(h);
+    }
+
+    /// The delivery-latency histogram (empty unless observation ran).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
     /// The buckets recorded so far.
     pub fn buckets(&self) -> &[TraceBucket] {
         &self.buckets
@@ -101,6 +119,13 @@ impl Trace {
                 b.probes,
                 b.drops,
                 b.rate_bps / 1024,
+            ));
+        }
+        if self.latency.count() > 0 {
+            let s = self.latency.summary();
+            out.push_str(&format!(
+                "delivery latency (µs): n={} p50={} p90={} p99={} max={}\n",
+                s.count, s.p50, s.p90, s.p99, s.max,
             ));
         }
         out
@@ -145,6 +170,50 @@ mod tests {
         let s = t.render();
         // Header + two active buckets.
         assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn zero_bucket_width_clamps_to_one() {
+        // A zero width would divide by zero in bucket_mut; it clamps to
+        // 1 µs instead.
+        let mut t = Trace::new(0);
+        assert_eq!(t.bucket_us(), 1);
+        t.on_send(3, PacketType::Data, 10);
+        assert_eq!(t.buckets().len(), 4); // indices 0..=3 allocated
+        assert_eq!(t.buckets()[3].data_sent, 1);
+    }
+
+    #[test]
+    fn sparse_events_resize_the_bucket_vec() {
+        let mut t = Trace::new(1_000);
+        t.on_drop(0);
+        assert_eq!(t.buckets().len(), 1);
+        // An event far in the future grows the vector; the gap stays
+        // default-initialized.
+        t.on_drop(99_999);
+        assert_eq!(t.buckets().len(), 100);
+        assert!(t.buckets()[1..99]
+            .iter()
+            .all(|b| *b == TraceBucket::default()));
+        assert_eq!(t.buckets()[99].drops, 1);
+        // Out-of-order (earlier) events never shrink it.
+        t.on_drop(5_500);
+        assert_eq!(t.buckets().len(), 100);
+        assert_eq!(t.buckets()[5].drops, 1);
+    }
+
+    #[test]
+    fn latency_percentiles_render_when_present() {
+        let mut t = Trace::new(1_000);
+        assert!(!t.render().contains("delivery latency"));
+        let mut h = Histogram::new();
+        h.record(500);
+        h.record(700);
+        t.merge_latency(&h);
+        assert_eq!(t.latency().count(), 2);
+        let s = t.render();
+        assert!(s.contains("delivery latency"), "{s}");
+        assert!(s.contains("n=2"), "{s}");
     }
 
     #[test]

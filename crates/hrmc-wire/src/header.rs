@@ -173,7 +173,10 @@ mod tests {
             checksum: 0xabcd,
             tries: 3,
             ptype: PacketType::Data,
-            flags: Flags { urg: true, fin: false },
+            flags: Flags {
+                urg: true,
+                fin: false,
+            },
         }
     }
 

@@ -13,12 +13,21 @@ use hrmc::sim::{CharacteristicGroup, GroupSpec};
 
 fn main() {
     let specs = vec![
-        GroupSpec { group: CharacteristicGroup::A, receivers: 6 }, // campus
-        GroupSpec { group: CharacteristicGroup::C, receivers: 2 }, // remote
+        GroupSpec {
+            group: CharacteristicGroup::A,
+            receivers: 6,
+        }, // campus
+        GroupSpec {
+            group: CharacteristicGroup::C,
+            receivers: 2,
+        }, // remote
     ];
     let image_bytes = 40_000_000;
 
-    println!("distributing a {} MB image to 6 campus + 2 remote receivers\n", image_bytes / 1_000_000);
+    println!(
+        "distributing a {} MB image to 6 campus + 2 remote receivers\n",
+        image_bytes / 1_000_000
+    );
 
     for (label, scenario) in [
         (

@@ -26,7 +26,10 @@ fn main() {
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 42, 7), 47123);
     let payload: Vec<u8> = (0..2_000_000usize).map(|i| (i * 31 % 251) as u8).collect();
 
-    println!("group {group}: 1 sender, 3 receivers, {} bytes", payload.len());
+    println!(
+        "group {group}: 1 sender, 3 receivers, {} bytes",
+        payload.len()
+    );
 
     // Receivers first ("the receiving application uses setsockopt to
     // join the multicast group").

@@ -19,13 +19,19 @@ fn main() {
 
     println!("transfer complete:");
     println!("  bytes           : {}", report.transfer_bytes);
-    println!("  elapsed         : {:.2} s", report.elapsed_us as f64 / 1e6);
+    println!(
+        "  elapsed         : {:.2} s",
+        report.elapsed_us as f64 / 1e6
+    );
     println!("  throughput      : {:.2} Mbps", report.throughput_mbps);
-    println!("  retransmissions : {}", report.retransmissions);
-    println!("  NAKs at sender  : {}", report.naks_received);
-    println!("  rate requests   : {}", report.rate_requests_received);
-    println!("  updates         : {}", report.updates_received);
-    println!("  probes sent     : {}", report.probes_sent);
+    println!("  retransmissions : {}", report.sender.retransmissions);
+    println!("  NAKs at sender  : {}", report.sender.naks_received);
+    println!(
+        "  rate requests   : {}",
+        report.sender.rate_requests_received
+    );
+    println!("  updates         : {}", report.sender.updates_received);
+    println!("  probes sent     : {}", report.sender.probes_sent);
     println!(
         "  info-complete   : {:.1}% of buffer releases",
         report.complete_info_ratio * 100.0

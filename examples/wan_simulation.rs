@@ -37,9 +37,9 @@ fn main() {
             format!("Test {test}"),
             population.join(" + "),
             report.throughput_mbps,
-            report.naks_received,
-            report.rate_requests_received,
-            report.probes_sent,
+            report.sender.naks_received,
+            report.sender.rate_requests_received,
+            report.sender.probes_sent,
         );
     }
 

@@ -22,16 +22,19 @@ fn run(model: LossModel, fec: Option<usize>, seeds: u64) -> (f64, u64, u64, u64)
     let mut naks = 0;
     let mut thr = 0.0;
     for seed in 1..=seeds {
-        let mut s = Scenario::wireless(3, 10_000_000, 256 * 1024, 2_000_000, model)
-            .with_seed(seed);
+        let mut s = Scenario::wireless(3, 10_000_000, 256 * 1024, 2_000_000, model).with_seed(seed);
         if let Some(k) = fec {
             s = s.with_fec(k);
         }
         let r = s.run();
         assert!(r.completed && r.all_intact(), "unreliable transfer!");
-        retrans += r.retransmissions;
-        naks += r.naks_received;
-        recoveries += r.receivers.iter().map(|x| x.stats.fec_recoveries).sum::<u64>();
+        retrans += r.sender.retransmissions;
+        naks += r.sender.naks_received;
+        recoveries += r
+            .receivers
+            .iter()
+            .map(|x| x.stats.fec_recoveries)
+            .sum::<u64>();
         thr += r.throughput_mbps;
     }
     (thr / seeds as f64, retrans, naks, recoveries)
@@ -39,9 +42,7 @@ fn run(model: LossModel, fec: Option<usize>, seeds: u64) -> (f64, u64, u64, u64)
 
 fn main() {
     let seeds = 5;
-    println!(
-        "3 receivers on a 10 Mbps wireless cell, 2 MB transfer, {seeds} seeds each\n"
-    );
+    println!("3 receivers on a 10 Mbps wireless cell, 2 MB transfer, {seeds} seeds each\n");
     println!(
         "{:<26} {:>6} {:>12} {:>8} {:>8} {:>11}",
         "channel", "FEC", "throughput", "retrans", "NAKs", "recoveries"
@@ -55,7 +56,8 @@ fn main() {
             println!(
                 "{:<26} {:>6} {:>7.2} Mbps {:>8} {:>8} {:>11}",
                 name,
-                fec.map(|k| format!("k={k}")).unwrap_or_else(|| "off".into()),
+                fec.map(|k| format!("k={k}"))
+                    .unwrap_or_else(|| "off".into()),
                 thr,
                 retrans,
                 naks,

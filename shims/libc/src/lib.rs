@@ -1,0 +1,96 @@
+//! Minimal in-tree stand-in for the `libc` crate on Linux.
+//!
+//! Declares exactly the C types, constants, and functions
+//! `hrmc-net::socket` uses to configure multicast sockets before bind.
+//! Constant values are the Linux userspace ABI values (identical on
+//! x86-64 and aarch64).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_void = std::ffi::c_void;
+pub type socklen_t = u32;
+pub type sa_family_t = u16;
+pub type in_addr_t = u32;
+pub type in_port_t = u16;
+
+pub const AF_INET: c_int = 2;
+pub const SOCK_DGRAM: c_int = 2;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_REUSEADDR: c_int = 2;
+pub const SO_REUSEPORT: c_int = 15;
+pub const IPPROTO_IP: c_int = 0;
+pub const IP_MULTICAST_IF: c_int = 32;
+
+/// IPv4 address in network byte order.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct in_addr {
+    pub s_addr: in_addr_t,
+}
+
+/// IPv4 socket address (matches the kernel's `struct sockaddr_in`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: sa_family_t,
+    pub sin_port: in_port_t,
+    pub sin_addr: in_addr,
+    pub sin_zero: [u8; 8],
+}
+
+/// Opaque generic socket address.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct sockaddr {
+    pub sa_family: sa_family_t,
+    pub sa_data: [u8; 14],
+}
+
+extern "C" {
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn bind(sockfd: c_int, addr: *const sockaddr, addrlen: socklen_t) -> c_int;
+    pub fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_roundtrip() {
+        unsafe {
+            let fd = socket(AF_INET, SOCK_DGRAM, 0);
+            assert!(fd >= 0, "socket() failed");
+            let one: c_int = 1;
+            let rc = setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &one as *const _ as *const c_void,
+                std::mem::size_of::<c_int>() as socklen_t,
+            );
+            assert_eq!(
+                rc,
+                0,
+                "setsockopt failed: {:?}",
+                std::io::Error::last_os_error()
+            );
+            assert_eq!(close(fd), 0);
+        }
+    }
+
+    #[test]
+    fn sockaddr_in_layout() {
+        assert_eq!(std::mem::size_of::<sockaddr_in>(), 16);
+        assert_eq!(std::mem::size_of::<sockaddr>(), 16);
+    }
+}

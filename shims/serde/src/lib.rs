@@ -1,0 +1,167 @@
+//! Minimal in-tree stand-in for `serde` (plus the value model the real
+//! ecosystem keeps in `serde_json`).
+//!
+//! The build environment has no crates.io access; this shim provides the
+//! surface the workspace uses: a [`Serialize`] trait producing a JSON
+//! [`Value`], a derive macro re-exported from `serde_derive`, and the
+//! `Value`/`Map`/`Number` data model that the `serde_json` shim
+//! re-exports. Unlike real serde there is no serializer abstraction —
+//! everything funnels through `Value`, which is all this workspace needs.
+
+// Let the derive's emitted `::serde::...` paths resolve when the derive
+// is used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+mod value;
+
+pub use value::{Entry, Map, Number, Value};
+
+/// Types convertible to a JSON [`Value`].
+pub trait Serialize {
+    /// Produce the JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(42u64.to_value(), Value::Number(Number::from_u64(42)));
+        assert_eq!((-3i32).to_value(), Value::Number(Number::from_i64(-3)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u64, 2].to_value(),
+            Value::Array(vec![1u64.to_value(), 2u64.to_value()])
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        a: u64,
+        #[serde(skip)]
+        #[allow(dead_code)]
+        hidden: u64,
+        b: bool,
+    }
+
+    #[test]
+    fn derive_produces_object_without_skipped_fields() {
+        let v = Demo {
+            a: 7,
+            hidden: 9,
+            b: true,
+        }
+        .to_value();
+        let Value::Object(map) = v else {
+            panic!("not an object")
+        };
+        assert_eq!(map.get("a"), Some(&7u64.to_value()));
+        assert_eq!(map.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(map.get("hidden"), None);
+        assert_eq!(map.len(), 2);
+    }
+}

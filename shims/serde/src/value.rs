@@ -1,0 +1,345 @@
+//! The JSON value model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// A JSON number: integer or float, like `serde_json::Number`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Number {
+        Number::PosInt(v)
+    }
+
+    /// From a signed integer (normalized to `PosInt` when non-negative).
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(v: f64) -> Number {
+        Number::Float(v)
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(v) => Some(v as f64),
+            Number::NegInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        // serde_json semantics: integers never equal floats.
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of JSON values.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert, replacing and returning any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(v, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// `true` when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Entry API (the `or_insert_with` subset the workspace uses).
+    pub fn entry(&mut self, key: impl Into<String>) -> Entry<'_> {
+        Entry {
+            map: self,
+            key: key.into(),
+        }
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Map) -> bool {
+        // Key-set equality, order-independent (matching serde_json's
+        // BTreeMap-backed Map).
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+/// A view into a single map key, occupied or vacant.
+pub struct Entry<'a> {
+    map: &'a mut Map,
+    key: String,
+}
+
+impl<'a> Entry<'a> {
+    /// The value for this key, inserting `default()` if absent.
+    pub fn or_insert_with(self, default: impl FnOnce() -> Value) -> &'a mut Value {
+        let idx = match self.map.entries.iter().position(|(k, _)| *k == self.key) {
+            Some(i) => i,
+            None => {
+                self.map.entries.push((self.key, default()));
+                self.map.entries.len() - 1
+            }
+        };
+        &mut self.map.entries[idx].1
+    }
+
+    /// The value for this key, inserting `default` if absent.
+    pub fn or_insert(self, default: Value) -> &'a mut Value {
+        self.or_insert_with(|| default)
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Index into an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array access.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Missing keys index to `Null`, matching serde_json.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if !v.is_finite() {
+                    // JSON has no NaN/Inf; serde_json refuses, we emit null.
+                    write!(f, "null")
+                } else if v == v.trunc() && v.abs() < 1e15 {
+                    // Keep a trailing ".0" so the token re-parses as a float.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(true));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn map_equality_ignores_order() {
+        let mut a = Map::new();
+        a.insert("x".into(), Value::Bool(true));
+        a.insert("y".into(), Value::Null);
+        let mut b = Map::new();
+        b.insert("y".into(), Value::Null);
+        b.insert("x".into(), Value::Bool(true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entry_or_insert_with() {
+        let mut m = Map::new();
+        m.entry("k").or_insert_with(|| Value::Array(vec![]));
+        m.entry("k")
+            .or_insert_with(|| unreachable!("occupied"))
+            .as_array_mut()
+            .unwrap()
+            .push(Value::Bool(false));
+        assert_eq!(m.get("k").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn number_float_int_inequality() {
+        assert_ne!(
+            Value::Number(Number::from_u64(1)),
+            Value::Number(Number::from_f64(1.0))
+        );
+    }
+
+    #[test]
+    fn float_display_keeps_float_token() {
+        assert_eq!(Number::from_f64(2.0).to_string(), "2.0");
+        assert_eq!(Number::from_f64(0.5).to_string(), "0.5");
+        assert_eq!(Number::from_u64(2).to_string(), "2");
+    }
+}

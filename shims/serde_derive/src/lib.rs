@@ -1,0 +1,145 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on non-generic structs with named
+//! fields (all this workspace derives), honoring `#[serde(skip)]` on
+//! fields. Parsing is done directly on the `proc_macro` token stream —
+//! no `syn`/`quote`, since the build environment has no crates.io
+//! access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by building a `serde::Value::Object` with
+/// one entry per non-skipped field.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        _ => panic!("#[derive(Serialize)] shim supports structs only"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        _ => panic!("expected struct name"),
+    };
+    // The shim does not support generic structs (none in this workspace).
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("#[derive(Serialize)] shim does not support generics");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("#[derive(Serialize)] shim supports named-field structs only"),
+    };
+
+    let fields = parse_named_fields(body);
+    let mut inserts = String::new();
+    for f in &fields {
+        inserts.push_str(&format!(
+            "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut map = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(map)\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// Advance past attribute (`# [...]`) and visibility (`pub`, `pub(...)`)
+/// tokens. Returns `true` if any attribute seen carried `serde(skip)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc: the restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// `true` when an attribute body (the `[...]` content) is `serde(skip)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let parts: Vec<TokenTree> = stream.into_iter().collect();
+    match (parts.first(), parts.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Names of the non-skipped fields of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skipped = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: token trees until a top-level comma. Generic
+        // angle brackets arrive as plain '<'/'>' puncts, so track their
+        // depth — a comma inside `BTreeMap<K, V>` is not a separator.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !skipped {
+            fields.push(name);
+        }
+    }
+    fields
+}

@@ -1,0 +1,474 @@
+//! Minimal in-tree stand-in for `serde_json`.
+//!
+//! Re-exports the value model from the `serde` shim and adds the pieces
+//! the workspace uses on top: [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`], and [`from_str`]. The parser and printer cover
+//! the JSON this repo emits and reads back (reports, experiment output);
+//! they are not a general-purpose battle-tested implementation.
+
+pub use serde::{Entry, Map, Number, Value};
+
+use std::fmt::Write as _;
+
+/// Convert any [`serde::Serialize`] type to a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax: literals, arrays, objects
+/// with string-literal keys, and serializable expressions as values.
+/// Values are munched token-by-token up to the next top-level comma, so
+/// expressions like `r.elapsed_us` or `-4` work.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: Vec<$crate::Value> = Vec::new();
+        $crate::__json_array!(vec () $($tt)*);
+        $crate::Value::Array(vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::__json_object!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($vec:ident ()) => {};
+    ($vec:ident ($($val:tt)+)) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    ($vec:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::__json_array!($vec () $($rest)*);
+    };
+    ($vec:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::__json_array!($vec ($($val)* $next) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:literal : $($rest:tt)*) => {
+        $crate::__json_entry!($map $key () $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entry {
+    ($map:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal ($($val:tt)+)) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::__json_entry!($map $key ($($val)* $next) $($rest)*);
+    };
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON parse error with a human-readable message.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            // No surrogate-pair handling; this repo never
+                            // emits astral-plane escapes.
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {:?}", other.map(|c| c as char))))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n = if is_float {
+            Number::from_f64(
+                text.parse::<f64>()
+                    .map_err(|e| Error(format!("bad number {text:?}: {e}")))?,
+            )
+        } else if text.starts_with('-') {
+            Number::from_i64(
+                text.parse::<i64>()
+                    .map_err(|e| Error(format!("bad number {text:?}: {e}")))?,
+            )
+        } else {
+            Number::from_u64(
+                text.parse::<u64>()
+                    .map_err(|e| Error(format!("bad number {text:?}: {e}")))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or ']' , found {:?} at byte {}",
+                        other.map(|c| c as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or '}}', found {:?} at byte {}",
+                        other.map(|c| c as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "name": "hrmc",
+            "count": 3,
+            "ok": true,
+            "none": null,
+            "list": [1, 2, 3],
+        });
+        assert_eq!(v.get("name").unwrap().as_str(), Some("hrmc"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("list").unwrap().as_array().unwrap().len(), 3);
+        assert!(v.get("none").unwrap().is_null());
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let x = 21u64;
+        let v = json!({ "doubled": (x * 2) });
+        assert_eq!(v.get("doubled").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({
+            "s": "line\nbreak \"quoted\"",
+            "f": 0.25,
+            "i": -4,
+            "arr": [true, false, null],
+            "obj": { "nested": 1 },
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&text).unwrap();
+            assert_eq!(back, v, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let text = to_string_pretty(&json!({ "a": [1] })).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{\"a\":").is_err());
+        assert!(from_str("[1,]garbage").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn float_survives_roundtrip_as_float() {
+        let text = to_string(&json!({ "v": 2.0 })).unwrap();
+        assert_eq!(text, "{\"v\":2.0}");
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.get("v").unwrap().as_f64(), Some(2.0));
+        assert_eq!(back.get("v").unwrap().as_u64(), None);
+    }
+}

@@ -17,7 +17,7 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Duration;
 
 use hrmc::net::{HrmcReceiver, HrmcSender};
-use hrmc::ProtocolConfig;
+use hrmc::{JsonlObserver, MetricsObserver, MultiObserver, ProtocolConfig, ProtocolObserver};
 
 struct Opts {
     group: SocketAddrV4,
@@ -26,6 +26,8 @@ struct Opts {
     buffer: usize,
     wait_receivers: usize,
     fec: Option<usize>,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 impl Default for Opts {
@@ -37,6 +39,75 @@ impl Default for Opts {
             buffer: 512 * 1024,
             wait_receivers: 1,
             fec: None,
+            trace: None,
+            metrics: false,
+        }
+    }
+}
+
+/// One trace file shared by every endpoint in this process (selftest
+/// runs three). [`JsonlObserver`] emits each event as a single `write`
+/// of one full line, so a mutex around the writer keeps lines atomic.
+#[derive(Clone)]
+struct SharedLog(std::sync::Arc<std::sync::Mutex<std::io::BufWriter<std::fs::File>>>);
+
+impl Write for SharedLog {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().unwrap().flush()
+    }
+}
+
+/// The observability stack requested by `--trace` / `--metrics`:
+/// endpoints in this process share one JSONL file (each line tagged with
+/// the endpoint's role via `"src"`) and one metrics registry.
+struct Obs {
+    log: Option<SharedLog>,
+    metrics: Option<MetricsObserver>,
+}
+
+impl Obs {
+    fn open(opts: &Opts) -> Result<Obs, Box<dyn std::error::Error>> {
+        let log = match &opts.trace {
+            Some(path) => {
+                let f = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+                Some(SharedLog(std::sync::Arc::new(std::sync::Mutex::new(
+                    std::io::BufWriter::new(f),
+                ))))
+            }
+            None => None,
+        };
+        let metrics = opts.metrics.then(MetricsObserver::new);
+        Ok(Obs { log, metrics })
+    }
+
+    /// Observer stack for one endpoint, or `None` when neither flag was
+    /// given (the engine then keeps its zero-cost no-op path).
+    fn for_role(&self, role: &str) -> Option<Box<dyn ProtocolObserver>> {
+        let mut stack = MultiObserver::new();
+        let mut any = false;
+        if let Some(log) = &self.log {
+            stack.push(Box::new(JsonlObserver::new(log.clone()).with_label(role)));
+            any = true;
+        }
+        if let Some(m) = &self.metrics {
+            stack.push(Box::new(m.clone()));
+            any = true;
+        }
+        any.then(|| Box::new(stack) as Box<dyn ProtocolObserver>)
+    }
+
+    /// Flush the trace and print the metrics registry as JSON on stdout.
+    fn finish(&self) {
+        if let Some(log) = &self.log {
+            let _ = log.0.lock().unwrap().flush();
+        }
+        if let Some(m) = &self.metrics {
+            println!("{}", m.snapshot().render_json());
         }
     }
 }
@@ -48,6 +119,11 @@ fn usage() -> ! {
                            [--buffer-kb N] [--wait-receivers N] [--fec K]\n  \
          hrmc recv <file>  [--group A.B.C.D:port] [--iface ip] [--buffer-kb N]\n  \
          hrmc selftest     [--group A.B.C.D:port]\n\n\
+         Observability (any command):\n  \
+         --trace <path>    write every protocol state transition as JSON lines\n                    \
+                           (wall-clock µs since bind/join, \"src\" tags the endpoint)\n  \
+         --metrics         print the metrics registry (counters, gauges,\n                    \
+                           latency histograms) as JSON on exit\n\n\
          Reliable multicast file transfer (H-RMC, SC'99). The group address\n\
          must be a multicast address (239.0.0.0/8 recommended); every\n\
          participant must use the same group and interface."
@@ -63,30 +139,55 @@ fn parse(args: &[String]) -> (Opts, Vec<String>) {
         match args[i].as_str() {
             "--group" => {
                 i += 1;
-                opts.group = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.group = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--iface" => {
                 i += 1;
-                opts.iface = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.iface = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--rate-mbps" => {
                 i += 1;
-                let mbps: u64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                let mbps: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 opts.rate = mbps * 1_000_000 / 8;
             }
             "--buffer-kb" => {
                 i += 1;
-                let kb: usize = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                let kb: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 opts.buffer = kb * 1024;
             }
             "--wait-receivers" => {
                 i += 1;
-                opts.wait_receivers =
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.wait_receivers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--fec" => {
                 i += 1;
-                opts.fec = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                opts.fec = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--trace" => {
+                i += 1;
+                opts.trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics" => {
+                opts.metrics = true;
             }
             other if other.starts_with("--") => usage(),
             other => positional.push(other.to_string()),
@@ -109,6 +210,10 @@ fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut f = std::fs::File::open(file)?;
     let size = f.metadata()?.len();
     let sender = HrmcSender::bind(opts.group, opts.iface, config(opts))?;
+    let obs = Obs::open(opts)?;
+    if let Some(o) = obs.for_role("sender") {
+        sender.set_observer(o);
+    }
     eprintln!(
         "sending {file} ({size} bytes) to {} — waiting for {} receiver(s)...",
         opts.group, opts.wait_receivers
@@ -146,12 +251,17 @@ fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         stats.retransmissions,
         sender.rtt() as f64 / 1000.0
     );
+    obs.finish();
     Ok(())
 }
 
 fn cmd_recv(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(file)?);
     let receiver = HrmcReceiver::join(opts.group, opts.iface, config(opts))?;
+    let obs = Obs::open(opts)?;
+    if let Some(o) = obs.for_role("recv") {
+        receiver.set_observer(o);
+    }
     eprintln!("joined {}; waiting for the stream...", opts.group);
     let mut buf = vec![0u8; 64 * 1024];
     let mut total: u64 = 0;
@@ -173,6 +283,7 @@ fn cmd_recv(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         "received {total} bytes into {file} in {secs:.2} s ({:.2} Mbit/s)",
         total as f64 * 8.0 / secs / 1e6
     );
+    obs.finish();
     Ok(())
 }
 
@@ -182,13 +293,21 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = config(opts);
     cfg.initial_rtt = 2_000;
     cfg.anonymous_release_hold = 500_000;
+    let obs = Obs::open(opts)?;
     let receivers: Vec<_> = (0..2)
         .map(|i| {
-            HrmcReceiver::join(opts.group, opts.iface, cfg.clone())
-                .unwrap_or_else(|e| panic!("receiver {i}: {e}"))
+            let r = HrmcReceiver::join(opts.group, opts.iface, cfg.clone())
+                .unwrap_or_else(|e| panic!("receiver {i}: {e}"));
+            if let Some(o) = obs.for_role(&format!("recv{i}")) {
+                r.set_observer(o);
+            }
+            r
         })
         .collect();
     let sender = HrmcSender::bind(opts.group, opts.iface, cfg)?;
+    if let Some(o) = obs.for_role("sender") {
+        sender.set_observer(o);
+    }
     let readers: Vec<_> = receivers
         .into_iter()
         .map(|r| {
@@ -213,6 +332,7 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         t.join().expect("reader panicked");
     }
     eprintln!("selftest passed: both receivers verified 1 MB byte-for-byte");
+    obs.finish();
     Ok(())
 }
 

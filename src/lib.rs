@@ -38,18 +38,20 @@
 //! [`net::HrmcReceiver`] run the identical engines over UDP multicast
 //! (loopback-capable, multiple receivers per host).
 
-/// Sans-io protocol engines (re-export of `hrmc-core`).
-pub use hrmc_core as core;
-/// Wire format (re-export of `hrmc-wire`).
-pub use hrmc_wire as wire;
-/// Discrete-event simulator (re-export of `hrmc-sim`).
-pub use hrmc_sim as sim;
-/// Real-socket driver (re-export of `hrmc-net`).
-pub use hrmc_net as net;
 /// Scenario/application helpers (re-export of `hrmc-app`).
 pub use hrmc_app as app;
+/// Sans-io protocol engines (re-export of `hrmc-core`).
+pub use hrmc_core as core;
+/// Real-socket driver (re-export of `hrmc-net`).
+pub use hrmc_net as net;
+/// Discrete-event simulator (re-export of `hrmc-sim`).
+pub use hrmc_sim as sim;
+/// Wire format (re-export of `hrmc-wire`).
+pub use hrmc_wire as wire;
 
+pub use hrmc_core::{Dest, PeerId, ProtocolConfig, ReceiverEngine, ReliabilityMode, SenderEngine};
 pub use hrmc_core::{
-    Dest, PeerId, ProtocolConfig, ReceiverEngine, ReliabilityMode, SenderEngine,
+    Event, Histogram, HistogramSummary, JsonlObserver, MetricsObserver, MetricsRegistry,
+    MultiObserver, ProtocolObserver,
 };
 pub use hrmc_wire::{Packet, PacketType};

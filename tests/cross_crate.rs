@@ -45,7 +45,10 @@ fn hybrid_reliability_invariant_under_loss() {
 #[test]
 fn rmc_baseline_contrasts_with_hybrid() {
     let base = Scenario::groups(
-        vec![GroupSpec { group: CharacteristicGroup::A, receivers: 4 }],
+        vec![GroupSpec {
+            group: CharacteristicGroup::A,
+            receivers: 4,
+        }],
         10_000_000,
         64 * 1024,
         300_000,
@@ -58,8 +61,8 @@ fn rmc_baseline_contrasts_with_hybrid() {
     assert!(hybrid.complete_info_ratio > rmc.complete_info_ratio);
     assert!(hybrid.complete_info_ratio > 0.9);
     // And the hybrid machinery is genuinely absent in RMC.
-    assert_eq!(rmc.probes_sent, 0);
-    assert_eq!(rmc.updates_received, 0);
+    assert_eq!(rmc.sender.probes_sent, 0);
+    assert_eq!(rmc.sender.updates_received, 0);
 }
 
 #[test]
@@ -123,7 +126,9 @@ fn live_socket_transfer_matches_simulated_protocol() {
             Err(e) => panic!("recv: {e}"),
         }
     }
-    let stats = sender.close_and_wait(Duration::from_secs(30)).expect("close");
+    let stats = sender
+        .close_and_wait(Duration::from_secs(30))
+        .expect("close");
     assert_eq!(got, data);
     assert_eq!(stats.nak_errs_sent, 0);
 }
