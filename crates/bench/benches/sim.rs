@@ -1,0 +1,86 @@
+//! Scheduler-efficiency benchmark: one fixed scalability scenario (64
+//! mostly-idle receivers on a slow shared segment — the regime where
+//! timer work, not packet work, dominates), timed end to end.
+//!
+//! Writes `BENCH_sim.json` at the repository root with wall-clock,
+//! events popped from the `EventQueue`, and the peak heap length, so
+//! future PRs have a perf baseline to compare against.
+//!
+//! ```sh
+//! cargo bench -p hrmc-bench --bench sim          # full run + JSON
+//! cargo bench -p hrmc-bench --bench sim -- --test  # one small smoke run
+//! ```
+
+use hrmc_core::ProtocolConfig;
+use hrmc_sim::{SimParams, SimReport, Simulation, TopologyBuilder};
+use std::time::Instant;
+
+/// The fixed scalability scenario: 64 receivers, 1 Mbps shared LAN,
+/// 0.5% loss, 200 KB transfer. At ~80 packets/s the population is idle
+/// most of the simulated time, which is exactly what the paper's larger
+/// fan-outs look like between loss events.
+fn scalability_params(receivers: usize, transfer: u64) -> SimParams {
+    let bandwidth = 1_000_000;
+    let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    protocol.max_rate = ((bandwidth as f64 / 8.0 * 0.95) as u64).max(protocol.min_rate);
+    let topology = TopologyBuilder::new().lan(receivers, bandwidth, 0.005);
+    let mut p = SimParams::new(protocol, topology, transfer);
+    p.horizon_us = 1_800 * 1_000_000;
+    p
+}
+
+fn run_once(receivers: usize, transfer: u64) -> (SimReport, f64) {
+    let t0 = Instant::now();
+    let report = Simulation::new(scalability_params(receivers, transfer)).run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(report.completed, "scalability scenario must complete");
+    assert!(report.all_intact(), "scalability scenario must be reliable");
+    (report, wall_ms)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (receivers, transfer, iters) = if smoke {
+        (8, 50_000, 1)
+    } else {
+        (64, 200_000, 3)
+    };
+
+    let mut best: Option<(SimReport, f64)> = None;
+    for _ in 0..iters {
+        let (report, wall_ms) = run_once(receivers, transfer);
+        if best.as_ref().is_none_or(|(_, w)| wall_ms < *w) {
+            best = Some((report, wall_ms));
+        }
+    }
+    let (report, wall_ms) = best.expect("at least one iteration");
+    let ticks_total: u64 = report.host_ticks.iter().sum();
+    println!(
+        "bench: sim/scalability-{receivers}r  wall={wall_ms:.1} ms  events_popped={}  \
+         peak_queue_len={}  engine_ticks={}  sim_elapsed={} us",
+        report.events_popped, report.peak_queue_len, ticks_total, report.elapsed_us
+    );
+
+    if smoke {
+        return; // CI smoke: no baseline file
+    }
+    let out = serde_json::json!({
+        "scenario": {
+            "receivers": receivers,
+            "bandwidth_bps": 1_000_000,
+            "loss": 0.005,
+            "transfer_bytes": transfer,
+            "seed": 1,
+        },
+        "wall_ms": wall_ms,
+        "events_popped": report.events_popped,
+        "peak_queue_len": report.peak_queue_len,
+        "engine_ticks": ticks_total,
+        "sim_elapsed_us": report.elapsed_us,
+        "throughput_mbps": report.throughput_mbps,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let body = serde_json::to_string_pretty(&out).expect("serialize BENCH_sim.json");
+    std::fs::write(path, body + "\n").expect("write BENCH_sim.json");
+    println!("bench: wrote {path}");
+}

@@ -128,6 +128,13 @@ impl NakManager {
         out
     }
 
+    /// Earliest time any pending entry's suppression interval lapses —
+    /// the NAK manager's contribution to a deadline-driven driver's
+    /// `next_wakeup`. `None` when nothing is missing.
+    pub fn next_due(&self, suppress: Micros) -> Option<Micros> {
+        self.pending.values().map(|e| e.last_sent + suppress).min()
+    }
+
     /// Force-NAK every pending entry at or below `limit` immediately,
     /// bypassing suppression — the PROBE response path ("Otherwise, the
     /// receiver generates a NAK message for the needed data").

@@ -18,7 +18,7 @@ use bytes::Bytes;
 use hrmc_wire::{Packet, PacketType, Seq};
 use std::collections::BTreeMap;
 
-use crate::config::ProtocolConfig;
+use crate::config::{ProtocolConfig, UpdateMode};
 use crate::events::ReceiverEvent;
 use crate::fec::FecDecoder;
 use crate::nak::NakManager;
@@ -692,6 +692,35 @@ impl ReceiverEngine {
         self.fire_repairs(now);
     }
 
+    /// Absolute time of the earliest armed timer [`on_tick`] would act
+    /// on, or `None` when the receiver is fully idle (no missing data, no
+    /// periodic updates, no JOIN retry pending, no scheduled peer
+    /// repairs). A deadline-driven driver may sleep until this time and
+    /// re-query after every `handle_packet` call, which can arm or
+    /// disarm any of these timers.
+    ///
+    /// [`on_tick`]: ReceiverEngine::on_tick
+    pub fn next_wakeup(&self, now: Micros) -> Option<Micros> {
+        let mut next: Option<Micros> = None;
+        let mut arm = |t: Micros| next = Some(next.map_or(t, |cur| cur.min(t)));
+
+        let suppress =
+            scale(self.rtt, self.config.nak_suppress_rtts).max(self.config.nak_suppress_floor);
+        if let Some(t) = self.naks.next_due(suppress) {
+            arm(t);
+        }
+        if self.window.attached() && self.config.update_mode != UpdateMode::Disabled {
+            arm(self.updates.next_fire());
+        }
+        if let JoinState::Sent { at, .. } = self.join {
+            arm(at + self.config.join_retry);
+        }
+        if let Some(&t) = self.pending_repairs.values().min() {
+            arm(t);
+        }
+        next.map(|t| t.max(now))
+    }
+
     // ------------------------------------------------------------------
     // Application interface (hrmc_recvmsg)
     // ------------------------------------------------------------------
@@ -872,6 +901,39 @@ mod tests {
 
     fn packets_of(out: &[Outgoing], t: PacketType) -> Vec<&Outgoing> {
         out.iter().filter(|o| o.packet.header.ptype == t).collect()
+    }
+
+    #[test]
+    fn next_wakeup_none_when_fully_idle() {
+        let r = engine();
+        assert_eq!(r.next_wakeup(0), None);
+    }
+
+    #[test]
+    fn next_wakeup_is_min_of_armed_timers() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.update_mode = UpdateMode::Disabled;
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        // First data arms the JOIN retry timer.
+        r.handle_packet(&data(0, 100), 1_000);
+        drain(&mut r);
+        assert_eq!(r.next_wakeup(1_000), Some(1_000 + 200_000));
+        // JOIN_RESPONSE confirms the handshake and disarms it (updates
+        // are disabled, so the receiver goes fully idle). RTT is now
+        // 5 ms.
+        let resp = Packet::control(PacketType::JoinResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 6_000);
+        assert_eq!(r.next_wakeup(6_000), None);
+        // A gap arms the NAK suppression timer: last_sent + suppression
+        // interval (5 ms RTT × 1.5 = 7.5 ms beats the 2 ms floor).
+        r.handle_packet(&data(2, 100), 10_000);
+        drain(&mut r);
+        assert_eq!(r.next_wakeup(10_000), Some(17_500));
+        // The reported deadline is never in the past.
+        assert_eq!(r.next_wakeup(30_000), Some(30_000));
+        // The retransmission fills the gap and disarms the timer.
+        r.handle_packet(&data(1, 100), 12_000);
+        assert_eq!(r.next_wakeup(12_000), None);
     }
 
     #[test]

@@ -212,6 +212,27 @@ impl SenderEngine {
         JIFFY_US
     }
 
+    /// Absolute time of the next timer this engine needs a tick for, or
+    /// `None` when fully idle (a deadline-driven driver may then sleep
+    /// until the next `submit`/`handle_packet` call re-arms it).
+    ///
+    /// While the transfer is in progress — unreleased data in the window,
+    /// unsent segments queued, or retransmissions pending — the sender is
+    /// jiffy-armed: rate credit accrues per tick and release probes are
+    /// re-evaluated every jiffy, so the next deadline is simply `now +
+    /// JIFFY_US`. Once the window drains, only the keepalive timer
+    /// remains; once finished, nothing does.
+    pub fn next_wakeup(&self, now: Micros) -> Option<Micros> {
+        if self.is_finished() {
+            return None;
+        }
+        if !self.window.is_empty() || self.window.has_unsent() || !self.retrans_queue.is_empty() {
+            return Some(now + JIFFY_US);
+        }
+        self.last_transmitted
+            .map(|_| self.keepalive.next_fire().max(now))
+    }
+
     // ------------------------------------------------------------------
     // Application interface (hrmc_sendmsg)
     // ------------------------------------------------------------------
@@ -852,6 +873,29 @@ mod tests {
             t += JIFFY_US;
         }
         all
+    }
+
+    #[test]
+    fn next_wakeup_idle_active_keepalive_finished() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        // Nothing queued and nothing ever sent: fully idle.
+        assert_eq!(s.next_wakeup(0), None);
+        // Unsent data: jiffy-armed.
+        s.submit(&vec![7u8; 3000], 0);
+        assert_eq!(s.next_wakeup(0), Some(JIFFY_US));
+        // With no members the segments sit out the 2 s anonymous release
+        // hold, then drain. After that only the keepalive timer remains,
+        // and the reported deadline is never in the past.
+        let _ = run_until(&mut s, 0, 3_000_000);
+        assert_eq!(s.buffered_bytes(), 0);
+        let t = s.next_wakeup(3_000_000).expect("keepalive stays armed");
+        assert!(t >= 3_000_000);
+        // Closing queues the FIN segment: jiffy-armed again.
+        s.close(3_010_000);
+        assert_eq!(s.next_wakeup(3_010_000), Some(3_010_000 + JIFFY_US));
+        let _ = run_until(&mut s, 3_010_000, 6_000_000);
+        assert!(s.is_finished());
+        assert_eq!(s.next_wakeup(6_000_000), None);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 fn main() {
     let opts = hrmc_experiments::ExpOptions::from_env();
     eprintln!(
-        "all figures: repeats={} scale_down={}",
-        opts.repeats, opts.scale_down
+        "all figures: repeats={} scale_down={} jobs={}",
+        opts.repeats, opts.scale_down, opts.jobs
     );
     for (name, run) in [
         (

@@ -39,10 +39,8 @@ fn main() {
     let mut series = serde_json::Map::new();
     for receivers in [2usize, 5, 10, 20, 40] {
         let base = Scenario::lan(receivers, 10_000_000, 256 * 1024, transfer).with_loss(loss);
-        let central = base.clone().run_seeds(opts.repeats);
-        let local: Vec<_> = (1..=opts.repeats)
-            .map(|seed| base.clone().with_local_recovery().with_seed(seed).run())
-            .collect();
+        let central = opts.run_seeds(&base);
+        let local = opts.run_seeds(&base.clone().with_local_recovery());
         for r in central.iter().chain(local.iter()) {
             assert!(
                 r.completed && r.all_intact(),

@@ -34,8 +34,8 @@ fn cell(rmc: bool, group: CharacteristicGroup, buffer: usize, opts: &ExpOptions)
     if rmc {
         s = s.rmc();
     }
-    let ratios: Vec<f64> = s
-        .run_seeds(opts.repeats)
+    let ratios: Vec<f64> = opts
+        .run_seeds(&s)
         .iter()
         .map(|r| r.complete_info_ratio * 100.0)
         .collect();
@@ -88,6 +88,7 @@ mod tests {
             scale_down: 50,
             out_dir: std::env::temp_dir().join("hrmc-fig03-test"),
             receivers: Some(3),
+            ..ExpOptions::default()
         }
     }
 

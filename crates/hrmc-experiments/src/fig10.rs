@@ -33,7 +33,7 @@ pub fn scenario(
 /// Average throughput (Mbps) for one cell.
 fn cell(receivers: usize, transfer: u64, disk: bool, buffer: usize, opts: &ExpOptions) -> f64 {
     let s = scenario(receivers, opts.transfer(transfer), disk, buffer, MBPS_10);
-    let runs = s.run_seeds(opts.repeats);
+    let runs = opts.run_seeds(&s);
     debug_assert!(runs.iter().all(|r| r.completed && r.all_intact()));
     mean(&runs.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>())
 }
@@ -113,6 +113,7 @@ mod tests {
             scale_down: 20,
             out_dir: std::env::temp_dir().join("hrmc-fig10-test"),
             receivers: None,
+            ..ExpOptions::default()
         }
     }
 

@@ -13,7 +13,7 @@ use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_10, MB_10, MB_40};
 /// (rate requests, NAKs) arriving at the sender, averaged over seeds.
 fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f64, f64) {
     let s = Scenario::lan(receivers, MBPS_10, buffer, opts.transfer(transfer)).disk_to_disk();
-    let runs = s.run_seeds(opts.repeats);
+    let runs = opts.run_seeds(&s);
     let rr: Vec<f64> = runs
         .iter()
         .map(|r| r.sender.rate_requests_received as f64)
@@ -81,6 +81,7 @@ mod tests {
             scale_down: 20,
             out_dir: std::env::temp_dir().join("hrmc-fig11-test"),
             receivers: None,
+            ..ExpOptions::default()
         }
     }
 

@@ -15,7 +15,7 @@ use crate::{buf_label, ExpOptions, Table, BUFFERS, MBPS_100, MB_10, MB_40};
 
 fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> f64 {
     let s = Scenario::lan(receivers, MBPS_100, buffer, opts.transfer(transfer));
-    let runs = s.run_seeds(opts.repeats);
+    let runs = opts.run_seeds(&s);
     mean(&runs.iter().map(|r| r.throughput_mbps).collect::<Vec<_>>())
 }
 
@@ -68,6 +68,7 @@ mod tests {
             scale_down: 20,
             out_dir: std::env::temp_dir().join("hrmc-fig12-test"),
             receivers: None,
+            ..ExpOptions::default()
         }
     }
 

@@ -40,7 +40,7 @@ fn cell(receivers: usize, transfer: u64, buffer: usize, opts: &ExpOptions) -> (f
     s.cpu_scale = FIG13_CPU_SCALE;
     s.max_rate_factor = FIG13_RATE_FACTOR;
     s.sender_txqueue = 100; // a 100 Mbps card's deeper ring (Linux default)
-    let runs = s.run_seeds(opts.repeats);
+    let runs = opts.run_seeds(&s);
     let naks: Vec<f64> = runs.iter().map(|r| r.sender.naks_received as f64).collect();
     let drops: Vec<f64> = runs.iter().map(|r| r.sender_nic_drops as f64).collect();
     (mean(&naks), mean(&drops))
@@ -109,6 +109,7 @@ mod tests {
             scale_down: 10,
             out_dir: std::env::temp_dir().join("hrmc-fig13-test"),
             receivers: None,
+            ..ExpOptions::default()
         }
     }
 

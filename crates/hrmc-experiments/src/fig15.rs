@@ -32,7 +32,7 @@ pub fn cell(
         buffer,
         opts.transfer(MB_10),
     );
-    let runs = s.run_seeds(opts.repeats);
+    let runs = opts.run_seeds(&s);
     let thr: Vec<f64> = runs.iter().map(|r| r.throughput_mbps).collect();
     let rr: Vec<f64> = runs
         .iter()
@@ -111,6 +111,7 @@ mod tests {
             scale_down: 50,
             out_dir: std::env::temp_dir().join("hrmc-fig15-test"),
             receivers: Some(5),
+            ..ExpOptions::default()
         }
     }
 

@@ -53,6 +53,7 @@ mod tests {
             scale_down: 1,
             out_dir: std::env::temp_dir().join("hrmc-fig16-test"),
             receivers: Some(5),
+            ..ExpOptions::default()
         }
     }
 

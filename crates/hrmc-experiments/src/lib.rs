@@ -19,6 +19,9 @@
 //!   (the paper averages 5).
 //! * `--out DIR` / `HRMC_EXP_OUT` — where JSON series are written
 //!   (default `results/`).
+//! * `--jobs N` / `HRMC_EXP_JOBS` — worker threads for the parallel
+//!   sweep runner (default: available parallelism; 1 = sequential).
+//!   Results are ordered and byte-identical at any worker count.
 
 pub mod fig03;
 pub mod fig10;
@@ -28,6 +31,7 @@ pub mod fig13;
 pub mod fig15;
 pub mod fig16;
 pub mod options;
+pub mod sweep;
 pub mod table;
 
 pub use options::ExpOptions;

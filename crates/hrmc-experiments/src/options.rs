@@ -1,6 +1,8 @@
 //! Shared experiment options parsed from the command line and
 //! environment.
 
+use hrmc_app::Scenario;
+use hrmc_sim::SimReport;
 use std::path::PathBuf;
 
 /// Options common to every figure harness.
@@ -14,6 +16,9 @@ pub struct ExpOptions {
     pub out_dir: PathBuf,
     /// Receiver-count override where a figure supports it.
     pub receivers: Option<usize>,
+    /// Worker threads for the parallel sweep runner (default: the
+    /// machine's available parallelism; 1 forces sequential runs).
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -23,6 +28,7 @@ impl Default for ExpOptions {
             scale_down: 1,
             out_dir: PathBuf::from("results"),
             receivers: None,
+            jobs: crate::sweep::default_jobs(),
         }
     }
 }
@@ -42,6 +48,11 @@ impl ExpOptions {
         }
         if let Ok(d) = std::env::var("HRMC_EXP_OUT") {
             o.out_dir = PathBuf::from(d);
+        }
+        if let Ok(j) = std::env::var("HRMC_EXP_JOBS") {
+            if let Ok(j) = j.parse::<usize>() {
+                o.jobs = j.max(1);
+            }
         }
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -63,6 +74,12 @@ impl ExpOptions {
                     i += 1;
                     o.out_dir = PathBuf::from(&args[i]);
                 }
+                "--jobs" if i + 1 < args.len() => {
+                    i += 1;
+                    if let Ok(j) = args[i].parse::<usize>() {
+                        o.jobs = j.max(1);
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -73,6 +90,14 @@ impl ExpOptions {
     /// Apply the quick-mode divisor to a transfer size.
     pub fn transfer(&self, full: u64) -> u64 {
         (full / self.scale_down).max(100_000)
+    }
+
+    /// Run `repeats` seeded copies of `scenario` across `jobs` worker
+    /// threads (the parallel counterpart of [`Scenario::run_seeds`];
+    /// reports come back ordered by seed, byte-identical to a
+    /// sequential sweep).
+    pub fn run_seeds(&self, scenario: &Scenario) -> Vec<SimReport> {
+        crate::sweep::run_seeds(scenario, self.repeats, self.jobs)
     }
 
     /// Write a JSON value under `out_dir/<name>.json`.

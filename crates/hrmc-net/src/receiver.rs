@@ -37,18 +37,33 @@ struct Inner {
 }
 
 impl Inner {
+    /// Wake the timer thread so it re-reads the engine's `next_wakeup`
+    /// (a packet arrival may have armed an earlier deadline — a fresh
+    /// gap's NAK suppression clock, a JOIN retry). Takes the wakeup lock
+    /// before notifying so the timer thread cannot lose the kick between
+    /// reading the deadline and starting its wait. Never call while
+    /// holding the engine lock.
+    fn kick_timer(&self) {
+        let _guard = self.wakeup_lock.lock();
+        self.wakeup.notify_all();
+    }
+
     fn flush(&self) {
         let target = *self.sender_addr.lock();
         let mut engine = self.engine.lock();
+        // One scratch buffer for the whole drain: `encode_into` reuses
+        // its allocation across packets (zero-copy hot path).
+        let mut bytes = Vec::new();
         while let Some(out) = engine.poll_output() {
+            out.packet.encode_into(&mut bytes);
             match out.dest {
                 // Local-recovery NAKs and repairs go to the whole group.
                 hrmc_core::Dest::Multicast => {
-                    let _ = self.ucast.send_multicast(&out.packet.encode());
+                    let _ = self.ucast.send_multicast(&bytes);
                 }
                 _ => {
                     if let Some(addr) = target {
-                        let _ = self.ucast.send_unicast(&out.packet.encode(), addr);
+                        let _ = self.ucast.send_unicast(&bytes, addr);
                     }
                 }
             }
@@ -183,14 +198,53 @@ fn rx_loop(inner: &Inner, which: RxSock) {
         }
         inner.engine.lock().handle_packet(&pkt, inner.clock.now());
         inner.flush();
+        // The packet may have armed an earlier deadline (new gap, JOIN
+        // sent): let the timer thread re-plan its sleep.
+        inner.kick_timer();
     }
 }
 
+/// Deadline-driven timer: instead of unconditionally ticking every
+/// jiffy, sleep until the engine's own `next_wakeup` deadline — `None`
+/// (nothing missing, no update due, no JOIN pending) means the thread
+/// sleeps in long bounded chunks until a packet kicks it.
+/// `next_wakeup` answers relative to `now` — a busy engine's deadline
+/// would recede on every re-read, so the loop remembers the earliest
+/// deadline promised so far and fires when the clock crosses it;
+/// re-reads fold in via `min` and can only pull the target earlier. A
+/// fresh deadline is taken only after servicing a tick.
 fn timer_loop(inner: &Inner) {
+    const MAX_IDLE: Duration = Duration::from_millis(100);
+    let mut deadline: Option<u64> = None;
     while !inner.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_micros(hrmc_core::JIFFY_US));
-        inner.engine.lock().on_tick(inner.clock.now());
-        inner.flush();
+        let now = inner.clock.now();
+        if deadline.is_some_and(|t| t <= now) {
+            inner.engine.lock().on_tick(now);
+            inner.flush();
+            let now = inner.clock.now();
+            deadline = inner.engine.lock().next_wakeup(now);
+            continue;
+        }
+        // The wakeup guard is held from before the deadline fold until
+        // the wait starts, so a concurrent kick cannot slip in between.
+        // Lock order is wakeup_lock -> engine lock; this is why
+        // `kick_timer` must never run with the engine lock held.
+        let mut guard = inner.wakeup_lock.lock();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = inner.clock.now();
+        let fresh = inner.engine.lock().next_wakeup(now);
+        deadline = match (deadline, fresh) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let sleep = deadline.map_or(MAX_IDLE, |t| {
+            Duration::from_micros(t.saturating_sub(now)).min(MAX_IDLE)
+        });
+        if !sleep.is_zero() {
+            inner.wakeup.wait_for(&mut guard, sleep);
+        }
     }
 }
 
@@ -244,6 +298,7 @@ impl ReceiverHandle {
     pub fn close(&self) {
         self.inner.engine.lock().close(self.inner.clock.now());
         self.inner.flush();
+        self.inner.kick_timer();
     }
 }
 

@@ -54,12 +54,25 @@ struct Inner {
 }
 
 impl Inner {
+    /// Wake the timer thread so it re-reads the engine's `next_wakeup`
+    /// (a submit, packet arrival, or close may have armed an earlier
+    /// deadline). Takes the wakeup lock before notifying so the timer
+    /// thread cannot lose the kick between reading the deadline and
+    /// starting its wait. Never call while holding the engine lock.
+    fn kick_timer(&self) {
+        let _guard = self.wakeup_lock.lock();
+        self.wakeup.notify_all();
+    }
+
     /// Drain engine output to the socket and surface events. Callers hold
     /// no locks on entry.
     fn flush(&self) {
         let mut engine = self.engine.lock();
+        // One scratch buffer for the whole drain: `encode_into` reuses
+        // its allocation across packets (zero-copy hot path).
+        let mut bytes = Vec::new();
         while let Some(out) = engine.poll_output() {
-            let bytes = out.packet.encode();
+            out.packet.encode_into(&mut bytes);
             match out.dest {
                 Dest::Multicast => {
                     let _ = self.socket.send_multicast(&bytes);
@@ -164,14 +177,55 @@ fn rx_loop(inner: &Inner) {
             .lock()
             .handle_packet(&pkt, peer, inner.clock.now());
         inner.flush();
+        // A NAK or UPDATE can arm an earlier deadline (retransmission,
+        // keepalive reset): let the timer thread re-plan its sleep.
+        inner.kick_timer();
     }
 }
 
+/// Deadline-driven timer: instead of unconditionally ticking every
+/// jiffy, sleep until the engine's own `next_wakeup` deadline. Submits,
+/// packet arrivals, and shutdown kick the condvar to cut the sleep
+/// short; a fully idle engine sleeps in long bounded chunks.
+///
+/// `next_wakeup` answers relative to `now` — an active engine's "tick
+/// me a jiffy from now" wish recedes every time it is re-read, so the
+/// loop remembers the earliest deadline promised so far and fires when
+/// the clock crosses it; re-reads fold in via `min` and can only pull
+/// the target earlier. A fresh deadline is taken only after servicing
+/// a tick.
 fn timer_loop(inner: &Inner) {
+    const MAX_IDLE: Duration = Duration::from_millis(100);
+    let mut deadline: Option<u64> = None;
     while !inner.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_micros(hrmc_core::JIFFY_US));
-        inner.engine.lock().on_tick(inner.clock.now());
-        inner.flush();
+        let now = inner.clock.now();
+        if deadline.is_some_and(|t| t <= now) {
+            inner.engine.lock().on_tick(now);
+            inner.flush();
+            let now = inner.clock.now();
+            deadline = inner.engine.lock().next_wakeup(now);
+            continue;
+        }
+        // The wakeup guard is held from before the deadline fold until
+        // the wait starts, so a concurrent kick cannot slip in between.
+        // Lock order is wakeup_lock -> engine lock; this is why
+        // `kick_timer` must never run with the engine lock held.
+        let mut guard = inner.wakeup_lock.lock();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = inner.clock.now();
+        let fresh = inner.engine.lock().next_wakeup(now);
+        deadline = match (deadline, fresh) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let sleep = deadline.map_or(MAX_IDLE, |t| {
+            Duration::from_micros(t.saturating_sub(now)).min(MAX_IDLE)
+        });
+        if !sleep.is_zero() {
+            inner.wakeup.wait_for(&mut guard, sleep);
+        }
     }
 }
 
@@ -189,6 +243,11 @@ impl SenderHandle {
                 engine.submit(&data[offset..], self.inner.clock.now())
             };
             offset += n;
+            if n > 0 {
+                // New data re-arms the engine: wake the timer thread out
+                // of its idle sleep so transmission starts this jiffy.
+                self.inner.kick_timer();
+            }
             if n == 0 {
                 // Wait for SendSpaceAvailable (with a safety timeout so a
                 // vanished group cannot wedge the application forever).
@@ -206,6 +265,7 @@ impl SenderHandle {
     /// until every byte is confirmed released.
     pub fn close(&self) {
         self.inner.engine.lock().close(self.inner.clock.now());
+        self.inner.kick_timer();
     }
 
     /// Close the stream and wait until every byte is confirmed released

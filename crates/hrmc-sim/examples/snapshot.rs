@@ -1,0 +1,91 @@
+//! Print the determinism fingerprint of the representative lossy run —
+//! the same quantities `tests/determinism.rs` asserts. Used to capture
+//! the fixture when the scheduler changes are proposed: run it on the
+//! old code, paste the output into the test, run it on the new code.
+//!
+//! ```sh
+//! cargo run --release -p hrmc-sim --example snapshot
+//! ```
+
+use hrmc_core::ProtocolConfig;
+use hrmc_sim::{SimParams, Simulation, TopologyBuilder};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over a byte stream (stable, dependency-free fingerprint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Tee(Arc<Mutex<Vec<u8>>>);
+impl std::io::Write for Tee {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The representative lossy topology: 3 receivers, 10 Mbps LAN, 1% loss,
+/// 500 KB transfer, 256 KiB buffers, seed 1.
+pub fn representative_params() -> SimParams {
+    let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    protocol.max_rate = 2 * 10_000_000 / 8;
+    let topology = TopologyBuilder::new().lan(3, 10_000_000, 0.01);
+    let mut p = SimParams::new(protocol, topology, 500_000);
+    p.horizon_us = 600 * 1_000_000;
+    p
+}
+
+fn main() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = Simulation::new(representative_params());
+    sim.set_event_log(Box::new(Tee(log.clone())));
+    let report = sim.run();
+    let log = log.lock().unwrap();
+
+    println!("completed={}", report.completed);
+    println!("elapsed_us={}", report.elapsed_us);
+    println!("transfer_bytes={}", report.transfer_bytes);
+    println!("complete_info_ratio={:.6}", report.complete_info_ratio);
+    println!(
+        "sender_fnv={:#018x}",
+        fnv1a(serde_json::to_string(&report.sender).unwrap().as_bytes())
+    );
+    println!(
+        "drops=({},{},{},{},{})",
+        report.router_loss_drops,
+        report.router_overflow_drops,
+        report.sender_nic_drops,
+        report.nic_rx_drops,
+        report.host_backlog_drops
+    );
+    println!("final_rtt_us={}", report.final_rtt_us);
+    println!("final_rate_bps={}", report.final_rate_bps);
+    let receivers_json: String = report
+        .receivers
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("receivers_fnv={:#018x}", fnv1a(receivers_json.as_bytes()));
+    println!("log_fnv={:#018x}", fnv1a(&log));
+    println!("log_bytes={}", log.len());
+    println!("log_lines={}", log.iter().filter(|&&b| b == b'\n').count());
+    // Informational only (these are *expected* to change with the
+    // scheduler): the activity metrics.
+    println!("events_popped={}", report.events_popped);
+    println!("peak_queue_len={}", report.peak_queue_len);
+    println!("host_ticks={:?}", report.host_ticks);
+    // HRMC_SNAPSHOT_LOG=<path> dumps the raw JSONL event log, for
+    // diffing scheduler changes line by line against a saved fixture.
+    if let Ok(p) = std::env::var("HRMC_SNAPSHOT_LOG") {
+        std::fs::write(p, &log[..]).unwrap();
+    }
+}

@@ -48,6 +48,8 @@ pub struct Host {
     /// Simulation time at which this receiver finished absorbing the
     /// whole stream (receiver hosts only).
     pub completed_at: Option<u64>,
+    /// Engine `on_tick` invocations (scheduler-efficiency metric).
+    pub ticks: u64,
 }
 
 impl Host {
@@ -64,6 +66,7 @@ impl Host {
             pending_offset: 0,
             closed: false,
             completed_at: None,
+            ticks: 0,
         }
     }
 
@@ -80,6 +83,7 @@ impl Host {
             pending_offset: 0,
             closed: false,
             completed_at: None,
+            ticks: 0,
         }
     }
 

@@ -38,6 +38,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     counter: u64,
     now: u64,
+    popped: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -46,6 +48,8 @@ impl<E> Default for EventQueue<E> {
             heap: BinaryHeap::new(),
             counter: 0,
             now: 0,
+            popped: 0,
+            peak_len: 0,
         }
     }
 }
@@ -71,6 +75,7 @@ impl<E> EventQueue<E> {
             tiebreak: self.counter,
             event,
         });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Pop the next event, advancing the clock to its fire time.
@@ -78,7 +83,18 @@ impl<E> EventQueue<E> {
         let s = self.heap.pop()?;
         debug_assert!(s.time >= self.now, "event queue went backwards");
         self.now = s.time;
+        self.popped += 1;
         Some((s.time, s.event))
+    }
+
+    /// Total events popped so far (the simulator's unit of work).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// High-water mark of the pending-event heap.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Number of pending events.
@@ -139,6 +155,21 @@ mod tests {
         q.pop();
         q.schedule(50, "stale"); // clamped to 100
         assert_eq!(q.pop(), Some((100, "stale")));
+    }
+
+    #[test]
+    fn counters_track_pops_and_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.popped(), q.peak_len()), (0, 0));
+        q.schedule(10, ());
+        q.schedule(20, ());
+        q.schedule(30, ());
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.popped(), 2);
+        // Peak is a high-water mark; draining does not lower it.
+        assert_eq!(q.peak_len(), 3);
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub struct SimReport {
     pub final_rate_bps: u64,
     /// Delivery- and recovery-latency percentiles, when observed.
     pub latency: Option<LatencyReport>,
+    /// Total events popped from the simulator's [`EventQueue`]
+    /// (crate-internal unit of work; the scheduler-efficiency metric).
+    pub events_popped: u64,
+    /// High-water mark of the pending-event heap.
+    pub peak_queue_len: usize,
+    /// Engine `on_tick` invocations per host (host 0 is the sender) —
+    /// how much jiffy-timer work each host actually did.
+    pub host_ticks: Vec<u64>,
     /// Per-receiver reports.
     pub receivers: Vec<ReceiverReport>,
     /// Bucketed activity timeline, when tracing was enabled.

@@ -87,8 +87,12 @@ impl SimParams {
 }
 
 enum Ev {
-    /// Per-host jiffy timer.
-    Tick { host: usize },
+    /// Deadline sweep: tick every host whose armed deadline has arrived
+    /// (see [`Simulation::on_sweep`]). One sweep event replaces the old
+    /// per-host per-jiffy `Tick`, and when the event queue is otherwise
+    /// empty the next sweep jumps straight to the earliest armed host
+    /// deadline instead of stepping every jiffy.
+    Sweep,
     /// A packet finished host RX processing and reaches the engine.
     HostRx {
         host: usize,
@@ -118,7 +122,24 @@ pub struct Simulation {
     rng: SmallRng,
     trace: Option<crate::trace::Trace>,
     obs: Option<Arc<Mutex<SharedObs>>>,
+    /// Per-host next-tick deadline (absolute, jiffy-grid-aligned), from
+    /// the engines' `next_wakeup`; `None` while a host is fully idle.
+    /// Re-derived after every tick and every packet arrival.
+    due: Vec<Option<u64>>,
     done: bool,
+}
+
+/// First jiffy-grid point strictly after `now`.
+fn next_grid(now: u64) -> u64 {
+    (now / JIFFY_US + 1) * JIFFY_US
+}
+
+/// Align an engine wakeup deadline to the jiffy grid: the first grid
+/// point at or after both `wakeup` and `now` — the earliest instant the
+/// old always-ticking scheduler would have acted on that timer, which is
+/// what keeps the two schedulers trajectory-identical.
+fn align_to_grid(wakeup: u64, now: u64) -> u64 {
+    wakeup.max(now).div_ceil(JIFFY_US) * JIFFY_US
 }
 
 impl Simulation {
@@ -153,9 +174,10 @@ impl Simulation {
             .map(|p| Router::new(p.clone()))
             .collect();
         let mut queue = EventQueue::new();
-        for host in 0..=n {
-            queue.schedule(JIFFY_US, Ev::Tick { host });
-        }
+        // Every host starts armed for the first jiffy; a single Sweep
+        // event services them all.
+        queue.schedule(JIFFY_US, Ev::Sweep);
+        let due = vec![Some(JIFFY_US); n + 1];
         let rng = SmallRng::seed_from_u64(params.seed);
         let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
         let mut sim = Simulation {
@@ -167,6 +189,7 @@ impl Simulation {
             rng,
             trace,
             obs: None,
+            due,
             done: false,
         };
         if sim.params.observe {
@@ -238,7 +261,7 @@ impl Simulation {
 
     fn dispatch(&mut self, now: u64, ev: Ev) {
         match ev {
-            Ev::Tick { host } => self.on_tick(host, now),
+            Ev::Sweep => self.on_sweep(now),
             Ev::HostRx { host, from, pkt } => self.on_host_rx(host, from, &pkt, now),
             Ev::NicEnq { host, transit } => self.on_nic_enq(host, transit, now),
             Ev::NicTxDeq { host } => self.on_nic_tx_deq(host, now),
@@ -252,27 +275,101 @@ impl Simulation {
     // Hosts
     // ------------------------------------------------------------------
 
-    fn on_tick(&mut self, host: usize, now: u64) {
+    /// Service every host whose deadline has arrived (in host order, as
+    /// the old per-host `Tick` events fired), then schedule the next
+    /// sweep: one jiffy ahead while packet events are still in flight
+    /// (they can arm hosts between grid points), or — the
+    /// activity-proportional jump — straight to the earliest armed host
+    /// deadline once the event queue is otherwise empty.
+    fn on_sweep(&mut self, now: u64) {
+        for host in 0..self.hosts.len() {
+            if self.due[host].is_some_and(|d| d <= now) {
+                self.due[host] = None;
+                self.tick_host(host, now);
+                if self.done {
+                    return;
+                }
+            }
+        }
+        let next = if self.queue.is_empty() {
+            match self.due.iter().flatten().min() {
+                Some(&d) => d.max(next_grid(now)),
+                None => return, // fully idle: the run is over
+            }
+        } else {
+            now + JIFFY_US
+        };
+        self.queue.schedule(next, Ev::Sweep);
+    }
+
+    /// One host tick — exactly the old per-jiffy `Tick` body — followed
+    /// by re-deriving the host's next deadline from its engine.
+    fn tick_host(&mut self, host: usize, now: u64) {
         {
             let h = &mut self.hosts[host];
+            h.ticks += 1;
             if matches!(h.engine, Engine::Sender(_)) {
                 h.pump_source(now);
                 if let Engine::Sender(e) = &mut h.engine {
                     e.on_tick(now);
                 }
-            } else {
-                if let Engine::Receiver(e) = &mut h.engine {
-                    e.on_tick(now);
-                }
-                h.pump_sink(now);
+            } else if let Engine::Receiver(e) = &mut h.engine {
+                e.on_tick(now);
             }
+        }
+        if host != 0 {
+            self.pump_sink_arming(host, now);
         }
         self.drain_engine(host, now);
         if host == 0 && self.check_done(now) {
             self.done = true;
             return;
         }
-        self.queue.schedule(now + JIFFY_US, Ev::Tick { host });
+        self.due[host] = self.next_due(host, now);
+    }
+
+    /// Pump a receiver's sink; when that completes the stream, arm the
+    /// sender host so the completion check runs on the next sweep (the
+    /// sender may already be idle with no deadline of its own).
+    fn pump_sink_arming(&mut self, host: usize, now: u64) {
+        let was_complete = self.hosts[host].completed_at.is_some();
+        self.hosts[host].pump_sink(now);
+        if !was_complete && self.hosts[host].completed_at.is_some() {
+            let g = next_grid(now);
+            self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+        }
+    }
+
+    /// The host's next tick deadline, from its engine's `next_wakeup` —
+    /// the simulator analog of a kernel timer wheel. Forced to the next
+    /// grid point while host-level pumping still has work the engine
+    /// cannot see: an unclosed source, or a throttled sink with readable
+    /// bytes left.
+    fn next_due(&self, host: usize, now: u64) -> Option<u64> {
+        let h = &self.hosts[host];
+        match &h.engine {
+            Engine::Sender(e) => {
+                if !h.closed {
+                    return Some(next_grid(now));
+                }
+                match e.next_wakeup(now) {
+                    None => None,
+                    // `now + JIFFY_US` is the engine's "tick me every
+                    // jiffy" answer (transfer in progress). The old
+                    // scheduler honored it at the very next grid point —
+                    // even when the arming packet landed mid-jiffy — so
+                    // map the relative wish to the grid, not past it.
+                    Some(w) if w == now + JIFFY_US => Some(next_grid(now)),
+                    Some(w) => Some(align_to_grid(w, now)),
+                }
+            }
+            Engine::Receiver(e) => {
+                if e.readable_bytes() > 0 {
+                    return Some(next_grid(now));
+                }
+                e.next_wakeup(now).map(|w| align_to_grid(w, now))
+            }
+        }
     }
 
     fn on_host_rx(&mut self, host: usize, from: Option<usize>, pkt: &Packet, now: u64) {
@@ -291,9 +388,12 @@ impl Simulation {
             }
         }
         if host != 0 {
-            self.hosts[host].pump_sink(now);
+            self.pump_sink_arming(host, now);
         }
         self.drain_engine(host, now);
+        // A packet can arm or disarm any engine timer: re-derive the
+        // host's deadline.
+        self.due[host] = self.next_due(host, now);
     }
 
     /// Move every packet the host's engine queued onto the wire: charge
@@ -604,6 +704,9 @@ impl Simulation {
             final_rtt_us: sender.rtt(),
             final_rate_bps: sender.rate(),
             latency,
+            events_popped: self.queue.popped(),
+            peak_queue_len: self.queue.peak_len(),
+            host_ticks: self.hosts.iter().map(|h| h.ticks).collect(),
             receivers,
             trace,
         }

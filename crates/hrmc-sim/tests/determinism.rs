@@ -1,0 +1,137 @@
+//! Scheduler-change regression net. The deadline-sweep scheduler must
+//! reproduce the *exact* trajectory of the old always-ticking scheduler:
+//! the fingerprints below were captured with `examples/snapshot.rs`
+//! before the scheduler change and must never drift. A second test pins
+//! the weaker, always-required property that identical seeds produce
+//! byte-identical reports and event logs; a third pins the point of the
+//! change — idle hosts do not tick.
+
+use hrmc_core::{ProtocolConfig, UpdateMode, JIFFY_US};
+use hrmc_sim::{SimParams, SimReport, Simulation, TopologyBuilder};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over a byte stream (stable, dependency-free fingerprint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Tee(Arc<Mutex<Vec<u8>>>);
+impl std::io::Write for Tee {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The representative lossy topology: 3 receivers, 10 Mbps LAN, 1% loss,
+/// 500 KB transfer, 256 KiB buffers, seed 1 — the same run
+/// `examples/snapshot.rs` prints.
+fn representative_params() -> SimParams {
+    let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    protocol.max_rate = 2 * 10_000_000 / 8;
+    let topology = TopologyBuilder::new().lan(3, 10_000_000, 0.01);
+    let mut p = SimParams::new(protocol, topology, 500_000);
+    p.horizon_us = 600 * 1_000_000;
+    p
+}
+
+fn run_logged() -> (SimReport, Vec<u8>) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = Simulation::new(representative_params());
+    sim.set_event_log(Box::new(Tee(log.clone())));
+    let report = sim.run();
+    let bytes = log.lock().unwrap().clone();
+    (report, bytes)
+}
+
+/// Fixture captured on the per-jiffy `Tick` scheduler (pre-change
+/// `main`). Every protocol-visible quantity — completion time, stats,
+/// drop counts, the full JSONL event log — must match it exactly.
+#[test]
+fn representative_lossy_run_matches_prescheduler_fixture() {
+    let (report, log) = run_logged();
+    assert!(report.completed);
+    assert_eq!(report.elapsed_us, 2_453_979);
+    assert_eq!(report.transfer_bytes, 500_000);
+    assert_eq!(format!("{:.6}", report.complete_info_ratio), "0.997214");
+    assert_eq!(
+        fnv1a(serde_json::to_string(&report.sender).unwrap().as_bytes()),
+        0x057c_018f_a07d_dcb1,
+        "sender stats diverged from the pre-scheduler-change fixture"
+    );
+    assert_eq!(
+        (
+            report.router_loss_drops,
+            report.router_overflow_drops,
+            report.sender_nic_drops,
+            report.nic_rx_drops,
+            report.host_backlog_drops,
+        ),
+        (4, 0, 3, 1, 0)
+    );
+    assert_eq!(report.final_rtt_us, 172_300);
+    assert_eq!(report.final_rate_bps, 1_328_308);
+    let receivers_json: String = report
+        .receivers
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(
+        fnv1a(receivers_json.as_bytes()),
+        0x2a36_017c_f055_c642,
+        "receiver stats diverged from the pre-scheduler-change fixture"
+    );
+    assert_eq!(log.len(), 149_439);
+    assert_eq!(log.iter().filter(|&&b| b == b'\n').count(), 1_941);
+    assert_eq!(
+        fnv1a(&log),
+        0x9b85_b3db_f640_79c5,
+        "JSONL event log diverged from the pre-scheduler-change fixture"
+    );
+}
+
+#[test]
+fn same_seed_byte_identical_report_and_log() {
+    let (a, log_a) = run_logged();
+    let (b, log_b) = run_logged();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "same seed must serialize to a byte-identical SimReport"
+    );
+    assert_eq!(log_a, log_b, "same seed must log identical JSONL");
+}
+
+/// The point of the deadline scheduler: a receiver with nothing armed —
+/// lossless link (no NAKs), periodic updates disabled, JOIN confirmed —
+/// must generate (near) zero ticks between packets, where the old
+/// scheduler ticked every host every jiffy of the whole run.
+#[test]
+fn idle_receiver_generates_no_ticks_between_packets() {
+    let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    protocol.update_mode = UpdateMode::Disabled;
+    protocol.max_rate = 2 * 10_000_000 / 8;
+    let topology = TopologyBuilder::new().lan(2, 10_000_000, 0.0);
+    let mut p = SimParams::new(protocol, topology, 500_000);
+    p.horizon_us = 600 * 1_000_000;
+    let report = Simulation::new(p).run();
+    assert!(report.completed, "lossless transfer must complete");
+    assert!(report.all_intact());
+    let grid_ticks = report.elapsed_us / JIFFY_US;
+    for (host, &ticks) in report.host_ticks.iter().enumerate().skip(1) {
+        assert!(
+            ticks * 20 < grid_ticks,
+            "receiver host {host} ticked {ticks}/{grid_ticks} jiffies — \
+             the deadline scheduler should have kept it asleep"
+        );
+    }
+}

@@ -10,6 +10,13 @@
 /// computation will verify iff recomputing over the received bytes
 /// (checksum field zeroed again) yields the stored value.
 pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(raw_sum(data))
+}
+
+/// Unfolded 32-bit sum of the big-endian 16-bit words of `data` (odd
+/// trailing byte zero-padded). Every byte contributes one additive term,
+/// so a field's contribution can be subtracted back out exactly.
+fn raw_sum(data: &[u8]) -> u32 {
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for w in &mut chunks {
@@ -18,23 +25,34 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// End-around-carry fold of a 32-bit sum into 16 bits.
+fn fold(mut sum: u32) -> u16 {
     while sum >> 16 != 0 {
         sum = (sum & 0xffff) + (sum >> 16);
     }
-    !(sum as u16)
+    sum as u16
 }
 
 /// Verify data whose checksum was computed with the checksum field zeroed
 /// and then stored at `data[at..at + 2]`.
+///
+/// Copy-free: rather than cloning the buffer to zero the field, the two
+/// stored bytes' additive contributions (high byte for even offsets, low
+/// byte for odd — RFC 1071 words are big-endian) are subtracted from the
+/// unfolded sum, which is exact because the end-around-carry fold only
+/// happens afterwards.
 pub fn verify_with_field(data: &[u8], at: usize) -> bool {
     if data.len() < at + 2 {
         return false;
     }
     let stored = u16::from_be_bytes([data[at], data[at + 1]]);
-    let mut scratch = data.to_vec();
-    scratch[at] = 0;
-    scratch[at + 1] = 0;
-    internet_checksum(&scratch) == stored
+    let mut sum = raw_sum(data);
+    sum -= u32::from(data[at]) << (8 * ((at + 1) & 1));
+    sum -= u32::from(data[at + 1]) << (8 * (at & 1));
+    !fold(sum) == stored
 }
 
 #[cfg(test)]
@@ -92,5 +110,57 @@ mod tests {
     fn verify_with_field_bounds() {
         assert!(!verify_with_field(&[0u8; 3], 2));
         assert!(!verify_with_field(&[], 0));
+    }
+
+    /// The historical copy-and-zero verification the copy-free path must
+    /// agree with bit-for-bit.
+    fn verify_with_copy(data: &[u8], at: usize) -> bool {
+        if data.len() < at + 2 {
+            return false;
+        }
+        let stored = u16::from_be_bytes([data[at], data[at + 1]]);
+        let mut scratch = data.to_vec();
+        scratch[at] = 0;
+        scratch[at + 1] = 0;
+        internet_checksum(&scratch) == stored
+    }
+
+    /// Property test: copy-free verification agrees with the copy-and-zero
+    /// method on random buffers (valid, corrupted, even/odd lengths and
+    /// offsets), using a small deterministic LCG so the test needs no
+    /// external crates.
+    #[test]
+    fn verify_without_copy_agrees_with_copy_and_zero() {
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for case in 0..2000 {
+            let len = 2 + (next() as usize % 96);
+            let mut data: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let at = next() as usize % (len - 1);
+            // Install a valid checksum for the chosen field position.
+            data[at] = 0;
+            data[at + 1] = 0;
+            let ck = internet_checksum(&data);
+            data[at..at + 2].copy_from_slice(&ck.to_be_bytes());
+            assert_eq!(
+                verify_with_field(&data, at),
+                verify_with_copy(&data, at),
+                "valid packet disagreement: case {case} len {len} at {at}"
+            );
+            assert!(verify_with_field(&data, at));
+            // Corrupt a random bit (possibly inside the checksum field).
+            let flip = next() as usize % len;
+            data[flip] ^= 1 << (next() % 8);
+            assert_eq!(
+                verify_with_field(&data, at),
+                verify_with_copy(&data, at),
+                "corrupted packet disagreement: case {case} len {len} at {at} flip {flip}"
+            );
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 
-use crate::checksum::internet_checksum;
+use crate::checksum::{internet_checksum, verify_with_field};
 use crate::header::{Header, CHECKSUM_OFFSET, HEADER_LEN};
 use crate::types::PacketType;
 use crate::Seq;
@@ -75,25 +75,33 @@ impl Packet {
     /// Serialize to bytes, computing and embedding the checksum.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serialize into a caller-owned buffer, clearing it first — lets a
+    /// send loop reuse one allocation across packets instead of paying a
+    /// `Vec` per send.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.wire_len());
         let mut header = self.header;
         header.checksum = 0;
         buf.extend_from_slice(&header.encode());
         buf.extend_from_slice(&self.payload);
-        let ck = internet_checksum(&buf);
+        let ck = internet_checksum(buf);
         buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 2].copy_from_slice(&ck.to_be_bytes());
-        buf
     }
 
-    /// Parse and validate a packet from received bytes.
+    /// Parse and validate a packet from received bytes. Checksum
+    /// verification runs directly over `buf` (no scratch copy); the only
+    /// copy made is the payload handed to the caller.
     pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
         if buf.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
         let header = Header::decode(buf).ok_or(WireError::UnknownType)?;
-        let mut scratch = buf.to_vec();
-        scratch[CHECKSUM_OFFSET] = 0;
-        scratch[CHECKSUM_OFFSET + 1] = 0;
-        if internet_checksum(&scratch) != header.checksum {
+        if !verify_with_field(buf, CHECKSUM_OFFSET) {
             return Err(WireError::BadChecksum);
         }
         let payload = Bytes::copy_from_slice(&buf[HEADER_LEN..]);
@@ -165,6 +173,20 @@ mod tests {
         pkt.header.length = 3;
         let wire = pkt.encode();
         assert_eq!(Packet::decode(&wire), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let mut buf = Vec::new();
+        let big = Packet::data(1, 2, 3, Bytes::from(vec![7u8; 512]));
+        big.encode_into(&mut buf);
+        assert_eq!(buf, big.encode());
+        let cap = buf.capacity();
+        let small = Packet::control(PacketType::Nak, 1, 2, 9);
+        small.encode_into(&mut buf);
+        assert_eq!(buf, small.encode());
+        assert_eq!(buf.capacity(), cap, "buffer reallocation defeats reuse");
+        assert!(Packet::decode(&buf).is_ok());
     }
 
     #[test]
