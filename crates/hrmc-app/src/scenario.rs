@@ -5,7 +5,8 @@
 
 use hrmc_core::{ProtocolConfig, ReliabilityMode};
 use hrmc_sim::{
-    GroupSpec, IoProfile, LossModel, SimParams, SimReport, Simulation, TopologyBuilder,
+    ChurnAction, ChurnEvent, FaultPlan, GroupSpec, IoProfile, LossModel, Partition, SimParams,
+    SimReport, Simulation, TopologyBuilder,
 };
 
 /// Which network world the scenario runs in.
@@ -76,6 +77,20 @@ pub struct Scenario {
     /// Figure 13 experiment raises the factor to reproduce exactly that
     /// overdrive regime.
     pub max_rate_factor: f64,
+    /// Injected faults: link misbehavior, partitions, host churn. Empty
+    /// by default (a fault-free run).
+    pub faults: FaultPlan,
+    /// Eject a member after this many consecutive unanswered PROBEs
+    /// (0 = never; the protocol default).
+    pub probe_failure_limit: u32,
+    /// Eject a member silent for this long, µs (0 = never).
+    pub member_silence_us: u64,
+    /// Receivers presume the sender dead after `keepalive_max` × this
+    /// factor of silence (0 = never).
+    pub sender_death_factor: u32,
+    /// Receivers give up after this many unanswered JOINs (0 = retry
+    /// forever).
+    pub join_retry_limit: u32,
 }
 
 impl Scenario {
@@ -98,6 +113,11 @@ impl Scenario {
             local_recovery: false,
             cpu_scale: 1.0,
             max_rate_factor: 0.95,
+            faults: FaultPlan::default(),
+            probe_failure_limit: 0,
+            member_silence_us: 0,
+            sender_death_factor: 0,
+            join_retry_limit: 0,
         }
     }
 
@@ -141,6 +161,11 @@ impl Scenario {
             local_recovery: false,
             cpu_scale: 1.0,
             max_rate_factor: 0.95,
+            faults: FaultPlan::default(),
+            probe_failure_limit: 0,
+            member_silence_us: 0,
+            sender_death_factor: 0,
+            join_retry_limit: 0,
         }
     }
 
@@ -184,6 +209,56 @@ impl Scenario {
         self
     }
 
+    /// Install a complete fault plan (link faults, partitions, churn).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Crash receiver `receiver` (0-based) at `at_us`. Arms the sender's
+    /// failure-domain detectors with defaults (3 unanswered PROBEs or
+    /// 3 s of silence) if the scenario has not set them, so survivors
+    /// complete instead of stalling on the corpse.
+    pub fn with_receiver_crash(mut self, receiver: usize, at_us: u64) -> Scenario {
+        self.faults.churn.push(ChurnEvent {
+            at_us,
+            action: ChurnAction::Crash { host: receiver + 1 },
+        });
+        if self.probe_failure_limit == 0 {
+            self.probe_failure_limit = 3;
+        }
+        if self.member_silence_us == 0 {
+            self.member_silence_us = 3_000_000;
+        }
+        self
+    }
+
+    /// Partition the listed receivers (0-based) off the network for
+    /// `[start_us, end_us)`; the partition heals at `end_us`.
+    pub fn with_partition(mut self, receivers: Vec<usize>, start_us: u64, end_us: u64) -> Scenario {
+        self.faults.partitions.push(Partition {
+            receivers,
+            start_us,
+            end_us,
+        });
+        self
+    }
+
+    /// Set the failure-domain detectors explicitly (0 disables each):
+    /// PROBE-failure ejection, silence ejection, and sender-death
+    /// presumption (`keepalive_max` × `death_factor`).
+    pub fn with_failure_domains(
+        mut self,
+        probe_failure_limit: u32,
+        member_silence_us: u64,
+        sender_death_factor: u32,
+    ) -> Scenario {
+        self.probe_failure_limit = probe_failure_limit;
+        self.member_silence_us = member_silence_us;
+        self.sender_death_factor = sender_death_factor;
+        self
+    }
+
     /// The protocol configuration this scenario induces. The rate cap
     /// (the kernel's `max_snd_rate_wnd` bound) is the smaller of
     /// `max_rate_factor` × the wire speed and the host-CPU transmit
@@ -204,6 +279,10 @@ impl Scenario {
         if self.local_recovery {
             p = p.with_local_recovery();
         }
+        p.probe_failure_limit = self.probe_failure_limit;
+        p.member_silence_us = self.member_silence_us;
+        p.sender_death_factor = self.sender_death_factor;
+        p.join_retry_limit = self.join_retry_limit;
         p
     }
 
@@ -224,6 +303,7 @@ impl Scenario {
         params.seed = self.seed;
         params.horizon_us = self.horizon_us;
         params.cpu_scale = self.cpu_scale;
+        params.faults = self.faults.clone();
         params
     }
 
@@ -338,6 +418,32 @@ mod tests {
             retrans_fec < retrans_plain,
             "FEC should reduce aggregate retransmissions: {retrans_fec} vs {retrans_plain}"
         );
+    }
+
+    #[test]
+    fn crash_scenario_ejects_and_survivors_complete() {
+        let s = Scenario::lan(3, 10_000_000, 256 * 1024, 400_000)
+            .with_receiver_crash(1, 150_000)
+            .with_seed(2);
+        assert_eq!(s.protocol().probe_failure_limit, 3);
+        let report = s.run();
+        assert!(report.completed, "survivors must finish the transfer");
+        assert_eq!(report.sender.members_ejected, 1);
+        assert_eq!(report.failed_receivers(), 0);
+        // Same scenario, same seed: bit-identical outcome.
+        let again = s.run();
+        assert_eq!(report.elapsed_us, again.elapsed_us);
+        assert_eq!(report.churn_drops, again.churn_drops);
+    }
+
+    #[test]
+    fn partition_scenario_heals_and_completes() {
+        let report = Scenario::lan(2, 10_000_000, 256 * 1024, 300_000)
+            .with_partition(vec![0], 100_000, 700_000)
+            .run();
+        assert!(report.completed);
+        assert!(report.all_intact());
+        assert!(report.partition_drops > 0, "partition never bit");
     }
 
     #[test]

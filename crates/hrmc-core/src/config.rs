@@ -195,8 +195,36 @@ pub struct ProtocolConfig {
     // ------------------------------------------------------------------
     // Connection management
     // ------------------------------------------------------------------
-    /// JOIN retry interval while unconfirmed.
+    /// JOIN retry interval while unconfirmed (the initial backoff step).
     pub join_retry: Micros,
+    /// Cap for the JOIN retry exponential backoff. Defaults to
+    /// `join_retry`, which degenerates to the original fixed-interval
+    /// retry; raise it to spread retries out on lossy paths.
+    pub join_retry_max: Micros,
+    /// Maximum JOIN attempts before the receiver gives up and reports
+    /// [`SessionFailed`](crate::events::ReceiverEvent::SessionFailed).
+    /// `0` retries forever (the original behaviour).
+    pub join_retry_limit: u32,
+
+    // ------------------------------------------------------------------
+    // Failure domains (ejection / death detection)
+    // ------------------------------------------------------------------
+    /// Eject a member after this many consecutive unanswered PROBEs —
+    /// the re-probe of a still-unanswered probe counts one failure. A
+    /// crashed receiver otherwise blocks buffer release forever (Hybrid
+    /// mode's reliability guarantee turned liveness hole). `0` disables
+    /// ejection by probe failure.
+    pub probe_failure_limit: u32,
+    /// Eject a member once nothing has been heard from it for this long.
+    /// Catches receivers that die while fully caught up (no probes are
+    /// outstanding for them). `0` disables silence-based ejection.
+    pub member_silence_us: Micros,
+    /// Receiver-side sender-death detection: declare the session failed
+    /// after `keepalive_max × this factor` of sender silence. An alive
+    /// but idle sender keeps the line warm at `keepalive_max` intervals,
+    /// so any factor ≥ 2 tolerates lost keepalives. `0` disables death
+    /// detection.
+    pub sender_death_factor: u32,
 
     // ------------------------------------------------------------------
     // Forward error correction (extension; paper future-work item 4)
@@ -258,6 +286,11 @@ impl Default for ProtocolConfig {
             initial_rtt: 10 * MS,
             min_rtt: 100,
             join_retry: 200 * MS,
+            join_retry_max: 200 * MS,
+            join_retry_limit: 0,
+            probe_failure_limit: 0,
+            member_silence_us: 0,
+            sender_death_factor: 0,
             fec: None,
             local_recovery: false,
             local_repair_wait_rtts: 4.0,
@@ -337,6 +370,9 @@ impl ProtocolConfig {
         if self.mode == ReliabilityMode::RmcNakOnly && self.update_mode != UpdateMode::Disabled {
             return Err("RMC mode requires UpdateMode::Disabled".into());
         }
+        if self.join_retry_max < self.join_retry {
+            return Err("join_retry_max must be >= join_retry".into());
+        }
         if let Some(fec) = &self.fec {
             fec.validate()?;
         }
@@ -409,5 +445,20 @@ mod tests {
         let mut c = ProtocolConfig::default();
         c.min_update_period_jiffies = 1000;
         assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.join_retry_max = c.join_retry - 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn failure_domain_handling_is_off_by_default() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.probe_failure_limit, 0);
+        assert_eq!(c.member_silence_us, 0);
+        assert_eq!(c.sender_death_factor, 0);
+        assert_eq!(c.join_retry_limit, 0);
+        assert_eq!(c.join_retry_max, c.join_retry);
+        assert!(c.validate().is_ok());
     }
 }

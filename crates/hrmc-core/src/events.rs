@@ -13,6 +13,12 @@ pub enum SenderEvent {
     MemberJoined(PeerId),
     /// A receiver left the group.
     MemberLeft(PeerId),
+    /// A receiver was forcibly ejected: it stopped answering PROBEs (K
+    /// consecutive failures) or fell silent past the configured deadline.
+    /// Its confirmations no longer gate buffer release, so the transfer
+    /// proceeds for the survivors; data the ejected receiver lacked is
+    /// no longer guaranteed to it.
+    MemberEjected(PeerId),
     /// Send-buffer space became available after a blocked
     /// [`submit`](crate::sender::SenderEngine::submit); the application
     /// may retry.
@@ -51,4 +57,9 @@ pub enum ReceiverEvent {
     },
     /// The LEAVE handshake completed.
     Left,
+    /// Terminal failure: the sender is presumed dead (keepalive silence
+    /// beyond the configured deadline) or the JOIN retry budget ran out.
+    /// The engine disarms its timers; the application must tear the
+    /// session down and recover out of band.
+    SessionFailed,
 }

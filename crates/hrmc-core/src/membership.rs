@@ -35,6 +35,10 @@ pub struct Member {
     pub last_heard: Micros,
     /// When we last probed this receiver (rate-limits re-probes).
     pub last_probed: Option<Micros>,
+    /// Consecutive probes that went unanswered: re-probing a receiver
+    /// whose previous probe is still outstanding counts one failure; any
+    /// feedback resets the count. Drives stall ejection.
+    pub probe_failures: u32,
     /// When this receiver joined.
     pub joined_at: Micros,
 }
@@ -48,6 +52,8 @@ pub struct Membership {
     pub total_joins: u64,
     /// Total LEAVEs processed.
     pub total_leaves: u64,
+    /// Members forcibly ejected (stall / silence), as opposed to LEAVEs.
+    pub total_ejections: u64,
 }
 
 impl Membership {
@@ -79,6 +85,7 @@ impl Membership {
                 next_expected,
                 last_heard: now,
                 last_probed: None,
+                probe_failures: 0,
                 joined_at: now,
             });
     }
@@ -104,7 +111,56 @@ impl Membership {
                 m.next_expected = next_expected;
             }
             m.last_probed = None; // any feedback satisfies a pending probe
+            m.probe_failures = 0;
         }
+    }
+
+    /// Forcibly remove a member (stall ejection) — the failure-domain
+    /// counterpart of [`remove`](Membership::remove); counted separately
+    /// from voluntary LEAVEs. Returns `true` if the peer was present.
+    /// Ejected members vanish from the table, so `all_have`, `lacking`
+    /// and `min_next_expected` stop consulting them immediately and the
+    /// release gate unblocks.
+    pub fn eject(&mut self, peer: PeerId) -> bool {
+        let removed = self.members.remove(&peer).is_some();
+        if removed {
+            self.total_ejections += 1;
+        }
+        removed
+    }
+
+    /// Members from whom nothing has been heard for at least `deadline`
+    /// microseconds, sorted for deterministic ejection order. `deadline`
+    /// of zero matches no one (staleness pruning disabled).
+    pub fn stale(&self, now: Micros, deadline: Micros) -> Vec<PeerId> {
+        if deadline == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<PeerId> = self
+            .members
+            .iter()
+            .filter(|(_, m)| now.saturating_sub(m.last_heard) >= deadline)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Members whose consecutive unanswered-probe count has reached
+    /// `limit`, sorted for deterministic ejection order. `limit` of zero
+    /// matches no one (probe-failure ejection disabled).
+    pub fn probe_failed(&self, limit: u32) -> Vec<PeerId> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<PeerId> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.probe_failures >= limit)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Look up one member.
@@ -158,9 +214,13 @@ impl Membership {
             })
     }
 
-    /// Record that `peer` was probed at `now`.
+    /// Record that `peer` was probed at `now`. Probing a peer whose
+    /// previous probe is still unanswered counts one probe failure.
     pub fn mark_probed(&mut self, peer: PeerId, now: Micros) {
         if let Some(m) = self.members.get_mut(&peer) {
+            if m.last_probed.is_some() {
+                m.probe_failures += 1;
+            }
             m.last_probed = Some(now);
         }
     }
@@ -266,6 +326,57 @@ mod tests {
         m.update(P1, base.wrapping_add(10), 1); // wrapped past 0
         m.update(P2, base.wrapping_add(2), 1);
         assert_eq!(m.min_next_expected(), Some(base.wrapping_add(2)));
+    }
+
+    #[test]
+    fn reprobe_counts_failures_and_feedback_resets_them() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.mark_probed(P1, 5); // first probe: no failure yet
+        assert_eq!(m.get(P1).unwrap().probe_failures, 0);
+        m.mark_probed(P1, 10); // re-probe of an unanswered probe
+        m.mark_probed(P1, 15);
+        assert_eq!(m.get(P1).unwrap().probe_failures, 2);
+        assert_eq!(m.probe_failed(2), vec![P1]);
+        assert_eq!(m.probe_failed(3), Vec::<PeerId>::new());
+        assert_eq!(m.probe_failed(0), Vec::<PeerId>::new()); // disabled
+        m.update(P1, 1, 20); // any feedback answers the probe
+        assert_eq!(m.get(P1).unwrap().probe_failures, 0);
+        assert_eq!(m.get(P1).unwrap().last_probed, None);
+    }
+
+    #[test]
+    fn stale_finds_silent_members_sorted() {
+        let mut m = Membership::new();
+        m.add(P2, 0, 0);
+        m.add(P1, 0, 0);
+        m.add(P3, 0, 0);
+        m.update(P3, 1, 900);
+        assert_eq!(m.stale(1000, 500), vec![P1, P2]);
+        assert_eq!(m.stale(1000, 1001), Vec::<PeerId>::new());
+        assert_eq!(m.stale(1000, 0), Vec::<PeerId>::new()); // disabled
+    }
+
+    #[test]
+    fn ejection_removes_member_from_release_gate() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.add(P2, 0, 0);
+        m.update(P1, 11, 1); // P1 confirmed 0..=10; P2 silent
+        assert!(!m.all_have(10));
+        assert_eq!(m.lacking(10), vec![P2]);
+        assert_eq!(m.min_next_expected(), Some(0));
+        assert!(m.eject(P2));
+        assert!(!m.eject(P2));
+        assert!(m.all_have(10));
+        assert_eq!(m.lacking(10), Vec::<PeerId>::new());
+        assert_eq!(m.min_next_expected(), Some(11));
+        assert_eq!(m.total_ejections, 1);
+        assert_eq!(m.total_leaves, 0); // ejection is not a LEAVE
+                                       // A re-JOIN after ejection starts a fresh record.
+        m.add(P2, 5, 100);
+        assert_eq!(m.get(P2).unwrap().next_expected, 5);
+        assert_eq!(m.get(P2).unwrap().probe_failures, 0);
     }
 
     #[test]

@@ -140,6 +140,17 @@ pub enum Event {
         /// Driver-assigned peer id.
         peer: PeerId,
     },
+    /// A member was forcibly ejected after consecutive unanswered PROBEs
+    /// or silence past the configured deadline; its confirmations no
+    /// longer gate buffer release.
+    MemberEjected {
+        /// The ejected peer.
+        peer: PeerId,
+    },
+
+    // ---- either side ----
+    /// An incoming datagram failed the wire checksum and was discarded.
+    ChecksumFailed,
 
     // ---- receiver ----
     /// The receive window crossed a flow-control region boundary.
@@ -191,6 +202,8 @@ pub enum Event {
         /// Handshake round-trip time, the receiver's RTT seed (µs).
         rtt_us: u64,
     },
+    /// Terminal failure: sender presumed dead or JOIN budget exhausted.
+    SessionFailed,
 }
 
 impl Event {
@@ -206,6 +219,8 @@ impl Event {
             Event::ReleaseAttempt { .. } => "release_attempt",
             Event::DataSent { .. } => "data_sent",
             Event::PeerJoined { .. } => "peer_joined",
+            Event::MemberEjected { .. } => "member_ejected",
+            Event::ChecksumFailed => "checksum_failed",
             Event::RegionChanged { .. } => "region_changed",
             Event::NakSent { .. } => "nak_sent",
             Event::NakSuppressed { .. } => "nak_suppressed",
@@ -213,6 +228,7 @@ impl Event {
             Event::Recovered { .. } => "recovered",
             Event::Delivered { .. } => "delivered",
             Event::Joined { .. } => "joined",
+            Event::SessionFailed => "session_failed",
         }
     }
 }
@@ -301,6 +317,10 @@ pub fn event_json_with(now: Micros, ev: &Event, extra: &str) -> String {
         Event::PeerJoined { peer } => {
             let _ = write!(s, ",\"peer\":{}", peer.0);
         }
+        Event::MemberEjected { peer } => {
+            let _ = write!(s, ",\"peer\":{}", peer.0);
+        }
+        Event::ChecksumFailed | Event::SessionFailed => {}
         Event::RegionChanged { from, to } => {
             let _ = write!(
                 s,
@@ -471,6 +491,8 @@ impl ProtocolObserver for MetricsObserver {
                 reg.add("data_bytes_sent", u64::from(bytes));
             }
             Event::PeerJoined { .. } => reg.inc("peers_joined"),
+            Event::MemberEjected { .. } => reg.inc("members_ejected"),
+            Event::ChecksumFailed => reg.inc("checksum_failures"),
             Event::RegionChanged { to, .. } => {
                 reg.inc("region_changes");
                 match to {
@@ -496,6 +518,7 @@ impl ProtocolObserver for MetricsObserver {
                 reg.inc("joins_completed");
                 reg.observe("join_rtt_us", rtt_us);
             }
+            Event::SessionFailed => reg.inc("session_failures"),
         }
     }
 }
@@ -671,6 +694,8 @@ mod tests {
                     retransmission: false,
                 },
                 Event::PeerJoined { peer: PeerId(1) },
+                Event::MemberEjected { peer: PeerId(1) },
+                Event::ChecksumFailed,
                 Event::RegionChanged {
                     from: Region::Safe,
                     to: Region::Critical,
@@ -689,6 +714,7 @@ mod tests {
                 },
                 Event::Delivered { first: 1, count: 1 },
                 Event::Joined { rtt_us: 1 },
+                Event::SessionFailed,
             ]
         }
     }

@@ -66,6 +66,17 @@ pub struct ReceiverEngine {
     /// retransmission cancels).
     last_recovery_update: Option<Micros>,
     join: JoinState,
+    /// JOINs sent since the last confirmation (bounded by
+    /// `join_retry_limit` when nonzero).
+    join_attempts: u32,
+    /// Current JOIN retry backoff; starts at `join_retry`, doubles per
+    /// retry up to `join_retry_max`.
+    join_delay: Micros,
+    /// When we last heard anything sender-originated (death detection).
+    last_sender_heard: Option<Micros>,
+    /// Terminal failure latch: sender presumed dead or JOIN budget
+    /// exhausted. All timers disarm; packets are ignored.
+    failed: bool,
     leaving: bool,
     /// Receiver-side RTT estimate, seeded from config and refined by the
     /// JOIN handshake; drives NAK suppression and rate rule 2.
@@ -130,6 +141,10 @@ impl ReceiverEngine {
             pending_repairs: BTreeMap::new(),
             last_recovery_update: None,
             join: JoinState::Idle,
+            join_attempts: 0,
+            join_delay: config.join_retry,
+            last_sender_heard: None,
+            failed: false,
             leaving: false,
             rtt: config.initial_rtt,
             advertised_rate: 0,
@@ -243,9 +258,13 @@ impl ReceiverEngine {
     }
 
     fn process_packet(&mut self, pkt: &Packet, now: Micros) {
+        if self.failed {
+            return; // terminal: the application must tear down
+        }
         // Every sender packet advertises the current transmission rate.
         if pkt.header.ptype.is_sender_originated() {
             self.advertised_rate = u64::from(pkt.header.rate_adv);
+            self.last_sender_heard = Some(now);
         }
         match pkt.header.ptype {
             PacketType::Data => self.on_data(pkt, now),
@@ -531,9 +550,37 @@ impl ReceiverEngine {
             // The handshake round trip is the receiver's RTT sample.
             self.rtt = now.saturating_sub(at).max(self.config.min_rtt);
             self.join = JoinState::Confirmed;
+            self.join_attempts = 0;
+            self.join_delay = self.config.join_retry;
             self.events.push_back(ReceiverEvent::Joined);
             emit!(self, now, Event::Joined { rtt_us: self.rtt });
         }
+    }
+
+    /// Latch the terminal failure state: timers disarm, packets are
+    /// ignored, and the application is told once.
+    fn fail_session(&mut self, now: Micros) {
+        if self.failed {
+            return;
+        }
+        self.failed = true;
+        self.stats.session_failures += 1;
+        self.events.push_back(ReceiverEvent::SessionFailed);
+        emit!(self, now, Event::SessionFailed);
+    }
+
+    /// `true` once the session failed terminally (sender presumed dead or
+    /// JOIN retry budget exhausted).
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Record an incoming datagram discarded for checksum failure. The
+    /// driver decodes (and checksum-verifies) before the engine ever
+    /// sees a packet, so it reports the failure here for stats/events.
+    pub fn note_checksum_failure(&mut self, now: Micros) {
+        self.stats.checksum_failures += 1;
+        emit!(self, now, Event::ChecksumFailed);
     }
 
     // ------------------------------------------------------------------
@@ -670,6 +717,19 @@ impl ReceiverEngine {
 
     /// Run one receiver tick at `now`. Drivers call this every jiffy.
     pub fn on_tick(&mut self, now: Micros) {
+        if self.failed {
+            return; // terminal: every timer is disarmed
+        }
+
+        // Sender-death detection: silence beyond keepalive_max × factor
+        // means even a fully backed-off keepalive line went quiet.
+        if let Some(deadline) = self.death_deadline() {
+            if now >= deadline {
+                self.fail_session(now);
+                return;
+            }
+        }
+
         // NAK manager: re-send suppressed NAKs whose interval lapsed.
         let suppress =
             scale(self.rtt, self.config.nak_suppress_rtts).max(self.config.nak_suppress_floor);
@@ -681,15 +741,37 @@ impl ReceiverEngine {
             self.send_update(0, now);
         }
 
-        // JOIN retry while unconfirmed.
+        // JOIN retry while unconfirmed: exponential backoff, bounded by
+        // the retry budget when one is configured.
         if let JoinState::Sent { at, echoed } = self.join {
-            if now.saturating_sub(at) >= self.config.join_retry {
+            if now.saturating_sub(at) >= self.join_delay {
+                if self.config.join_retry_limit != 0
+                    && self.join_attempts >= self.config.join_retry_limit
+                {
+                    self.fail_session(now);
+                    return;
+                }
+                self.join_delay = (self.join_delay * 2).min(self.config.join_retry_max);
                 self.send_join(echoed, now);
             }
         }
 
         // Local recovery: answer peers whose slot delay has lapsed.
         self.fire_repairs(now);
+    }
+
+    /// Absolute time at which sender silence becomes terminal, or `None`
+    /// when death detection is off, the handshake never completed, the
+    /// stream already completed, or nothing was ever heard.
+    fn death_deadline(&self) -> Option<Micros> {
+        if self.config.sender_death_factor == 0
+            || self.join != JoinState::Confirmed
+            || self.window.stream_complete()
+        {
+            return None;
+        }
+        let heard = self.last_sender_heard?;
+        Some(heard + self.config.keepalive_max * u64::from(self.config.sender_death_factor))
     }
 
     /// Absolute time of the earliest armed timer [`on_tick`] would act
@@ -701,6 +783,9 @@ impl ReceiverEngine {
     ///
     /// [`on_tick`]: ReceiverEngine::on_tick
     pub fn next_wakeup(&self, now: Micros) -> Option<Micros> {
+        if self.failed {
+            return None; // terminal: nothing will ever fire again
+        }
         let mut next: Option<Micros> = None;
         let mut arm = |t: Micros| next = Some(next.map_or(t, |cur| cur.min(t)));
 
@@ -713,7 +798,10 @@ impl ReceiverEngine {
             arm(self.updates.next_fire());
         }
         if let JoinState::Sent { at, .. } = self.join {
-            arm(at + self.config.join_retry);
+            arm(at + self.join_delay);
+        }
+        if let Some(t) = self.death_deadline() {
+            arm(t);
         }
         if let Some(&t) = self.pending_repairs.values().min() {
             arm(t);
@@ -767,6 +855,7 @@ impl ReceiverEngine {
 
     fn send_join(&mut self, echoed: Seq, now: Micros) {
         self.join = JoinState::Sent { at: now, echoed };
+        self.join_attempts += 1;
         let pkt = Packet::control(PacketType::Join, self.local_port, self.group_port, echoed);
         self.push_out(pkt);
     }
@@ -1232,6 +1321,97 @@ mod tests {
         let resp = Packet::control(PacketType::LeaveResponse, 7000, 7001, 0);
         r.handle_packet(&resp, 2_000);
         assert!(std::iter::from_fn(|| r.poll_event()).any(|e| e == ReceiverEvent::Left));
+    }
+
+    #[test]
+    fn join_backoff_doubles_to_cap() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.update_mode = UpdateMode::Disabled;
+        cfg.join_retry_max = 800_000; // 200 ms → 400 → 800 (cap)
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        assert_eq!(r.next_wakeup(0), Some(200_000));
+        r.on_tick(200_000); // retry 1: delay doubles to 400 ms
+        assert_eq!(packets_of(&drain(&mut r), PacketType::Join).len(), 1);
+        assert_eq!(r.next_wakeup(200_000), Some(600_000));
+        r.on_tick(600_000); // retry 2: delay caps at 800 ms
+        drain(&mut r);
+        assert_eq!(r.next_wakeup(600_000), Some(1_400_000));
+        r.on_tick(1_400_000); // retry 3: delay stays at the cap
+        drain(&mut r);
+        assert_eq!(r.next_wakeup(1_400_000), Some(2_200_000));
+    }
+
+    #[test]
+    fn join_budget_exhaustion_fails_session() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.update_mode = UpdateMode::Disabled;
+        cfg.join_retry_limit = 3;
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 100), 0); // attempt 1
+        drain(&mut r);
+        r.on_tick(200_000); // attempt 2
+        r.on_tick(400_000); // attempt 3
+        assert_eq!(packets_of(&drain(&mut r), PacketType::Join).len(), 2);
+        assert!(!r.has_failed());
+        r.on_tick(600_000); // budget exhausted
+        assert!(r.has_failed());
+        assert_eq!(r.stats.session_failures, 1);
+        assert!(std::iter::from_fn(|| r.poll_event()).any(|e| e == ReceiverEvent::SessionFailed));
+        // Terminal: every timer disarmed, no further output, and the
+        // failure is reported exactly once.
+        assert_eq!(r.next_wakeup(600_000), None);
+        r.on_tick(800_000);
+        assert!(drain(&mut r).is_empty());
+        assert_eq!(r.stats.session_failures, 1);
+    }
+
+    #[test]
+    fn sender_silence_fails_session() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.update_mode = UpdateMode::Disabled;
+        cfg.sender_death_factor = 2; // 2 × 2 s = 4 s of silence
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        let resp = Packet::control(PacketType::JoinResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 5_000);
+        // The death deadline arms next_wakeup (otherwise idle).
+        assert_eq!(r.next_wakeup(6_000), Some(5_000 + 4_000_000));
+        r.on_tick(3_000_000);
+        assert!(!r.has_failed());
+        r.on_tick(4_005_000);
+        assert!(r.has_failed());
+        assert!(std::iter::from_fn(|| r.poll_event()).any(|e| e == ReceiverEvent::SessionFailed));
+        assert_eq!(r.next_wakeup(4_005_000), None);
+        // Packets after the terminal failure are ignored.
+        r.handle_packet(&data(1, 100), 4_100_000);
+        assert_eq!(r.rcv_nxt(), Some(1));
+    }
+
+    #[test]
+    fn completed_stream_never_declares_sender_death() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.update_mode = UpdateMode::Disabled;
+        cfg.sender_death_factor = 2;
+        let mut r = ReceiverEngine::new(cfg, 8000, 7001, 0);
+        let mut fin = data(0, 50);
+        fin.header.flags.fin = true;
+        r.handle_packet(&fin, 0);
+        drain(&mut r);
+        let resp = Packet::control(PacketType::JoinResponse, 7000, 7001, 0);
+        r.handle_packet(&resp, 5_000);
+        assert!(r.stream_complete());
+        r.on_tick(60_000_000); // way past any silence deadline
+        assert!(!r.has_failed());
+    }
+
+    #[test]
+    fn receiver_checksum_failures_are_counted() {
+        let mut r = engine();
+        r.note_checksum_failure(10);
+        assert_eq!(r.stats.checksum_failures, 1);
     }
 
     #[test]

@@ -306,10 +306,13 @@ impl SenderEngine {
     }
 
     fn on_leave(&mut self, pkt: &Packet, from: PeerId, now: Micros) {
-        let _ = now;
         if self.membership.remove(from) {
             self.stats.leaves += 1;
             self.events.push_back(SenderEvent::MemberLeft(from));
+            // Restart the keepalive backoff: a departure often precedes a
+            // re-JOIN, and a line idling at the 2 s cap would leave the
+            // newcomer's loss detection blind for up to that long.
+            self.keepalive.on_activity(now);
         }
         self.push_out(
             Dest::Unicast(from),
@@ -571,11 +574,44 @@ impl SenderEngine {
             self.rate.overdraw(spent - allowance);
         }
 
+        self.maybe_eject(now);
         self.try_release(now);
         self.maybe_early_probe(now);
         self.maybe_keepalive(now);
         self.maybe_finish();
         self.prune_nonces(now);
+    }
+
+    /// Failure-domain pass: eject members that stopped answering PROBEs
+    /// (`probe_failure_limit` consecutive failures) or fell silent past
+    /// `member_silence_us`. An ejected member stops gating buffer
+    /// release, so one crashed receiver cannot stall the group forever;
+    /// reliability toward it is forfeited (it must re-JOIN to resume).
+    /// Both knobs default to 0 (disabled) — the published protocol.
+    fn maybe_eject(&mut self, now: Micros) {
+        if self.config.probe_failure_limit == 0 && self.config.member_silence_us == 0 {
+            return;
+        }
+        let mut victims = self
+            .membership
+            .probe_failed(self.config.probe_failure_limit);
+        for p in self.membership.stale(now, self.config.member_silence_us) {
+            if !victims.contains(&p) {
+                victims.push(p);
+            }
+        }
+        victims.sort_unstable();
+        for peer in victims {
+            if self.membership.eject(peer) {
+                self.stats.members_ejected += 1;
+                self.events.push_back(SenderEvent::MemberEjected(peer));
+                emit!(self, now, Event::MemberEjected { peer });
+                // Restart the keepalive backoff (same rationale as LEAVE:
+                // a restarted receiver's re-JOIN should not meet a line
+                // idling at the 2 s cap).
+                self.keepalive.on_activity(now);
+            }
+        }
     }
 
     /// Attempt to advance the send window (release buffer space). This is
@@ -831,6 +867,14 @@ impl SenderEngine {
     /// Read-only view of the membership table (for instrumentation).
     pub fn membership(&self) -> &Membership {
         &self.membership
+    }
+
+    /// Record an incoming datagram discarded for checksum failure. The
+    /// driver decodes (and checksum-verifies) before the engine ever
+    /// sees a packet, so it reports the failure here for stats/events.
+    pub fn note_checksum_failure(&mut self, now: Micros) {
+        self.stats.checksum_failures += 1;
+        emit!(self, now, Event::ChecksumFailed);
     }
 }
 
@@ -1241,6 +1285,69 @@ mod tests {
         run_until(&mut s, 0, 6_000_000);
         assert!(s.stats.segments_released > 0);
         assert!(std::iter::from_fn(|| s.poll_event()).any(|e| e == SenderEvent::SendSpaceAvailable));
+    }
+
+    #[test]
+    fn keepalive_backoff_resets_on_leave() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        update(&mut s, P1, 1, 0);
+        // Idle long enough for the backoff to reach the 2 s cap.
+        run_until(&mut s, 0, 10_000_000);
+        assert_eq!(s.keepalive.delay(), s.config.keepalive_max);
+        let pkt = Packet::control(PacketType::Leave, 9, 7000, 0);
+        s.handle_packet(&pkt, P1, 10_000_000);
+        assert_eq!(
+            s.keepalive.delay(),
+            s.config.keepalive_initial,
+            "a re-JOIN after this LEAVE must not inherit the capped backoff"
+        );
+    }
+
+    #[test]
+    fn unanswered_probes_eject_member_and_unblock_release() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.probe_failure_limit = 3;
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        join(&mut s, P1, 0, 0);
+        join(&mut s, PeerId(2), 0, 0);
+        s.submit(&vec![0u8; 1400], 0);
+        update(&mut s, P1, 1, 0); // P1 confirms; PeerId(2) goes silent
+        run_until(&mut s, 0, 1_000_000);
+        assert_eq!(s.stats.members_ejected, 1);
+        assert_eq!(s.member_count(), 1);
+        assert!(std::iter::from_fn(|| s.poll_event())
+            .any(|e| e == SenderEvent::MemberEjected(PeerId(2))));
+        assert_eq!(
+            s.stats.segments_released, 1,
+            "ejection must unblock the release gate"
+        );
+        // Keepalive backoff restarted at ejection time.
+        assert!(s.keepalive.delay() < s.config.keepalive_max);
+    }
+
+    #[test]
+    fn silence_deadline_ejects_caught_up_member() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.member_silence_us = 1_000_000;
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        join(&mut s, P1, 0, 0);
+        // Fully caught up (nothing submitted): no probes are ever owed,
+        // so only the silence deadline can notice the death.
+        run_until(&mut s, 0, 500_000);
+        assert_eq!(s.member_count(), 1);
+        run_until(&mut s, 500_000, 1_200_000);
+        assert_eq!(s.member_count(), 0);
+        assert_eq!(s.stats.members_ejected, 1);
+    }
+
+    #[test]
+    fn checksum_failures_are_counted() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        s.note_checksum_failure(100);
+        s.note_checksum_failure(200);
+        assert_eq!(s.stats.checksum_failures, 2);
     }
 
     impl SenderEngine {

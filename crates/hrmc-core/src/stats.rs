@@ -51,6 +51,14 @@ pub struct SenderStats {
     /// Delayed retransmissions cancelled because the group confirmed the
     /// data while the sender held back (local-recovery extension).
     pub retransmissions_cancelled: u64,
+    /// Members forcibly ejected after unanswered probes or silence.
+    /// (Skipped in serialization: pre-existing JSON series and fixture
+    /// hashes stay stable.)
+    #[serde(skip)]
+    pub members_ejected: u64,
+    /// Incoming datagrams discarded for checksum failure.
+    #[serde(skip)]
+    pub checksum_failures: u64,
 }
 
 impl SenderStats {
@@ -107,6 +115,14 @@ pub struct ReceiverStats {
     pub repairs_sent: u64,
     /// Peer NAKs heard (local-recovery extension).
     pub peer_naks_heard: u64,
+    /// Terminal session failures declared (sender death / JOIN budget).
+    /// (Skipped in serialization: pre-existing JSON series and fixture
+    /// hashes stay stable.)
+    #[serde(skip)]
+    pub session_failures: u64,
+    /// Incoming datagrams discarded for checksum failure.
+    #[serde(skip)]
+    pub checksum_failures: u64,
 }
 
 impl ReceiverStats {

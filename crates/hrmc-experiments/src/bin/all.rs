@@ -17,6 +17,7 @@ fn main() {
         ("fig13", hrmc_experiments::fig13::run),
         ("fig15", hrmc_experiments::fig15::run),
         ("fig16", hrmc_experiments::fig16::run),
+        ("churn", hrmc_experiments::churn::run),
     ] {
         let t = std::time::Instant::now();
         eprintln!("--- {name} ---");

@@ -1,0 +1,11 @@
+//! Runs the fault-matrix robustness sweep. See the module docs of
+//! `hrmc_experiments::churn` for the regimes and what each row reports.
+
+fn main() {
+    let opts = hrmc_experiments::ExpOptions::from_env();
+    eprintln!(
+        "churn: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
+    hrmc_experiments::churn::run(&opts);
+}

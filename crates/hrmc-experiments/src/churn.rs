@@ -1,0 +1,174 @@
+//! Fault-matrix sweep: the robustness counterpart of the figure
+//! harnesses. One fixed LAN transfer is re-run under a matrix of fault
+//! regimes — injected corruption, duplication + reordering, a healing
+//! partition, receiver crash, sender pause/resume — and the table
+//! reports what each regime cost and what the failure-domain machinery
+//! did about it. The paper's evaluation never kills a host mid-run;
+//! this harness exists so the reproduction's recovery path is exercised
+//! as routinely as its throughput path.
+
+use hrmc_app::{mean, Scenario};
+use hrmc_sim::{ChurnAction, ChurnEvent, FaultModel, FaultPlan};
+use serde_json::json;
+
+use crate::{ExpOptions, Table, MBPS_10, MB_10};
+
+/// Default receiver population (enough that one crash leaves a quorum).
+pub const RECEIVERS: usize = 6;
+
+/// The fault matrix: `(regime label, scenario)` pairs over one fixed
+/// 10 Mbps LAN transfer with 1% ambient loss.
+pub fn regimes(opts: &ExpOptions) -> Vec<(&'static str, Scenario)> {
+    let receivers = opts.receivers.unwrap_or(RECEIVERS);
+    let transfer = opts.transfer(MB_10);
+    let base = || Scenario::lan(receivers, MBPS_10, 256 * 1024, transfer).with_loss(0.01);
+    vec![
+        ("baseline", base()),
+        (
+            "corrupt-0.5%",
+            base().with_faults(FaultPlan {
+                link: FaultModel {
+                    corrupt: 0.005,
+                    ..FaultModel::NONE
+                },
+                ..FaultPlan::default()
+            }),
+        ),
+        (
+            "dup-1%+reorder-2%",
+            base().with_faults(FaultPlan {
+                link: FaultModel {
+                    duplicate: 0.01,
+                    reorder: 0.02,
+                    reorder_max_us: 20_000,
+                    ..FaultModel::NONE
+                },
+                ..FaultPlan::default()
+            }),
+        ),
+        (
+            "partition-1.3s",
+            base().with_partition(vec![0], 200_000, 1_500_000),
+        ),
+        (
+            "crash-1rx",
+            base().with_receiver_crash(receivers - 1, 300_000),
+        ),
+        (
+            "pause-0.5s",
+            base().with_faults(FaultPlan {
+                churn: vec![
+                    ChurnEvent {
+                        at_us: 250_000,
+                        action: ChurnAction::PauseSender,
+                    },
+                    ChurnEvent {
+                        at_us: 750_000,
+                        action: ChurnAction::ResumeSender,
+                    },
+                ],
+                ..FaultPlan::default()
+            }),
+        ),
+    ]
+}
+
+/// Run the matrix and print/save the results.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let headers = [
+        "regime",
+        "Mbps",
+        "retrans",
+        "ejected",
+        "failed",
+        "corrupt",
+        "partition",
+        "churn",
+    ];
+    let mut table = Table::new("fault matrix, 10 Mbps LAN, 1% loss", &headers);
+    let mut series = serde_json::Map::new();
+    for (label, scenario) in regimes(opts) {
+        let runs = opts.run_seeds(&scenario);
+        let thr: Vec<f64> = runs.iter().map(|r| r.throughput_mbps).collect();
+        let retrans: Vec<f64> = runs
+            .iter()
+            .map(|r| r.sender.retransmissions as f64)
+            .collect();
+        let sum = |f: fn(&hrmc_sim::SimReport) -> u64| -> u64 { runs.iter().map(f).sum() };
+        let ejected = sum(|r| r.sender.members_ejected);
+        let failed = runs
+            .iter()
+            .map(|r| r.failed_receivers() as u64)
+            .sum::<u64>();
+        let (corrupt, partition, churn) = (
+            sum(|r| r.corruption_drops),
+            sum(|r| r.partition_drops),
+            sum(|r| r.churn_drops),
+        );
+        // Every regime must come out the other side: either the run
+        // completed, or every incompletion is accounted for by an
+        // ejection or a declared session failure.
+        for r in &runs {
+            assert!(
+                r.completed || ejected > 0 || failed > 0,
+                "{label}: run neither completed nor resolved its failures"
+            );
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", mean(&thr)),
+            format!("{:.1}", mean(&retrans)),
+            ejected.to_string(),
+            failed.to_string(),
+            corrupt.to_string(),
+            partition.to_string(),
+            churn.to_string(),
+        ]);
+        series.insert(
+            label.to_string(),
+            json!({
+                "mbps": mean(&thr),
+                "retransmissions": mean(&retrans),
+                "members_ejected": ejected,
+                "failed_receivers": failed,
+                "corruption_drops": corrupt,
+                "partition_drops": partition,
+                "churn_drops": churn,
+            }),
+        );
+    }
+    table.print();
+    let value = serde_json::Value::Object(series);
+    opts.save_json("churn", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 50,
+            out_dir: std::env::temp_dir().join("hrmc-churn-test"),
+            receivers: Some(4),
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn fault_matrix_survives_every_regime() {
+        let opts = quick();
+        let v = run(&opts);
+        // Each regime's detectors actually fired.
+        assert!(v["corrupt-0.5%"]["corruption_drops"].as_u64().unwrap() > 0);
+        assert!(v["partition-1.3s"]["partition_drops"].as_u64().unwrap() > 0);
+        assert_eq!(v["crash-1rx"]["members_ejected"].as_u64().unwrap(), 1);
+        assert_eq!(v["crash-1rx"]["failed_receivers"].as_u64().unwrap(), 0);
+        assert!(v["pause-0.5s"]["churn_drops"].as_u64().is_some());
+        // The baseline run is unharmed by the harness itself.
+        assert!(v["baseline"]["mbps"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["baseline"]["members_ejected"].as_u64().unwrap(), 0);
+    }
+}

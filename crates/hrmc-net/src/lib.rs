@@ -42,6 +42,10 @@ pub enum NetError {
     /// The sender reported an unrecoverable retransmission error (RMC
     /// mode, or the join race).
     DataLost,
+    /// The receiver declared a terminal session failure: the sender is
+    /// presumed dead (keepalive silence past the configured deadline) or
+    /// the JOIN retry budget ran out.
+    SessionFailed,
     /// The endpoint was already closed.
     Closed,
 }
@@ -58,6 +62,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "socket error: {e}"),
             NetError::Timeout => f.write_str("operation timed out"),
             NetError::DataLost => f.write_str("data irrecoverably lost"),
+            NetError::SessionFailed => f.write_str("session failed: sender presumed dead"),
             NetError::Closed => f.write_str("endpoint closed"),
         }
     }

@@ -32,6 +32,9 @@ struct Inner {
     shutdown: AtomicBool,
     complete: AtomicBool,
     lost: AtomicBool,
+    /// Set on [`ReceiverEvent::SessionFailed`]: the sender is presumed
+    /// dead or the JOIN budget ran out; the session is over.
+    failed: AtomicBool,
     wakeup: Condvar,
     wakeup_lock: Mutex<()>,
 }
@@ -81,6 +84,10 @@ impl Inner {
                     self.lost.store(true, Ordering::SeqCst);
                     self.wakeup.notify_all();
                 }
+                ReceiverEvent::SessionFailed => {
+                    self.failed.store(true, Ordering::SeqCst);
+                    self.wakeup.notify_all();
+                }
                 ReceiverEvent::Joined | ReceiverEvent::Left => {}
             }
         }
@@ -124,6 +131,7 @@ impl HrmcReceiver {
             shutdown: AtomicBool::new(false),
             complete: AtomicBool::new(false),
             lost: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
             wakeup: Condvar::new(),
             wakeup_lock: Mutex::new(()),
         });
@@ -172,8 +180,16 @@ fn rx_loop(inner: &Inner, which: RxSock) {
         let Ok((n, from)) = sock.recv_from(&mut buf) else {
             continue;
         };
-        let Ok(pkt) = Packet::decode(&buf[..n]) else {
-            continue;
+        let pkt = match Packet::decode(&buf[..n]) {
+            Ok(pkt) => pkt,
+            Err(e) => {
+                // Audit corruption: a failed checksum is counted and
+                // reported, not just silently dropped.
+                if matches!(e, hrmc_wire::WireError::BadChecksum) {
+                    inner.engine.lock().note_checksum_failure(inner.clock.now());
+                }
+                continue;
+            }
         };
         // Peer NAKs pass through for local recovery; other
         // receiver-originated feedback is ignored. The sender's address
@@ -264,6 +280,9 @@ impl ReceiverHandle {
                     return Ok(0);
                 }
             }
+            if self.inner.failed.load(Ordering::SeqCst) {
+                return Err(NetError::SessionFailed);
+            }
             if self.inner.lost.load(Ordering::SeqCst) {
                 return Err(NetError::DataLost);
             }
@@ -280,6 +299,12 @@ impl ReceiverHandle {
     /// `true` once the whole stream (through FIN) has been assembled.
     pub fn is_complete(&self) -> bool {
         self.inner.complete.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the engine declared a terminal session failure (the
+    /// sender presumed dead, or the JOIN retry budget exhausted).
+    pub fn has_failed(&self) -> bool {
+        self.inner.failed.load(Ordering::SeqCst)
     }
 
     /// Snapshot of the engine's counters.

@@ -97,6 +97,11 @@ impl Inner {
                 SenderEvent::RetransmissionError { .. } => {
                     self.lost.store(true, Ordering::SeqCst);
                 }
+                SenderEvent::MemberEjected(_) => {
+                    // Ejection can unblock buffer release: wake a sender
+                    // blocked in `send` or `close_and_wait`.
+                    self.wakeup.notify_all();
+                }
                 SenderEvent::MemberJoined(_) | SenderEvent::MemberLeft(_) => {}
             }
         }
@@ -168,8 +173,16 @@ fn rx_loop(inner: &Inner) {
         let Ok((n, from)) = inner.socket.recv_from(&mut buf) else {
             continue;
         };
-        let Ok(pkt) = Packet::decode(&buf[..n]) else {
-            continue;
+        let pkt = match Packet::decode(&buf[..n]) {
+            Ok(pkt) => pkt,
+            Err(e) => {
+                // Audit corruption: a failed checksum is counted and
+                // reported, not just silently dropped.
+                if matches!(e, hrmc_wire::WireError::BadChecksum) {
+                    inner.engine.lock().note_checksum_failure(inner.clock.now());
+                }
+                continue;
+            }
         };
         let peer = inner.peers.lock().get_or_insert(from);
         inner

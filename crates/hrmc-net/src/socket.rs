@@ -94,14 +94,16 @@ impl McastSocket {
         self.inner.local_addr()
     }
 
-    /// Send `buf` to the multicast group.
+    /// Send `buf` to the multicast group, retrying transient kernel
+    /// errors with a short backoff (see [`send_retrying`]).
     pub fn send_multicast(&self, buf: &[u8]) -> io::Result<usize> {
-        self.inner.send_to(buf, SocketAddr::V4(self.group))
+        send_retrying(|| self.inner.send_to(buf, SocketAddr::V4(self.group)))
     }
 
-    /// Send `buf` to a specific peer (unicast).
+    /// Send `buf` to a specific peer (unicast), retrying transient
+    /// kernel errors with a short backoff (see [`send_retrying`]).
     pub fn send_unicast(&self, buf: &[u8], to: SocketAddr) -> io::Result<usize> {
-        self.inner.send_to(buf, to)
+        send_retrying(|| self.inner.send_to(buf, to))
     }
 
     /// Receive one datagram (honors the configured read timeout).
@@ -121,6 +123,43 @@ impl McastSocket {
             inner: self.inner.try_clone()?,
             group: self.group,
         })
+    }
+}
+
+/// Attempts beyond the first before a transient send error is surfaced.
+const SEND_RETRIES: u32 = 4;
+
+/// Linux `ENOBUFS` (the pinned `libc` predates the re-export): the
+/// kernel's socket buffers are momentarily full.
+const ENOBUFS: i32 = 105;
+
+/// `true` for errors a loaded kernel returns transiently on UDP sends:
+/// `EAGAIN`/`EWOULDBLOCK`, `EINTR`, and `ENOBUFS` (socket buffers
+/// momentarily full — the classic burst symptom on loopback).
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    ) || e.raw_os_error() == Some(ENOBUFS)
+}
+
+/// Run `send`, retrying transient errors up to [`SEND_RETRIES`] times
+/// with a doubling backoff starting at 200 µs. A datagram the kernel
+/// refuses under momentary pressure would otherwise be silently lost
+/// and cost a full NAK round trip to recover; a sub-millisecond retry
+/// is far cheaper. Persistent errors surface to the caller unchanged.
+fn send_retrying<F: FnMut() -> io::Result<usize>>(mut send: F) -> io::Result<usize> {
+    let mut backoff = std::time::Duration::from_micros(200);
+    let mut attempt = 0;
+    loop {
+        match send() {
+            Err(ref e) if is_transient(e) && attempt < SEND_RETRIES => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            other => return other,
+        }
     }
 }
 
@@ -154,6 +193,41 @@ mod tests {
 
     fn group(port: u16) -> SocketAddrV4 {
         SocketAddrV4::new(Ipv4Addr::new(239, 255, 77, 7), port)
+    }
+
+    #[test]
+    fn transient_send_errors_are_retried_then_succeed() {
+        let mut attempts = 0;
+        let r = send_retrying(|| {
+            attempts += 1;
+            if attempts <= 2 {
+                Err(io::Error::from(io::ErrorKind::WouldBlock))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn persistent_and_fatal_send_errors_surface() {
+        // A persistent transient error gives up after the retry budget.
+        let mut attempts = 0;
+        let r = send_retrying(|| {
+            attempts += 1;
+            Err::<usize, _>(io::Error::from_raw_os_error(ENOBUFS))
+        });
+        assert!(r.is_err());
+        assert_eq!(attempts, 1 + SEND_RETRIES);
+        // A non-transient error is never retried.
+        let mut attempts = 0;
+        let r = send_retrying(|| {
+            attempts += 1;
+            Err::<usize, _>(io::Error::from(io::ErrorKind::PermissionDenied))
+        });
+        assert_eq!(r.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(attempts, 1);
     }
 
     #[test]

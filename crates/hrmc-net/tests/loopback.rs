@@ -148,6 +148,51 @@ fn garbage_datagrams_are_ignored() {
 }
 
 #[test]
+fn flipped_bit_is_caught_and_audited() {
+    if !multicast_available(46140) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 16), 46141);
+    let r = HrmcReceiver::join(group, LO, config()).expect("join");
+    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    // A well-formed DATA packet with exactly one bit flipped in transit:
+    // the checksum must catch it, and the receiver must audit it.
+    let pkt = hrmc_wire::Packet::data(7000, group.port(), 0, bytes::Bytes::from(pattern(1_000)));
+    let mut wire = pkt.encode();
+    wire[100] ^= 0x08;
+    let noise = McastSocket::sender(group, LO).expect("noise socket");
+    noise.send_multicast(&wire).expect("send corrupted");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while r.stats().checksum_failures == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        r.stats().checksum_failures,
+        1,
+        "corrupted datagram was not audited"
+    );
+    // The corruption did not poison anything: a clean transfer still
+    // runs byte-for-byte on the same group.
+    let data = pattern(20_000);
+    sender.send(&data).expect("send");
+    sender.close();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        match r.recv(&mut buf, Duration::from_secs(20)) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("recv after corruption failed: {e}"),
+        }
+    }
+    assert_eq!(got, data);
+    sender
+        .close_and_wait(Duration::from_secs(30))
+        .expect("close");
+}
+
+#[test]
 fn sender_observes_membership() {
     if !multicast_available(46120) {
         eprintln!("skipping: multicast loopback unavailable");

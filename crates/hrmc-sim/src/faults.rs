@@ -1,0 +1,178 @@
+//! Fault injection: the adverse conditions the protocol must survive.
+//!
+//! The paper evaluates H-RMC under ordinary congestion loss; a kernel
+//! protocol additionally faces reordered and duplicated datagrams,
+//! bit corruption caught by the checksum, routing partitions that heal,
+//! and host churn — receivers crashing mid-transfer (and possibly
+//! rejoining) or the sender process stalling. A [`FaultPlan`] describes
+//! all of these declaratively; the simulator applies them from the same
+//! seeded RNG that drives the loss models, so every faulty run is
+//! exactly reproducible.
+//!
+//! Determinism discipline: each per-packet fault draws from the
+//! simulator RNG **only when its probability is non-zero**, so an empty
+//! plan consumes the exact roll sequence of a fault-free build and every
+//! pinned baseline fixture stays byte-identical.
+
+/// Per-packet link faults applied where packets descend to receivers.
+///
+/// Probabilities are independent per delivered packet, evaluated in a
+/// fixed order (corrupt, duplicate, reorder) so the RNG stream is a pure
+/// function of the configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability of flipping one bit of the encoded packet. The
+    /// internet checksum catches any single-bit flip, so a corrupted
+    /// packet is always discarded (and audited) rather than delivered.
+    pub corrupt: f64,
+    /// Probability of delivering an extra copy of the packet.
+    pub duplicate: f64,
+    /// Probability of delaying the packet by up to
+    /// [`reorder_max_us`](FaultModel::reorder_max_us), letting later
+    /// packets overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay applied to a reordered packet (µs).
+    pub reorder_max_us: u64,
+}
+
+/// No link faults.
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_max_us: 0,
+        }
+    }
+}
+
+impl FaultModel {
+    /// A fault-free link.
+    pub const NONE: FaultModel = FaultModel {
+        corrupt: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        reorder_max_us: 0,
+    };
+}
+
+/// A scheduled network partition: the listed receivers are unreachable
+/// in both directions for `[start_us, end_us)`, then the partition
+/// heals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Receiver indices (0-based, as in [`crate::topology::Topology`])
+    /// cut off by the partition.
+    pub receivers: Vec<usize>,
+    /// Partition onset (µs, inclusive).
+    pub start_us: u64,
+    /// Partition heal time (µs, exclusive).
+    pub end_us: u64,
+}
+
+impl Partition {
+    /// `true` when the partition severs `receiver` at time `now`.
+    pub fn blocks(&self, receiver: usize, now: u64) -> bool {
+        now >= self.start_us && now < self.end_us && self.receivers.contains(&receiver)
+    }
+}
+
+/// One scheduled churn action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Kill a host: its engine stops ticking, every packet addressed to
+    /// it is dropped, and (for a receiver) completion no longer waits on
+    /// it. Host 0 is the sender; receiver `i` is host `i + 1`.
+    Crash {
+        /// Host index to kill.
+        host: usize,
+    },
+    /// Revive a crashed receiver host with a fresh engine that performs
+    /// a brand-new JOIN handshake (a late joiner; best-effort — the
+    /// completion check does not wait for it).
+    Restart {
+        /// Host index to revive (receivers only).
+        host: usize,
+    },
+    /// Freeze the sender process: its engine stops being ticked and
+    /// arriving feedback is dropped, as when the sending application is
+    /// SIGSTOPped or the machine stalls.
+    PauseSender,
+    /// Unfreeze the sender process.
+    ResumeSender,
+}
+
+/// A churn action and when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Simulation time of the action (µs).
+    pub at_us: u64,
+    /// The action.
+    pub action: ChurnAction,
+}
+
+/// Everything injected into one run: link faults, partitions, churn.
+/// The default plan is empty and leaves the simulation bit-for-bit
+/// identical to a fault-free run under the same seed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-packet link faults on the receiver-bound direction.
+    pub link: FaultModel,
+    /// Scheduled partitions (applied in both directions).
+    pub partitions: Vec<Partition>,
+    /// Scheduled host churn, in any order; the simulator schedules each
+    /// at its own time.
+    pub churn: Vec<ChurnEvent>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link == FaultModel::NONE && self.partitions.is_empty() && self.churn.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.link, FaultModel::NONE);
+    }
+
+    #[test]
+    fn partition_blocks_only_listed_receivers_during_window() {
+        let p = Partition {
+            receivers: vec![1, 3],
+            start_us: 100,
+            end_us: 200,
+        };
+        assert!(p.blocks(1, 100));
+        assert!(p.blocks(3, 199));
+        assert!(!p.blocks(1, 99), "before onset");
+        assert!(!p.blocks(1, 200), "healed at end");
+        assert!(!p.blocks(0, 150), "unlisted receiver");
+    }
+
+    #[test]
+    fn plan_with_any_fault_is_not_empty() {
+        let mut plan = FaultPlan {
+            link: FaultModel {
+                corrupt: 0.01,
+                ..FaultModel::NONE
+            },
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        plan.link = FaultModel::NONE;
+        plan.churn.push(ChurnEvent {
+            at_us: 5,
+            action: ChurnAction::Crash { host: 1 },
+        });
+        assert!(!plan.is_empty());
+    }
+}

@@ -45,6 +45,16 @@ pub struct Host {
     pending_offset: usize,
     /// `true` once `close()` has been issued to the sender engine.
     pub closed: bool,
+    /// `true` while the host is crashed (fault injection): its engine is
+    /// never ticked and arriving packets are discarded.
+    pub crashed: bool,
+    /// `true` while the host's protocol process is frozen (fault
+    /// injection; sender only): no ticks, arriving packets discarded.
+    pub paused: bool,
+    /// `true` once the host has been revived after a crash (fault
+    /// injection): it re-joins as a best-effort late joiner and the
+    /// completion check no longer waits for it.
+    pub restarted: bool,
     /// Simulation time at which this receiver finished absorbing the
     /// whole stream (receiver hosts only).
     pub completed_at: Option<u64>,
@@ -65,6 +75,9 @@ impl Host {
             pending: Vec::new(),
             pending_offset: 0,
             closed: false,
+            crashed: false,
+            paused: false,
+            restarted: false,
             completed_at: None,
             ticks: 0,
         }
@@ -82,6 +95,9 @@ impl Host {
             pending: Vec::new(),
             pending_offset: 0,
             closed: false,
+            crashed: false,
+            paused: false,
+            restarted: false,
             completed_at: None,
             ticks: 0,
         }

@@ -30,6 +30,7 @@
 //!   deterministic under a seed, producing a [`report::SimReport`].
 
 pub mod apps;
+pub mod faults;
 pub mod host;
 pub mod loss;
 pub mod nic;
@@ -42,6 +43,7 @@ pub mod topology;
 pub mod trace;
 
 pub use apps::{IoProfile, SinkApp, SourceApp};
+pub use faults::{ChurnAction, ChurnEvent, FaultModel, FaultPlan, Partition};
 pub use loss::{LossModel, LossProcess};
 pub use obs::{HostObserver, SharedObs};
 pub use report::{LatencyReport, ReceiverReport, SimReport};

@@ -70,6 +70,9 @@ pub struct Nic {
     pub tx_drop_times: Vec<(u64, hrmc_wire::PacketType, usize)>,
     /// Receive-side loss process (holds Gilbert–Elliott channel state).
     rx: LossProcess,
+    /// Datagrams discarded because fault-injected corruption tripped the
+    /// checksum (the audit trail for every corrupt arrival).
+    pub rx_checksum_drops: u64,
     /// Packets transmitted (stat).
     pub transmitted: u64,
     /// Packets delivered up to the host (stat).
@@ -87,6 +90,7 @@ impl Nic {
             tx_drops: 0,
             tx_drop_times: Vec::new(),
             rx,
+            rx_checksum_drops: 0,
             transmitted: 0,
             delivered: 0,
         }

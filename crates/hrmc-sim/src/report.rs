@@ -15,6 +15,11 @@ pub struct ReceiverReport {
     pub completed_at: Option<u64>,
     /// `true` when every byte matched the expected pattern.
     pub intact: bool,
+    /// `true` when the receiver declared a terminal session failure
+    /// (sender presumed dead or JOIN budget exhausted). Skipped in
+    /// serialization so pre-existing JSON fixtures stay stable.
+    #[serde(skip)]
+    pub failed: bool,
 }
 
 /// Latency percentiles collected by the observer pipeline (present when
@@ -57,6 +62,18 @@ pub struct SimReport {
     pub nic_rx_drops: u64,
     /// Packets dropped at host RX backlogs (overdriven-CPU load shedding).
     pub host_backlog_drops: u64,
+    /// Packets severed by scheduled partitions (fault injection).
+    pub partition_drops: u64,
+    /// Packets discarded after injected bit corruption tripped the
+    /// checksum (fault injection).
+    pub corruption_drops: u64,
+    /// Extra packet copies delivered by the duplication fault.
+    pub duplicates_injected: u64,
+    /// Packets delayed by the reordering fault.
+    pub reorders_injected: u64,
+    /// Packets discarded because the destination host was crashed or its
+    /// process frozen (churn fault injection).
+    pub churn_drops: u64,
     /// The sender's final RTT estimate (µs) — the MINBUF clock base.
     pub final_rtt_us: u64,
     /// The sender's final transmission rate (bytes/s).
@@ -95,5 +112,10 @@ impl SimReport {
     /// `true` when every receiver's stream verified intact.
     pub fn all_intact(&self) -> bool {
         self.receivers.iter().all(|r| r.intact)
+    }
+
+    /// Number of receivers that declared a terminal session failure.
+    pub fn failed_receivers(&self) -> usize {
+        self.receivers.iter().filter(|r| r.failed).count()
     }
 }

@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::{Arc, Mutex};
 
 use crate::apps::{IoProfile, SinkApp, SourceApp};
+use crate::faults::{ChurnAction, FaultPlan};
 use crate::host::{Engine, Host};
 use crate::nic::{Nic, TxOutcome};
 use crate::obs::{HostObserver, SharedObs};
@@ -65,6 +66,10 @@ pub struct SimParams {
     /// [`SimReport::latency`] (and merged into the trace, when both are
     /// on).
     pub observe: bool,
+    /// Injected faults: link misbehavior, partitions, host churn. The
+    /// default (empty) plan leaves the run bit-for-bit identical to a
+    /// fault-free simulation under the same seed.
+    pub faults: FaultPlan,
 }
 
 impl SimParams {
@@ -82,6 +87,7 @@ impl SimParams {
             host_backlog_us: 50_000,
             trace_bucket_us: None,
             observe: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -109,6 +115,9 @@ enum Ev {
     RouterDeq { router: usize },
     /// A packet finished the router's propagation delay; fan out.
     Forward { router: usize, transit: Transit },
+    /// A scheduled churn action (crash / restart / pause / resume) fires;
+    /// the index points into [`FaultPlan::churn`].
+    Churn { idx: usize },
 }
 
 /// One simulation run. Build with [`Simulation::new`], execute with
@@ -127,6 +136,16 @@ pub struct Simulation {
     /// Re-derived after every tick and every packet arrival.
     due: Vec<Option<u64>>,
     done: bool,
+    /// Packets severed by scheduled partitions.
+    partition_drops: u64,
+    /// Packets discarded after injected corruption tripped the checksum.
+    corruption_drops: u64,
+    /// Extra copies delivered by the duplication fault.
+    duplicates_injected: u64,
+    /// Packets delayed by the reordering fault.
+    reorders_injected: u64,
+    /// Packets discarded at crashed or frozen hosts.
+    churn_drops: u64,
 }
 
 /// First jiffy-grid point strictly after `now`.
@@ -177,6 +196,11 @@ impl Simulation {
         // Every host starts armed for the first jiffy; a single Sweep
         // event services them all.
         queue.schedule(JIFFY_US, Ev::Sweep);
+        // Churn fires at its scheduled instants (none in a fault-free
+        // run, so the event stream is untouched by an empty plan).
+        for idx in 0..params.faults.churn.len() {
+            queue.schedule(params.faults.churn[idx].at_us, Ev::Churn { idx });
+        }
         let due = vec![Some(JIFFY_US); n + 1];
         let rng = SmallRng::seed_from_u64(params.seed);
         let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
@@ -191,6 +215,11 @@ impl Simulation {
             obs: None,
             due,
             done: false,
+            partition_drops: 0,
+            corruption_drops: 0,
+            duplicates_injected: 0,
+            reorders_injected: 0,
+            churn_drops: 0,
         };
         if sim.params.observe {
             sim.install_observers();
@@ -268,6 +297,7 @@ impl Simulation {
             Ev::RouterArrive { router, transit } => self.on_router_arrive(router, transit, now),
             Ev::RouterDeq { router } => self.on_router_deq(router, now),
             Ev::Forward { router, transit } => self.on_forward(router, transit, now),
+            Ev::Churn { idx } => self.on_churn(idx, now),
         }
     }
 
@@ -302,9 +332,77 @@ impl Simulation {
         self.queue.schedule(next, Ev::Sweep);
     }
 
+    /// Execute one scheduled churn action.
+    fn on_churn(&mut self, idx: usize, now: u64) {
+        match self.params.faults.churn[idx].action {
+            ChurnAction::Crash { host } => {
+                if host < self.hosts.len() && !self.hosts[host].crashed {
+                    self.hosts[host].crashed = true;
+                    self.due[host] = None;
+                    // Wake the sender so the completion check (and any
+                    // ejection logic) sees the change on the next sweep.
+                    if host != 0 {
+                        let g = next_grid(now);
+                        self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+                    }
+                }
+            }
+            ChurnAction::Restart { host } => self.restart_receiver(host, now),
+            ChurnAction::PauseSender => self.hosts[0].paused = true,
+            ChurnAction::ResumeSender => {
+                if self.hosts[0].paused {
+                    self.hosts[0].paused = false;
+                    let g = next_grid(now);
+                    self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+                }
+            }
+        }
+    }
+
+    /// Revive a crashed receiver host with a fresh engine. It re-attaches
+    /// wherever it tunes in and performs a brand-new JOIN handshake (the
+    /// late-join path); the completion check treats it as best-effort.
+    fn restart_receiver(&mut self, host: usize, now: u64) {
+        if host == 0 || host >= self.hosts.len() || !self.hosts[host].crashed {
+            return;
+        }
+        let i = host - 1;
+        let engine = ReceiverEngine::new(self.params.protocol.clone(), 8000 + i as u16, 7001, now);
+        let h = &mut self.hosts[host];
+        h.engine = Engine::Receiver(Box::new(engine));
+        h.sink = Some(SinkApp::new(self.params.sink, now));
+        h.crashed = false;
+        h.restarted = true;
+        if let Some(shared) = &self.obs {
+            let obs = Box::new(HostObserver::new(host, shared.clone()));
+            if let Engine::Receiver(e) = &mut self.hosts[host].engine {
+                e.set_observer(obs);
+            }
+        }
+        self.due[host] = Some(next_grid(now));
+    }
+
+    /// `true` when a scheduled partition currently severs `receiver`.
+    fn partitioned(&self, receiver: usize, now: u64) -> bool {
+        self.params
+            .faults
+            .partitions
+            .iter()
+            .any(|p| p.blocks(receiver, now))
+    }
+
     /// One host tick — exactly the old per-jiffy `Tick` body — followed
     /// by re-deriving the host's next deadline from its engine.
     fn tick_host(&mut self, host: usize, now: u64) {
+        if self.hosts[host].crashed {
+            return; // dead silicon: the deadline stays disarmed
+        }
+        if self.hosts[host].paused {
+            // Frozen process: do nothing, but stay armed so the resume
+            // action finds a live timer.
+            self.due[host] = Some(next_grid(now));
+            return;
+        }
         {
             let h = &mut self.hosts[host];
             h.ticks += 1;
@@ -373,6 +471,10 @@ impl Simulation {
     }
 
     fn on_host_rx(&mut self, host: usize, from: Option<usize>, pkt: &Packet, now: u64) {
+        if self.hosts[host].crashed || self.hosts[host].paused {
+            self.churn_drops += 1;
+            return;
+        }
         match &mut self.hosts[host].engine {
             Engine::Sender(engine) => {
                 let from = from.expect("sender RX without source receiver");
@@ -589,6 +691,14 @@ impl Simulation {
                     );
                 } else {
                     // Reached the sender's side: deliver to host 0.
+                    if self.hosts[0].crashed || self.hosts[0].paused {
+                        self.churn_drops += 1;
+                        return;
+                    }
+                    if self.partitioned(from, now) {
+                        self.partition_drops += 1;
+                        return; // feedback cannot cross the partition
+                    }
                     if self.hosts[0].cpu_backlog(now) > self.params.host_backlog_us {
                         self.hosts[0].backlog_drops += 1;
                         return; // feedback implosion sheds load too
@@ -610,6 +720,14 @@ impl Simulation {
 
     fn deliver_to_receiver(&mut self, receiver: usize, pkt: &Packet, now: u64) {
         let host = receiver + 1;
+        if self.hosts[host].crashed {
+            self.churn_drops += 1;
+            return; // nobody is listening
+        }
+        if self.partitioned(receiver, now) {
+            self.partition_drops += 1;
+            return; // severed by a scheduled partition
+        }
         let rolls = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
         if !self.nics[host].rx_accept(rolls.0, rolls.1) {
             if let Some(trace) = self.trace.as_mut() {
@@ -621,16 +739,69 @@ impl Simulation {
             self.hosts[host].backlog_drops += 1;
             return; // RX backlog overflow: shed load
         }
+        // Link-fault injection. Each fault draws from the RNG only when
+        // its probability is non-zero, in a fixed order (corrupt,
+        // duplicate, reorder), so an empty plan consumes the exact roll
+        // sequence of a fault-free run.
+        let f = self.params.faults.link;
+        if f.corrupt > 0.0 {
+            let roll = self.rng.gen::<f64>();
+            if roll < f.corrupt && self.corrupt_and_discard(host, pkt, roll, now) {
+                return;
+            }
+        }
+        let copies = if f.duplicate > 0.0 && self.rng.gen::<f64>() < f.duplicate {
+            self.duplicates_injected += 1;
+            2
+        } else {
+            1
+        };
+        let mut extra = 0u64;
+        if f.reorder > 0.0 {
+            let roll = self.rng.gen::<f64>();
+            if roll < f.reorder {
+                self.reorders_injected += 1;
+                // Reuse the accepted roll as the (uniform) delay fraction.
+                extra = ((roll / f.reorder) * f.reorder_max_us as f64) as u64;
+            }
+        }
         let len = pkt.payload.len();
-        let ready = self.hosts[host].charge_cpu(len, now);
-        self.queue.schedule(
-            ready,
-            Ev::HostRx {
-                host,
-                from: None,
-                pkt: pkt.clone(),
-            },
-        );
+        for _ in 0..copies {
+            let ready = self.hosts[host].charge_cpu(len, now);
+            self.queue.schedule(
+                ready + extra,
+                Ev::HostRx {
+                    host,
+                    from: None,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+    }
+
+    /// Flip one roll-derived bit of the encoded packet and let the wire
+    /// checksum judge it. The internet checksum catches every single-bit
+    /// flip, so the datagram is discarded and audited: the NIC counts it
+    /// and the engine's checksum-failure counter/event fires, exactly as
+    /// the UDP drivers do on a failed `Packet::decode`. Returns `true`
+    /// when the packet was discarded.
+    fn corrupt_and_discard(&mut self, host: usize, pkt: &Packet, roll: f64, now: u64) -> bool {
+        let corrupt = self.params.faults.link.corrupt;
+        let mut buf = pkt.encode();
+        let nbits = buf.len() * 8;
+        // Reuse the accepted roll, rescaled, to pick the bit.
+        let bit = (((roll / corrupt) * nbits as f64) as usize).min(nbits - 1);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        if Packet::decode(&buf).is_ok() {
+            return false; // unreachable for a 1-bit flip; deliver intact
+        }
+        self.corruption_drops += 1;
+        self.nics[host].rx_checksum_drops += 1;
+        match &mut self.hosts[host].engine {
+            Engine::Sender(e) => e.note_checksum_failure(now),
+            Engine::Receiver(e) => e.note_checksum_failure(now),
+        }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -644,7 +815,15 @@ impl Simulation {
         if !(self.hosts[0].closed && sender.is_finished()) {
             return false;
         }
-        self.hosts[1..].iter().all(|h| h.completed_at.is_some())
+        // Crashed receivers, best-effort restarted late joiners, and
+        // receivers that declared a terminal session failure no longer
+        // gate completion — the transfer is over for the survivors.
+        self.hosts[1..].iter().all(|h| {
+            if h.crashed || h.restarted || h.completed_at.is_some() {
+                return true;
+            }
+            matches!(&h.engine, Engine::Receiver(r) if r.has_failed())
+        })
     }
 
     fn report(self) -> SimReport {
@@ -663,6 +842,7 @@ impl Simulation {
                     bytes: sink.received(),
                     completed_at: h.completed_at,
                     intact: sink.intact(),
+                    failed: r.has_failed(),
                 }
             })
             .collect();
@@ -701,6 +881,11 @@ impl Simulation {
             sender_nic_drops: self.nics[0].tx_drops,
             nic_rx_drops: self.nics[1..].iter().map(|n| n.rx_drops()).sum(),
             host_backlog_drops: self.hosts.iter().map(|h| h.backlog_drops).sum(),
+            partition_drops: self.partition_drops,
+            corruption_drops: self.corruption_drops,
+            duplicates_injected: self.duplicates_injected,
+            reorders_injected: self.reorders_injected,
+            churn_drops: self.churn_drops,
             final_rtt_us: sender.rtt(),
             final_rate_bps: sender.rate(),
             latency,
