@@ -7,9 +7,17 @@
 //! future PRs have a perf baseline to compare against.
 //!
 //! ```sh
-//! cargo bench -p hrmc-bench --bench sim          # full run + JSON
-//! cargo bench -p hrmc-bench --bench sim -- --test  # one small smoke run
+//! cargo bench -p hrmc-bench --bench sim           # full run + JSON
+//! cargo bench -p hrmc-bench --bench sim -- --test   # one small smoke run
+//! cargo bench -p hrmc-bench --bench sim -- --check  # regression gate
 //! ```
+//!
+//! `--check` re-runs the full scenario once and compares the
+//! *deterministic* scheduler-work counters (`events_popped`,
+//! `engine_ticks`) against the committed `BENCH_sim.json`; more than 10%
+//! regression on either exits nonzero. Wall-clock is reported but never
+//! gated (CI machines vary); the work counters are exact on a fixed
+//! seed, so any growth is a real scheduler regression, not noise.
 
 use hrmc_core::ProtocolConfig;
 use hrmc_sim::{SimParams, SimReport, Simulation, TopologyBuilder};
@@ -38,7 +46,55 @@ fn run_once(receivers: usize, transfer: u64) -> (SimReport, f64) {
     (report, wall_ms)
 }
 
+/// Baseline path: the committed `BENCH_sim.json` at the repo root.
+fn baseline_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json")
+}
+
+/// The `--check` regression gate: compare this build's deterministic
+/// scheduler-work counters against the committed baseline.
+fn check_against_baseline() -> ! {
+    let (report, wall_ms) = run_once(64, 200_000);
+    let ticks_total: u64 = report.host_ticks.iter().sum();
+    let body = std::fs::read_to_string(baseline_path())
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path()));
+    let baseline = serde_json::from_str(&body).expect("BENCH_sim.json must be valid JSON");
+    let base = |key: &str| -> u64 {
+        baseline
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("BENCH_sim.json has no numeric `{key}`"))
+    };
+    let mut failed = false;
+    for (name, current, pinned) in [
+        ("events_popped", report.events_popped, base("events_popped")),
+        ("engine_ticks", ticks_total, base("engine_ticks")),
+    ] {
+        // >10% growth over the committed baseline fails the gate.
+        let limit = pinned + pinned.div_ceil(10);
+        let verdict = if current > limit { "REGRESSED" } else { "ok" };
+        failed |= current > limit;
+        println!(
+            "bench-check: {name}  current={current}  baseline={pinned}  \
+             limit={limit}  {verdict}"
+        );
+    }
+    println!("bench-check: wall={wall_ms:.1} ms (informational, not gated)");
+    if failed {
+        eprintln!(
+            "bench-check: scheduler work regressed >10% vs BENCH_sim.json; \
+             fix the regression or deliberately re-baseline with \
+             `cargo bench -p hrmc-bench --bench sim`"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check_against_baseline();
+    }
     let smoke = std::env::args().any(|a| a == "--test");
     let (receivers, transfer, iters) = if smoke {
         (8, 50_000, 1)
@@ -79,7 +135,7 @@ fn main() {
         "sim_elapsed_us": report.elapsed_us,
         "throughput_mbps": report.throughput_mbps,
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let path = baseline_path();
     let body = serde_json::to_string_pretty(&out).expect("serialize BENCH_sim.json");
     std::fs::write(path, body + "\n").expect("write BENCH_sim.json");
     println!("bench: wrote {path}");

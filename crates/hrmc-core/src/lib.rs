@@ -77,7 +77,10 @@ pub use config::{ProbePolicy, ProbeTransport, ProtocolConfig, ReliabilityMode, U
 pub use events::{ReceiverEvent, SenderEvent};
 pub use fec::FecConfig;
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry};
-pub use obs::{Event, JsonlObserver, MetricsObserver, MultiObserver, NakTrigger, ProtocolObserver};
+pub use obs::{
+    Event, FlightRecorder, JsonlObserver, MetricsObserver, MultiObserver, NakTrigger,
+    ProtocolObserver, RecordedEvent, SharedRecorder, SCHEMA_VERSION,
+};
 pub use receiver::ReceiverEngine;
 pub use sender::SenderEngine;
 pub use stats::{ReceiverStats, SenderStats};

@@ -13,6 +13,7 @@
 //! `hrmc-sim`, a monotonic wall clock in `hrmc-net` — so one sink type
 //! serves both.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use hrmc_wire::Seq;
@@ -22,6 +23,24 @@ use crate::rate::RatePhase;
 use crate::rxwindow::Region;
 use crate::time::Micros;
 use crate::PeerId;
+
+/// Version of the JSONL event schema. Bumped whenever an event's field
+/// set or rendering changes incompatibly; every stream opens with a
+/// header line carrying this number so consumers can refuse traces they
+/// do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Render the one-line JSONL stream header:
+/// `{"schema":1,"role":"sim"}` or
+/// `{"schema":1,"role":"endpoint","label":"sender"}`. Emitted as the
+/// first line of every trace ([`JsonlObserver`], the sim event log,
+/// [`FlightRecorder::dump`]) and skipped by every consumer.
+pub fn header_json(role: &str, label: Option<&str>) -> String {
+    match label {
+        Some(l) => format!("{{\"schema\":{SCHEMA_VERSION},\"role\":\"{role}\",\"label\":\"{l}\"}}"),
+        None => format!("{{\"schema\":{SCHEMA_VERSION},\"role\":\"{role}\"}}"),
+    }
+}
 
 /// What prompted a NAK transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,6 +250,35 @@ impl Event {
             Event::SessionFailed => "session_failed",
         }
     }
+
+    /// The unwrapped sequence range `[first, first + count)` this event
+    /// refers to, if it names sequence numbers at all — the stable join
+    /// key trace analyzers use to stitch per-sequence lifecycles
+    /// together. Single-sequence events report `count == 1`.
+    ///
+    /// Simulated streams start at sequence 0, so the wire [`Seq`] carried
+    /// by sender-side events and the receivers' unwrapped 64-bit numbers
+    /// coincide there; over real sockets the caller must unwrap.
+    pub fn seq_range(&self) -> Option<(u64, u32)> {
+        match *self {
+            Event::ProbeSent { seq, .. }
+            | Event::ReleaseAttempt { seq, .. }
+            | Event::DataSent { seq, .. } => Some((u64::from(seq), 1)),
+            Event::NakSent { first, count, .. }
+            | Event::Recovered { first, count, .. }
+            | Event::Delivered { first, count } => Some((first, count)),
+            _ => None,
+        }
+    }
+
+    /// The group member this event refers to, if any — the stable join
+    /// key for membership-lifecycle analysis (`"member"` in JSONL).
+    pub fn member(&self) -> Option<PeerId> {
+        match *self {
+            Event::PeerJoined { peer } | Event::MemberEjected { peer } => Some(peer),
+            _ => None,
+        }
+    }
 }
 
 /// Hook for protocol state transitions. Implementations must be cheap:
@@ -315,10 +363,10 @@ pub fn event_json_with(now: Micros, ev: &Event, extra: &str) -> String {
             );
         }
         Event::PeerJoined { peer } => {
-            let _ = write!(s, ",\"peer\":{}", peer.0);
+            let _ = write!(s, ",\"member\":{}", peer.0);
         }
         Event::MemberEjected { peer } => {
-            let _ = write!(s, ",\"peer\":{}", peer.0);
+            let _ = write!(s, ",\"member\":{}", peer.0);
         }
         Event::ChecksumFailed | Event::SessionFailed => {}
         Event::RegionChanged { from, to } => {
@@ -372,12 +420,15 @@ pub fn event_json(now: Micros, ev: &Event) -> String {
     event_json_with(now, ev, "")
 }
 
-/// Observer that writes one JSON line per event to any `Write` sink.
-/// Write errors are silently dropped (observability must never take the
+/// Observer that writes one JSON line per event to any `Write` sink,
+/// preceded by one schema header line (see [`header_json`]). Write
+/// errors are silently dropped (observability must never take the
 /// protocol down).
 pub struct JsonlObserver<W: std::io::Write + Send> {
     writer: W,
     extra: String,
+    label: Option<String>,
+    header_written: bool,
 }
 
 impl<W: std::io::Write + Send> JsonlObserver<W> {
@@ -386,12 +437,16 @@ impl<W: std::io::Write + Send> JsonlObserver<W> {
         JsonlObserver {
             writer,
             extra: String::new(),
+            label: None,
+            header_written: false,
         }
     }
 
-    /// Tag every line with `"src":"<label>"` — e.g. `sender`, `recv0`.
+    /// Tag every line with `"src":"<label>"` — e.g. `sender`, `recv0` —
+    /// and carry the label in the stream header.
     pub fn with_label(mut self, label: &str) -> JsonlObserver<W> {
         self.extra = format!("\"src\":\"{label}\",");
+        self.label = Some(label.to_string());
         self
     }
 
@@ -404,6 +459,12 @@ impl<W: std::io::Write + Send> JsonlObserver<W> {
 
 impl<W: std::io::Write + Send> ProtocolObserver for JsonlObserver<W> {
     fn on_event(&mut self, now: Micros, ev: &Event) {
+        if !self.header_written {
+            self.header_written = true;
+            let mut header = header_json("endpoint", self.label.as_deref());
+            header.push('\n');
+            let _ = self.writer.write_all(header.as_bytes());
+        }
         let mut line = event_json_with(now, ev, &self.extra);
         line.push('\n');
         let _ = self.writer.write_all(line.as_bytes());
@@ -523,6 +584,214 @@ impl ProtocolObserver for MetricsObserver {
     }
 }
 
+/// One event captured by a [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedEvent {
+    /// Engine clock at emission (µs).
+    pub t_us: Micros,
+    /// Simulation host tag (`None` for single-engine recorders); rendered
+    /// as `"host":N` by [`FlightRecorder::dump`] so a dump is line-
+    /// compatible with the streaming sim event log.
+    pub host: Option<u32>,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Bounded in-memory ring of the most recent protocol events — a flight
+/// recorder cheap enough to leave on in production paths: recording one
+/// event is a `VecDeque` push of a `Copy` struct (no allocation, no
+/// formatting), overwriting the oldest entry once the fixed capacity is
+/// reached and counting what it overwrote. [`FlightRecorder::dump`]
+/// renders the surviving window as schema-versioned JSONL, byte-
+/// compatible with the streaming [`JsonlObserver`] / sim event-log
+/// format, so one analyzer serves both.
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<RecordedEvent>,
+    dropped: u64,
+    peak: usize,
+    label: Option<String>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            dropped: 0,
+            peak: 0,
+            label: None,
+        }
+    }
+
+    /// Tag dumped lines with `"src":"<label>"` (endpoint identity), like
+    /// [`JsonlObserver::with_label`].
+    pub fn with_label(mut self, label: &str) -> FlightRecorder {
+        self.label = Some(label.to_string());
+        self
+    }
+
+    /// Record one event (no host tag).
+    pub fn record(&mut self, now: Micros, ev: &Event) {
+        self.record_tagged(now, ev, None);
+    }
+
+    /// Record one event tagged with a simulation host id.
+    pub fn record_tagged(&mut self, now: Micros, ev: &Event, host: Option<u32>) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(RecordedEvent {
+            t_us: now,
+            host,
+            event: *ev,
+        });
+        self.peak = self.peak.max(self.buf.len());
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything overwritten).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten because the ring was full — the observer-side
+    /// backpressure signal.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// High-water mark of the buffer length.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// The surviving events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &RecordedEvent> {
+        self.buf.iter()
+    }
+
+    /// Render the surviving window as JSONL: one schema header line
+    /// (role `flight_recorder`, carrying the label if set and the drop
+    /// count), then one line per event in record order, formatted exactly
+    /// like the streaming paths so `hrmc analyze` reads a dump and a
+    /// live trace identically.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32 + self.buf.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"schema\":{SCHEMA_VERSION},\"role\":\"flight_recorder\""
+        );
+        if let Some(l) = &self.label {
+            let _ = write!(out, ",\"label\":\"{l}\"");
+        }
+        let _ = write!(out, ",\"dropped_events\":{}}}", self.dropped);
+        out.push('\n');
+        let label_extra = self
+            .label
+            .as_ref()
+            .map(|l| format!("\"src\":\"{l}\","))
+            .unwrap_or_default();
+        for rec in &self.buf {
+            let extra = match rec.host {
+                Some(h) => format!("\"host\":{h},"),
+                None => label_extra.clone(),
+            };
+            out.push_str(&event_json_with(rec.t_us, &rec.event, &extra));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write [`FlightRecorder::dump`] to a sink.
+    pub fn dump_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.dump().as_bytes())
+    }
+
+    /// Publish the recorder's backpressure gauges into a metrics
+    /// registry: `flight_recorder_dropped_events`,
+    /// `flight_recorder_peak_events`, `flight_recorder_capacity`.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_gauge("flight_recorder_dropped_events", self.dropped);
+        reg.set_gauge("flight_recorder_peak_events", self.peak as u64);
+        reg.set_gauge("flight_recorder_capacity", self.cap as u64);
+    }
+}
+
+impl ProtocolObserver for FlightRecorder {
+    fn on_event(&mut self, now: Micros, ev: &Event) {
+        self.record(now, ev);
+    }
+}
+
+/// Clone-able shared handle around a [`FlightRecorder`]: install clones
+/// into several engines (or hand one to a driver thread) and keep one to
+/// dump after the run — the same pattern as [`MetricsObserver`].
+#[derive(Clone)]
+pub struct SharedRecorder {
+    inner: Arc<Mutex<FlightRecorder>>,
+}
+
+impl SharedRecorder {
+    /// A shared recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> SharedRecorder {
+        SharedRecorder {
+            inner: Arc::new(Mutex::new(FlightRecorder::new(capacity))),
+        }
+    }
+
+    /// Tag dumped lines with `"src":"<label>"`.
+    pub fn with_label(self, label: &str) -> SharedRecorder {
+        {
+            let mut rec = self.inner.lock().expect("flight recorder poisoned");
+            let owned = std::mem::replace(&mut *rec, FlightRecorder::new(1));
+            *rec = owned.with_label(label);
+        }
+        self
+    }
+
+    /// Record one event tagged with a simulation host id.
+    pub fn record_tagged(&self, now: Micros, ev: &Event, host: Option<u32>) {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .record_tagged(now, ev, host);
+    }
+
+    /// Run `f` against the underlying recorder (dump, gauges, …).
+    pub fn with_recorder<T>(&self, f: impl FnOnce(&FlightRecorder) -> T) -> T {
+        f(&self.inner.lock().expect("flight recorder poisoned"))
+    }
+
+    /// Render the surviving window as JSONL (see
+    /// [`FlightRecorder::dump`]).
+    pub fn dump(&self) -> String {
+        self.with_recorder(|r| r.dump())
+    }
+}
+
+impl ProtocolObserver for SharedRecorder {
+    fn on_event(&mut self, now: Micros, ev: &Event) {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .record(now, ev);
+    }
+}
+
 /// Fan one event stream out to several observers, in order.
 #[derive(Default)]
 pub struct MultiObserver {
@@ -594,10 +863,123 @@ mod tests {
         );
         let out = String::from_utf8(obs.into_inner()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"src\":\"sender\""));
-        assert!(lines[0].contains("\"rate_bps\":500"));
-        assert!(lines[1].contains("\"event\":\"probe_sent\""));
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"schema\":1,\"role\":\"endpoint\",\"label\":\"sender\"}"
+        );
+        assert!(lines[1].contains("\"src\":\"sender\""));
+        assert!(lines[1].contains("\"rate_bps\":500"));
+        assert!(lines[2].contains("\"event\":\"probe_sent\""));
+    }
+
+    #[test]
+    fn header_json_shapes() {
+        assert_eq!(header_json("sim", None), "{\"schema\":1,\"role\":\"sim\"}");
+        assert_eq!(
+            header_json("endpoint", Some("recv0")),
+            "{\"schema\":1,\"role\":\"endpoint\",\"label\":\"recv0\"}"
+        );
+    }
+
+    #[test]
+    fn seq_range_and_member_join_keys() {
+        assert_eq!(
+            Event::DataSent {
+                seq: 9,
+                bytes: 1,
+                retransmission: false
+            }
+            .seq_range(),
+            Some((9, 1))
+        );
+        assert_eq!(
+            Event::Recovered {
+                first: 40,
+                count: 3,
+                elapsed_us: 1
+            }
+            .seq_range(),
+            Some((40, 3))
+        );
+        assert_eq!(Event::SessionFailed.seq_range(), None);
+        assert_eq!(
+            Event::MemberEjected { peer: PeerId(2) }.member(),
+            Some(PeerId(2))
+        );
+        assert_eq!(Event::ChecksumFailed.member(), None);
+    }
+
+    #[test]
+    fn flight_recorder_overwrites_oldest_and_counts_drops() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(i, &Event::Delivered { first: i, count: 1 });
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.dropped_events(), 2);
+        assert_eq!(rec.peak_len(), 3);
+        let firsts: Vec<u64> = rec.events().map(|r| r.t_us).collect();
+        assert_eq!(firsts, vec![2, 3, 4], "oldest entries are overwritten");
+    }
+
+    #[test]
+    fn flight_recorder_dump_matches_streaming_format() {
+        let mut rec = FlightRecorder::new(16);
+        rec.record_tagged(42, &Event::Delivered { first: 0, count: 1 }, Some(3));
+        let dump = rec.dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"schema\":1,\"role\":\"flight_recorder\",\"dropped_events\":0}"
+        );
+        // The event line is byte-identical to what the sim's streaming
+        // log emits for the same event.
+        assert_eq!(
+            lines[1],
+            "{\"t_us\":42,\"host\":3,\"event\":\"delivered\",\"first\":0,\"count\":1}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_labelled_dump_matches_jsonl_observer() {
+        let mut rec = FlightRecorder::new(4).with_label("sender");
+        rec.record(7, &Event::RateHalved { rate_bps: 100 });
+        let dump = rec.dump();
+        let mut jsonl = JsonlObserver::new(Vec::new()).with_label("sender");
+        jsonl.on_event(7, &Event::RateHalved { rate_bps: 100 });
+        let streamed = String::from_utf8(jsonl.into_inner()).unwrap();
+        // Same event line; headers differ only in role/drop fields.
+        assert_eq!(dump.lines().nth(1), streamed.lines().nth(1));
+        assert!(dump
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"label\":\"sender\""));
+    }
+
+    #[test]
+    fn flight_recorder_publishes_backpressure_gauges() {
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.record(i, &Event::ChecksumFailed);
+        }
+        let mut reg = MetricsRegistry::new();
+        rec.publish_metrics(&mut reg);
+        assert_eq!(reg.gauge("flight_recorder_dropped_events"), Some(3));
+        assert_eq!(reg.gauge("flight_recorder_peak_events"), Some(2));
+        assert_eq!(reg.gauge("flight_recorder_capacity"), Some(2));
+    }
+
+    #[test]
+    fn shared_recorder_is_observable_from_clones() {
+        let rec = SharedRecorder::new(8).with_label("recv");
+        let mut obs: Box<dyn ProtocolObserver> = Box::new(rec.clone());
+        obs.on_event(1, &Event::UpdateSent { nonce: 0 });
+        rec.record_tagged(2, &Event::Delivered { first: 0, count: 1 }, None);
+        assert_eq!(rec.with_recorder(|r| r.len()), 2);
+        assert!(rec.dump().contains("\"event\":\"update_sent\""));
     }
 
     #[test]

@@ -3,16 +3,35 @@
 //! scenario, plus delivery/recovery latency percentiles from the
 //! observer pipeline. With `--events <path>`, every protocol state
 //! transition from every host is streamed to the file as JSON lines
-//! (simulation timestamps) for offline analysis.
+//! (simulation timestamps) for offline analysis (`hrmc analyze <path>`).
+//! With `--analyze`, the run feeds its own event stream through the
+//! `hrmc-trace` causal-lifecycle analyzer and prints the diagnosis.
 //!
 //! ```sh
 //! cargo run --release -p hrmc-experiments --bin timeline -- \
 //!     [--receivers N] [--buffer-kb N] [--loss PCT] [--bandwidth-mbps N] \
-//!     [--events trace.jsonl]
+//!     [--events trace.jsonl] [--analyze]
 //! ```
+
+use std::sync::{Arc, Mutex};
 
 use hrmc_app::Scenario;
 use hrmc_sim::Simulation;
+
+/// `Write` handle into a shared in-memory buffer, so the run can both
+/// keep its event stream for `--analyze` and write it to `--events`.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +40,7 @@ fn main() {
     let mut loss_pct = 0.5f64;
     let mut mbps = 10u64;
     let mut events: Option<String> = None;
+    let mut analyze = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,6 +64,9 @@ fn main() {
                 i += 1;
                 events = Some(args[i].clone());
             }
+            "--analyze" => {
+                analyze = true;
+            }
             _ => {}
         }
         i += 1;
@@ -57,12 +80,21 @@ fn main() {
     params.trace_bucket_us = Some(1_000_000);
     params.observe = true;
     let mut sim = Simulation::new(params);
-    if let Some(path) = &events {
-        match std::fs::File::create(path) {
-            Ok(f) => sim.set_event_log(Box::new(std::io::BufWriter::new(f))),
-            Err(e) => eprintln!("cannot open {path}: {e}"),
+    // With --analyze the stream is captured in memory (and copied to
+    // --events afterwards); otherwise it goes straight to the file.
+    let captured = if analyze {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        sim.set_event_log(Box::new(SharedBuf(buf.clone())));
+        Some(buf)
+    } else {
+        if let Some(path) = &events {
+            match std::fs::File::create(path) {
+                Ok(f) => sim.set_event_log(Box::new(std::io::BufWriter::new(f))),
+                Err(e) => eprintln!("cannot open {path}: {e}"),
+            }
         }
-    }
+        None
+    };
     let report = sim.run();
     if let Some(trace) = &report.trace {
         print!("{}", trace.render());
@@ -86,7 +118,20 @@ fn main() {
             lat.recovery.count, lat.recovery.p50, lat.recovery.p90, lat.recovery.p99,
         );
     }
+    if let Some(buf) = captured {
+        let log = String::from_utf8(std::mem::take(&mut *buf.lock().unwrap()))
+            .expect("event log is UTF-8 JSONL");
+        if let Some(path) = &events {
+            if let Err(e) = std::fs::write(path, &log) {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
+        match hrmc_trace::analyze_str(&log) {
+            Ok(a) => println!("\n{}", a.render_table()),
+            Err(e) => eprintln!("self-analysis failed: {e}"),
+        }
+    }
     if let Some(path) = &events {
-        println!("event log: {path}");
+        println!("event log: {path} (diagnose with: hrmc analyze {path})");
     }
 }

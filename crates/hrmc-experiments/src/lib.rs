@@ -23,6 +23,7 @@
 //!   sweep runner (default: available parallelism; 1 = sequential).
 //!   Results are ordered and byte-identical at any worker count.
 
+pub mod analyze;
 pub mod churn;
 pub mod fig03;
 pub mod fig10;

@@ -82,9 +82,11 @@ fn churn_partition_run_replays_byte_identically() {
     assert_eq!(a.elapsed_us, FIXTURE_ELAPSED_US);
 }
 
-/// Fingerprints captured when the fault layer landed. Any drift means a
-/// fault-injected run is no longer replayable from its seed.
-const FIXTURE_LOG_FNV: u64 = 0xf228_ba89_7f4c_b3ae;
+/// Fingerprints captured when the fault layer landed, recaptured once
+/// when the JSONL schema header + `member` field landed (event-schema
+/// 1). Any drift means a fault-injected run is no longer replayable
+/// from its seed.
+const FIXTURE_LOG_FNV: u64 = 0x7b82_b8b5_200d_465f;
 const FIXTURE_ELAPSED_US: u64 = 6_891_606;
 
 /// A faulted sweep returns the same bytes at every worker count.

@@ -319,6 +319,16 @@ impl ReceiverHandle {
         self.inner.engine.lock().set_observer(observer);
     }
 
+    /// Attach a bounded flight recorder and return the shared handle
+    /// (see [`SenderHandle::attach_flight_recorder`](crate::SenderHandle::attach_flight_recorder)).
+    /// Replaces any
+    /// previously installed observer.
+    pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
+        let rec = hrmc_core::SharedRecorder::new(capacity).with_label("recv");
+        self.set_observer(Box::new(rec.clone()));
+        rec
+    }
+
     /// Leave the group (the paper's `close`): sends LEAVE to the sender.
     pub fn close(&self) {
         self.inner.engine.lock().close(self.inner.clock.now());

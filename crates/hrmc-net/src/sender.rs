@@ -313,6 +313,17 @@ impl SenderHandle {
         self.inner.engine.lock().set_observer(observer);
     }
 
+    /// Attach a bounded flight recorder and return the shared handle.
+    /// The recorder keeps the last `capacity` events in a fixed ring —
+    /// cheap enough for production paths — and its surviving window can
+    /// be dumped as JSONL at any time (`handle.dump()`), ready for
+    /// `hrmc analyze`. Replaces any previously installed observer.
+    pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
+        let rec = hrmc_core::SharedRecorder::new(capacity).with_label("sender");
+        self.set_observer(Box::new(rec.clone()));
+        rec
+    }
+
     /// Number of receivers currently in the group.
     pub fn member_count(&self) -> usize {
         self.inner.engine.lock().member_count()

@@ -218,3 +218,64 @@ fn sender_observes_membership() {
         .close_and_wait(Duration::from_secs(30))
         .expect("close");
 }
+
+#[test]
+fn flight_recorder_captures_a_live_transfer() {
+    if !multicast_available(46150) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 17), 46151);
+    let r = HrmcReceiver::join(group, LO, config()).expect("join");
+    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    // Bounded recorders on both live endpoints: production-cheap, no
+    // unbounded trace file, window dumped after the fact.
+    let tx_rec = sender.attach_flight_recorder(512);
+    let rx_rec = r.attach_flight_recorder(512);
+
+    let data = pattern(100_000);
+    sender.send(&data).expect("send");
+    sender.close();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        match r.recv(&mut buf, Duration::from_secs(20)) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("recv failed: {e}"),
+        }
+    }
+    assert_eq!(got, data, "stream corrupted");
+    sender
+        .close_and_wait(Duration::from_secs(30))
+        .expect("close");
+
+    // Both windows concatenate into one analyzable trace: the analyzer
+    // must see the sender's sends and the receiver's deliveries.
+    let trace = format!("{}{}", tx_rec.dump(), rx_rec.dump());
+    let analysis = hrmc_trace::analyze_str(&trace).expect("analyze flight dump");
+    assert_eq!(analysis.parse.skipped, 0, "recorder emitted unknown lines");
+    assert!(
+        analysis.transfer.data_packets > 0,
+        "sender window lost all data_sent events"
+    );
+    let member = analysis
+        .members
+        .iter()
+        .find(|m| m.source == "recv")
+        .expect("receiver member report");
+    assert!(
+        member.delivered_segments > 0,
+        "receiver window lost all delivered events"
+    );
+    assert!(
+        analysis.release.released > 0,
+        "no release decisions captured"
+    );
+    tx_rec.with_recorder(|rec| {
+        assert!(rec.len() <= 512, "ring exceeded its capacity");
+        let mut reg = hrmc_core::MetricsRegistry::new();
+        rec.publish_metrics(&mut reg);
+        assert_eq!(reg.gauge("flight_recorder_capacity"), Some(512));
+    });
+}

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use hrmc_core::obs::event_json_with;
-use hrmc_core::{Event, Histogram, Micros, ProtocolObserver};
+use hrmc_core::obs::{event_json_with, header_json};
+use hrmc_core::{Event, Histogram, Micros, ProtocolObserver, SharedRecorder};
 
 /// Collector shared by every host's [`HostObserver`].
 pub struct SharedObs {
@@ -32,6 +32,8 @@ pub struct SharedObs {
     pub recovery: Histogram,
     /// Optional JSONL event sink.
     log: Option<Box<dyn Write + Send>>,
+    /// Optional bounded flight recorder fed alongside the sink.
+    recorder: Option<SharedRecorder>,
 }
 
 impl SharedObs {
@@ -42,13 +44,25 @@ impl SharedObs {
             delivery: Histogram::new(),
             recovery: Histogram::new(),
             log: None,
+            recorder: None,
         }
     }
 
-    /// Attach a JSONL event sink; every subsequent event from any host
-    /// becomes one line.
-    pub fn set_log(&mut self, log: Box<dyn Write + Send>) {
+    /// Attach a JSONL event sink; the schema header is written
+    /// immediately and every subsequent event from any host becomes one
+    /// line.
+    pub fn set_log(&mut self, mut log: Box<dyn Write + Send>) {
+        let mut header = header_json("sim", None);
+        header.push('\n');
+        let _ = log.write_all(header.as_bytes());
         self.log = Some(log);
+    }
+
+    /// Attach a bounded flight recorder; every subsequent event from any
+    /// host is recorded (tagged with the host id) until the ring
+    /// overwrites it.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Flush the JSONL sink, if any.
@@ -102,6 +116,9 @@ impl ProtocolObserver for HostObserver {
                 s.recovery.record(elapsed_us);
             }
             _ => {}
+        }
+        if let Some(rec) = s.recorder.as_ref() {
+            rec.record_tagged(now, ev, Some(self.host as u32));
         }
         if let Some(w) = s.log.as_mut() {
             let extra = format!("\"host\":{},", self.host);
@@ -187,10 +204,23 @@ mod tests {
         shared.lock().unwrap().set_log(Box::new(Tee(buf.clone())));
         let mut r = HostObserver::new(3, shared.clone());
         r.on_event(42, &Event::Delivered { first: 0, count: 1 });
-        let line = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "{\"schema\":1,\"role\":\"sim\"}");
         assert_eq!(
-            line,
-            "{\"t_us\":42,\"host\":3,\"event\":\"delivered\",\"first\":0,\"count\":1}\n"
+            lines[1],
+            "{\"t_us\":42,\"host\":3,\"event\":\"delivered\",\"first\":0,\"count\":1}"
         );
+    }
+
+    #[test]
+    fn recorder_captures_host_tagged_events() {
+        let shared = Arc::new(Mutex::new(SharedObs::new()));
+        let rec = SharedRecorder::new(8);
+        shared.lock().unwrap().set_recorder(rec.clone());
+        let mut r = HostObserver::new(2, shared.clone());
+        r.on_event(9, &Event::Delivered { first: 5, count: 1 });
+        let dump = rec.dump();
+        assert!(dump.contains("\"host\":2,\"event\":\"delivered\",\"first\":5"));
     }
 }

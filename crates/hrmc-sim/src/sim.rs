@@ -258,6 +258,26 @@ impl Simulation {
             .set_log(w);
     }
 
+    /// Attach a bounded [`hrmc_core::FlightRecorder`] capturing the last
+    /// `capacity` protocol events from every host (tagged with the host
+    /// id), and return a shared handle that stays valid after the run —
+    /// dump it with [`hrmc_core::SharedRecorder::dump`] for a JSONL
+    /// window `hrmc analyze` reads like a full trace. Implies observation
+    /// even when [`SimParams::observe`] was not set.
+    pub fn set_flight_recorder(&mut self, capacity: usize) -> hrmc_core::SharedRecorder {
+        if self.obs.is_none() {
+            self.install_observers();
+        }
+        let rec = hrmc_core::SharedRecorder::new(capacity);
+        self.obs
+            .as_ref()
+            .expect("just installed")
+            .lock()
+            .unwrap()
+            .set_recorder(rec.clone());
+        rec
+    }
+
     /// Run like [`Simulation::run`] but also return the sender-NIC drop
     /// timestamps (diagnostics).
     pub fn run_with_drop_trace(mut self) -> (SimReport, Vec<(u64, hrmc_wire::PacketType, usize)>) {
@@ -988,7 +1008,13 @@ mod tests {
         assert!(report.completed);
         let log = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert!(!log.is_empty());
-        for line in log.lines() {
+        let mut lines = log.lines();
+        assert_eq!(
+            lines.next(),
+            Some("{\"schema\":1,\"role\":\"sim\"}"),
+            "the stream must open with the schema header"
+        );
+        for line in lines {
             assert!(line.starts_with("{\"t_us\":"), "bad line: {line}");
             assert!(line.ends_with('}'), "bad line: {line}");
             assert!(line.contains("\"host\":"), "bad line: {line}");
@@ -998,6 +1024,36 @@ mod tests {
         assert!(log.contains("\"event\":\"peer_joined\""));
         assert!(log.contains("\"event\":\"data_sent\""));
         assert!(log.contains("\"event\":\"delivered\""));
+    }
+
+    #[test]
+    fn flight_recorder_window_matches_streaming_log_tail() {
+        use std::sync::{Arc as A, Mutex as M};
+        struct Tee(A<M<Vec<u8>>>);
+        impl std::io::Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = A::new(M::new(Vec::new()));
+        let mut sim = Simulation::new(lan_params(1, 10_000_000, 0.0, 100_000, 128 * 1024));
+        sim.set_event_log(Box::new(Tee(buf.clone())));
+        let rec = sim.set_flight_recorder(32);
+        assert!(sim.run().completed);
+        let log = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let streamed: Vec<&str> = log.lines().skip(1).collect(); // skip header
+        let dump = rec.dump();
+        let recorded: Vec<&str> = dump.lines().skip(1).collect();
+        // The ring holds exactly the last `capacity` streamed lines,
+        // byte for byte.
+        assert_eq!(recorded.len(), 32.min(streamed.len()));
+        assert_eq!(&streamed[streamed.len() - recorded.len()..], &recorded[..]);
+        let dropped = rec.with_recorder(|r| r.dropped_events());
+        assert_eq!(dropped as usize, streamed.len() - recorded.len());
     }
 
     #[test]

@@ -90,12 +90,13 @@ fn representative_lossy_run_matches_prescheduler_fixture() {
         0x2a36_017c_f055_c642,
         "receiver stats diverged from the pre-scheduler-change fixture"
     );
-    assert_eq!(log.len(), 149_439);
-    assert_eq!(log.iter().filter(|&&b| b == b'\n').count(), 1_941);
+    assert_eq!(log.len(), 149_471);
+    assert_eq!(log.iter().filter(|&&b| b == b'\n').count(), 1_942);
     assert_eq!(
         fnv1a(&log),
-        0x9b85_b3db_f640_79c5,
-        "JSONL event log diverged from the pre-scheduler-change fixture"
+        0x1814_4f48_0873_ef56,
+        "JSONL event log diverged from the pinned fixture (captured at \
+         event-schema 1: header line + member field)"
     );
 }
 

@@ -1,0 +1,353 @@
+//! JSONL trace ingestion: turn an event log back into typed
+//! [`Event`]s.
+//!
+//! Accepts every stream this workspace emits — `Simulation::set_event_log`
+//! (`"host"`-tagged lines), [`hrmc_core::JsonlObserver`] (`"src"`-tagged
+//! lines), and [`hrmc_core::FlightRecorder::dump`] windows — plus
+//! pre-schema traces with no header line. Unknown event names and
+//! malformed lines are counted and skipped, never fatal: a trace
+//! analyzer that dies on the one line it doesn't understand is useless
+//! in a post-mortem.
+
+use hrmc_core::obs::NakTrigger;
+use hrmc_core::rate::RatePhase;
+use hrmc_core::rxwindow::Region;
+use hrmc_core::{Event, PeerId, SCHEMA_VERSION};
+use serde_json::Value;
+
+/// Who emitted a trace line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Source {
+    /// A simulation host (`"host":N`); host 0 is the sender, host `i`
+    /// is receiver `i - 1`.
+    Host(u32),
+    /// A labelled endpoint (`"src":"sender"`, `"src":"recv0"`, …).
+    Label(String),
+    /// A line with neither tag (single-engine streams).
+    Anonymous,
+}
+
+impl Source {
+    /// Stable display key used to group per-member statistics.
+    pub fn key(&self) -> String {
+        match self {
+            Source::Host(h) => format!("host:{h}"),
+            Source::Label(l) => l.clone(),
+            Source::Anonymous => "-".to_string(),
+        }
+    }
+
+    /// The member (receiver index) this source corresponds to under the
+    /// simulation convention (receiver `i` is host `i + 1`); labelled
+    /// and anonymous sources have no derivable member id.
+    pub fn member(&self) -> Option<u32> {
+        match self {
+            Source::Host(h) if *h > 0 => Some(h - 1),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed trace line: a protocol event with its timestamp and
+/// emitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Engine clock at emission (µs).
+    pub t_us: u64,
+    /// Who emitted it.
+    pub source: Source,
+    /// The event.
+    pub event: Event,
+}
+
+/// What ingestion saw besides the events themselves.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct ParseStats {
+    /// Total lines read (including headers and blanks).
+    pub lines: u64,
+    /// Schema version from the header line, if one was present.
+    pub schema: Option<u64>,
+    /// Header lines seen (a concatenation of several dumps has several).
+    pub headers: u64,
+    /// Lines skipped: blank, malformed, or an unknown event name.
+    pub skipped: u64,
+}
+
+/// Errors that abort ingestion entirely (per-line problems only bump
+/// [`ParseStats::skipped`]).
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A header declared a schema newer than this analyzer understands.
+    UnsupportedSchema(u64),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceError::UnsupportedSchema(v) => write!(
+                f,
+                "trace schema {v} is newer than supported schema {SCHEMA_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn get_u64(obj: &Value, key: &str) -> Option<u64> {
+    obj.get(key)?.as_u64()
+}
+
+fn get_u32(obj: &Value, key: &str) -> Option<u32> {
+    get_u64(obj, key).and_then(|v| u32::try_from(v).ok())
+}
+
+fn get_bool(obj: &Value, key: &str) -> Option<bool> {
+    match obj.get(key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(obj: &'a Value, key: &str) -> Option<&'a str> {
+    obj.get(key)?.as_str()
+}
+
+fn parse_phase(name: &str) -> Option<RatePhase> {
+    match name {
+        "slow_start" => Some(RatePhase::SlowStart),
+        "congestion_avoidance" => Some(RatePhase::CongestionAvoidance),
+        // The JSONL rendering does not carry the resume deadline; it is
+        // irrelevant to every analysis, which keys on the phase name.
+        "stopped" => Some(RatePhase::Stopped { until: 0 }),
+        _ => None,
+    }
+}
+
+fn parse_region(name: &str) -> Option<Region> {
+    match name {
+        "safe" => Some(Region::Safe),
+        "warning" => Some(Region::Warning),
+        "critical" => Some(Region::Critical),
+        _ => None,
+    }
+}
+
+fn parse_trigger(name: &str) -> Option<NakTrigger> {
+    match name {
+        "gap" => Some(NakTrigger::Gap),
+        "timer" => Some(NakTrigger::Timer),
+        "probe" => Some(NakTrigger::Probe),
+        "keepalive" => Some(NakTrigger::Keepalive),
+        _ => None,
+    }
+}
+
+/// Reconstruct an [`Event`] from a parsed JSON object — the inverse of
+/// [`hrmc_core::obs::event_json_with`]. Returns `None` for unknown
+/// event names or missing fields (the caller counts the line skipped).
+pub fn parse_event(obj: &Value) -> Option<Event> {
+    let name = get_str(obj, "event")?;
+    Some(match name {
+        "rate_phase_changed" => Event::RatePhaseChanged {
+            from: parse_phase(get_str(obj, "from")?)?,
+            to: parse_phase(get_str(obj, "to")?)?,
+            rate_bps: get_u64(obj, "rate_bps")?,
+        },
+        "rate_halved" => Event::RateHalved {
+            rate_bps: get_u64(obj, "rate_bps")?,
+        },
+        "urgent_stopped" => Event::UrgentStopped {
+            until: get_u64(obj, "until_us")?,
+        },
+        "rtt_sample" => Event::RttSample {
+            sample_us: get_u64(obj, "sample_us")?,
+            srtt_us: get_u64(obj, "srtt_us")?,
+            probe: get_bool(obj, "probe")?,
+        },
+        "probe_sent" => Event::ProbeSent {
+            seq: get_u32(obj, "seq")?,
+            multicast: get_bool(obj, "multicast")?,
+        },
+        "keepalive_sent" => Event::KeepaliveSent {
+            backoff_us: get_u64(obj, "backoff_us")?,
+        },
+        "release_attempt" => Event::ReleaseAttempt {
+            seq: get_u32(obj, "seq")?,
+            complete: get_bool(obj, "complete")?,
+            released: get_bool(obj, "released")?,
+        },
+        "data_sent" => Event::DataSent {
+            seq: get_u32(obj, "seq")?,
+            bytes: get_u32(obj, "bytes")?,
+            retransmission: get_bool(obj, "retransmission")?,
+        },
+        "peer_joined" => Event::PeerJoined {
+            peer: PeerId(get_u32(obj, "member")?),
+        },
+        "member_ejected" => Event::MemberEjected {
+            peer: PeerId(get_u32(obj, "member")?),
+        },
+        "checksum_failed" => Event::ChecksumFailed,
+        "region_changed" => Event::RegionChanged {
+            from: parse_region(get_str(obj, "from")?)?,
+            to: parse_region(get_str(obj, "to")?)?,
+        },
+        "nak_sent" => Event::NakSent {
+            first: get_u64(obj, "first")?,
+            count: get_u32(obj, "count")?,
+            trigger: parse_trigger(get_str(obj, "trigger")?)?,
+        },
+        "nak_suppressed" => Event::NakSuppressed {
+            pending: get_u32(obj, "pending")?,
+        },
+        "update_sent" => Event::UpdateSent {
+            nonce: get_u32(obj, "nonce")?,
+        },
+        "recovered" => Event::Recovered {
+            first: get_u64(obj, "first")?,
+            count: get_u32(obj, "count")?,
+            elapsed_us: get_u64(obj, "elapsed_us")?,
+        },
+        "delivered" => Event::Delivered {
+            first: get_u64(obj, "first")?,
+            count: get_u32(obj, "count")?,
+        },
+        "joined" => Event::Joined {
+            rtt_us: get_u64(obj, "rtt_us")?,
+        },
+        "session_failed" => Event::SessionFailed,
+        _ => return None,
+    })
+}
+
+/// Parse a whole JSONL trace. Header lines update [`ParseStats`];
+/// event lines become [`TraceEvent`]s; anything else is counted and
+/// skipped. The only fatal conditions are I/O failure (in the file
+/// front-ends) and a header declaring a schema newer than
+/// [`SCHEMA_VERSION`].
+pub fn parse_str(input: &str) -> Result<(Vec<TraceEvent>, ParseStats), TraceError> {
+    let mut events = Vec::new();
+    let mut stats = ParseStats::default();
+    for line in input.lines() {
+        stats.lines += 1;
+        let line = line.trim();
+        if line.is_empty() {
+            stats.skipped += 1;
+            continue;
+        }
+        let obj = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(_) => {
+                stats.skipped += 1;
+                continue;
+            }
+        };
+        if let Some(schema) = get_u64(&obj, "schema") {
+            if schema > u64::from(SCHEMA_VERSION) {
+                return Err(TraceError::UnsupportedSchema(schema));
+            }
+            stats.headers += 1;
+            stats.schema = Some(schema);
+            continue;
+        }
+        let (Some(t_us), Some(event)) = (get_u64(&obj, "t_us"), parse_event(&obj)) else {
+            stats.skipped += 1;
+            continue;
+        };
+        let source = if let Some(h) = get_u32(&obj, "host") {
+            Source::Host(h)
+        } else if let Some(l) = get_str(&obj, "src") {
+            Source::Label(l.to_string())
+        } else {
+            Source::Anonymous
+        };
+        events.push(TraceEvent {
+            t_us,
+            source,
+            event,
+        });
+    }
+    // Concatenated dumps and multi-endpoint files interleave; analysis
+    // assumes global time order.
+    events.sort_by_key(|e| e.t_us);
+    Ok((events, stats))
+}
+
+/// [`parse_str`] over a file.
+pub fn parse_file(path: &std::path::Path) -> Result<(Vec<TraceEvent>, ParseStats), TraceError> {
+    let body = std::fs::read_to_string(path)?;
+    parse_str(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_consumed_not_treated_as_event() {
+        let input = "{\"schema\":1,\"role\":\"sim\"}\n\
+                     {\"t_us\":5,\"host\":0,\"event\":\"checksum_failed\"}\n";
+        let (events, stats) = parse_str(input).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.schema, Some(1));
+        assert_eq!(stats.headers, 1);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(events[0].source, Source::Host(0));
+        assert_eq!(events[0].event, Event::ChecksumFailed);
+    }
+
+    #[test]
+    fn headerless_pre_schema_traces_still_parse() {
+        let input = "{\"t_us\":1,\"src\":\"sender\",\"event\":\"rate_halved\",\"rate_bps\":9}\n";
+        let (events, stats) = parse_str(input).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.schema, None);
+        assert_eq!(events[0].source, Source::Label("sender".into()));
+    }
+
+    #[test]
+    fn unknown_events_and_garbage_are_skipped_not_fatal() {
+        let input = "{\"t_us\":1,\"event\":\"warp_drive_engaged\",\"factor\":9}\n\
+                     not json at all\n\
+                     \n\
+                     {\"t_us\":2,\"event\":\"delivered\",\"first\":0,\"count\":1}\n";
+        let (events, stats) = parse_str(input).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.skipped, 3);
+    }
+
+    #[test]
+    fn newer_schema_is_refused() {
+        let input = "{\"schema\":99,\"role\":\"sim\"}\n";
+        match parse_str(input) {
+            Err(TraceError::UnsupportedSchema(99)) => {}
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let input = "{\"t_us\":9,\"host\":1,\"event\":\"checksum_failed\"}\n\
+                     {\"t_us\":3,\"host\":2,\"event\":\"checksum_failed\"}\n";
+        let (events, _) = parse_str(input).unwrap();
+        assert_eq!(events[0].t_us, 3);
+        assert_eq!(events[1].t_us, 9);
+    }
+
+    #[test]
+    fn source_member_mapping_follows_sim_convention() {
+        assert_eq!(Source::Host(0).member(), None, "host 0 is the sender");
+        assert_eq!(Source::Host(3).member(), Some(2));
+        assert_eq!(Source::Label("recv0".into()).member(), None);
+    }
+}

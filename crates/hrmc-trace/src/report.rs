@@ -1,0 +1,443 @@
+//! Plain-data diagnosis reports produced by [`crate::analysis`], plus
+//! their human-table and JSON renderings. Every struct is serializable
+//! so `hrmc analyze --json` can hand the whole diagnosis to scripts.
+
+use hrmc_core::HistogramSummary;
+
+use crate::parse::ParseStats;
+
+/// Totals of the data plane.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct TransferReport {
+    /// First transmissions put on the wire.
+    pub data_packets: u64,
+    /// Retransmissions put on the wire.
+    pub retransmissions: u64,
+    /// Distinct sequence numbers first-transmitted.
+    pub unique_seqs: u64,
+    /// Payload bytes across first transmissions.
+    pub data_bytes: u64,
+    /// Keepalives the sender fired.
+    pub keepalives_sent: u64,
+    /// Checksum failures across all endpoints.
+    pub checksum_failures: u64,
+    /// Receivers that completed the JOIN handshake.
+    pub joins_completed: u64,
+}
+
+/// Feedback-implosion accounting (FEBER-style): how many NAKs the group
+/// actually sent per loss it observed, and how many local suppression
+/// withheld.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct SuppressionReport {
+    /// Distinct (member, sequence) loss observations — every sequence a
+    /// member ever NAKed or recovered.
+    pub losses_observed: u64,
+    /// NAK packets sent across all members.
+    pub naks_sent: u64,
+    /// Sequence numbers requested across those NAK packets.
+    pub nak_seqs: u64,
+    /// Times a NAK timer fired and held its fire (suppression events).
+    pub suppression_events: u64,
+    /// Sequence numbers withheld across those events.
+    pub naks_suppressed: u64,
+    /// `naks_suppressed / (naks_suppressed + nak_seqs)` — the fraction
+    /// of would-be NAK requests that suppression absorbed.
+    pub suppression_ratio: f64,
+    /// `naks_sent / losses_observed` — NAK packets per observed loss.
+    pub naks_per_loss: f64,
+}
+
+/// One contiguous span of a sender rate-control phase.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PhaseSpan {
+    /// Phase name (`slow_start`, `congestion_avoidance`, `stopped`).
+    pub phase: String,
+    /// Span start (µs).
+    pub start_us: u64,
+    /// Span end (µs) — the next transition, or the end of the trace.
+    pub end_us: u64,
+    /// Transmission rate when the span opened (bytes/s); 0 for the
+    /// initial span (no transition carried a rate yet).
+    pub rate_bps_at_entry: u64,
+    /// Rate halvings (NAK / warning rate requests) within the span —
+    /// the cause trail of the next downward transition.
+    pub halvings: u64,
+}
+
+/// Sender flow-control timeline.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct FlowReport {
+    /// Phase transitions observed.
+    pub transitions: u64,
+    /// Rate halvings (NAK or warning rate requests).
+    pub rate_halvings: u64,
+    /// Urgent stops (critical rate requests).
+    pub urgent_stops: u64,
+    /// Time spent in slow start (µs).
+    pub slow_start_us: u64,
+    /// Time spent in congestion avoidance (µs).
+    pub congestion_avoidance_us: u64,
+    /// Time spent stopped (µs).
+    pub stopped_us: u64,
+    /// The full span timeline, in time order.
+    pub spans: Vec<PhaseSpan>,
+    /// Last advertised rate (bytes/s).
+    pub final_rate_bps: u64,
+}
+
+/// PROBE-gated buffer-release accounting (the Hybrid mode's reliability
+/// hole closer): how often release had complete receiver information,
+/// and what stalls cost.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ReleaseReport {
+    /// Release decisions taken.
+    pub attempts: u64,
+    /// Decisions taken with complete receiver information.
+    pub complete_info: u64,
+    /// Decisions that released the buffer.
+    pub released: u64,
+    /// Decisions that held the buffer (incomplete information).
+    pub stalled_attempts: u64,
+    /// Distinct sequences whose release stalled at least once.
+    pub stalled_seqs: u64,
+    /// Stalled sequences for which the sender issued at least one PROBE
+    /// — the stalls the PROBE machinery was attributed to resolving.
+    pub probe_attributed_seqs: u64,
+    /// PROBE packets sent.
+    pub probes_sent: u64,
+    /// First stall → eventual release, per stalled-then-released
+    /// sequence (µs).
+    pub stall_latency: HistogramSummary,
+}
+
+impl Default for ReleaseReport {
+    fn default() -> ReleaseReport {
+        ReleaseReport {
+            attempts: 0,
+            complete_info: 0,
+            released: 0,
+            stalled_attempts: 0,
+            stalled_seqs: 0,
+            probe_attributed_seqs: 0,
+            probes_sent: 0,
+            stall_latency: hrmc_core::Histogram::new().summary(),
+        }
+    }
+}
+
+/// RTT-estimate convergence.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct RttReport {
+    /// Karn-admissible samples absorbed.
+    pub samples: u64,
+    /// Samples measured against a PROBE/UPDATE nonce round trip.
+    pub probe_samples: u64,
+    /// Smoothed estimate after the first sample (µs).
+    pub first_srtt_us: u64,
+    /// Smoothed estimate after the last sample (µs).
+    pub final_srtt_us: u64,
+    /// Earliest time after which the smoothed estimate stayed within
+    /// ±10% of its final value (µs); `None` with no samples.
+    pub converged_at_us: Option<u64>,
+    /// Samples absorbed before that point.
+    pub samples_to_converge: u64,
+}
+
+/// Receive-window region occupancy for one member.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct RegionOccupancy {
+    /// Time in the safe region (µs).
+    pub safe_us: u64,
+    /// Time in the warning region (µs).
+    pub warning_us: u64,
+    /// Time in the critical region (µs).
+    pub critical_us: u64,
+    /// Entries into the warning region.
+    pub warning_entries: u64,
+    /// Entries into the critical region.
+    pub critical_entries: u64,
+}
+
+/// Per-member loss, recovery, and feedback attribution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MemberReport {
+    /// Display key of the emitting source (`host:1`, `recv0`, …).
+    pub source: String,
+    /// Receiver index under the sim convention, when derivable.
+    pub member: Option<u32>,
+    /// JOIN completion time (µs), if observed.
+    pub joined_at_us: Option<u64>,
+    /// JOIN handshake RTT seed (µs), if observed.
+    pub join_rtt_us: Option<u64>,
+    /// Segments delivered in order to the application.
+    pub delivered_segments: u64,
+    /// Distinct sequences this member observed losing (NAKed or
+    /// recovered).
+    pub losses: u64,
+    /// Distinct sequences recovered (gap filled).
+    pub recovered_seqs: u64,
+    /// Distinct sequences lost and never recovered.
+    pub unrecovered: u64,
+    /// NAK packets sent.
+    pub naks_sent: u64,
+    /// Sequences requested across those NAKs.
+    pub nak_seqs: u64,
+    /// Suppression events (timer held fire).
+    pub suppression_events: u64,
+    /// Sequences withheld by suppression.
+    pub naks_suppressed: u64,
+    /// UPDATEs sent to the sender.
+    pub updates_sent: u64,
+    /// Gap-noted → gap-filled latency distribution (µs).
+    pub recovery_latency: HistogramSummary,
+    /// Receive-window region occupancy.
+    pub regions: RegionOccupancy,
+    /// `true` when the sender ejected this member.
+    pub ejected: bool,
+    /// `true` when the member declared terminal session failure.
+    pub session_failed: bool,
+}
+
+/// End-state audit of every sequence ever sent.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct LifecycleReport {
+    /// Distinct sequences first-transmitted.
+    pub seqs_sent: u64,
+    /// Sequences whose buffer the sender released.
+    pub released: u64,
+    /// Sequences delivered by every live (non-ejected, non-failed)
+    /// member.
+    pub delivered_by_all_live: u64,
+    /// Sequences neither released nor delivered by all live members —
+    /// unaccounted-for losses the protocol cannot explain.
+    pub incomplete: u64,
+    /// Up to the first 16 unaccounted sequences, for digging.
+    pub incomplete_seqs: Vec<u64>,
+    /// `true` when every sent sequence ended released or is attributable
+    /// to an ejected/failed member.
+    pub complete: bool,
+}
+
+/// The full diagnosis of one trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Analysis {
+    /// Ingestion accounting (schema, skipped lines).
+    pub parse: ParseStats,
+    /// Events analyzed.
+    pub events: u64,
+    /// First event timestamp (µs).
+    pub start_us: u64,
+    /// Last event timestamp (µs).
+    pub end_us: u64,
+    /// Data-plane totals.
+    pub transfer: TransferReport,
+    /// NAK-suppression efficiency.
+    pub suppression: SuppressionReport,
+    /// Sender flow-control timeline.
+    pub flow: FlowReport,
+    /// PROBE-gated release accounting.
+    pub release: ReleaseReport,
+    /// RTT convergence.
+    pub rtt: RttReport,
+    /// Per-member attribution, ordered by source key.
+    pub members: Vec<MemberReport>,
+    /// Sequence end-state audit.
+    pub lifecycle: LifecycleReport,
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1e3
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+impl Analysis {
+    /// Serialize the whole diagnosis as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("analysis serializes")
+    }
+
+    /// Render the human-facing diagnosis table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::new();
+        let _ = writeln!(
+            o,
+            "trace: {} events over {:.3} s (schema {}, {} skipped line(s))",
+            self.events,
+            secs(self.end_us.saturating_sub(self.start_us)),
+            self.parse
+                .schema
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "none".into()),
+            self.parse.skipped,
+        );
+
+        let t = &self.transfer;
+        let _ = writeln!(o, "\ntransfer");
+        let _ = writeln!(
+            o,
+            "  data packets     {:>8}   ({} unique seqs, {} bytes)",
+            t.data_packets, t.unique_seqs, t.data_bytes
+        );
+        let _ = writeln!(
+            o,
+            "  retransmissions  {:>8}   keepalives {}  checksum failures {}  joins {}",
+            t.retransmissions, t.keepalives_sent, t.checksum_failures, t.joins_completed
+        );
+
+        let s = &self.suppression;
+        let _ = writeln!(o, "\nnak suppression");
+        let _ = writeln!(
+            o,
+            "  losses observed  {:>8}   (distinct member x seq)",
+            s.losses_observed
+        );
+        let _ = writeln!(
+            o,
+            "  naks sent        {:>8}   ({} seqs requested, {:.2} naks/loss)",
+            s.naks_sent, s.nak_seqs, s.naks_per_loss
+        );
+        let _ = writeln!(
+            o,
+            "  naks suppressed  {:>8}   ({} events, suppression ratio {:.2})",
+            s.naks_suppressed, s.suppression_events, s.suppression_ratio
+        );
+
+        let f = &self.flow;
+        let _ = writeln!(o, "\nflow control");
+        let _ = writeln!(
+            o,
+            "  slow start {:.3} s | congestion avoidance {:.3} s | stopped {:.3} s",
+            secs(f.slow_start_us),
+            secs(f.congestion_avoidance_us),
+            secs(f.stopped_us)
+        );
+        let _ = writeln!(
+            o,
+            "  {} transitions, {} rate halvings, {} urgent stops, final rate {} B/s",
+            f.transitions, f.rate_halvings, f.urgent_stops, f.final_rate_bps
+        );
+        for sp in &f.spans {
+            let _ = writeln!(
+                o,
+                "    {:>10.3} s  {:<21} {:>7.3} s  entry {:>9} B/s  {} halving(s)",
+                secs(sp.start_us),
+                sp.phase,
+                secs(sp.end_us.saturating_sub(sp.start_us)),
+                sp.rate_bps_at_entry,
+                sp.halvings
+            );
+        }
+
+        let r = &self.release;
+        let _ = writeln!(o, "\nbuffer release & probes");
+        let _ = writeln!(
+            o,
+            "  attempts {} (complete info {}, released {})",
+            r.attempts, r.complete_info, r.released
+        );
+        let _ = writeln!(
+            o,
+            "  stalls: {} attempt(s) over {} seq(s), {} probe-attributed, {} probe(s) sent",
+            r.stalled_attempts, r.stalled_seqs, r.probe_attributed_seqs, r.probes_sent
+        );
+        if r.stall_latency.count > 0 {
+            let _ = writeln!(
+                o,
+                "  stall latency (ms): p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+                ms(r.stall_latency.p50),
+                ms(r.stall_latency.p90),
+                ms(r.stall_latency.p99),
+                ms(r.stall_latency.max)
+            );
+        }
+
+        let rt = &self.rtt;
+        let _ = writeln!(o, "\nrtt");
+        if rt.samples == 0 {
+            let _ = writeln!(o, "  no samples");
+        } else {
+            let _ = writeln!(
+                o,
+                "  {} samples ({} probe), srtt {:.1} -> {:.1} ms{}",
+                rt.samples,
+                rt.probe_samples,
+                ms(rt.first_srtt_us),
+                ms(rt.final_srtt_us),
+                match rt.converged_at_us {
+                    Some(t) => format!(
+                        ", converged (+-10%) at {:.3} s after {} sample(s)",
+                        secs(t),
+                        rt.samples_to_converge
+                    ),
+                    None => String::new(),
+                }
+            );
+        }
+
+        let _ = writeln!(o, "\nmembers");
+        let _ = writeln!(
+            o,
+            "  {:<10} {:>9} {:>7} {:>9} {:>8} {:>6} {:>10} {:>9} {:>9} {:>7} {:>6}",
+            "source",
+            "delivered",
+            "losses",
+            "recovered",
+            "unrecov",
+            "naks",
+            "suppressed",
+            "p50(ms)",
+            "p99(ms)",
+            "warn/cr",
+            "state"
+        );
+        for m in &self.members {
+            let state = if m.ejected {
+                "ejected"
+            } else if m.session_failed {
+                "failed"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                o,
+                "  {:<10} {:>9} {:>7} {:>9} {:>8} {:>6} {:>10} {:>9.1} {:>9.1} {:>7} {:>6}",
+                m.source,
+                m.delivered_segments,
+                m.losses,
+                m.recovered_seqs,
+                m.unrecovered,
+                m.naks_sent,
+                m.naks_suppressed,
+                ms(m.recovery_latency.p50),
+                ms(m.recovery_latency.p99),
+                format!(
+                    "{}/{}",
+                    m.regions.warning_entries, m.regions.critical_entries
+                ),
+                state
+            );
+        }
+
+        let l = &self.lifecycle;
+        let _ = writeln!(o, "\nlifecycle");
+        let _ =
+            writeln!(
+            o,
+            "  {} seq(s) sent: {} released, {} delivered by all live members, {} unaccounted {}",
+            l.seqs_sent,
+            l.released,
+            l.delivered_by_all_live,
+            l.incomplete,
+            if l.complete { "[complete]" } else { "[INCOMPLETE]" }
+        );
+        if !l.incomplete_seqs.is_empty() {
+            let _ = writeln!(o, "  unaccounted seqs: {:?}", l.incomplete_seqs);
+        }
+        o
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! # Single-machine smoke test over loopback (spawns 2 in-process receivers):
 //! hrmc selftest
+//!
+//! # Post-mortem: diagnose any JSONL trace (stream, sim log, or flight dump)
+//! hrmc analyze trace.jsonl
 //! ```
 
 use std::io::{Read, Write};
@@ -17,7 +20,9 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Duration;
 
 use hrmc::net::{HrmcReceiver, HrmcSender};
-use hrmc::{JsonlObserver, MetricsObserver, MultiObserver, ProtocolConfig, ProtocolObserver};
+use hrmc::{
+    JsonlObserver, MetricsObserver, MultiObserver, ProtocolConfig, ProtocolObserver, SharedRecorder,
+};
 
 struct Opts {
     group: SocketAddrV4,
@@ -28,6 +33,9 @@ struct Opts {
     fec: Option<usize>,
     trace: Option<String>,
     metrics: bool,
+    flight: Option<String>,
+    flight_capacity: usize,
+    json: bool,
 }
 
 impl Default for Opts {
@@ -41,6 +49,9 @@ impl Default for Opts {
             fec: None,
             trace: None,
             metrics: false,
+            flight: None,
+            flight_capacity: 4096,
+            json: false,
         }
     }
 }
@@ -61,12 +72,17 @@ impl Write for SharedLog {
     }
 }
 
-/// The observability stack requested by `--trace` / `--metrics`:
-/// endpoints in this process share one JSONL file (each line tagged with
-/// the endpoint's role via `"src"`) and one metrics registry.
+/// The observability stack requested by `--trace` / `--metrics` /
+/// `--flight`: endpoints in this process share one JSONL file (each line
+/// tagged with the endpoint's role via `"src"`), one metrics registry,
+/// and — unlike the unbounded trace — a bounded per-endpoint flight
+/// recorder whose surviving window is dumped on exit.
 struct Obs {
     log: Option<SharedLog>,
     metrics: Option<MetricsObserver>,
+    flight_path: Option<String>,
+    flight_capacity: usize,
+    recorders: std::sync::Mutex<Vec<SharedRecorder>>,
 }
 
 impl Obs {
@@ -82,11 +98,17 @@ impl Obs {
             None => None,
         };
         let metrics = opts.metrics.then(MetricsObserver::new);
-        Ok(Obs { log, metrics })
+        Ok(Obs {
+            log,
+            metrics,
+            flight_path: opts.flight.clone(),
+            flight_capacity: opts.flight_capacity,
+            recorders: std::sync::Mutex::new(Vec::new()),
+        })
     }
 
-    /// Observer stack for one endpoint, or `None` when neither flag was
-    /// given (the engine then keeps its zero-cost no-op path).
+    /// Observer stack for one endpoint, or `None` when no observability
+    /// flag was given (the engine then keeps its zero-cost no-op path).
     fn for_role(&self, role: &str) -> Option<Box<dyn ProtocolObserver>> {
         let mut stack = MultiObserver::new();
         let mut any = false;
@@ -98,15 +120,43 @@ impl Obs {
             stack.push(Box::new(m.clone()));
             any = true;
         }
+        if self.flight_path.is_some() {
+            let rec = SharedRecorder::new(self.flight_capacity).with_label(role);
+            self.recorders.lock().unwrap().push(rec.clone());
+            stack.push(Box::new(rec));
+            any = true;
+        }
         any.then(|| Box::new(stack) as Box<dyn ProtocolObserver>)
     }
 
-    /// Flush the trace and print the metrics registry as JSON on stdout.
+    /// Flush the trace, dump flight-recorder windows, and print the
+    /// metrics registry as JSON on stdout.
     fn finish(&self) {
         if let Some(log) = &self.log {
             let _ = log.0.lock().unwrap().flush();
         }
+        let recorders = self.recorders.lock().unwrap();
+        if let Some(path) = &self.flight_path {
+            match std::fs::File::create(path) {
+                Ok(f) => {
+                    let mut w = std::io::BufWriter::new(f);
+                    for rec in recorders.iter() {
+                        let _ = w.write_all(rec.dump().as_bytes());
+                    }
+                    let _ = w.flush();
+                    eprintln!("flight recorder window written to {path}");
+                }
+                Err(e) => eprintln!("cannot write flight recording {path}: {e}"),
+            }
+        }
         if let Some(m) = &self.metrics {
+            {
+                let reg = m.registry();
+                let mut reg = reg.lock().unwrap();
+                for rec in recorders.iter() {
+                    rec.with_recorder(|r| r.publish_metrics(&mut reg));
+                }
+            }
             println!("{}", m.snapshot().render_json());
         }
     }
@@ -118,12 +168,20 @@ fn usage() -> ! {
          hrmc send <file>  [--group A.B.C.D:port] [--iface ip] [--rate-mbps N]\n            \
                            [--buffer-kb N] [--wait-receivers N] [--fec K]\n  \
          hrmc recv <file>  [--group A.B.C.D:port] [--iface ip] [--buffer-kb N]\n  \
-         hrmc selftest     [--group A.B.C.D:port]\n\n\
-         Observability (any command):\n  \
+         hrmc selftest     [--group A.B.C.D:port]\n  \
+         hrmc analyze <trace.jsonl> [--json]\n\n\
+         Observability (send/recv/selftest):\n  \
          --trace <path>    write every protocol state transition as JSON lines\n                    \
                            (wall-clock µs since bind/join, \"src\" tags the endpoint)\n  \
          --metrics         print the metrics registry (counters, gauges,\n                    \
-                           latency histograms) as JSON on exit\n\n\
+                           latency histograms) as JSON on exit\n  \
+         --flight <path>   bounded flight recorder: keep the last N events per\n                    \
+                           endpoint in memory, dump the window on exit\n  \
+         --flight-capacity N  events retained per endpoint (default 4096)\n\n\
+         `analyze` reconstructs per-sequence causal lifecycles from any JSONL\n\
+         trace this tool or the simulator writes (streamed or flight-recorded)\n\
+         and prints loss, recovery-latency, NAK-suppression, flow-control,\n\
+         buffer-release, and RTT diagnoses (--json for machine-readable).\n\n\
          Reliable multicast file transfer (H-RMC, SC'99). The group address\n\
          must be a multicast address (239.0.0.0/8 recommended); every\n\
          participant must use the same group and interface."
@@ -188,6 +246,20 @@ fn parse(args: &[String]) -> (Opts, Vec<String>) {
             }
             "--metrics" => {
                 opts.metrics = true;
+            }
+            "--flight" => {
+                i += 1;
+                opts.flight = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--flight-capacity" => {
+                i += 1;
+                opts.flight_capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                opts.json = true;
             }
             other if other.starts_with("--") => usage(),
             other => positional.push(other.to_string()),
@@ -336,6 +408,16 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_analyze(trace: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = hrmc_trace::analyze_file(std::path::Path::new(trace))?;
+    if opts.json {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.render_table());
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -346,6 +428,7 @@ fn main() {
         ("send", [file]) => cmd_send(file, &opts),
         ("recv", [file]) => cmd_recv(file, &opts),
         ("selftest", []) => cmd_selftest(&opts),
+        ("analyze", [trace]) => cmd_analyze(trace, &opts),
         _ => usage(),
     };
     if let Err(e) = result {

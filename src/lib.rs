@@ -51,7 +51,7 @@ pub use hrmc_wire as wire;
 
 pub use hrmc_core::{Dest, PeerId, ProtocolConfig, ReceiverEngine, ReliabilityMode, SenderEngine};
 pub use hrmc_core::{
-    Event, Histogram, HistogramSummary, JsonlObserver, MetricsObserver, MetricsRegistry,
-    MultiObserver, ProtocolObserver,
+    Event, FlightRecorder, Histogram, HistogramSummary, JsonlObserver, MetricsObserver,
+    MetricsRegistry, MultiObserver, ProtocolObserver, SharedRecorder,
 };
 pub use hrmc_wire::{Packet, PacketType};
