@@ -18,10 +18,21 @@
 //! regression on either exits nonzero. Wall-clock is reported but never
 //! gated (CI machines vary); the work counters are exact on a fixed
 //! seed, so any growth is a real scheduler regression, not noise.
+//!
+//! The run also drives a live multi-session reactor micro-benchmark
+//! (4 sender→receiver pairs over loopback multicast on one shared
+//! reactor) and records its batched-syscall efficiency — syscalls per
+//! packet moved and mean `recvmmsg` batch size — under a `reactor` key.
+//! `--check` gates `syscalls_per_packet < 1.0`: the batching machinery
+//! must beat the one-syscall-per-datagram floor, or the reactor has
+//! regressed to unbatched I/O. Skipped (with a notice) when the
+//! environment forbids multicast.
 
 use hrmc_core::ProtocolConfig;
+use hrmc_net::{McastSocket, Reactor, Session};
 use hrmc_sim::{SimParams, SimReport, Simulation, TopologyBuilder};
-use std::time::Instant;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::{Duration, Instant};
 
 /// The fixed scalability scenario: 64 receivers, 1 Mbps shared LAN,
 /// 0.5% loss, 200 KB transfer. At ~80 packets/s the population is idle
@@ -44,6 +55,117 @@ fn run_once(receivers: usize, transfer: u64) -> (SimReport, f64) {
     assert!(report.completed, "scalability scenario must complete");
     assert!(report.all_intact(), "scalability scenario must be reliable");
     (report, wall_ms)
+}
+
+const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+
+fn multicast_available(port: u16) -> bool {
+    let g = SocketAddrV4::new(Ipv4Addr::new(239, 255, 95, 1), port);
+    let Ok(rx) = McastSocket::receiver(g, LO) else {
+        return false;
+    };
+    let Ok(tx) = McastSocket::sender(g, LO) else {
+        return false;
+    };
+    let _ = rx.set_read_timeout(Duration::from_millis(500));
+    if tx.send_multicast(b"probe").is_err() {
+        return false;
+    }
+    let mut buf = [0u8; 16];
+    rx.recv_from(&mut buf).is_ok()
+}
+
+/// Batched-syscall efficiency of the shared reactor under live load.
+struct ReactorBench {
+    wall_ms: f64,
+    packets: u64,
+    syscalls_per_packet: f64,
+    rx_batch_mean: f64,
+    rx_batch_max: u64,
+}
+
+/// Run `pairs` concurrent sender→receiver transfers of `payload` bytes
+/// each on ONE private reactor over loopback multicast, and read the
+/// batching gauges off its stats. `None` when multicast is unavailable.
+fn reactor_microbench(pairs: usize, payload: usize) -> Option<ReactorBench> {
+    if !multicast_available(49000) {
+        return None;
+    }
+    let reactor = Reactor::new().expect("reactor");
+    let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    protocol.max_rate = 16 * 1024 * 1024;
+    protocol.initial_rtt = 2_000;
+    protocol.anonymous_release_hold = 500_000;
+    let t0 = Instant::now();
+    let groups: Vec<SocketAddrV4> = (0..pairs as u16)
+        .map(|i| SocketAddrV4::new(Ipv4Addr::new(239, 255, 95, 10 + i as u8), 49010 + i))
+        .collect();
+    let receivers: Vec<_> = groups
+        .iter()
+        .map(|&g| {
+            Session::receiver(g)
+                .interface(LO)
+                .config(protocol.clone())
+                .reactor(reactor.clone())
+                .bind()
+                .expect("join receiver")
+        })
+        .collect();
+    let senders: Vec<_> = groups
+        .iter()
+        .map(|&g| {
+            Session::sender(g)
+                .interface(LO)
+                .config(protocol.clone())
+                .reactor(reactor.clone())
+                .bind()
+                .expect("bind sender")
+        })
+        .collect();
+    let data: Vec<u8> = (0..payload).map(|i| (i * 31 % 251) as u8).collect();
+    let readers: Vec<_> = receivers
+        .into_iter()
+        .map(|r| {
+            let len = data.len();
+            std::thread::spawn(move || {
+                let mut got = 0usize;
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match r.recv(&mut buf, Duration::from_secs(60)) {
+                        Ok(0) => break,
+                        Ok(n) => got += n,
+                        Err(e) => panic!("bench recv failed: {e}"),
+                    }
+                }
+                assert_eq!(got, len, "bench transfer truncated");
+            })
+        })
+        .collect();
+    let writers: Vec<_> = senders
+        .into_iter()
+        .map(|s| {
+            let data = data.clone();
+            std::thread::spawn(move || {
+                s.send(&data).expect("bench send");
+                s.close_and_wait(Duration::from_secs(120))
+                    .expect("bench close");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("bench writer panicked");
+    }
+    for r in readers {
+        r.join().expect("bench reader panicked");
+    }
+    let st = reactor.stats();
+    Some(ReactorBench {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        packets: st.packets_rx + st.packets_tx,
+        syscalls_per_packet: st.syscalls_per_packet(),
+        rx_batch_mean: st.rx_batch_mean,
+        rx_batch_max: st.rx_batch_max,
+    })
 }
 
 /// Baseline path: the committed `BENCH_sim.json` at the repo root.
@@ -80,9 +202,28 @@ fn check_against_baseline() -> ! {
         );
     }
     println!("bench-check: wall={wall_ms:.1} ms (informational, not gated)");
+    match reactor_microbench(4, 150_000) {
+        Some(r) => {
+            // The absolute invariant of batched I/O: strictly fewer
+            // syscalls than packets. A ratio at or above 1.0 means the
+            // reactor degenerated to one syscall per datagram.
+            let verdict = if r.syscalls_per_packet < 1.0 {
+                "ok"
+            } else {
+                "REGRESSED"
+            };
+            failed |= r.syscalls_per_packet >= 1.0;
+            println!(
+                "bench-check: reactor syscalls_per_packet={:.3}  rx_batch_mean={:.2}  \
+                 rx_batch_max={}  packets={}  wall={:.1} ms  limit=<1.0  {verdict}",
+                r.syscalls_per_packet, r.rx_batch_mean, r.rx_batch_max, r.packets, r.wall_ms
+            );
+        }
+        None => println!("bench-check: reactor micro-bench skipped (no multicast loopback)"),
+    }
     if failed {
         eprintln!(
-            "bench-check: scheduler work regressed >10% vs BENCH_sim.json; \
+            "bench-check: perf regressed vs BENCH_sim.json / the batching floor; \
              fix the regression or deliberately re-baseline with \
              `cargo bench -p hrmc-bench --bench sim`"
         );
@@ -117,6 +258,24 @@ fn main() {
         report.events_popped, report.peak_queue_len, ticks_total, report.elapsed_us
     );
 
+    let reactor = reactor_microbench(
+        if smoke { 2 } else { 4 },
+        if smoke { 30_000 } else { 150_000 },
+    );
+    match &reactor {
+        Some(r) => println!(
+            "bench: reactor/{}p  wall={:.1} ms  packets={}  syscalls_per_packet={:.3}  \
+             rx_batch_mean={:.2}  rx_batch_max={}",
+            if smoke { 2 } else { 4 },
+            r.wall_ms,
+            r.packets,
+            r.syscalls_per_packet,
+            r.rx_batch_mean,
+            r.rx_batch_max
+        ),
+        None => println!("bench: reactor micro-bench skipped (no multicast loopback)"),
+    }
+
     if smoke {
         return; // CI smoke: no baseline file
     }
@@ -134,6 +293,15 @@ fn main() {
         "engine_ticks": ticks_total,
         "sim_elapsed_us": report.elapsed_us,
         "throughput_mbps": report.throughput_mbps,
+        "reactor": reactor.as_ref().map(|r| serde_json::json!({
+            "pairs": 4,
+            "transfer_bytes": 150_000,
+            "wall_ms": r.wall_ms,
+            "packets": r.packets,
+            "syscalls_per_packet": r.syscalls_per_packet,
+            "rx_batch_mean": r.rx_batch_mean,
+            "rx_batch_max": r.rx_batch_max,
+        })),
     });
     let path = baseline_path();
     let body = serde_json::to_string_pretty(&out).expect("serialize BENCH_sim.json");

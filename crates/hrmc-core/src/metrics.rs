@@ -217,6 +217,14 @@ impl MetricsRegistry {
         self.histograms.entry(name).or_default().record(v);
     }
 
+    /// Merge a whole pre-aggregated histogram into `name` — how a
+    /// component that keeps its own [`Histogram`] (e.g. the net driver's
+    /// reactor batch-size distributions) publishes into a registry
+    /// without replaying every sample.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &Histogram) {
+        self.histograms.entry(name).or_default().merge(h);
+    }
+
     /// Read a counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -397,6 +405,22 @@ mod tests {
         r.inc("naks");
         assert_eq!(snap.counter("naks"), 3);
         assert_eq!(r.counter("naks"), 4);
+    }
+
+    #[test]
+    fn merge_histogram_folds_preaggregated_samples() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(8);
+        let mut r = MetricsRegistry::new();
+        r.observe("batch", 1);
+        r.merge_histogram("batch", &h);
+        let merged = r.histogram("batch").unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 11);
+        // Merging under a fresh name creates the histogram outright.
+        r.merge_histogram("fresh", &h);
+        assert_eq!(r.histogram("fresh").unwrap().count(), 2);
     }
 
     #[test]

@@ -1,8 +1,15 @@
-//! Monotonic microsecond clock shared by a driver's threads. The engines
-//! are sans-io and take `now` explicitly; this clock is the single time
-//! source so packets and ticks observe a consistent timeline.
+//! Monotonic microsecond clock shared by a driver's sessions. The
+//! engines are sans-io and take `now` explicitly; each session's clock is
+//! its single time source so packets and ticks observe a consistent
+//! timeline.
+//!
+//! Sessions keep their own epoch (observer timestamps are relative to
+//! bind/join time, exactly as before the shared reactor), but the
+//! reactor's timer heap orders deadlines from *different* sessions —
+//! [`DriverClock::at`] maps a session-local microsecond deadline back
+//! onto the common [`Instant`] timeline so they compare.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Microseconds since the driver started.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +28,13 @@ impl DriverClock {
     /// Microseconds elapsed since the clock was created.
     pub fn now(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The [`Instant`] at which this clock reads `us` microseconds —
+    /// converts an engine deadline (session-local time) to the shared
+    /// monotonic timeline the reactor's timer heap is keyed by.
+    pub fn at(&self, us: u64) -> Instant {
+        self.epoch + Duration::from_micros(us)
     }
 }
 
@@ -50,5 +64,21 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(1));
         assert!(d.now() >= 1_000);
         assert!(c.now().abs_diff(d.now()) < 1_000);
+    }
+
+    #[test]
+    fn at_inverts_now() {
+        let c = DriverClock::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t = c.now();
+        let inst = c.at(t);
+        // `at(now())` lands within a moment of the real current instant.
+        let err = Instant::now()
+            .checked_duration_since(inst)
+            .unwrap_or_else(|| inst.duration_since(Instant::now()));
+        assert!(err < Duration::from_millis(5), "err={err:?}");
+        // Ordering across two clocks with different epochs is preserved.
+        let later = DriverClock::new();
+        assert!(later.at(0) > c.at(0));
     }
 }

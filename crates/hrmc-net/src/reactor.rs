@@ -1,0 +1,756 @@
+//! The shared multi-session reactor: one poll-driven event loop that
+//! owns every session's sockets, drains RX in `recvmmsg` batches,
+//! flushes engine output in `sendmmsg` batches, and services every
+//! engine's `next_wakeup` deadline from a single min-heap timer — the
+//! user-space analog of the paper's kernel placement (§4, Fig. 4),
+//! where all H-RMC sockets share one softirq delivery path and one
+//! timer wheel instead of spawning threads per endpoint.
+//!
+//! Thread count is O(1) per reactor, not O(sessions): a process serving
+//! thousands of H-RMC sessions runs one reactor thread (plus whatever
+//! application threads call `send`/`recv`). Sessions register at bind
+//! time and deregister when their handle drops; `SenderHandle` /
+//! `ReceiverHandle` are thin fronts over reactor-owned state.
+//!
+//! ## Event loop
+//!
+//! ```text
+//!            ┌────────────── epoll_wait (≤ next deadline) ─────────────┐
+//!            │                                                         │
+//!   eventfd kick ──► re-fold dirty sessions' deadlines (min-heap)      │
+//!   socket ready ──► recvmmsg burst ─► engine.handle_packet ─► flush   │
+//!   deadline due ──► engine.on_tick ──────────────────────────► flush  │
+//!            │                                                         │
+//!            └── flush = poll_output ─► sendmmsg batches ─► events ────┘
+//! ```
+//!
+//! Deadlines follow the same fold-min discipline the per-endpoint timer
+//! threads used: an active engine's "one jiffy from now" wish recedes on
+//! every re-read, so the heap keeps the earliest deadline promised so
+//! far per session (stale entries are skipped lazily on pop) and a fresh
+//! deadline is taken only after servicing a tick.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hrmc_core::{Histogram, MetricsRegistry};
+use parking_lot::Mutex;
+
+use crate::socket::{McastSocket, RxBatch, TX_SLOTS};
+use crate::NetError;
+
+/// Sockets per session the token scheme supports (receiver = 2).
+const MAX_ROLES: u64 = 2;
+/// Epoll token of the kick eventfd.
+const KICK_TOKEN: u64 = u64::MAX;
+/// Longest uninterrupted `epoll_wait` when no deadline is armed.
+const MAX_IDLE: Duration = Duration::from_millis(100);
+/// Attempts beyond the first before a transient `sendmmsg` error drops
+/// the remaining batch (mirrors the single-send retry budget).
+const TX_RETRIES: u32 = 4;
+
+/// Why the reactor stopped driving a session.
+pub(crate) enum Fatal {
+    /// A socket returned an unrecoverable error (e.g. `EBADF`); the
+    /// error is surfaced so the session can report `SessionFailed`.
+    Io(io::Error),
+    /// The reactor itself shut down while the session was registered.
+    ReactorClosed,
+}
+
+/// A session the reactor can drive. Implemented by the sender's and
+/// receiver's shared state; all methods are called from the reactor
+/// thread (the session's engine mutex provides interior mutability).
+pub(crate) trait ReactorSession: Send + Sync {
+    /// The sockets to watch, in role order (index = role).
+    fn sockets(&self) -> Vec<&McastSocket>;
+    /// Drain `role`'s socket into the engine and flush output. A returned
+    /// error is fatal: the reactor stops watching this session and calls
+    /// [`ReactorSession::on_fatal`].
+    fn on_readable(&self, role: usize, io: &mut IoBatch) -> io::Result<()>;
+    /// Service the session's earliest timer deadline.
+    fn on_tick(&self, io: &mut IoBatch);
+    /// The engine's next deadline on the shared monotonic timeline.
+    fn next_deadline(&self) -> Option<Instant>;
+    /// Terminal notification: the reactor no longer drives this session.
+    fn on_fatal(&self, reason: Fatal);
+}
+
+// ---------------------------------------------------------------------
+// Batched I/O scratch state (one per reactor thread)
+// ---------------------------------------------------------------------
+
+/// Reusable I/O scratch owned by the reactor thread: the `recvmmsg`
+/// buffer pool and the `sendmmsg` staging area, shared by every session
+/// so buffers are allocated once per reactor, not per session.
+pub(crate) struct IoBatch {
+    /// RX buffer pool; sessions read decoded datagrams from here.
+    pub(crate) rx: RxBatch,
+    /// Encoded-packet staging for the next `sendmmsg`.
+    tx_bufs: Vec<Vec<u8>>,
+    tx_dsts: Vec<SocketAddr>,
+    tx_len: usize,
+    stats: Arc<StatsCells>,
+}
+
+impl IoBatch {
+    fn new(stats: Arc<StatsCells>) -> IoBatch {
+        IoBatch {
+            rx: RxBatch::new(),
+            tx_bufs: Vec::new(),
+            tx_dsts: Vec::new(),
+            tx_len: 0,
+            stats,
+        }
+    }
+
+    /// One `recvmmsg` into the pool; records batch-size stats.
+    pub(crate) fn recv(&mut self, sock: &McastSocket) -> io::Result<usize> {
+        let n = self.rx.recv(sock)?;
+        let s = &self.stats;
+        s.recvmmsg_calls.fetch_add(1, Ordering::Relaxed);
+        s.packets_rx.fetch_add(n as u64, Ordering::Relaxed);
+        s.rx_batches.lock().record(n as u64);
+        Ok(n)
+    }
+
+    /// Stage one outgoing packet: returns the cleared scratch buffer to
+    /// encode into; commit with [`IoBatch::commit`].
+    pub(crate) fn stage(&mut self) -> &mut Vec<u8> {
+        if self.tx_len == self.tx_bufs.len() {
+            self.tx_bufs.push(Vec::new());
+            self.tx_dsts
+                .push(SocketAddr::V4(std::net::SocketAddrV4::new(
+                    std::net::Ipv4Addr::UNSPECIFIED,
+                    0,
+                )));
+        }
+        let buf = &mut self.tx_bufs[self.tx_len];
+        buf.clear();
+        buf
+    }
+
+    /// Commit the staged packet to `dst`; flushes `sock` when the batch
+    /// is full. All packets staged between flushes go out `sock`.
+    pub(crate) fn commit(&mut self, dst: SocketAddr, sock: &McastSocket) {
+        self.tx_dsts[self.tx_len] = dst;
+        self.tx_len += 1;
+        if self.tx_len >= TX_SLOTS {
+            self.flush_tx(sock);
+        }
+    }
+
+    /// Flush every staged packet out `sock` in `sendmmsg` batches,
+    /// retrying transient kernel pressure (`EAGAIN`/`EINTR`/`ENOBUFS`)
+    /// with the same short doubling backoff the single-send path used. A
+    /// persistently failing datagram is dropped (the protocol's NAK path
+    /// recovers it) without sacrificing the rest of the batch.
+    pub(crate) fn flush_tx(&mut self, sock: &McastSocket) {
+        let mut off = 0;
+        let mut attempt = 0;
+        let mut backoff = Duration::from_micros(200);
+        while off < self.tx_len {
+            match sock.send_batch(
+                &self.tx_bufs[off..self.tx_len],
+                &self.tx_dsts[off..self.tx_len],
+            ) {
+                Ok(n) => {
+                    let s = &self.stats;
+                    s.sendmmsg_calls.fetch_add(1, Ordering::Relaxed);
+                    s.packets_tx.fetch_add(n as u64, Ordering::Relaxed);
+                    s.tx_batches.lock().record(n as u64);
+                    off += n.max(1);
+                    attempt = 0;
+                    backoff = Duration::from_micros(200);
+                }
+                Err(ref e) if is_transient(e) && attempt < TX_RETRIES => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+                Err(_) => {
+                    // Drop the message at the head and keep going: one
+                    // unreachable unicast peer must not starve the rest.
+                    off += 1;
+                    attempt = 0;
+                    backoff = Duration::from_micros(200);
+                }
+            }
+        }
+        self.tx_len = 0;
+    }
+}
+
+/// `true` for errors a loaded kernel returns transiently on UDP sends.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    ) || e.raw_os_error() == Some(ENOBUFS)
+}
+
+/// `true` for receive-side errors that clear themselves: an empty queue,
+/// a signal, or an asynchronous ICMP error queued against the socket
+/// (port/host/net unreachable after a feedback send to a dead peer).
+/// Everything else — `EBADF` above all — is fatal and must NOT be
+/// retried: the old per-endpoint RX loops spun at 100% CPU on exactly
+/// that case.
+pub(crate) fn rx_error_disposition(e: &io::Error) -> RxError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RxError::Drained,
+        io::ErrorKind::Interrupted
+        | io::ErrorKind::ConnectionRefused
+        | io::ErrorKind::ConnectionReset => RxError::Retry,
+        _ if matches!(e.raw_os_error(), Some(EHOSTUNREACH) | Some(ENETUNREACH)) => RxError::Retry,
+        _ => RxError::Fatal,
+    }
+}
+
+/// Classification of a receive error (see [`rx_error_disposition`]).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RxError {
+    /// Nothing queued: stop draining this socket for now.
+    Drained,
+    /// Transient (signal / ICMP error consumed): try the next batch.
+    Retry,
+    /// Unrecoverable: fail the session.
+    Fatal,
+}
+
+const ENOBUFS: i32 = 105;
+const ENETUNREACH: i32 = 101;
+const EHOSTUNREACH: i32 = 113;
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct StatsCells {
+    sessions_hwm: AtomicU64,
+    epoll_wakeups: AtomicU64,
+    timer_fires: AtomicU64,
+    kicks: AtomicU64,
+    recvmmsg_calls: AtomicU64,
+    sendmmsg_calls: AtomicU64,
+    packets_rx: AtomicU64,
+    packets_tx: AtomicU64,
+    rx_batches: Mutex<Histogram>,
+    tx_batches: Mutex<Histogram>,
+}
+
+/// Point-in-time snapshot of a reactor's gauges: how many sessions it
+/// carries, how hard the event loop is working, and — the batching
+/// payoff — how many packets each `recvmmsg`/`sendmmsg` syscall moved.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorStats {
+    /// Sessions currently registered.
+    pub sessions: usize,
+    /// Most sessions ever registered at once.
+    pub sessions_hwm: u64,
+    /// `epoll_wait` returns (the loop's wakeup count).
+    pub epoll_wakeups: u64,
+    /// Engine deadlines serviced from the timer heap.
+    pub timer_fires: u64,
+    /// Deadline re-folds requested by application threads.
+    pub kicks: u64,
+    /// `recvmmsg` syscalls issued.
+    pub recvmmsg_calls: u64,
+    /// `sendmmsg` syscalls issued.
+    pub sendmmsg_calls: u64,
+    /// Datagrams received.
+    pub packets_rx: u64,
+    /// Datagrams sent.
+    pub packets_tx: u64,
+    /// Mean datagrams per `recvmmsg` call.
+    pub rx_batch_mean: f64,
+    /// Largest single `recvmmsg` batch.
+    pub rx_batch_max: u64,
+    /// Mean datagrams per `sendmmsg` call.
+    pub tx_batch_mean: f64,
+    /// Largest single `sendmmsg` batch.
+    pub tx_batch_max: u64,
+}
+
+impl ReactorStats {
+    /// Batched-I/O syscalls per packet moved: 1.0 is the unbatched
+    /// floor (one syscall per datagram); batching pushes it below.
+    pub fn syscalls_per_packet(&self) -> f64 {
+        let syscalls = self.recvmmsg_calls + self.sendmmsg_calls;
+        let packets = (self.packets_rx + self.packets_tx).max(1);
+        syscalls as f64 / packets as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+struct Core {
+    epfd: i32,
+    wakefd: i32,
+    sessions: Mutex<HashMap<u64, Arc<dyn ReactorSession>>>,
+    dirty: Mutex<Vec<u64>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    stats: Arc<StatsCells>,
+}
+
+// SAFETY-free: fds are plain ints; all syscalls on them are thread-safe.
+
+impl Core {
+    fn session(&self, id: u64) -> Option<Arc<dyn ReactorSession>> {
+        self.sessions.lock().get(&id).cloned()
+    }
+
+    fn deregister(&self, id: u64, session: &dyn ReactorSession) {
+        let removed = self.sessions.lock().remove(&id);
+        if removed.is_some() {
+            for sock in session.sockets() {
+                let _ = self.epoll_ctl(libc::EPOLL_CTL_DEL, sock.raw_fd(), 0);
+            }
+        }
+    }
+
+    fn kick(&self, id: u64) {
+        self.dirty.lock().push(id);
+        self.wake();
+    }
+
+    /// Ring the eventfd so `epoll_wait` returns.
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            libc::write(self.wakefd, &one as *const u64 as *const libc::c_void, 8);
+        }
+    }
+
+    fn epoll_ctl(&self, op: i32, fd: i32, token: u64) -> io::Result<()> {
+        let mut ev = libc::epoll_event {
+            events: libc::EPOLLIN,
+            u64: token,
+        };
+        let rc = unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        unsafe {
+            libc::close(self.wakefd);
+            libc::close(self.epfd);
+        }
+    }
+}
+
+/// Joins the reactor thread when the last user-held [`Reactor`] handle
+/// drops. Sessions hold only the [`Core`], so the thread's lifetime is
+/// tied to the handles, not to straggling sessions.
+struct ThreadGuard {
+    core: Arc<Core>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.core.wake();
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Handle to a shared reactor. Cheap to clone; the reactor thread runs
+/// until the last handle drops ([`Reactor::global`]'s never does).
+#[derive(Clone)]
+pub struct Reactor {
+    core: Arc<Core>,
+    _guard: Arc<ThreadGuard>,
+}
+
+impl Reactor {
+    /// Spawn a dedicated reactor (its own epoll instance and thread).
+    /// Most applications want [`Reactor::global`] instead and should
+    /// only build private reactors to shard very large session counts
+    /// across cores.
+    pub fn new() -> io::Result<Reactor> {
+        let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wakefd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
+        if wakefd < 0 {
+            let e = io::Error::last_os_error();
+            unsafe { libc::close(epfd) };
+            return Err(e);
+        }
+        let core = Arc::new(Core {
+            epfd,
+            wakefd,
+            sessions: Mutex::new(HashMap::new()),
+            dirty: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: Arc::new(StatsCells::default()),
+        });
+        core.epoll_ctl(libc::EPOLL_CTL_ADD, wakefd, KICK_TOKEN)?;
+        let thread = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("hrmc-reactor".into())
+                .spawn(move || run(&core))?
+        };
+        Ok(Reactor {
+            _guard: Arc::new(ThreadGuard {
+                core: Arc::clone(&core),
+                thread: Mutex::new(Some(thread)),
+            }),
+            core,
+        })
+    }
+
+    /// The process-wide shared reactor, created on first use. Every
+    /// session built without an explicit [`crate::Session`] `.reactor(..)`
+    /// lands here — one thread no matter how many sessions the process
+    /// runs.
+    ///
+    /// # Panics
+    /// Panics if the kernel refuses the epoll/eventfd setup on first
+    /// use (a process-fatal condition).
+    pub fn global() -> Reactor {
+        static GLOBAL: OnceLock<Reactor> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Reactor::new().expect("cannot create the global hrmc reactor"))
+            .clone()
+    }
+
+    /// Sessions currently registered.
+    pub fn session_count(&self) -> usize {
+        self.core.sessions.lock().len()
+    }
+
+    /// Snapshot of the reactor's counters and batch-size distributions.
+    pub fn stats(&self) -> ReactorStats {
+        let s = &self.core.stats;
+        let rx = s.rx_batches.lock();
+        let tx = s.tx_batches.lock();
+        ReactorStats {
+            sessions: self.session_count(),
+            sessions_hwm: s.sessions_hwm.load(Ordering::Relaxed),
+            epoll_wakeups: s.epoll_wakeups.load(Ordering::Relaxed),
+            timer_fires: s.timer_fires.load(Ordering::Relaxed),
+            kicks: s.kicks.load(Ordering::Relaxed),
+            recvmmsg_calls: s.recvmmsg_calls.load(Ordering::Relaxed),
+            sendmmsg_calls: s.sendmmsg_calls.load(Ordering::Relaxed),
+            packets_rx: s.packets_rx.load(Ordering::Relaxed),
+            packets_tx: s.packets_tx.load(Ordering::Relaxed),
+            rx_batch_mean: rx.mean(),
+            rx_batch_max: rx.max().unwrap_or(0),
+            tx_batch_mean: tx.mean(),
+            tx_batch_max: tx.max().unwrap_or(0),
+        }
+    }
+
+    /// Publish the reactor's gauges and batch-size histograms into a
+    /// metrics registry under `reactor_*` names.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        let st = self.stats();
+        reg.set_gauge("reactor_sessions", st.sessions as u64);
+        reg.set_gauge("reactor_sessions_hwm", st.sessions_hwm);
+        reg.set_gauge("reactor_epoll_wakeups", st.epoll_wakeups);
+        reg.set_gauge("reactor_timer_fires", st.timer_fires);
+        reg.set_gauge("reactor_kicks", st.kicks);
+        reg.set_gauge("reactor_recvmmsg_calls", st.recvmmsg_calls);
+        reg.set_gauge("reactor_sendmmsg_calls", st.sendmmsg_calls);
+        reg.set_gauge("reactor_packets_rx", st.packets_rx);
+        reg.set_gauge("reactor_packets_tx", st.packets_tx);
+        reg.merge_histogram("reactor_rx_batch", &self.core.stats.rx_batches.lock());
+        reg.merge_histogram("reactor_tx_batch", &self.core.stats.tx_batches.lock());
+    }
+
+    /// Register a session: its sockets go nonblocking and into the epoll
+    /// set, and its first deadline is folded into the timer heap.
+    /// Returns the session id and the [`ReactorRef`] the handle drives
+    /// kicks and deregistration through — deliberately *not* a full
+    /// [`Reactor`], so live sessions do not keep the reactor thread
+    /// alive past the last user-held handle.
+    pub(crate) fn register(
+        &self,
+        session: Arc<dyn ReactorSession>,
+    ) -> Result<(u64, ReactorRef), NetError> {
+        if self.core.shutdown.load(Ordering::SeqCst) {
+            return Err(NetError::ReactorClosed);
+        }
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let sockets = session.sockets();
+        assert!(
+            sockets.len() as u64 <= MAX_ROLES,
+            "too many session sockets"
+        );
+        {
+            let mut map = self.core.sessions.lock();
+            for (role, sock) in sockets.iter().enumerate() {
+                sock.set_nonblocking(true).map_err(NetError::Io)?;
+                if let Err(e) = self.core.epoll_ctl(
+                    libc::EPOLL_CTL_ADD,
+                    sock.raw_fd(),
+                    id * MAX_ROLES + role as u64,
+                ) {
+                    for prior in &sockets[..role] {
+                        let _ = self.core.epoll_ctl(libc::EPOLL_CTL_DEL, prior.raw_fd(), 0);
+                    }
+                    return Err(NetError::Io(e));
+                }
+            }
+            map.insert(id, session);
+            let n = map.len() as u64;
+            self.core.stats.sessions_hwm.fetch_max(n, Ordering::Relaxed);
+        }
+        self.core.kick(id);
+        Ok((
+            id,
+            ReactorRef {
+                core: Arc::clone(&self.core),
+            },
+        ))
+    }
+}
+
+/// A session handle's grip on its reactor: shares the [`Core`] (so
+/// kicks and deregistration work) but NOT the thread guard — dropping
+/// the last user-held [`Reactor`] shuts the loop down even while
+/// sessions are live, and those sessions fail over to
+/// [`crate::NetError::ReactorClosed`].
+#[derive(Clone)]
+pub(crate) struct ReactorRef {
+    core: Arc<Core>,
+}
+
+impl ReactorRef {
+    /// Ask the reactor to re-read `id`'s deadline: a submit, close, or
+    /// application event may have armed an earlier timer. The eventfd's
+    /// counter semantics make the kick impossible to lose — the old
+    /// per-endpoint drivers needed a lock dance for the same guarantee.
+    pub(crate) fn kick(&self, id: u64) {
+        self.core.kick(id);
+    }
+
+    /// Remove a session: its sockets leave the epoll set, the reactor
+    /// drops its timer state lazily.
+    pub(crate) fn deregister(&self, id: u64, session: &dyn ReactorSession) {
+        self.core.deregister(id, session);
+    }
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("sessions", &self.session_count())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// Fold a freshly read deadline into the per-session minimum (heap +
+/// `deadlines` map form a lazy-deletion min-heap: the map holds the
+/// authoritative earliest promise, the heap may hold stale extras).
+fn fold_deadline(
+    session: &Arc<dyn ReactorSession>,
+    id: u64,
+    deadlines: &mut HashMap<u64, Instant>,
+    heap: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+) {
+    if let Some(d) = session.next_deadline() {
+        let earlier = deadlines.get(&id).is_none_or(|&cur| d < cur);
+        if earlier {
+            deadlines.insert(id, d);
+            heap.push(Reverse((d, id)));
+        }
+    }
+}
+
+fn run(core: &Arc<Core>) {
+    let mut io = IoBatch::new(Arc::clone(&core.stats));
+    let mut deadlines: HashMap<u64, Instant> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut events = [libc::epoll_event { events: 0, u64: 0 }; 64];
+
+    while !core.shutdown.load(Ordering::SeqCst) {
+        // 1. Service every due deadline.
+        let now = Instant::now();
+        while let Some(&Reverse((t, id))) = heap.peek() {
+            if t > now {
+                break;
+            }
+            heap.pop();
+            if deadlines.get(&id) != Some(&t) {
+                continue; // stale entry superseded by an earlier fold
+            }
+            deadlines.remove(&id);
+            let Some(session) = core.session(id) else {
+                continue;
+            };
+            core.stats.timer_fires.fetch_add(1, Ordering::Relaxed);
+            session.on_tick(&mut io);
+            // A fresh deadline is taken only after servicing a tick.
+            fold_deadline(&session, id, &mut deadlines, &mut heap);
+        }
+
+        // 2. Sleep until the earliest remaining deadline (rounded up to
+        //    the next millisecond — a jiffy is 10 ms) or an event.
+        let timeout_ms = match heap.peek() {
+            Some(&Reverse((t, _))) => t
+                .saturating_duration_since(now)
+                .min(MAX_IDLE)
+                .as_micros()
+                .div_ceil(1000) as i32,
+            None => MAX_IDLE.as_millis() as i32,
+        };
+        let n = unsafe {
+            libc::epoll_wait(
+                core.epfd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            break; // EBADF after close: shutting down
+        }
+        core.stats.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+
+        // 3. Dispatch readiness.
+        for ev in &events[..n as usize] {
+            let token = ev.u64;
+            if token == KICK_TOKEN {
+                let mut drained: u64 = 0;
+                unsafe {
+                    libc::read(
+                        core.wakefd,
+                        &mut drained as *mut u64 as *mut libc::c_void,
+                        8,
+                    );
+                }
+                let ids = std::mem::take(&mut *core.dirty.lock());
+                core.stats
+                    .kicks
+                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                for id in ids {
+                    match core.session(id) {
+                        Some(session) => fold_deadline(&session, id, &mut deadlines, &mut heap),
+                        None => {
+                            deadlines.remove(&id);
+                        }
+                    }
+                }
+                continue;
+            }
+            let id = token / MAX_ROLES;
+            let role = (token % MAX_ROLES) as usize;
+            let Some(session) = core.session(id) else {
+                continue;
+            };
+            match session.on_readable(role, &mut io) {
+                Ok(()) => fold_deadline(&session, id, &mut deadlines, &mut heap),
+                Err(e) => {
+                    // Fatal socket error: stop watching (level-triggered
+                    // epoll would otherwise re-report it forever — the
+                    // busy-spin the old per-endpoint RX threads had) and
+                    // surface the failure to the application.
+                    core.sessions.lock().remove(&id);
+                    for sock in session.sockets() {
+                        let _ = core.epoll_ctl(libc::EPOLL_CTL_DEL, sock.raw_fd(), 0);
+                    }
+                    deadlines.remove(&id);
+                    session.on_fatal(Fatal::Io(e));
+                }
+            }
+        }
+    }
+
+    // Shutdown: every still-registered session learns its driver died.
+    let sessions = std::mem::take(&mut *core.sessions.lock());
+    for (_, session) in sessions {
+        session.on_fatal(Fatal::ReactorClosed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactor_spins_up_and_down() {
+        let r = Reactor::new().expect("reactor");
+        assert_eq!(r.session_count(), 0);
+        let st = r.stats();
+        assert_eq!(st.sessions_hwm, 0);
+        assert_eq!(st.packets_rx, 0);
+        drop(r); // must join the thread without hanging
+    }
+
+    #[test]
+    fn clones_share_the_core() {
+        let r = Reactor::new().expect("reactor");
+        let r2 = r.clone();
+        drop(r);
+        // The thread is still alive for r2: stats remain readable.
+        let _ = r2.stats();
+    }
+
+    #[test]
+    fn global_reactor_is_a_singleton() {
+        let a = Reactor::global();
+        let b = Reactor::global();
+        assert!(Arc::ptr_eq(&a.core, &b.core));
+    }
+
+    #[test]
+    fn rx_error_classification() {
+        use io::ErrorKind as K;
+        let d = |e: io::Error| rx_error_disposition(&e);
+        assert_eq!(d(io::Error::from(K::WouldBlock)), RxError::Drained);
+        assert_eq!(d(io::Error::from(K::TimedOut)), RxError::Drained);
+        assert_eq!(d(io::Error::from(K::Interrupted)), RxError::Retry);
+        assert_eq!(d(io::Error::from(K::ConnectionRefused)), RxError::Retry);
+        assert_eq!(
+            d(io::Error::from_raw_os_error(EHOSTUNREACH)),
+            RxError::Retry
+        );
+        // The busy-spin bug: EBADF must be fatal, never retried.
+        assert_eq!(d(io::Error::from_raw_os_error(9)), RxError::Fatal);
+        assert_eq!(d(io::Error::from(K::PermissionDenied)), RxError::Fatal);
+    }
+
+    #[test]
+    fn stats_syscalls_per_packet() {
+        let st = ReactorStats {
+            recvmmsg_calls: 10,
+            sendmmsg_calls: 10,
+            packets_rx: 50,
+            packets_tx: 30,
+            ..ReactorStats::default()
+        };
+        assert!((st.syscalls_per_packet() - 0.25).abs() < 1e-9);
+        assert!(ReactorStats::default().syscalls_per_packet() < 1e-9);
+    }
+}

@@ -1,19 +1,27 @@
-//! The receiving endpoint: a [`ReceiverEngine`] driven by real sockets
-//! and real time.
+//! The receiving endpoint: a [`ReceiverEngine`] driven by the shared
+//! reactor. [`ReceiverHandle`] is a thin front over reactor-owned
+//! state — the endpoint spawns no threads of its own; the reactor's
+//! single event loop drains both its sockets, services its deadlines,
+//! and flushes its feedback in `sendmmsg` batches.
 
+use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hrmc_core::{ProtocolConfig, ReceiverEngine, ReceiverEvent, ReceiverStats};
 use hrmc_wire::Packet;
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::DriverClock;
-use crate::socket::McastSocket;
+use crate::reactor::{Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError};
+use crate::socket::{McastSocket, RX_SLOTS};
 use crate::NetError;
+
+/// `recvmmsg` batches drained per readiness event before yielding the
+/// reactor thread to other sessions.
+const RX_ROUNDS: usize = 4;
 
 struct Inner {
     engine: Mutex<ReceiverEngine>,
@@ -29,38 +37,101 @@ struct Inner {
     /// kernel would hash a group-port unicast to.
     ucast: McastSocket,
     clock: DriverClock,
-    shutdown: AtomicBool,
     complete: AtomicBool,
     lost: AtomicBool,
-    /// Set on [`ReceiverEvent::SessionFailed`]: the sender is presumed
-    /// dead or the JOIN budget ran out; the session is over.
+    /// Set on [`ReceiverEvent::SessionFailed`] *or* when the reactor
+    /// stops driving this session: the sender is presumed dead, the JOIN
+    /// budget ran out, a socket died, or the reactor shut down.
     failed: AtomicBool,
+    /// Refines `failed`: the reactor itself shut down.
+    reactor_gone: AtomicBool,
+    /// The socket error that killed the session, kept for diagnostics.
+    fatal: Mutex<Option<io::Error>>,
     wakeup: Condvar,
     wakeup_lock: Mutex<()>,
 }
 
 impl Inner {
-    /// Wake the timer thread so it re-reads the engine's `next_wakeup`
-    /// (a packet arrival may have armed an earlier deadline — a fresh
-    /// gap's NAK suppression clock, a JOIN retry). Takes the wakeup lock
-    /// before notifying so the timer thread cannot lose the kick between
-    /// reading the deadline and starting its wait. Never call while
-    /// holding the engine lock.
-    fn kick_timer(&self) {
-        let _guard = self.wakeup_lock.lock();
-        self.wakeup.notify_all();
+    /// The error a blocked application call should surface once the
+    /// reactor has stopped driving this session (protocol-level
+    /// SessionFailed keeps its own error via the event path).
+    fn failure(&self) -> NetError {
+        if self.reactor_gone.load(Ordering::SeqCst) {
+            NetError::ReactorClosed
+        } else {
+            NetError::SessionFailed
+        }
     }
 
-    fn flush(&self) {
+    /// Feed one decoded datagram to the engine, applying the feedback
+    /// routing rules. Caller holds the engine lock.
+    fn ingest(&self, engine: &mut ReceiverEngine, bytes: &[u8], from: SocketAddr, now: u64) {
+        let pkt = match Packet::decode(bytes) {
+            Ok(pkt) => pkt,
+            // Audit corruption: a failed checksum is counted and
+            // reported, not just silently dropped.
+            Err(hrmc_wire::WireError::BadChecksum) => {
+                engine.note_checksum_failure(now);
+                return;
+            }
+            Err(_) => return,
+        };
+        // Peer NAKs pass through for local recovery; other
+        // receiver-originated feedback is ignored. The sender's address
+        // is learned from control packets unconditionally, and from
+        // DATA/PARITY only while unknown (a local-recovery peer repair
+        // is DATA from a *peer* and must not hijack the feedback path).
+        use hrmc_wire::PacketType as PT;
+        let sender_originated = pkt.header.ptype.is_sender_originated();
+        if !sender_originated && pkt.header.ptype != PT::Nak {
+            return;
+        }
+        if sender_originated {
+            let mut addr = self.sender_addr.lock();
+            match pkt.header.ptype {
+                PT::Data | PT::Parity => {
+                    if addr.is_none() {
+                        *addr = Some(from);
+                    }
+                }
+                _ => *addr = Some(from),
+            }
+        }
+        engine.handle_packet(&pkt, now);
+    }
+
+    /// Drain engine output into the reactor's `sendmmsg` staging and
+    /// surface events. All feedback leaves via the unicast socket.
+    fn flush(&self, io: &mut IoBatch) {
         let target = *self.sender_addr.lock();
         let mut engine = self.engine.lock();
-        // One scratch buffer for the whole drain: `encode_into` reuses
-        // its allocation across packets (zero-copy hot path).
+        while let Some(out) = engine.poll_output() {
+            let dest = match out.dest {
+                // Local-recovery NAKs and repairs go to the whole group.
+                hrmc_core::Dest::Multicast => SocketAddr::V4(self.ucast.group()),
+                _ => match target {
+                    Some(addr) => addr,
+                    None => continue,
+                },
+            };
+            out.packet.encode_into(io.stage());
+            io.commit(dest, &self.ucast);
+        }
+        io.flush_tx(&self.ucast);
+        self.drain_events(&mut engine);
+    }
+
+    /// Drain engine output with direct single-datagram sends — the path
+    /// for application threads (close/Drop), which don't own the
+    /// reactor's batch scratch and must get LEAVE on the wire *now*,
+    /// before deregistration.
+    fn flush_inline(&self) {
+        let target = *self.sender_addr.lock();
+        let mut engine = self.engine.lock();
         let mut bytes = Vec::new();
         while let Some(out) = engine.poll_output() {
             out.packet.encode_into(&mut bytes);
             match out.dest {
-                // Local-recovery NAKs and repairs go to the whole group.
                 hrmc_core::Dest::Multicast => {
                     let _ = self.ucast.send_multicast(&bytes);
                 }
@@ -71,6 +142,10 @@ impl Inner {
                 }
             }
         }
+        self.drain_events(&mut engine);
+    }
+
+    fn drain_events(&self, engine: &mut ReceiverEngine) {
         while let Some(ev) = engine.poll_event() {
             match ev {
                 ReceiverEvent::DataReady => {
@@ -94,173 +169,138 @@ impl Inner {
     }
 }
 
-/// Owner handle for a live receiving endpoint; dropping it sends LEAVE
-/// and shuts the background threads down.
-pub struct ReceiverHandle {
-    inner: Arc<Inner>,
-    threads: Vec<JoinHandle<()>>,
+impl ReactorSession for Inner {
+    fn sockets(&self) -> Vec<&McastSocket> {
+        // Role 0: shared group-port socket (DATA, KEEPALIVE, mcast PROBE).
+        // Role 1: private unicast socket (JOIN_RESPONSE, PROBE, NAK_ERR).
+        vec![&self.socket, &self.ucast]
+    }
+
+    fn on_readable(&self, role: usize, io: &mut IoBatch) -> io::Result<()> {
+        let sock = if role == 0 { &self.socket } else { &self.ucast };
+        for _ in 0..RX_ROUNDS {
+            let n = match io.recv(sock) {
+                Ok(n) => n,
+                Err(e) => match crate::reactor::rx_error_disposition(&e) {
+                    RxError::Drained => break,
+                    RxError::Retry => continue,
+                    // EBADF and friends: surfacing the error deregisters
+                    // the session — never spin on a dead socket.
+                    RxError::Fatal => return Err(e),
+                },
+            };
+            let now = self.clock.now();
+            {
+                let mut engine = self.engine.lock();
+                for i in 0..n {
+                    let (bytes, from) = io.rx.datagram(i);
+                    self.ingest(&mut engine, bytes, from, now);
+                }
+            }
+            self.flush(io);
+            if n < RX_SLOTS {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_tick(&self, io: &mut IoBatch) {
+        let now = self.clock.now();
+        self.engine.lock().on_tick(now);
+        self.flush(io);
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        let now = self.clock.now();
+        self.engine
+            .lock()
+            .next_wakeup(now)
+            .map(|us| self.clock.at(us))
+    }
+
+    fn on_fatal(&self, reason: Fatal) {
+        match reason {
+            Fatal::ReactorClosed => self.reactor_gone.store(true, Ordering::SeqCst),
+            Fatal::Io(e) => *self.fatal.lock() = Some(e),
+        }
+        self.failed.store(true, Ordering::SeqCst);
+        self.wakeup.notify_all();
+    }
 }
 
-/// Constructor namespace (mirrors the paper's socket-call sequence).
+/// Owner handle for a live receiving endpoint; dropping it sends LEAVE
+/// and deregisters the session from its reactor.
+pub struct ReceiverHandle {
+    inner: Arc<Inner>,
+    reactor: ReactorRef,
+    id: u64,
+    flight: Option<hrmc_core::SharedRecorder>,
+}
+
+/// Join `group` and register the session with `reactor`. The observer
+/// is installed on the engine *before* the session becomes reachable
+/// from the reactor thread, so no early packet or tick can slip by
+/// unobserved (the race the deprecated post-join
+/// [`ReceiverHandle::set_observer`] cannot avoid).
+pub(crate) fn join_with(
+    group: SocketAddrV4,
+    interface: Ipv4Addr,
+    config: ProtocolConfig,
+    observer: Option<Box<dyn hrmc_core::ProtocolObserver>>,
+    flight: Option<hrmc_core::SharedRecorder>,
+    reactor: Reactor,
+) -> Result<ReceiverHandle, NetError> {
+    let socket = McastSocket::receiver(group, interface)?;
+    let ucast = McastSocket::sender(group, interface)?;
+    let local_port = match ucast.local_addr()? {
+        SocketAddr::V4(a) => a.port(),
+        SocketAddr::V6(a) => a.port(),
+    };
+    let clock = DriverClock::new();
+    let mut engine = ReceiverEngine::new(config, local_port, group.port(), clock.now());
+    if let Some(obs) = observer {
+        engine.set_observer(obs);
+    }
+    let inner = Arc::new(Inner {
+        engine: Mutex::new(engine),
+        sender_addr: Mutex::new(None),
+        socket,
+        ucast,
+        clock,
+        complete: AtomicBool::new(false),
+        lost: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        reactor_gone: AtomicBool::new(false),
+        fatal: Mutex::new(None),
+        wakeup: Condvar::new(),
+        wakeup_lock: Mutex::new(()),
+    });
+    let (id, reactor) = reactor.register(Arc::clone(&inner) as Arc<dyn ReactorSession>)?;
+    Ok(ReceiverHandle {
+        inner,
+        reactor,
+        id,
+        flight,
+    })
+}
+
+/// Constructor namespace retained for source compatibility — new code
+/// should use the [`crate::Session`] builder.
 pub struct HrmcReceiver;
 
 impl HrmcReceiver {
-    /// Join `group` on `interface` ("the receiving application uses
-    /// setsockopt to join the multicast group").
+    /// Join `group` on `interface` via the global reactor.
+    #[deprecated(note = "use `Session::receiver(group).interface(..).config(..).bind()`")]
     pub fn join(
         group: SocketAddrV4,
         interface: Ipv4Addr,
         config: ProtocolConfig,
     ) -> Result<ReceiverHandle, NetError> {
-        let socket = McastSocket::receiver(group, interface)?;
-        socket.set_read_timeout(Duration::from_millis(5))?;
-        let ucast = McastSocket::sender(group, interface)?;
-        ucast.set_read_timeout(Duration::from_millis(5))?;
-        let local_port = match ucast.local_addr()? {
-            SocketAddr::V4(a) => a.port(),
-            SocketAddr::V6(a) => a.port(),
-        };
-        let clock = DriverClock::new();
-        let engine = ReceiverEngine::new(config, local_port, group.port(), clock.now());
-        let inner = Arc::new(Inner {
-            engine: Mutex::new(engine),
-            sender_addr: Mutex::new(None),
-            socket,
-            ucast,
-            clock,
-            shutdown: AtomicBool::new(false),
-            complete: AtomicBool::new(false),
-            lost: AtomicBool::new(false),
-            failed: AtomicBool::new(false),
-            wakeup: Condvar::new(),
-            wakeup_lock: Mutex::new(()),
-        });
-        let mut threads = Vec::new();
-        for (name, which) in [
-            ("hrmc-rcv-mrx", RxSock::Mcast),
-            ("hrmc-rcv-urx", RxSock::Ucast),
-        ] {
-            let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(name.into())
-                    .spawn(move || rx_loop(&inner, which))
-                    .map_err(NetError::Io)?,
-            );
-        }
-        {
-            let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("hrmc-rcv-timer".into())
-                    .spawn(move || timer_loop(&inner))
-                    .map_err(NetError::Io)?,
-            );
-        }
-        Ok(ReceiverHandle { inner, threads })
-    }
-}
-
-/// Which socket an RX thread drains.
-#[derive(Clone, Copy)]
-enum RxSock {
-    /// The shared group-port socket (DATA, KEEPALIVE, multicast PROBE).
-    Mcast,
-    /// The private unicast socket (JOIN_RESPONSE, unicast PROBE, NAK_ERR).
-    Ucast,
-}
-
-fn rx_loop(inner: &Inner, which: RxSock) {
-    let mut buf = vec![0u8; 64 * 1024];
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let sock = match which {
-            RxSock::Mcast => &inner.socket,
-            RxSock::Ucast => &inner.ucast,
-        };
-        let Ok((n, from)) = sock.recv_from(&mut buf) else {
-            continue;
-        };
-        let pkt = match Packet::decode(&buf[..n]) {
-            Ok(pkt) => pkt,
-            Err(e) => {
-                // Audit corruption: a failed checksum is counted and
-                // reported, not just silently dropped.
-                if matches!(e, hrmc_wire::WireError::BadChecksum) {
-                    inner.engine.lock().note_checksum_failure(inner.clock.now());
-                }
-                continue;
-            }
-        };
-        // Peer NAKs pass through for local recovery; other
-        // receiver-originated feedback is ignored. The sender's address
-        // is learned from control packets unconditionally, and from
-        // DATA/PARITY only while unknown (a local-recovery peer repair
-        // is DATA from a *peer* and must not hijack the feedback path).
-        use hrmc_wire::PacketType as PT;
-        let sender_originated = pkt.header.ptype.is_sender_originated();
-        if !sender_originated && pkt.header.ptype != PT::Nak {
-            continue;
-        }
-        if sender_originated {
-            let mut addr = inner.sender_addr.lock();
-            match pkt.header.ptype {
-                PT::Data | PT::Parity => {
-                    if addr.is_none() {
-                        *addr = Some(from);
-                    }
-                }
-                _ => *addr = Some(from),
-            }
-        }
-        inner.engine.lock().handle_packet(&pkt, inner.clock.now());
-        inner.flush();
-        // The packet may have armed an earlier deadline (new gap, JOIN
-        // sent): let the timer thread re-plan its sleep.
-        inner.kick_timer();
-    }
-}
-
-/// Deadline-driven timer: instead of unconditionally ticking every
-/// jiffy, sleep until the engine's own `next_wakeup` deadline — `None`
-/// (nothing missing, no update due, no JOIN pending) means the thread
-/// sleeps in long bounded chunks until a packet kicks it.
-/// `next_wakeup` answers relative to `now` — a busy engine's deadline
-/// would recede on every re-read, so the loop remembers the earliest
-/// deadline promised so far and fires when the clock crosses it;
-/// re-reads fold in via `min` and can only pull the target earlier. A
-/// fresh deadline is taken only after servicing a tick.
-fn timer_loop(inner: &Inner) {
-    const MAX_IDLE: Duration = Duration::from_millis(100);
-    let mut deadline: Option<u64> = None;
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let now = inner.clock.now();
-        if deadline.is_some_and(|t| t <= now) {
-            inner.engine.lock().on_tick(now);
-            inner.flush();
-            let now = inner.clock.now();
-            deadline = inner.engine.lock().next_wakeup(now);
-            continue;
-        }
-        // The wakeup guard is held from before the deadline fold until
-        // the wait starts, so a concurrent kick cannot slip in between.
-        // Lock order is wakeup_lock -> engine lock; this is why
-        // `kick_timer` must never run with the engine lock held.
-        let mut guard = inner.wakeup_lock.lock();
-        if inner.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let now = inner.clock.now();
-        let fresh = inner.engine.lock().next_wakeup(now);
-        deadline = match (deadline, fresh) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        let sleep = deadline.map_or(MAX_IDLE, |t| {
-            Duration::from_micros(t.saturating_sub(now)).min(MAX_IDLE)
-        });
-        if !sleep.is_zero() {
-            inner.wakeup.wait_for(&mut guard, sleep);
-        }
+        crate::Session::receiver(group)
+            .interface(interface)
+            .config(config)
+            .bind()
     }
 }
 
@@ -268,7 +308,7 @@ impl ReceiverHandle {
     /// Read in-order stream bytes, blocking until some are available, the
     /// stream completes (returns `Ok(0)`), or `timeout` elapses.
     pub fn recv(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
             {
                 let mut engine = self.inner.engine.lock();
@@ -281,12 +321,12 @@ impl ReceiverHandle {
                 }
             }
             if self.inner.failed.load(Ordering::SeqCst) {
-                return Err(NetError::SessionFailed);
+                return Err(self.inner.failure());
             }
             if self.inner.lost.load(Ordering::SeqCst) {
                 return Err(NetError::DataLost);
             }
-            if std::time::Instant::now() >= deadline {
+            if Instant::now() >= deadline {
                 return Err(NetError::Timeout);
             }
             let mut guard = self.inner.wakeup_lock.lock();
@@ -301,8 +341,8 @@ impl ReceiverHandle {
         self.inner.complete.load(Ordering::SeqCst)
     }
 
-    /// `true` once the engine declared a terminal session failure (the
-    /// sender presumed dead, or the JOIN retry budget exhausted).
+    /// `true` once the session terminally failed: the sender presumed
+    /// dead, the JOIN retry budget exhausted, or the driver gone.
     pub fn has_failed(&self) -> bool {
         self.inner.failed.load(Ordering::SeqCst)
     }
@@ -312,38 +352,54 @@ impl ReceiverHandle {
         self.inner.engine.lock().stats.clone()
     }
 
-    /// Install a [`hrmc_core::ProtocolObserver`] on the engine (wall-clock
-    /// microsecond timestamps relative to join time). The observer runs
-    /// under the engine lock; keep it cheap.
+    /// The flight recorder attached at build time
+    /// ([`crate::ReceiverBuilder::flight_recorder`]), if any.
+    pub fn flight_recorder(&self) -> Option<&hrmc_core::SharedRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Install a [`hrmc_core::ProtocolObserver`] on the engine,
+    /// replacing any observer installed at build time.
+    #[deprecated(
+        note = "pass the observer to `Session::receiver(..).observer(..)` — installing it \
+                post-join races the reactor and misses the session's first events"
+    )]
     pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
         self.inner.engine.lock().set_observer(observer);
     }
 
-    /// Attach a bounded flight recorder and return the shared handle
-    /// (see [`SenderHandle::attach_flight_recorder`](crate::SenderHandle::attach_flight_recorder)).
-    /// Replaces any
-    /// previously installed observer.
+    /// Attach a bounded flight recorder and return the shared handle.
+    #[deprecated(
+        note = "use `Session::receiver(..).flight_recorder(capacity)` — attaching it \
+                post-join races the reactor and misses the session's first events"
+    )]
     pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
         let rec = hrmc_core::SharedRecorder::new(capacity).with_label("recv");
-        self.set_observer(Box::new(rec.clone()));
+        self.inner.engine.lock().set_observer(Box::new(rec.clone()));
         rec
     }
 
-    /// Leave the group (the paper's `close`): sends LEAVE to the sender.
+    /// The socket error that terminally failed the session, if that is
+    /// why it died (a `SessionFailed` return with a non-`None` value
+    /// here means the socket broke, not the protocol).
+    pub fn fatal_error(&self) -> Option<io::ErrorKind> {
+        self.inner.fatal.lock().as_ref().map(io::Error::kind)
+    }
+
+    /// Leave the group (the paper's `close`): sends LEAVE to the sender
+    /// immediately, from the calling thread.
     pub fn close(&self) {
         self.inner.engine.lock().close(self.inner.clock.now());
-        self.inner.flush();
-        self.inner.kick_timer();
+        self.inner.flush_inline();
+        self.reactor.kick(self.id);
     }
 }
 
 impl Drop for ReceiverHandle {
     fn drop(&mut self) {
+        // LEAVE must hit the wire before the reactor stops watching.
         self.close();
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.reactor.deregister(self.id, &*self.inner);
         self.inner.wakeup.notify_all();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
     }
 }

@@ -1,20 +1,28 @@
-//! The sending endpoint: a [`SenderEngine`] driven by real sockets and
-//! real time.
+//! The sending endpoint: a [`SenderEngine`] driven by the shared
+//! reactor. [`SenderHandle`] is a thin front over reactor-owned state —
+//! the endpoint spawns no threads of its own; the reactor's single
+//! event loop drains its socket, services its deadlines, and flushes
+//! its output in `sendmmsg` batches.
 
 use std::collections::HashMap;
+use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hrmc_core::{Dest, PeerId, ProtocolConfig, SenderEngine, SenderEvent, SenderStats};
 use hrmc_wire::Packet;
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::DriverClock;
-use crate::socket::McastSocket;
+use crate::reactor::{Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError};
+use crate::socket::{McastSocket, RX_SLOTS};
 use crate::NetError;
+
+/// `recvmmsg` batches drained per readiness event before yielding the
+/// reactor thread to other sessions.
+const RX_ROUNDS: usize = 4;
 
 /// Maps receiver socket addresses to the engine's [`PeerId`]s. The
 /// paper's sender keys membership by the receiver's unicast IP address;
@@ -46,45 +54,48 @@ struct Inner {
     peers: Mutex<PeerTable>,
     socket: McastSocket,
     clock: DriverClock,
-    shutdown: AtomicBool,
     finished: AtomicBool,
     lost: AtomicBool,
+    /// Set when the reactor stops driving this session (fatal socket
+    /// error or reactor shutdown): the endpoint is dead.
+    failed: AtomicBool,
+    /// Refines `failed`: the reactor itself shut down.
+    reactor_gone: AtomicBool,
+    /// The socket error that killed the session, kept for diagnostics.
+    fatal: Mutex<Option<io::Error>>,
     wakeup: Condvar,
     wakeup_lock: Mutex<()>,
 }
 
 impl Inner {
-    /// Wake the timer thread so it re-reads the engine's `next_wakeup`
-    /// (a submit, packet arrival, or close may have armed an earlier
-    /// deadline). Takes the wakeup lock before notifying so the timer
-    /// thread cannot lose the kick between reading the deadline and
-    /// starting its wait. Never call while holding the engine lock.
-    fn kick_timer(&self) {
-        let _guard = self.wakeup_lock.lock();
-        self.wakeup.notify_all();
+    /// The error a blocked application call should surface once the
+    /// reactor has stopped driving this session.
+    fn failure(&self) -> NetError {
+        if self.reactor_gone.load(Ordering::SeqCst) {
+            NetError::ReactorClosed
+        } else {
+            NetError::SessionFailed
+        }
     }
 
-    /// Drain engine output to the socket and surface events. Callers hold
-    /// no locks on entry.
-    fn flush(&self) {
+    /// Drain engine output into the reactor's `sendmmsg` staging and
+    /// surface events. Lock order is engine → peers (matching every
+    /// other taker).
+    fn flush(&self, io: &mut IoBatch) {
         let mut engine = self.engine.lock();
-        // One scratch buffer for the whole drain: `encode_into` reuses
-        // its allocation across packets (zero-copy hot path).
-        let mut bytes = Vec::new();
         while let Some(out) = engine.poll_output() {
-            out.packet.encode_into(&mut bytes);
-            match out.dest {
-                Dest::Multicast => {
-                    let _ = self.socket.send_multicast(&bytes);
-                }
-                Dest::Unicast(p) => {
-                    if let Some(addr) = self.peers.lock().addr(p) {
-                        let _ = self.socket.send_unicast(&bytes, addr);
-                    }
-                }
+            let dest = match out.dest {
+                Dest::Multicast => SocketAddr::V4(self.socket.group()),
+                Dest::Unicast(p) => match self.peers.lock().addr(p) {
+                    Some(addr) => addr,
+                    None => continue,
+                },
                 Dest::Sender => unreachable!("sender engine never targets Sender"),
-            }
+            };
+            out.packet.encode_into(io.stage());
+            io.commit(dest, &self.socket);
         }
+        io.flush_tx(&self.socket);
         while let Some(ev) = engine.poll_event() {
             match ev {
                 SenderEvent::SendSpaceAvailable => {
@@ -108,137 +119,144 @@ impl Inner {
     }
 }
 
-/// Owner handle for a live sending endpoint; dropping it shuts the
-/// background threads down.
-pub struct SenderHandle {
-    inner: Arc<Inner>,
-    threads: Vec<JoinHandle<()>>,
+impl ReactorSession for Inner {
+    fn sockets(&self) -> Vec<&McastSocket> {
+        vec![&self.socket]
+    }
+
+    fn on_readable(&self, _role: usize, io: &mut IoBatch) -> io::Result<()> {
+        for _ in 0..RX_ROUNDS {
+            let n = match io.recv(&self.socket) {
+                Ok(n) => n,
+                Err(e) => match crate::reactor::rx_error_disposition(&e) {
+                    RxError::Drained => break,
+                    RxError::Retry => continue,
+                    // EBADF and friends: surfacing the error deregisters
+                    // the session — never spin on a dead socket.
+                    RxError::Fatal => return Err(e),
+                },
+            };
+            let now = self.clock.now();
+            {
+                let mut engine = self.engine.lock();
+                for i in 0..n {
+                    let (bytes, from) = io.rx.datagram(i);
+                    match Packet::decode(bytes) {
+                        Ok(pkt) => {
+                            let peer = self.peers.lock().get_or_insert(from);
+                            engine.handle_packet(&pkt, peer, now);
+                        }
+                        // Audit corruption: a failed checksum is counted
+                        // and reported, not just silently dropped.
+                        Err(hrmc_wire::WireError::BadChecksum) => {
+                            engine.note_checksum_failure(now);
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            self.flush(io);
+            if n < RX_SLOTS {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_tick(&self, io: &mut IoBatch) {
+        let now = self.clock.now();
+        self.engine.lock().on_tick(now);
+        self.flush(io);
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        let now = self.clock.now();
+        self.engine
+            .lock()
+            .next_wakeup(now)
+            .map(|us| self.clock.at(us))
+    }
+
+    fn on_fatal(&self, reason: Fatal) {
+        match reason {
+            Fatal::ReactorClosed => self.reactor_gone.store(true, Ordering::SeqCst),
+            Fatal::Io(e) => *self.fatal.lock() = Some(e),
+        }
+        self.failed.store(true, Ordering::SeqCst);
+        self.wakeup.notify_all();
+    }
 }
 
-/// Constructor namespace (mirrors the paper's socket-call sequence).
+/// Owner handle for a live sending endpoint; dropping it deregisters
+/// the session from its reactor.
+pub struct SenderHandle {
+    inner: Arc<Inner>,
+    reactor: ReactorRef,
+    id: u64,
+    flight: Option<hrmc_core::SharedRecorder>,
+}
+
+/// Bind a sender and register it with `reactor`. The observer is
+/// installed on the engine *before* the session becomes reachable from
+/// the reactor thread, so no early packet or tick can slip by
+/// unobserved (the race the deprecated post-bind
+/// [`SenderHandle::set_observer`] cannot avoid).
+pub(crate) fn bind_with(
+    group: SocketAddrV4,
+    interface: Ipv4Addr,
+    config: ProtocolConfig,
+    observer: Option<Box<dyn hrmc_core::ProtocolObserver>>,
+    flight: Option<hrmc_core::SharedRecorder>,
+    reactor: Reactor,
+) -> Result<SenderHandle, NetError> {
+    let socket = McastSocket::sender(group, interface)?;
+    let local_port = match socket.local_addr()? {
+        SocketAddr::V4(a) => a.port(),
+        SocketAddr::V6(a) => a.port(),
+    };
+    let clock = DriverClock::new();
+    let mut engine = SenderEngine::new(config, local_port, group.port(), 0, clock.now());
+    if let Some(obs) = observer {
+        engine.set_observer(obs);
+    }
+    let inner = Arc::new(Inner {
+        engine: Mutex::new(engine),
+        peers: Mutex::new(PeerTable::default()),
+        socket,
+        clock,
+        finished: AtomicBool::new(false),
+        lost: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        reactor_gone: AtomicBool::new(false),
+        fatal: Mutex::new(None),
+        wakeup: Condvar::new(),
+        wakeup_lock: Mutex::new(()),
+    });
+    let (id, reactor) = reactor.register(Arc::clone(&inner) as Arc<dyn ReactorSession>)?;
+    Ok(SenderHandle {
+        inner,
+        reactor,
+        id,
+        flight,
+    })
+}
+
+/// Constructor namespace retained for source compatibility — new code
+/// should use the [`crate::Session`] builder.
 pub struct HrmcSender;
 
 impl HrmcSender {
-    /// Bind a sender to `group` via `interface` ("binds to a local port,
-    /// connects to a known multicast address and port number").
+    /// Bind a sender to `group` via `interface` on the global reactor.
+    #[deprecated(note = "use `Session::sender(group).interface(..).config(..).bind()`")]
     pub fn bind(
         group: SocketAddrV4,
         interface: Ipv4Addr,
         config: ProtocolConfig,
     ) -> Result<SenderHandle, NetError> {
-        let socket = McastSocket::sender(group, interface)?;
-        socket.set_read_timeout(Duration::from_millis(5))?;
-        let local_port = match socket.local_addr()? {
-            SocketAddr::V4(a) => a.port(),
-            SocketAddr::V6(a) => a.port(),
-        };
-        let clock = DriverClock::new();
-        let engine = SenderEngine::new(config, local_port, group.port(), 0, clock.now());
-        let inner = Arc::new(Inner {
-            engine: Mutex::new(engine),
-            peers: Mutex::new(PeerTable::default()),
-            socket,
-            clock,
-            shutdown: AtomicBool::new(false),
-            finished: AtomicBool::new(false),
-            lost: AtomicBool::new(false),
-            wakeup: Condvar::new(),
-            wakeup_lock: Mutex::new(()),
-        });
-
-        let rx = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("hrmc-snd-rx".into())
-                .spawn(move || rx_loop(&inner))
-                .map_err(NetError::Io)?
-        };
-        let timer = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("hrmc-snd-timer".into())
-                .spawn(move || timer_loop(&inner))
-                .map_err(NetError::Io)?
-        };
-        Ok(SenderHandle {
-            inner,
-            threads: vec![rx, timer],
-        })
-    }
-}
-
-fn rx_loop(inner: &Inner) {
-    let mut buf = vec![0u8; 64 * 1024];
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let Ok((n, from)) = inner.socket.recv_from(&mut buf) else {
-            continue;
-        };
-        let pkt = match Packet::decode(&buf[..n]) {
-            Ok(pkt) => pkt,
-            Err(e) => {
-                // Audit corruption: a failed checksum is counted and
-                // reported, not just silently dropped.
-                if matches!(e, hrmc_wire::WireError::BadChecksum) {
-                    inner.engine.lock().note_checksum_failure(inner.clock.now());
-                }
-                continue;
-            }
-        };
-        let peer = inner.peers.lock().get_or_insert(from);
-        inner
-            .engine
-            .lock()
-            .handle_packet(&pkt, peer, inner.clock.now());
-        inner.flush();
-        // A NAK or UPDATE can arm an earlier deadline (retransmission,
-        // keepalive reset): let the timer thread re-plan its sleep.
-        inner.kick_timer();
-    }
-}
-
-/// Deadline-driven timer: instead of unconditionally ticking every
-/// jiffy, sleep until the engine's own `next_wakeup` deadline. Submits,
-/// packet arrivals, and shutdown kick the condvar to cut the sleep
-/// short; a fully idle engine sleeps in long bounded chunks.
-///
-/// `next_wakeup` answers relative to `now` — an active engine's "tick
-/// me a jiffy from now" wish recedes every time it is re-read, so the
-/// loop remembers the earliest deadline promised so far and fires when
-/// the clock crosses it; re-reads fold in via `min` and can only pull
-/// the target earlier. A fresh deadline is taken only after servicing
-/// a tick.
-fn timer_loop(inner: &Inner) {
-    const MAX_IDLE: Duration = Duration::from_millis(100);
-    let mut deadline: Option<u64> = None;
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let now = inner.clock.now();
-        if deadline.is_some_and(|t| t <= now) {
-            inner.engine.lock().on_tick(now);
-            inner.flush();
-            let now = inner.clock.now();
-            deadline = inner.engine.lock().next_wakeup(now);
-            continue;
-        }
-        // The wakeup guard is held from before the deadline fold until
-        // the wait starts, so a concurrent kick cannot slip in between.
-        // Lock order is wakeup_lock -> engine lock; this is why
-        // `kick_timer` must never run with the engine lock held.
-        let mut guard = inner.wakeup_lock.lock();
-        if inner.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let now = inner.clock.now();
-        let fresh = inner.engine.lock().next_wakeup(now);
-        deadline = match (deadline, fresh) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        let sleep = deadline.map_or(MAX_IDLE, |t| {
-            Duration::from_micros(t.saturating_sub(now)).min(MAX_IDLE)
-        });
-        if !sleep.is_zero() {
-            inner.wakeup.wait_for(&mut guard, sleep);
-        }
+        crate::Session::sender(group)
+            .interface(interface)
+            .config(config)
+            .bind()
     }
 }
 
@@ -248,8 +266,8 @@ impl SenderHandle {
     pub fn send(&self, data: &[u8]) -> Result<(), NetError> {
         let mut offset = 0;
         while offset < data.len() {
-            if self.inner.shutdown.load(Ordering::SeqCst) {
-                return Err(NetError::Closed);
+            if self.inner.failed.load(Ordering::SeqCst) {
+                return Err(self.inner.failure());
             }
             let n = {
                 let mut engine = self.inner.engine.lock();
@@ -257,9 +275,10 @@ impl SenderHandle {
             };
             offset += n;
             if n > 0 {
-                // New data re-arms the engine: wake the timer thread out
-                // of its idle sleep so transmission starts this jiffy.
-                self.inner.kick_timer();
+                // New data re-arms the engine: kick the reactor so it
+                // re-reads the deadline and starts transmitting this
+                // jiffy instead of finishing an idle sleep.
+                self.reactor.kick(self.id);
             }
             if n == 0 {
                 // Wait for SendSpaceAvailable (with a safety timeout so a
@@ -278,16 +297,19 @@ impl SenderHandle {
     /// until every byte is confirmed released.
     pub fn close(&self) {
         self.inner.engine.lock().close(self.inner.clock.now());
-        self.inner.kick_timer();
+        self.reactor.kick(self.id);
     }
 
     /// Close the stream and wait until every byte is confirmed released
     /// (Hybrid: every receiver confirmed it). Returns the final stats.
     pub fn close_and_wait(&self, timeout: Duration) -> Result<SenderStats, NetError> {
         self.close();
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         while !self.inner.finished.load(Ordering::SeqCst) {
-            if std::time::Instant::now() >= deadline {
+            if self.inner.failed.load(Ordering::SeqCst) {
+                return Err(self.inner.failure());
+            }
+            if Instant::now() >= deadline {
                 return Err(NetError::Timeout);
             }
             let mut guard = self.inner.wakeup_lock.lock();
@@ -306,22 +328,38 @@ impl SenderHandle {
         self.inner.engine.lock().stats.clone()
     }
 
-    /// Install a [`hrmc_core::ProtocolObserver`] on the engine (wall-clock
-    /// microsecond timestamps relative to bind time). The observer runs
-    /// under the engine lock; keep it cheap.
+    /// The flight recorder attached at build time
+    /// ([`crate::SenderBuilder::flight_recorder`]), if any.
+    pub fn flight_recorder(&self) -> Option<&hrmc_core::SharedRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Install a [`hrmc_core::ProtocolObserver`] on the engine,
+    /// replacing any observer installed at build time.
+    #[deprecated(
+        note = "pass the observer to `Session::sender(..).observer(..)` — installing it \
+                post-bind races the reactor and misses the session's first events"
+    )]
     pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
         self.inner.engine.lock().set_observer(observer);
     }
 
     /// Attach a bounded flight recorder and return the shared handle.
-    /// The recorder keeps the last `capacity` events in a fixed ring —
-    /// cheap enough for production paths — and its surviving window can
-    /// be dumped as JSONL at any time (`handle.dump()`), ready for
-    /// `hrmc analyze`. Replaces any previously installed observer.
+    #[deprecated(
+        note = "use `Session::sender(..).flight_recorder(capacity)` — attaching it \
+                post-bind races the reactor and misses the session's first events"
+    )]
     pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
         let rec = hrmc_core::SharedRecorder::new(capacity).with_label("sender");
-        self.set_observer(Box::new(rec.clone()));
+        self.inner.engine.lock().set_observer(Box::new(rec.clone()));
         rec
+    }
+
+    /// The socket error that terminally failed the session, if that is
+    /// why it died (a `SessionFailed` return with a non-`None` value
+    /// here means the socket broke, not the protocol).
+    pub fn fatal_error(&self) -> Option<io::ErrorKind> {
+        self.inner.fatal.lock().as_ref().map(io::Error::kind)
     }
 
     /// Number of receivers currently in the group.
@@ -337,10 +375,7 @@ impl SenderHandle {
 
 impl Drop for SenderHandle {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.reactor.deregister(self.id, &*self.inner);
         self.inner.wakeup.notify_all();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
     }
 }

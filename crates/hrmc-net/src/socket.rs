@@ -1,16 +1,20 @@
-//! Multicast UDP socket setup.
+//! Multicast UDP socket setup and batched datagram I/O.
 //!
 //! `std::net::UdpSocket` cannot set `SO_REUSEADDR`/`SO_REUSEPORT` before
 //! binding, which several receivers sharing one group port on one machine
 //! require — exactly the configuration of every multi-receiver test in
 //! the paper. The two `setsockopt` calls are issued through `libc` on the
-//! raw fd before `bind`; everything else stays `std`.
+//! raw fd before `bind`; everything else stays `std` — except the
+//! reactor's hot path, which drains and flushes whole bursts per syscall
+//! via [`RxBatch`] (`recvmmsg`) and [`McastSocket::send_batch`]
+//! (`sendmmsg`), the user-space analog of the kernel driver servicing a
+//! softirq queue in one pass.
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 
 #[cfg(unix)]
-use std::os::unix::io::{AsRawFd, FromRawFd};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
 
 /// A UDP socket configured for multicast experiments on one machine.
 #[derive(Debug)]
@@ -123,6 +127,196 @@ impl McastSocket {
             inner: self.inner.try_clone()?,
             group: self.group,
         })
+    }
+
+    /// Switch blocking mode. The reactor runs every registered socket
+    /// nonblocking (epoll says when to read; `recvmmsg` must never park
+    /// the shared thread).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+
+    /// The raw fd, for epoll registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+
+    /// Send up to [`TX_SLOTS`] datagrams in one `sendmmsg` syscall, each
+    /// to its own destination. Returns how many messages the kernel
+    /// accepted (≥ 1 on success); an error means message `0` of the slice
+    /// failed and nothing was sent.
+    #[cfg(unix)]
+    pub fn send_batch(&self, bufs: &[Vec<u8>], dsts: &[SocketAddr]) -> io::Result<usize> {
+        debug_assert_eq!(bufs.len(), dsts.len());
+        let n = bufs.len().min(dsts.len()).min(TX_SLOTS);
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut names = [EMPTY_SOCKADDR_IN; TX_SLOTS];
+        let mut iovs = [EMPTY_IOVEC; TX_SLOTS];
+        let mut hdrs = [EMPTY_MMSGHDR; TX_SLOTS];
+        for i in 0..n {
+            names[i] = sockaddr_in_of(dsts[i])?;
+            iovs[i].iov_base = bufs[i].as_ptr() as *mut libc::c_void;
+            iovs[i].iov_len = bufs[i].len();
+            hdrs[i].msg_hdr.msg_name = &mut names[i] as *mut libc::sockaddr_in as *mut libc::c_void;
+            hdrs[i].msg_hdr.msg_namelen =
+                std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t;
+            hdrs[i].msg_hdr.msg_iov = &mut iovs[i];
+            hdrs[i].msg_hdr.msg_iovlen = 1;
+        }
+        let sent = unsafe {
+            libc::sendmmsg(
+                self.inner.as_raw_fd(),
+                hdrs.as_mut_ptr(),
+                n as libc::c_uint,
+                0,
+            )
+        };
+        if sent < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(sent as usize)
+        }
+    }
+}
+
+/// Slots per `recvmmsg` call: the most datagrams one syscall can drain.
+pub const RX_SLOTS: usize = 8;
+/// Slots per `sendmmsg` call: the most datagrams one syscall can flush.
+pub const TX_SLOTS: usize = 16;
+/// Per-slot receive buffer: the UDP maximum, so no datagram is ever
+/// truncated regardless of the session's configured segment size.
+const RX_BUF: usize = 64 * 1024;
+
+const EMPTY_SOCKADDR_IN: libc::sockaddr_in = libc::sockaddr_in {
+    sin_family: 0,
+    sin_port: 0,
+    sin_addr: libc::in_addr { s_addr: 0 },
+    sin_zero: [0; 8],
+};
+const EMPTY_IOVEC: libc::iovec = libc::iovec {
+    iov_base: std::ptr::null_mut(),
+    iov_len: 0,
+};
+const EMPTY_MMSGHDR: libc::mmsghdr = libc::mmsghdr {
+    msg_hdr: libc::msghdr {
+        msg_name: std::ptr::null_mut(),
+        msg_namelen: 0,
+        msg_iov: std::ptr::null_mut(),
+        msg_iovlen: 0,
+        msg_control: std::ptr::null_mut(),
+        msg_controllen: 0,
+        msg_flags: 0,
+    },
+    msg_len: 0,
+};
+
+fn sockaddr_in_of(addr: SocketAddr) -> io::Result<libc::sockaddr_in> {
+    match addr {
+        SocketAddr::V4(a) => Ok(libc::sockaddr_in {
+            sin_family: libc::AF_INET as libc::sa_family_t,
+            sin_port: a.port().to_be(),
+            sin_addr: libc::in_addr {
+                s_addr: u32::from_ne_bytes(a.ip().octets()),
+            },
+            sin_zero: [0; 8],
+        }),
+        SocketAddr::V6(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "AF_INET socket cannot address an IPv6 destination",
+        )),
+    }
+}
+
+/// Reusable `recvmmsg` buffer pool: [`RX_SLOTS`] full-size datagram
+/// buffers plus the per-message source-address storage, allocated once
+/// per reactor and refilled by every [`RxBatch::recv`] call.
+pub struct RxBatch {
+    bufs: Vec<Vec<u8>>,
+    names: [libc::sockaddr_in; RX_SLOTS],
+    lens: [usize; RX_SLOTS],
+    count: usize,
+}
+
+impl RxBatch {
+    /// Allocate the pool (RX_SLOTS × 64 KiB, reused for the reactor's
+    /// lifetime).
+    pub fn new() -> RxBatch {
+        RxBatch {
+            bufs: (0..RX_SLOTS).map(|_| vec![0u8; RX_BUF]).collect(),
+            names: [EMPTY_SOCKADDR_IN; RX_SLOTS],
+            lens: [0; RX_SLOTS],
+            count: 0,
+        }
+    }
+
+    /// One `recvmmsg` call on `sock`: fill the pool with every queued
+    /// datagram (up to [`RX_SLOTS`]) and return how many arrived. On a
+    /// nonblocking socket an empty queue surfaces as `WouldBlock`.
+    #[cfg(unix)]
+    pub fn recv(&mut self, sock: &McastSocket) -> io::Result<usize> {
+        self.count = 0;
+        let mut iovs = [EMPTY_IOVEC; RX_SLOTS];
+        let mut hdrs = [EMPTY_MMSGHDR; RX_SLOTS];
+        for i in 0..RX_SLOTS {
+            iovs[i].iov_base = self.bufs[i].as_mut_ptr() as *mut libc::c_void;
+            iovs[i].iov_len = RX_BUF;
+            hdrs[i].msg_hdr.msg_name =
+                &mut self.names[i] as *mut libc::sockaddr_in as *mut libc::c_void;
+            hdrs[i].msg_hdr.msg_namelen =
+                std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t;
+            hdrs[i].msg_hdr.msg_iov = &mut iovs[i];
+            hdrs[i].msg_hdr.msg_iovlen = 1;
+        }
+        let n = unsafe {
+            libc::recvmmsg(
+                sock.inner.as_raw_fd(),
+                hdrs.as_mut_ptr(),
+                RX_SLOTS as libc::c_uint,
+                0,
+                std::ptr::null_mut(),
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let n = n as usize;
+        for (len, hdr) in self.lens.iter_mut().zip(hdrs.iter()).take(n) {
+            *len = hdr.msg_len as usize;
+        }
+        self.count = n;
+        Ok(n)
+    }
+
+    /// Number of datagrams the last [`RxBatch::recv`] filled.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the last receive drained nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Datagram `i` of the last batch: payload bytes and source address.
+    pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
+        assert!(i < self.count, "datagram index out of batch");
+        let name = self.names[i];
+        let addr = SocketAddr::V4(SocketAddrV4::new(
+            // `s_addr` holds the four octets in network order; reading the
+            // native bytes back recovers them (inverse of the bind path).
+            Ipv4Addr::from(name.sin_addr.s_addr.to_ne_bytes()),
+            u16::from_be(name.sin_port),
+        ));
+        (&self.bufs[i][..self.lens[i]], addr)
+    }
+}
+
+impl Default for RxBatch {
+    fn default() -> Self {
+        RxBatch::new()
     }
 }
 
@@ -244,6 +438,42 @@ mod tests {
         assert_eq!(&buf[..n1], b"both-of-you");
         let (n2, _) = rx2.recv_from(&mut buf).expect("rx2 recv");
         assert_eq!(&buf[..n2], b"both-of-you");
+    }
+
+    #[test]
+    fn batched_send_and_receive_roundtrip() {
+        let g = group(46003);
+        let rx = McastSocket::receiver(g, LO).expect("rx");
+        let tx = McastSocket::sender(g, LO).expect("tx");
+        // Three datagrams in one sendmmsg, drained by one recvmmsg.
+        let bufs: Vec<Vec<u8>> = vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()];
+        let dsts: Vec<SocketAddr> = vec![SocketAddr::V4(g); 3];
+        let sent = tx.send_batch(&bufs, &dsts).expect("send_batch");
+        assert_eq!(sent, 3);
+        std::thread::sleep(Duration::from_millis(50));
+        rx.set_nonblocking(true).unwrap();
+        let mut batch = RxBatch::new();
+        let n = batch.recv(&rx).expect("recvmmsg");
+        assert_eq!(n, 3, "one syscall drains the whole burst");
+        let (payload, from) = batch.datagram(0);
+        assert_eq!(payload, b"alpha");
+        assert_eq!(from.port(), tx.local_addr().unwrap().port());
+        let (payload, _) = batch.datagram(2);
+        assert_eq!(payload, b"gamma");
+        // Drained: the nonblocking socket now reports WouldBlock.
+        let e = batch.recv(&rx).expect_err("queue must be empty");
+        assert_eq!(e.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn send_batch_rejects_ipv6_destination() {
+        let g = group(46004);
+        let tx = McastSocket::sender(g, LO).expect("tx");
+        let v6: SocketAddr = "[::1]:9".parse().unwrap();
+        let e = tx
+            .send_batch(&[b"x".to_vec()], &[v6])
+            .expect_err("IPv6 dest on AF_INET socket");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

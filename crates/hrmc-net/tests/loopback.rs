@@ -7,7 +7,25 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Duration;
 
 use hrmc_core::ProtocolConfig;
-use hrmc_net::{HrmcReceiver, HrmcSender, McastSocket};
+use hrmc_net::{McastSocket, Session};
+
+/// A receiver session for `group` with the loopback test config.
+fn receiver(group: SocketAddrV4) -> hrmc_net::ReceiverHandle {
+    Session::receiver(group)
+        .interface(LO)
+        .config(config())
+        .bind()
+        .expect("join receiver")
+}
+
+/// A sender session for `group` with the loopback test config.
+fn sender(group: SocketAddrV4) -> hrmc_net::SenderHandle {
+    Session::sender(group)
+        .interface(LO)
+        .config(config())
+        .bind()
+        .expect("bind sender")
+}
 
 const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
 
@@ -50,9 +68,9 @@ fn transfer_to_two_receivers_over_loopback() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 12), 46101);
-    let r1 = HrmcReceiver::join(group, LO, config()).expect("join r1");
-    let r2 = HrmcReceiver::join(group, LO, config()).expect("join r2");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind sender");
+    let r1 = receiver(group);
+    let r2 = receiver(group);
+    let sender = sender(group);
 
     let data = pattern(300_000);
     sender.send(&data).expect("send");
@@ -97,8 +115,8 @@ fn single_receiver_small_message() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 13), 46111);
-    let r = HrmcReceiver::join(group, LO, config()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    let r = receiver(group);
+    let sender = sender(group);
     sender.send(b"hello, reliable multicast").expect("send");
     let mut buf = [0u8; 128];
     let n = r.recv(&mut buf, Duration::from_secs(10)).expect("recv");
@@ -119,8 +137,8 @@ fn garbage_datagrams_are_ignored() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 15), 46131);
-    let r = HrmcReceiver::join(group, LO, config()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    let r = receiver(group);
+    let sender = sender(group);
     // An attacker (or a confused app) sprays junk at the group: short
     // frames, corrupted packets, random bytes.
     let noise = McastSocket::sender(group, LO).expect("noise socket");
@@ -154,8 +172,8 @@ fn flipped_bit_is_caught_and_audited() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 16), 46141);
-    let r = HrmcReceiver::join(group, LO, config()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    let r = receiver(group);
+    let sender = sender(group);
     // A well-formed DATA packet with exactly one bit flipped in transit:
     // the checksum must catch it, and the receiver must audit it.
     let pkt = hrmc_wire::Packet::data(7000, group.port(), 0, bytes::Bytes::from(pattern(1_000)));
@@ -199,8 +217,8 @@ fn sender_observes_membership() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 14), 46121);
-    let r = HrmcReceiver::join(group, LO, config()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
+    let r = receiver(group);
+    let sender = sender(group);
     assert_eq!(sender.member_count(), 0);
     // Membership is data-triggered: the JOIN answers the first packet.
     sender.send(&pattern(5_000)).expect("send");
@@ -226,12 +244,23 @@ fn flight_recorder_captures_a_live_transfer() {
         return;
     }
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 17), 46151);
-    let r = HrmcReceiver::join(group, LO, config()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config()).expect("bind");
-    // Bounded recorders on both live endpoints: production-cheap, no
-    // unbounded trace file, window dumped after the fact.
-    let tx_rec = sender.attach_flight_recorder(512);
-    let rx_rec = r.attach_flight_recorder(512);
+    // Bounded recorders on both live endpoints, attached at build time
+    // so not even the first JOIN escapes the window: production-cheap,
+    // no unbounded trace file, window dumped after the fact.
+    let r = Session::receiver(group)
+        .interface(LO)
+        .config(config())
+        .flight_recorder(512)
+        .bind()
+        .expect("join receiver");
+    let sender = Session::sender(group)
+        .interface(LO)
+        .config(config())
+        .flight_recorder(512)
+        .bind()
+        .expect("bind sender");
+    let tx_rec = sender.flight_recorder().expect("tx recorder").clone();
+    let rx_rec = r.flight_recorder().expect("rx recorder").clone();
 
     let data = pattern(100_000);
     sender.send(&data).expect("send");
@@ -278,4 +307,24 @@ fn flight_recorder_captures_a_live_transfer() {
         rec.publish_metrics(&mut reg);
         assert_eq!(reg.gauge("flight_recorder_capacity"), Some(512));
     });
+}
+
+/// The pre-builder entry points must keep working for one deprecation
+/// cycle: same endpoints, same wire behavior, driven by the same global
+/// reactor.
+#[test]
+#[allow(deprecated)]
+fn deprecated_bind_and_join_still_transfer() {
+    if !multicast_available(46160) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 18), 46161);
+    let r = hrmc_net::HrmcReceiver::join(group, LO, config()).expect("join");
+    let tx = hrmc_net::HrmcSender::bind(group, LO, config()).expect("bind");
+    tx.send(b"compat shim").expect("send");
+    let mut buf = [0u8; 64];
+    let n = r.recv(&mut buf, Duration::from_secs(10)).expect("recv");
+    assert_eq!(&buf[..n], b"compat shim");
+    tx.close_and_wait(Duration::from_secs(30)).expect("close");
 }

@@ -1,0 +1,198 @@
+//! Many-session stress: 16 concurrent sender→receiver transfers on ONE
+//! shared reactor. Proves the tentpole claims of the reactor redesign:
+//!
+//! * thread count is O(1) per reactor, not O(sessions) — creating 32
+//!   sessions adds zero threads beyond the reactor's own;
+//! * all transfers complete byte-identically under contention;
+//! * the batched syscall path actually batches: under 16-way load the
+//!   reactor must observe `recvmmsg` batches larger than one datagram.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::Duration;
+
+use hrmc_core::ProtocolConfig;
+use hrmc_net::{McastSocket, Reactor, Session};
+
+const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+const PAIRS: usize = 16;
+const PAYLOAD: usize = 120_000;
+
+fn multicast_available(port: u16) -> bool {
+    let g = SocketAddrV4::new(Ipv4Addr::new(239, 255, 89, 11), port);
+    let Ok(rx) = McastSocket::receiver(g, LO) else {
+        return false;
+    };
+    let Ok(tx) = McastSocket::sender(g, LO) else {
+        return false;
+    };
+    let _ = rx.set_read_timeout(Duration::from_millis(500));
+    if tx.send_multicast(b"probe").is_err() {
+        return false;
+    }
+    let mut buf = [0u8; 16];
+    rx.recv_from(&mut buf).is_ok()
+}
+
+fn config() -> ProtocolConfig {
+    let mut c = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+    c.max_rate = 8 * 1024 * 1024;
+    c.initial_rtt = 2_000;
+    c.anonymous_release_hold = 500_000;
+    c
+}
+
+fn pattern(seed: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 31 + seed * 97) % 251) as u8)
+        .collect()
+}
+
+/// Threads currently alive in this process (Linux: task directories).
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+}
+
+#[test]
+fn sixteen_sessions_share_one_reactor_thread() {
+    if !multicast_available(48100) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    // A private reactor so the stats assertions see only this test's
+    // traffic (other tests in the process share the global reactor).
+    let reactor = Reactor::new().expect("reactor");
+    let threads_before = thread_count();
+
+    // 16 disjoint groups, each with its own sender and receiver — 32
+    // sessions on the one reactor.
+    let groups: Vec<SocketAddrV4> = (0..PAIRS as u16)
+        .map(|i| SocketAddrV4::new(Ipv4Addr::new(239, 255, 89, 20 + i as u8), 48110 + i))
+        .collect();
+    let receivers: Vec<_> = groups
+        .iter()
+        .map(|&g| {
+            Session::receiver(g)
+                .interface(LO)
+                .config(config())
+                .reactor(reactor.clone())
+                .bind()
+                .expect("join receiver")
+        })
+        .collect();
+    let senders: Vec<_> = groups
+        .iter()
+        .map(|&g| {
+            Session::sender(g)
+                .interface(LO)
+                .config(config())
+                .reactor(reactor.clone())
+                .bind()
+                .expect("bind sender")
+        })
+        .collect();
+
+    // Thread count is O(1) per reactor: 32 sessions added no threads.
+    assert_eq!(
+        thread_count(),
+        threads_before,
+        "sessions must not spawn threads of their own"
+    );
+    assert_eq!(reactor.session_count(), 2 * PAIRS);
+    assert!(reactor.stats().sessions_hwm >= (2 * PAIRS) as u64);
+
+    // Drive all 16 transfers concurrently. Application threads are
+    // allowed — it is the *driver* side that must stay single-threaded.
+    let readers: Vec<_> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let expect = pattern(i, PAYLOAD);
+            std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(expect.len());
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match r.recv(&mut buf, Duration::from_secs(60)) {
+                        Ok(0) => break,
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) => panic!("pair {i}: recv failed: {e}"),
+                    }
+                }
+                assert_eq!(got, expect, "pair {i}: stream corrupted");
+            })
+        })
+        .collect();
+    let writers: Vec<_> = senders
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let data = pattern(i, PAYLOAD);
+            std::thread::spawn(move || {
+                s.send(&data)
+                    .unwrap_or_else(|e| panic!("pair {i}: send failed: {e}"));
+                s.close_and_wait(Duration::from_secs(120))
+                    .unwrap_or_else(|e| panic!("pair {i}: close failed: {e}"));
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    let st = reactor.stats();
+    // Every datagram of 16 concurrent transfers flowed through the one
+    // event loop.
+    assert!(
+        st.packets_rx as usize >= PAIRS * (PAYLOAD / 1400),
+        "implausibly few packets through the reactor: {st:?}"
+    );
+    // The batching payoff: under 16-way load, bursts queue behind the
+    // single thread and recvmmsg must regularly drain more than one
+    // datagram per syscall.
+    assert!(
+        st.rx_batch_max > 1,
+        "recvmmsg never batched (max batch {}): {st:?}",
+        st.rx_batch_max
+    );
+    assert!(
+        st.rx_batch_mean > 1.0,
+        "mean RX batch {} not > 1 under load: {st:?}",
+        st.rx_batch_mean
+    );
+    // Fewer syscalls than packets — strictly better than one-per-packet.
+    assert!(
+        st.syscalls_per_packet() < 1.0,
+        "batched I/O did not beat the unbatched floor: {st:?}"
+    );
+
+    // Handles are all dropped: the reactor empties but keeps running.
+    assert_eq!(reactor.session_count(), 0);
+    assert!(st.sessions_hwm >= (2 * PAIRS) as u64);
+}
+
+/// Sessions on a dropped reactor fail fast with `ReactorClosed` rather
+/// than wedging their application threads.
+#[test]
+fn dropping_the_reactor_fails_live_sessions() {
+    if !multicast_available(48200) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    let reactor = Reactor::new().expect("reactor");
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 89, 90), 48201);
+    let r = Session::receiver(group)
+        .interface(LO)
+        .config(config())
+        .reactor(reactor.clone())
+        .bind()
+        .expect("join");
+    drop(reactor); // last handle: the reactor thread shuts down
+    let mut buf = [0u8; 64];
+    match r.recv(&mut buf, Duration::from_secs(5)) {
+        Err(hrmc_net::NetError::ReactorClosed) => {}
+        other => panic!("expected ReactorClosed, got {other:?}"),
+    }
+    assert!(r.has_failed());
+}

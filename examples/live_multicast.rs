@@ -1,6 +1,7 @@
 //! Live reliable multicast over real UDP sockets on the loopback
-//! interface: one sender, three receivers (all in this process, each
-//! with its own sockets and threads), one reliable stream.
+//! interface: one sender, three receivers (all in this process, every
+//! session driven by the one shared reactor thread), one reliable
+//! stream.
 //!
 //! ```sh
 //! cargo run --release --example live_multicast
@@ -9,7 +10,7 @@
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Duration;
 
-use hrmc::net::{HrmcReceiver, HrmcSender};
+use hrmc::net::Session;
 use hrmc::ProtocolConfig;
 
 const LO: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
@@ -35,14 +36,21 @@ fn main() {
     // join the multicast group").
     let receivers: Vec<_> = (0..3)
         .map(|i| {
-            let r = HrmcReceiver::join(group, LO, config())
+            let r = Session::receiver(group)
+                .interface(LO)
+                .config(config())
+                .bind()
                 .unwrap_or_else(|e| panic!("receiver {i} failed to join: {e}"));
             println!("receiver {i} joined");
             r
         })
         .collect();
 
-    let sender = HrmcSender::bind(group, LO, config()).expect("sender bind");
+    let sender = Session::sender(group)
+        .interface(LO)
+        .config(config())
+        .bind()
+        .expect("sender bind");
 
     let readers: Vec<_> = receivers
         .into_iter()

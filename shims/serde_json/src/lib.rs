@@ -25,9 +25,12 @@ macro_rules! json {
     (true) => { $crate::Value::Bool(true) };
     (false) => { $crate::Value::Bool(false) };
     ([ $($tt:tt)* ]) => {{
-        #[allow(unused_mut)]
-        let mut vec: Vec<$crate::Value> = Vec::new();
-        $crate::__json_array!(vec () $($tt)*);
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let vec = {
+            let mut vec: Vec<$crate::Value> = Vec::new();
+            $crate::__json_array!(vec () $($tt)*);
+            vec
+        };
         $crate::Value::Array(vec)
     }};
     ({ $($tt:tt)* }) => {{

@@ -19,7 +19,7 @@ use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Duration;
 
-use hrmc::net::{HrmcReceiver, HrmcSender};
+use hrmc::net::Session;
 use hrmc::{
     JsonlObserver, MetricsObserver, MultiObserver, ProtocolConfig, ProtocolObserver, SharedRecorder,
 };
@@ -156,6 +156,10 @@ impl Obs {
                 for rec in recorders.iter() {
                     rec.with_recorder(|r| r.publish_metrics(&mut reg));
                 }
+                // Every CLI session runs on the global reactor: its
+                // sessions/wakeups/batched-syscall gauges belong in the
+                // same report.
+                hrmc::net::Reactor::global().publish_metrics(&mut reg);
             }
             println!("{}", m.snapshot().render_json());
         }
@@ -281,11 +285,14 @@ fn config(opts: &Opts) -> ProtocolConfig {
 fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut f = std::fs::File::open(file)?;
     let size = f.metadata()?.len();
-    let sender = HrmcSender::bind(opts.group, opts.iface, config(opts))?;
     let obs = Obs::open(opts)?;
+    let mut b = Session::sender(opts.group)
+        .interface(opts.iface)
+        .config(config(opts));
     if let Some(o) = obs.for_role("sender") {
-        sender.set_observer(o);
+        b = b.observer(o);
     }
+    let sender = b.bind()?;
     eprintln!(
         "sending {file} ({size} bytes) to {} — waiting for {} receiver(s)...",
         opts.group, opts.wait_receivers
@@ -329,11 +336,14 @@ fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_recv(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(file)?);
-    let receiver = HrmcReceiver::join(opts.group, opts.iface, config(opts))?;
     let obs = Obs::open(opts)?;
+    let mut b = Session::receiver(opts.group)
+        .interface(opts.iface)
+        .config(config(opts));
     if let Some(o) = obs.for_role("recv") {
-        receiver.set_observer(o);
+        b = b.observer(o);
     }
+    let receiver = b.bind()?;
     eprintln!("joined {}; waiting for the stream...", opts.group);
     let mut buf = vec![0u8; 64 * 1024];
     let mut total: u64 = 0;
@@ -368,18 +378,22 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let obs = Obs::open(opts)?;
     let receivers: Vec<_> = (0..2)
         .map(|i| {
-            let r = HrmcReceiver::join(opts.group, opts.iface, cfg.clone())
-                .unwrap_or_else(|e| panic!("receiver {i}: {e}"));
+            let mut b = Session::receiver(opts.group)
+                .interface(opts.iface)
+                .config(cfg.clone());
             if let Some(o) = obs.for_role(&format!("recv{i}")) {
-                r.set_observer(o);
+                b = b.observer(o);
             }
-            r
+            b.bind().unwrap_or_else(|e| panic!("receiver {i}: {e}"))
         })
         .collect();
-    let sender = HrmcSender::bind(opts.group, opts.iface, cfg)?;
+    let mut b = Session::sender(opts.group)
+        .interface(opts.iface)
+        .config(cfg);
     if let Some(o) = obs.for_role("sender") {
-        sender.set_observer(o);
+        b = b.observer(o);
     }
+    let sender = b.bind()?;
     let readers: Vec<_> = receivers
         .into_iter()
         .map(|r| {

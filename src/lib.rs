@@ -34,9 +34,20 @@
 //!
 //! ## Quick start (real sockets)
 //!
-//! See `examples/live_multicast.rs`: [`net::HrmcSender`] /
-//! [`net::HrmcReceiver`] run the identical engines over UDP multicast
-//! (loopback-capable, multiple receivers per host).
+//! See `examples/live_multicast.rs`: the [`net::Session`] builder runs
+//! the identical engines over UDP multicast (loopback-capable, multiple
+//! receivers per host), with every session in the process driven by one
+//! shared [`net::Reactor`] thread — batched `recvmmsg`/`sendmmsg`
+//! syscalls, one timer heap, O(1) threads regardless of session count:
+//!
+//! ```no_run
+//! use hrmc::net::Session;
+//! let group: std::net::SocketAddrV4 = "239.255.1.1:45000".parse().unwrap();
+//! let rx = Session::receiver(group).bind().unwrap();
+//! let tx = Session::sender(group).flight_recorder(4096).bind().unwrap();
+//! tx.send(b"reliable bytes").unwrap();
+//! # let _ = rx;
+//! ```
 
 /// Scenario/application helpers (re-export of `hrmc-app`).
 pub use hrmc_app as app;

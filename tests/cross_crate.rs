@@ -84,7 +84,7 @@ fn five_wan_tests_order_as_in_figure_15() {
 
 #[test]
 fn live_socket_transfer_matches_simulated_protocol() {
-    use hrmc::net::{HrmcReceiver, HrmcSender, McastSocket};
+    use hrmc::net::{McastSocket, Session};
     use std::net::{Ipv4Addr, SocketAddrV4};
     use std::time::Duration;
 
@@ -111,8 +111,16 @@ fn live_socket_transfer_matches_simulated_protocol() {
     config.initial_rtt = 2_000;
     config.anonymous_release_hold = 300_000;
 
-    let receiver = HrmcReceiver::join(group, LO, config.clone()).expect("join");
-    let sender = HrmcSender::bind(group, LO, config).expect("bind");
+    let receiver = Session::receiver(group)
+        .interface(LO)
+        .config(config.clone())
+        .bind()
+        .expect("join");
+    let sender = Session::sender(group)
+        .interface(LO)
+        .config(config)
+        .bind()
+        .expect("bind");
     let data: Vec<u8> = (0..100_000usize).map(|i| (i % 251) as u8).collect();
     sender.send(&data).expect("send");
     sender.close(); // queue the FIN so the recv loop can see end-of-stream
