@@ -23,10 +23,14 @@
 //! (4 sender→receiver pairs over loopback multicast on one shared
 //! reactor) and records its batched-syscall efficiency — syscalls per
 //! packet moved and mean `recvmmsg` batch size — under a `reactor` key.
-//! `--check` gates `syscalls_per_packet < 1.0`: the batching machinery
-//! must beat the one-syscall-per-datagram floor, or the reactor has
-//! regressed to unbatched I/O. Skipped (with a notice) when the
-//! environment forbids multicast.
+//! `--check` gates `syscalls_per_packet` inside a tolerance band around
+//! the committed baseline's reactor ratio: up to 2× the pinned value
+//! (with an absolute +0.05 floor so tiny baselines aren't impossible to
+//! hold), and never at or above 1.0 — the one-syscall-per-datagram
+//! floor that batched I/O must always beat. When the committed baseline
+//! has no reactor section (it was written where multicast was
+//! unavailable), only the absolute floor applies. Skipped (with a
+//! notice) when this environment forbids multicast.
 
 use hrmc_core::ProtocolConfig;
 use hrmc_net::{McastSocket, Reactor, Session};
@@ -204,19 +208,37 @@ fn check_against_baseline() -> ! {
     println!("bench-check: wall={wall_ms:.1} ms (informational, not gated)");
     match reactor_microbench(4, 150_000) {
         Some(r) => {
-            // The absolute invariant of batched I/O: strictly fewer
-            // syscalls than packets. A ratio at or above 1.0 means the
-            // reactor degenerated to one syscall per datagram.
-            let verdict = if r.syscalls_per_packet < 1.0 {
+            // Tolerance band around the committed reactor baseline:
+            // loopback batching varies run to run, so allow up to 2×
+            // the pinned ratio (with a +0.05 absolute floor so a very
+            // tight baseline stays holdable) — but never at or above
+            // 1.0, the one-syscall-per-datagram floor below which the
+            // reactor has degenerated to unbatched I/O.
+            let pinned = baseline
+                .get("reactor")
+                .filter(|v| !v.is_null())
+                .and_then(|v| v.get("syscalls_per_packet"))
+                .and_then(|v| v.as_f64());
+            let limit = match pinned {
+                Some(b) => (b * 2.0).max(b + 0.05).min(1.0),
+                None => 1.0,
+            };
+            let verdict = if r.syscalls_per_packet < limit {
                 "ok"
             } else {
                 "REGRESSED"
             };
-            failed |= r.syscalls_per_packet >= 1.0;
+            failed |= r.syscalls_per_packet >= limit;
             println!(
-                "bench-check: reactor syscalls_per_packet={:.3}  rx_batch_mean={:.2}  \
-                 rx_batch_max={}  packets={}  wall={:.1} ms  limit=<1.0  {verdict}",
-                r.syscalls_per_packet, r.rx_batch_mean, r.rx_batch_max, r.packets, r.wall_ms
+                "bench-check: reactor syscalls_per_packet={:.3}  baseline={}  \
+                 limit=<{limit:.3}  rx_batch_mean={:.2}  rx_batch_max={}  packets={}  \
+                 wall={:.1} ms  {verdict}",
+                r.syscalls_per_packet,
+                pinned.map_or_else(|| "none".to_string(), |b| format!("{b:.3}")),
+                r.rx_batch_mean,
+                r.rx_batch_max,
+                r.packets,
+                r.wall_ms
             );
         }
         None => println!("bench-check: reactor micro-bench skipped (no multicast loopback)"),

@@ -69,6 +69,7 @@ pub mod rtt;
 pub mod rxwindow;
 pub mod sender;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod txwindow;
 pub mod update;
@@ -84,6 +85,7 @@ pub use obs::{
 pub use receiver::ReceiverEngine;
 pub use sender::SenderEngine;
 pub use stats::{ReceiverStats, SenderStats};
+pub use telemetry::{HistSample, Sampler, TelemetrySample};
 pub use time::{Micros, JIFFY_US};
 
 use hrmc_wire::Packet;

@@ -225,6 +225,14 @@ impl MetricsRegistry {
         self.histograms.entry(name).or_default().merge(h);
     }
 
+    /// Replace `name` with a pre-aggregated histogram. The idempotent
+    /// sibling of [`MetricsRegistry::merge_histogram`], for publishers
+    /// that re-export the same live histogram periodically (a telemetry
+    /// sampler): repeated publishes must not double-count.
+    pub fn set_histogram(&mut self, name: &'static str, h: &Histogram) {
+        self.histograms.insert(name, h.clone());
+    }
+
     /// Read a counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -292,6 +300,33 @@ impl MetricsRegistry {
             );
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Every metric gets an `hrmc_` prefix; counters
+    /// additionally get the conventional `_total` suffix; histograms are
+    /// exposed as summaries (quantile-labelled gauges plus `_sum` and
+    /// `_count` series). Names in the registry are already valid metric
+    /// identifiers, so no sanitisation pass is needed.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (k, v) in self.counters.iter() {
+            let _ = writeln!(out, "# TYPE hrmc_{k}_total counter");
+            let _ = writeln!(out, "hrmc_{k}_total {v}");
+        }
+        for (k, v) in self.gauges.iter() {
+            let _ = writeln!(out, "# TYPE hrmc_{k} gauge");
+            let _ = writeln!(out, "hrmc_{k} {v}");
+        }
+        for (k, h) in self.histograms.iter() {
+            let _ = writeln!(out, "# TYPE hrmc_{k} summary");
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                let _ = writeln!(out, "hrmc_{k}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "hrmc_{k}_sum {}", h.sum());
+            let _ = writeln!(out, "hrmc_{k}_count {}", h.count());
+        }
         out
     }
 }
@@ -421,6 +456,53 @@ mod tests {
         // Merging under a fresh name creates the histogram outright.
         r.merge_histogram("fresh", &h);
         assert_eq!(r.histogram("fresh").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn percentile_guards_degenerate_inputs() {
+        // Empty histogram: every quantile is 0, whatever p is.
+        let empty = Histogram::new();
+        for p in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.percentile(p), 0);
+        }
+        // Non-empty histogram: out-of-range and NaN p clamp into the
+        // observed range instead of panicking or indexing past the end.
+        let mut h = Histogram::new();
+        h.record(15); // exact upper bound of bucket [8, 15]
+        h.record(1023); // exact upper bound of bucket [512, 1023]
+        assert_eq!(h.percentile(0.0), 15, "p<=0 clamps to the minimum rank");
+        assert_eq!(h.percentile(-3.0), 15);
+        assert_eq!(h.percentile(f64::NAN), 15);
+        assert_eq!(h.percentile(1.0), 1023);
+        assert_eq!(h.percentile(5.0), 1023, "p>1 clamps to the maximum rank");
+        assert_eq!(h.percentile(f64::INFINITY), 1023);
+    }
+
+    #[test]
+    fn registry_renders_prometheus_exposition() {
+        let mut r = MetricsRegistry::new();
+        r.add("naks", 3);
+        r.set_gauge("rate_bps", 1000);
+        r.observe("rtt_us", 500);
+        r.observe("rtt_us", 700);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hrmc_naks_total counter\n"));
+        assert!(text.contains("hrmc_naks_total 3\n"));
+        assert!(text.contains("# TYPE hrmc_rate_bps gauge\n"));
+        assert!(text.contains("hrmc_rate_bps 1000\n"));
+        assert!(text.contains("# TYPE hrmc_rtt_us summary\n"));
+        assert!(text.contains("hrmc_rtt_us{quantile=\"0.5\"}"));
+        assert!(text.contains("hrmc_rtt_us{quantile=\"0.99\"} 700\n"));
+        assert!(text.contains("hrmc_rtt_us_sum 1200\n"));
+        assert!(text.contains("hrmc_rtt_us_count 2\n"));
+        // Every non-comment line is "name value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().unwrap().starts_with("hrmc_"), "{line}");
+            assert!(parts.next().unwrap().parse::<u64>().is_ok(), "{line}");
+            assert_eq!(parts.next(), None, "{line}");
+        }
+        assert!(MetricsRegistry::new().render_prometheus().is_empty());
     }
 
     #[test]

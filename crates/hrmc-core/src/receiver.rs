@@ -216,6 +216,17 @@ impl ReceiverEngine {
         self.rtt
     }
 
+    /// Outstanding NAK entries (sequence numbers still missing) —
+    /// the recovery backlog a telemetry sampler tracks over time.
+    pub fn pending_naks(&self) -> usize {
+        self.naks.len()
+    }
+
+    /// Receive-window occupancy as a fraction of capacity (0.0–1.0).
+    pub fn window_occupancy(&self) -> f64 {
+        self.window.occupancy()
+    }
+
     /// Current update period, in jiffies (instrumentation for the
     /// dynamic-update-timer experiments).
     pub fn update_period_jiffies(&self) -> u64 {

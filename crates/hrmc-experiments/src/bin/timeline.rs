@@ -6,11 +6,16 @@
 //! (simulation timestamps) for offline analysis (`hrmc analyze <path>`).
 //! With `--analyze`, the run feeds its own event stream through the
 //! `hrmc-trace` causal-lifecycle analyzer and prints the diagnosis.
+//! With `--timeseries <path>`, the run's sim-time telemetry grid (one
+//! JSON object per sample: throughput, NAK rate, window occupancy,
+//! recovery backlog, ...) is written alongside the printed results;
+//! `--sample-ms N` sets the grid width (default 100 sim-ms).
 //!
 //! ```sh
 //! cargo run --release -p hrmc-experiments --bin timeline -- \
 //!     [--receivers N] [--buffer-kb N] [--loss PCT] [--bandwidth-mbps N] \
-//!     [--events trace.jsonl] [--analyze]
+//!     [--events trace.jsonl] [--analyze] \
+//!     [--timeseries samples.jsonl] [--sample-ms N]
 //! ```
 
 use std::sync::{Arc, Mutex};
@@ -41,6 +46,8 @@ fn main() {
     let mut mbps = 10u64;
     let mut events: Option<String> = None;
     let mut analyze = false;
+    let mut timeseries: Option<String> = None;
+    let mut sample_ms = 100u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,6 +74,14 @@ fn main() {
             "--analyze" => {
                 analyze = true;
             }
+            "--timeseries" if i + 1 < args.len() => {
+                i += 1;
+                timeseries = Some(args[i].clone());
+            }
+            "--sample-ms" if i + 1 < args.len() => {
+                i += 1;
+                sample_ms = args[i].parse().unwrap_or(sample_ms).max(1);
+            }
             _ => {}
         }
         i += 1;
@@ -79,6 +94,9 @@ fn main() {
     let mut params = scenario.params();
     params.trace_bucket_us = Some(1_000_000);
     params.observe = true;
+    if timeseries.is_some() {
+        params.sample_interval_us = Some(sample_ms * 1_000);
+    }
     let mut sim = Simulation::new(params);
     // With --analyze the stream is captured in memory (and copied to
     // --events afterwards); otherwise it goes straight to the file.
@@ -133,5 +151,21 @@ fn main() {
     }
     if let Some(path) = &events {
         println!("event log: {path} (diagnose with: hrmc analyze {path})");
+    }
+    if let Some(path) = &timeseries {
+        let samples = report.timeseries.as_deref().unwrap_or(&[]);
+        let mut out = String::new();
+        for s in samples {
+            out.push_str(&serde_json::to_string(s).expect("sample serializes"));
+            out.push('\n');
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => println!(
+                "timeseries: {path} ({} samples, {} sim-ms grid)",
+                samples.len(),
+                sample_ms
+            ),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
     }
 }

@@ -33,13 +33,17 @@ pub mod receiver;
 pub mod sender;
 pub mod session;
 pub mod socket;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 
 pub use clock::DriverClock;
-pub use reactor::{Reactor, ReactorStats};
+pub use reactor::{Reactor, ReactorConfig, ReactorStats, SessionHealth};
 pub use receiver::{HrmcReceiver, ReceiverHandle};
 pub use sender::{HrmcSender, SenderHandle};
 pub use session::{ReceiverBuilder, SenderBuilder, Session};
 pub use socket::McastSocket;
+#[cfg(feature = "telemetry")]
+pub use telemetry::Telemetry;
 
 /// Errors surfaced by the socket drivers.
 ///

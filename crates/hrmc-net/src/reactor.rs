@@ -49,11 +49,27 @@ use crate::NetError;
 const MAX_ROLES: u64 = 2;
 /// Epoll token of the kick eventfd.
 const KICK_TOKEN: u64 = u64::MAX;
-/// Longest uninterrupted `epoll_wait` when no deadline is armed.
-const MAX_IDLE: Duration = Duration::from_millis(100);
 /// Attempts beyond the first before a transient `sendmmsg` error drops
 /// the remaining batch (mirrors the single-send retry budget).
 const TX_RETRIES: u32 = 4;
+
+/// Tunables for a reactor instance.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Longest uninterrupted `epoll_wait` when no deadline is armed (and
+    /// the cap applied to armed deadlines, so a session registered while
+    /// the loop sleeps is noticed within this bound even if its kick is
+    /// somehow lost). Smaller values trade idle CPU for responsiveness.
+    pub idle_deadline_cap: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            idle_deadline_cap: Duration::from_millis(100),
+        }
+    }
+}
 
 /// Why the reactor stopped driving a session.
 pub(crate) enum Fatal {
@@ -80,6 +96,61 @@ pub(crate) trait ReactorSession: Send + Sync {
     fn next_deadline(&self) -> Option<Instant>;
     /// Terminal notification: the reactor no longer drives this session.
     fn on_fatal(&self, reason: Fatal);
+    /// Per-session traffic totals for telemetry (`id` filled in by the
+    /// reactor, which owns the numbering).
+    fn health(&self) -> SessionHealth;
+}
+
+/// Per-session traffic totals, the raw material for per-session rate
+/// telemetry (a sampler diffs successive snapshots).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionHealth {
+    /// Reactor-assigned session id.
+    pub id: u64,
+    /// Endpoint role: `"sender"` or `"receiver"`.
+    pub role: &'static str,
+    /// Datagrams received by this session.
+    pub packets_rx: u64,
+    /// Datagrams staged for transmission by this session.
+    pub packets_tx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Payload bytes staged for transmission.
+    pub bytes_tx: u64,
+}
+
+/// Atomic traffic counters each session embeds; the reactor thread
+/// bumps them on the hot path (relaxed ordering — telemetry reads need
+/// no synchronisation with the data they count).
+#[derive(Debug, Default)]
+pub(crate) struct SessionCounters {
+    packets_rx: AtomicU64,
+    packets_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+}
+
+impl SessionCounters {
+    pub(crate) fn note_rx(&self, packets: u64, bytes: u64) {
+        self.packets_rx.fetch_add(packets, Ordering::Relaxed);
+        self.bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_tx(&self, bytes: u64) {
+        self.packets_tx.fetch_add(1, Ordering::Relaxed);
+        self.bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn health(&self, role: &'static str) -> SessionHealth {
+        SessionHealth {
+            id: 0,
+            role,
+            packets_rx: self.packets_rx.load(Ordering::Relaxed),
+            packets_tx: self.packets_tx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -170,6 +241,7 @@ impl IoBatch {
                     backoff = Duration::from_micros(200);
                 }
                 Err(ref e) if is_transient(e) && attempt < TX_RETRIES => {
+                    self.stats.tx_retries.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
                     std::thread::sleep(backoff);
                     backoff *= 2;
@@ -177,6 +249,7 @@ impl IoBatch {
                 Err(_) => {
                     // Drop the message at the head and keep going: one
                     // unreachable unicast peer must not starve the rest.
+                    self.stats.tx_drops.fetch_add(1, Ordering::Relaxed);
                     off += 1;
                     attempt = 0;
                     backoff = Duration::from_micros(200);
@@ -241,8 +314,20 @@ struct StatsCells {
     sendmmsg_calls: AtomicU64,
     packets_rx: AtomicU64,
     packets_tx: AtomicU64,
+    tx_retries: AtomicU64,
+    tx_drops: AtomicU64,
+    /// Raw timer-heap length (includes lazily-deleted stale entries).
+    timer_heap_len: AtomicU64,
+    /// Sessions with a live armed deadline (the authoritative map).
+    timers_armed: AtomicU64,
     rx_batches: Mutex<Histogram>,
     tx_batches: Mutex<Histogram>,
+    /// Busy time per loop iteration (µs): deadline service + dispatch,
+    /// excluding the `epoll_wait` sleep itself.
+    loop_us: Mutex<Histogram>,
+    /// Timer slippage (µs): how late each deadline fired (fired-at minus
+    /// deadline) — the loop's scheduling health under load.
+    timer_slippage_us: Mutex<Histogram>,
 }
 
 /// Point-in-time snapshot of a reactor's gauges: how many sessions it
@@ -268,6 +353,14 @@ pub struct ReactorStats {
     pub packets_rx: u64,
     /// Datagrams sent.
     pub packets_tx: u64,
+    /// Transient `sendmmsg` errors retried with backoff.
+    pub tx_retries: u64,
+    /// Datagrams dropped after the retry budget (NAK path recovers).
+    pub tx_drops: u64,
+    /// Raw timer-heap length (includes lazily-deleted stale entries).
+    pub timer_heap_len: u64,
+    /// Sessions with a live armed deadline.
+    pub timers_armed: u64,
     /// Mean datagrams per `recvmmsg` call.
     pub rx_batch_mean: f64,
     /// Largest single `recvmmsg` batch.
@@ -276,14 +369,27 @@ pub struct ReactorStats {
     pub tx_batch_mean: f64,
     /// Largest single `sendmmsg` batch.
     pub tx_batch_max: u64,
+    /// 99th-percentile busy time per loop iteration (µs).
+    pub loop_p99_us: u64,
+    /// 99th-percentile timer slippage (µs): fired-at minus deadline.
+    pub timer_slippage_p99_us: u64,
+    /// The configured idle-deadline cap, milliseconds.
+    pub idle_cap_ms: u64,
 }
 
 impl ReactorStats {
     /// Batched-I/O syscalls per packet moved: 1.0 is the unbatched
     /// floor (one syscall per datagram); batching pushes it below.
+    /// 0.0 before any packet has moved — a reactor that has only
+    /// polled must not report a syscall *rate*, and the old
+    /// divide-by-`max(1)` form quietly reported the raw syscall count
+    /// in that state.
     pub fn syscalls_per_packet(&self) -> f64 {
         let syscalls = self.recvmmsg_calls + self.sendmmsg_calls;
-        let packets = (self.packets_rx + self.packets_tx).max(1);
+        let packets = self.packets_rx + self.packets_tx;
+        if packets == 0 {
+            return 0.0;
+        }
         syscalls as f64 / packets as f64
     }
 }
@@ -295,6 +401,7 @@ impl ReactorStats {
 struct Core {
     epfd: i32,
     wakefd: i32,
+    config: ReactorConfig,
     sessions: Mutex<HashMap<u64, Arc<dyn ReactorSession>>>,
     dirty: Mutex<Vec<u64>>,
     next_id: AtomicU64,
@@ -386,6 +493,11 @@ impl Reactor {
     /// only build private reactors to shard very large session counts
     /// across cores.
     pub fn new() -> io::Result<Reactor> {
+        Reactor::with_config(ReactorConfig::default())
+    }
+
+    /// Spawn a dedicated reactor with explicit tunables.
+    pub fn with_config(config: ReactorConfig) -> io::Result<Reactor> {
         let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -399,6 +511,7 @@ impl Reactor {
         let core = Arc::new(Core {
             epfd,
             wakefd,
+            config,
             sessions: Mutex::new(HashMap::new()),
             dirty: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(0),
@@ -446,6 +559,8 @@ impl Reactor {
         let s = &self.core.stats;
         let rx = s.rx_batches.lock();
         let tx = s.tx_batches.lock();
+        let loop_us = s.loop_us.lock();
+        let slip = s.timer_slippage_us.lock();
         ReactorStats {
             sessions: self.session_count(),
             sessions_hwm: s.sessions_hwm.load(Ordering::Relaxed),
@@ -456,15 +571,48 @@ impl Reactor {
             sendmmsg_calls: s.sendmmsg_calls.load(Ordering::Relaxed),
             packets_rx: s.packets_rx.load(Ordering::Relaxed),
             packets_tx: s.packets_tx.load(Ordering::Relaxed),
+            tx_retries: s.tx_retries.load(Ordering::Relaxed),
+            tx_drops: s.tx_drops.load(Ordering::Relaxed),
+            timer_heap_len: s.timer_heap_len.load(Ordering::Relaxed),
+            timers_armed: s.timers_armed.load(Ordering::Relaxed),
             rx_batch_mean: rx.mean(),
             rx_batch_max: rx.max().unwrap_or(0),
             tx_batch_mean: tx.mean(),
             tx_batch_max: tx.max().unwrap_or(0),
+            loop_p99_us: loop_us.p99(),
+            timer_slippage_p99_us: slip.p99(),
+            idle_cap_ms: self.core.config.idle_deadline_cap.as_millis() as u64,
         }
     }
 
-    /// Publish the reactor's gauges and batch-size histograms into a
-    /// metrics registry under `reactor_*` names.
+    /// The tunables this reactor was built with.
+    pub fn config(&self) -> &ReactorConfig {
+        &self.core.config
+    }
+
+    /// Per-session traffic totals, ordered by session id — the basis
+    /// for per-session rate displays (`hrmc top`) and the `/json`
+    /// telemetry dump.
+    pub fn session_health(&self) -> Vec<SessionHealth> {
+        let mut out: Vec<SessionHealth> = self
+            .core
+            .sessions
+            .lock()
+            .iter()
+            .map(|(&id, s)| {
+                let mut h = s.health();
+                h.id = id;
+                h
+            })
+            .collect();
+        out.sort_by_key(|h| h.id);
+        out
+    }
+
+    /// Publish the reactor's gauges and histograms into a metrics
+    /// registry under `reactor_*` names. Idempotent (gauges are set,
+    /// histograms replaced), so a telemetry sampler can call it on
+    /// every sampling interval without double-counting.
     pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
         let st = self.stats();
         reg.set_gauge("reactor_sessions", st.sessions as u64);
@@ -476,8 +624,18 @@ impl Reactor {
         reg.set_gauge("reactor_sendmmsg_calls", st.sendmmsg_calls);
         reg.set_gauge("reactor_packets_rx", st.packets_rx);
         reg.set_gauge("reactor_packets_tx", st.packets_tx);
-        reg.merge_histogram("reactor_rx_batch", &self.core.stats.rx_batches.lock());
-        reg.merge_histogram("reactor_tx_batch", &self.core.stats.tx_batches.lock());
+        reg.set_gauge("reactor_tx_retries", st.tx_retries);
+        reg.set_gauge("reactor_tx_drops", st.tx_drops);
+        reg.set_gauge("reactor_timer_heap_len", st.timer_heap_len);
+        reg.set_gauge("reactor_timers_armed", st.timers_armed);
+        reg.set_gauge("reactor_idle_cap_ms", st.idle_cap_ms);
+        reg.set_histogram("reactor_rx_batch", &self.core.stats.rx_batches.lock());
+        reg.set_histogram("reactor_tx_batch", &self.core.stats.tx_batches.lock());
+        reg.set_histogram("reactor_loop_us", &self.core.stats.loop_us.lock());
+        reg.set_histogram(
+            "reactor_timer_slippage_us",
+            &self.core.stats.timer_slippage_us.lock(),
+        );
     }
 
     /// Register a session: its sockets go nonblocking and into the epoll
@@ -590,6 +748,8 @@ fn run(core: &Arc<Core>) {
     let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
     let mut events = [libc::epoll_event { events: 0, u64: 0 }; 64];
 
+    let idle_cap = core.config.idle_deadline_cap;
+
     while !core.shutdown.load(Ordering::SeqCst) {
         // 1. Service every due deadline.
         let now = Instant::now();
@@ -606,20 +766,33 @@ fn run(core: &Arc<Core>) {
                 continue;
             };
             core.stats.timer_fires.fetch_add(1, Ordering::Relaxed);
+            // Slippage: how far past its deadline this timer fired —
+            // the loop's scheduling health under load.
+            core.stats
+                .timer_slippage_us
+                .lock()
+                .record(now.saturating_duration_since(t).as_micros() as u64);
             session.on_tick(&mut io);
             // A fresh deadline is taken only after servicing a tick.
             fold_deadline(&session, id, &mut deadlines, &mut heap);
         }
+        core.stats
+            .timer_heap_len
+            .store(heap.len() as u64, Ordering::Relaxed);
+        core.stats
+            .timers_armed
+            .store(deadlines.len() as u64, Ordering::Relaxed);
+        let busy_before_wait = now.elapsed();
 
         // 2. Sleep until the earliest remaining deadline (rounded up to
         //    the next millisecond — a jiffy is 10 ms) or an event.
         let timeout_ms = match heap.peek() {
             Some(&Reverse((t, _))) => t
                 .saturating_duration_since(now)
-                .min(MAX_IDLE)
+                .min(idle_cap)
                 .as_micros()
                 .div_ceil(1000) as i32,
-            None => MAX_IDLE.as_millis() as i32,
+            None => idle_cap.as_millis() as i32,
         };
         let n = unsafe {
             libc::epoll_wait(
@@ -637,6 +810,7 @@ fn run(core: &Arc<Core>) {
             break; // EBADF after close: shutting down
         }
         core.stats.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+        let dispatch_start = Instant::now();
 
         // 3. Dispatch readiness.
         for ev in &events[..n as usize] {
@@ -685,6 +859,11 @@ fn run(core: &Arc<Core>) {
                 }
             }
         }
+
+        // Loop latency = busy time this iteration (deadline service +
+        // dispatch), excluding the epoll sleep itself.
+        let busy = busy_before_wait + dispatch_start.elapsed();
+        core.stats.loop_us.lock().record(busy.as_micros() as u64);
     }
 
     // Shutdown: every still-registered session learns its driver died.
@@ -752,5 +931,60 @@ mod tests {
         };
         assert!((st.syscalls_per_packet() - 0.25).abs() < 1e-9);
         assert!(ReactorStats::default().syscalls_per_packet() < 1e-9);
+    }
+
+    #[test]
+    fn syscalls_per_packet_is_zero_before_any_packet_moves() {
+        // An idle reactor polls (recvmmsg returning WouldBlock still
+        // counts a syscall in principle) without moving packets; the
+        // ratio must read 0.0, not the raw syscall count.
+        let st = ReactorStats {
+            recvmmsg_calls: 1_000,
+            sendmmsg_calls: 7,
+            packets_rx: 0,
+            packets_tx: 0,
+            ..ReactorStats::default()
+        };
+        assert_eq!(st.syscalls_per_packet(), 0.0);
+    }
+
+    #[test]
+    fn idle_cap_is_configurable_and_exported() {
+        let r = Reactor::with_config(ReactorConfig {
+            idle_deadline_cap: Duration::from_millis(25),
+        })
+        .expect("reactor");
+        assert_eq!(r.config().idle_deadline_cap, Duration::from_millis(25));
+        assert_eq!(r.stats().idle_cap_ms, 25);
+        let mut reg = MetricsRegistry::new();
+        r.publish_metrics(&mut reg);
+        assert_eq!(reg.gauge("reactor_idle_cap_ms"), Some(25));
+        assert_eq!(reg.gauge("reactor_timer_heap_len"), Some(0));
+        // Default config keeps the historical 100 ms cap.
+        assert_eq!(
+            ReactorConfig::default().idle_deadline_cap,
+            Duration::from_millis(100)
+        );
+        drop(r);
+    }
+
+    #[test]
+    fn publish_metrics_is_idempotent() {
+        let r = Reactor::new().expect("reactor");
+        // Let the loop run a few iterations so loop_us has samples.
+        std::thread::sleep(Duration::from_millis(5));
+        r.core.wake();
+        std::thread::sleep(Duration::from_millis(5));
+        let mut reg = MetricsRegistry::new();
+        r.publish_metrics(&mut reg);
+        let first = reg.histogram("reactor_loop_us").map(|h| h.count());
+        r.publish_metrics(&mut reg);
+        let second = reg.histogram("reactor_loop_us").map(|h| h.count());
+        // Re-publishing replaces rather than doubling: counts can only
+        // grow by what the live loop recorded in between.
+        if let (Some(a), Some(b)) = (first, second) {
+            assert!(b >= a, "count shrank: {a} -> {b}");
+            assert!(b < 2 * a.max(1) + 16, "double-counted: {a} -> {b}");
+        }
     }
 }

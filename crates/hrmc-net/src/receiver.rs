@@ -15,7 +15,9 @@ use hrmc_wire::Packet;
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::DriverClock;
-use crate::reactor::{Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError};
+use crate::reactor::{
+    Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError, SessionCounters, SessionHealth,
+};
 use crate::socket::{McastSocket, RX_SLOTS};
 use crate::NetError;
 
@@ -49,6 +51,8 @@ struct Inner {
     fatal: Mutex<Option<io::Error>>,
     wakeup: Condvar,
     wakeup_lock: Mutex<()>,
+    /// Per-session traffic totals for telemetry.
+    counters: SessionCounters,
 }
 
 impl Inner {
@@ -114,8 +118,11 @@ impl Inner {
                     None => continue,
                 },
             };
-            out.packet.encode_into(io.stage());
+            let buf = io.stage();
+            out.packet.encode_into(buf);
+            let len = buf.len() as u64;
             io.commit(dest, &self.ucast);
+            self.counters.note_tx(len);
         }
         io.flush_tx(&self.ucast);
         self.drain_events(&mut engine);
@@ -192,10 +199,13 @@ impl ReactorSession for Inner {
             let now = self.clock.now();
             {
                 let mut engine = self.engine.lock();
+                let mut rx_bytes = 0u64;
                 for i in 0..n {
                     let (bytes, from) = io.rx.datagram(i);
+                    rx_bytes += bytes.len() as u64;
                     self.ingest(&mut engine, bytes, from, now);
                 }
+                self.counters.note_rx(n as u64, rx_bytes);
             }
             self.flush(io);
             if n < RX_SLOTS {
@@ -226,6 +236,10 @@ impl ReactorSession for Inner {
         }
         self.failed.store(true, Ordering::SeqCst);
         self.wakeup.notify_all();
+    }
+
+    fn health(&self) -> SessionHealth {
+        self.counters.health("receiver")
     }
 }
 
@@ -275,6 +289,7 @@ pub(crate) fn join_with(
         fatal: Mutex::new(None),
         wakeup: Condvar::new(),
         wakeup_lock: Mutex::new(()),
+        counters: SessionCounters::default(),
     });
     let (id, reactor) = reactor.register(Arc::clone(&inner) as Arc<dyn ReactorSession>)?;
     Ok(ReceiverHandle {

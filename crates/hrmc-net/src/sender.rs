@@ -16,7 +16,9 @@ use hrmc_wire::Packet;
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::DriverClock;
-use crate::reactor::{Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError};
+use crate::reactor::{
+    Fatal, IoBatch, Reactor, ReactorRef, ReactorSession, RxError, SessionCounters, SessionHealth,
+};
 use crate::socket::{McastSocket, RX_SLOTS};
 use crate::NetError;
 
@@ -65,6 +67,8 @@ struct Inner {
     fatal: Mutex<Option<io::Error>>,
     wakeup: Condvar,
     wakeup_lock: Mutex<()>,
+    /// Per-session traffic totals for telemetry.
+    counters: SessionCounters,
 }
 
 impl Inner {
@@ -92,8 +96,11 @@ impl Inner {
                 },
                 Dest::Sender => unreachable!("sender engine never targets Sender"),
             };
-            out.packet.encode_into(io.stage());
+            let buf = io.stage();
+            out.packet.encode_into(buf);
+            let len = buf.len() as u64;
             io.commit(dest, &self.socket);
+            self.counters.note_tx(len);
         }
         io.flush_tx(&self.socket);
         while let Some(ev) = engine.poll_event() {
@@ -139,8 +146,10 @@ impl ReactorSession for Inner {
             let now = self.clock.now();
             {
                 let mut engine = self.engine.lock();
+                let mut rx_bytes = 0u64;
                 for i in 0..n {
                     let (bytes, from) = io.rx.datagram(i);
+                    rx_bytes += bytes.len() as u64;
                     match Packet::decode(bytes) {
                         Ok(pkt) => {
                             let peer = self.peers.lock().get_or_insert(from);
@@ -154,6 +163,7 @@ impl ReactorSession for Inner {
                         Err(_) => {}
                     }
                 }
+                self.counters.note_rx(n as u64, rx_bytes);
             }
             self.flush(io);
             if n < RX_SLOTS {
@@ -184,6 +194,10 @@ impl ReactorSession for Inner {
         }
         self.failed.store(true, Ordering::SeqCst);
         self.wakeup.notify_all();
+    }
+
+    fn health(&self) -> SessionHealth {
+        self.counters.health("sender")
     }
 }
 
@@ -231,6 +245,7 @@ pub(crate) fn bind_with(
         fatal: Mutex::new(None),
         wakeup: Condvar::new(),
         wakeup_lock: Mutex::new(()),
+        counters: SessionCounters::default(),
     });
     let (id, reactor) = reactor.register(Arc::clone(&inner) as Arc<dyn ReactorSession>)?;
     Ok(SenderHandle {

@@ -149,6 +149,15 @@ macro_rules! builder_options {
                 self.common.reactor = Some(reactor);
                 self
             }
+
+            /// Feed this session's protocol events into a running
+            /// [`crate::Telemetry`] pipeline (shorthand for
+            /// `.observer(telemetry.observer())`).
+            #[cfg(feature = "telemetry")]
+            pub fn telemetry(mut self, telemetry: &crate::Telemetry) -> Self {
+                self.common.observers.push(telemetry.observer());
+                self
+            }
         }
     };
 }

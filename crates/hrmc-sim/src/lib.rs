@@ -46,7 +46,7 @@ pub use apps::{IoProfile, SinkApp, SourceApp};
 pub use faults::{ChurnAction, ChurnEvent, FaultModel, FaultPlan, Partition};
 pub use loss::{LossModel, LossProcess};
 pub use obs::{HostObserver, SharedObs};
-pub use report::{LatencyReport, ReceiverReport, SimReport};
+pub use report::{LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
 pub use sim::{SimParams, Simulation};
 pub use topology::{CharacteristicGroup, GroupSpec, Topology, TopologyBuilder};
 pub use trace::{Trace, TraceBucket};

@@ -34,6 +34,42 @@ pub struct LatencyReport {
     pub recovery: HistogramSummary,
 }
 
+/// One point on the sim-time telemetry grid (present when
+/// [`SimParams::sample_interval_us`](crate::sim::SimParams::sample_interval_us)
+/// was set): the continuous-telemetry counterpart of the wall-clock
+/// sampler in `hrmc-core`, letting the same "how did the run evolve"
+/// questions be asked of a simulation — throughput ramp, NAK bursts,
+/// window occupancy, recovery backlog — without streaming a full event
+/// log.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimSamplePoint {
+    /// Simulation time of the sample (µs).
+    pub t_us: u64,
+    /// Bytes absorbed by all receiver applications so far (cumulative).
+    pub bytes_received: u64,
+    /// Application throughput over the interval ending here (Mbit/s).
+    pub throughput_mbps: f64,
+    /// NAKs sent by all receivers so far (cumulative).
+    pub naks_sent: u64,
+    /// NAK rate over the interval ending here (NAKs/s).
+    pub nak_rate_per_sec: f64,
+    /// Sender retransmissions so far (cumulative).
+    pub retransmissions: u64,
+    /// Bytes sitting in the sender's send buffer (gauge).
+    pub sender_buffered_bytes: u64,
+    /// The sender's current transmission rate (bytes/s, gauge).
+    pub rate_bps: u64,
+    /// The sender's current RTT estimate (µs, gauge).
+    pub rtt_us: u64,
+    /// Outstanding NAK ranges across all receivers — the recovery
+    /// backlog still in flight (gauge).
+    pub recovery_backlog: u64,
+    /// Mean receive-window occupancy across receivers, 0.0–1.0 (gauge).
+    pub window_occupancy: f64,
+    /// Receivers that have finished absorbing the stream (gauge).
+    pub completed_receivers: u64,
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct SimReport {
@@ -90,6 +126,12 @@ pub struct SimReport {
     pub host_ticks: Vec<u64>,
     /// Per-receiver reports.
     pub receivers: Vec<ReceiverReport>,
+    /// Sim-time telemetry grid, when
+    /// [`SimParams::sample_interval_us`](crate::sim::SimParams::sample_interval_us)
+    /// was set. Always ends with a final sample at the run's last
+    /// instant, so an armed run yields a non-empty series even when it
+    /// finishes inside the first interval.
+    pub timeseries: Option<Vec<SimSamplePoint>>,
     /// Bucketed activity timeline, when tracing was enabled.
     #[serde(skip)]
     pub trace: Option<crate::trace::Trace>,

@@ -29,7 +29,7 @@ use crate::host::{Engine, Host};
 use crate::nic::{Nic, TxOutcome};
 use crate::obs::{HostObserver, SharedObs};
 use crate::queue::EventQueue;
-use crate::report::{LatencyReport, ReceiverReport, SimReport};
+use crate::report::{LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
 use crate::router::{EnqueueOutcome, Route, Router, Transit};
 use crate::topology::Topology;
 
@@ -61,6 +61,12 @@ pub struct SimParams {
     /// When set, record a bucketed activity timeline with this bucket
     /// width (µs); retrieve it from [`SimReport::trace`].
     pub trace_bucket_us: Option<u64>,
+    /// When set, sample a telemetry point every this many simulated
+    /// microseconds; retrieve the series from [`SimReport::timeseries`].
+    /// Sampling is read-only — it never schedules events or draws from
+    /// the RNG, so an armed run is bit-for-bit identical to an unarmed
+    /// one.
+    pub sample_interval_us: Option<u64>,
     /// Install [`crate::obs`] observers into every engine, collecting
     /// delivery- and recovery-latency histograms reported through
     /// [`SimReport::latency`] (and merged into the trace, when both are
@@ -86,6 +92,7 @@ impl SimParams {
             cpu_scale: 1.0,
             host_backlog_us: 50_000,
             trace_bucket_us: None,
+            sample_interval_us: None,
             observe: false,
             faults: FaultPlan::default(),
         }
@@ -146,6 +153,14 @@ pub struct Simulation {
     reorders_injected: u64,
     /// Packets discarded at crashed or frozen hosts.
     churn_drops: u64,
+    /// Accumulated sim-time telemetry samples (empty unless
+    /// [`SimParams::sample_interval_us`] is set).
+    timeseries: Vec<SimSamplePoint>,
+    /// Next grid instant at which to sample; `None` when sampling is off.
+    next_sample_at: Option<u64>,
+    /// Previous sample's `(t_us, bytes_received, naks_sent)`, for
+    /// interval rates.
+    prev_sample: (u64, u64, u64),
 }
 
 /// First jiffy-grid point strictly after `now`.
@@ -204,6 +219,7 @@ impl Simulation {
         let due = vec![Some(JIFFY_US); n + 1];
         let rng = SmallRng::seed_from_u64(params.seed);
         let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
+        let next_sample_at = params.sample_interval_us.map(|i| i.max(1));
         let mut sim = Simulation {
             params,
             queue,
@@ -220,6 +236,9 @@ impl Simulation {
             duplicates_injected: 0,
             reorders_injected: 0,
             churn_drops: 0,
+            timeseries: Vec::new(),
+            next_sample_at,
+            prev_sample: (0, 0, 0),
         };
         if sim.params.observe {
             sim.install_observers();
@@ -285,6 +304,7 @@ impl Simulation {
             if now > self.params.horizon_us {
                 break;
             }
+            self.maybe_sample(now);
             self.dispatch(now, ev);
             if self.done {
                 break;
@@ -300,6 +320,7 @@ impl Simulation {
             if now > self.params.horizon_us {
                 break;
             }
+            self.maybe_sample(now);
             self.dispatch(now, ev);
             if self.done {
                 break;
@@ -846,7 +867,95 @@ impl Simulation {
         })
     }
 
-    fn report(self) -> SimReport {
+    /// Take a telemetry sample when sim time has reached the next grid
+    /// point. A quiet simulation can jump many intervals in one event
+    /// (the activity-proportional sweep), so the next deadline snaps to
+    /// the first grid point strictly after `now` — one sample per jump,
+    /// never a backfilled run of duplicates.
+    fn maybe_sample(&mut self, now: u64) {
+        match self.next_sample_at {
+            Some(at) if now >= at => {}
+            _ => return,
+        }
+        self.take_sample(now);
+        let interval = self
+            .params
+            .sample_interval_us
+            .expect("sampling armed")
+            .max(1);
+        self.next_sample_at = Some((now / interval + 1) * interval);
+    }
+
+    /// Record one [`SimSamplePoint`] from current world state. Read-only
+    /// with respect to the simulation: no events scheduled, no RNG
+    /// draws, no engine mutation — the event trajectory (and thus the
+    /// pinned determinism fixtures) is untouched by sampling.
+    fn take_sample(&mut self, now: u64) {
+        let Engine::Sender(sender) = &self.hosts[0].engine else {
+            unreachable!()
+        };
+        let mut bytes = 0u64;
+        let mut naks = 0u64;
+        let mut backlog = 0u64;
+        let mut occupancy = 0.0f64;
+        let mut completed = 0u64;
+        for h in &self.hosts[1..] {
+            let Engine::Receiver(r) = &h.engine else {
+                unreachable!()
+            };
+            if let Some(sink) = &h.sink {
+                bytes += sink.received();
+            }
+            naks += r.stats.naks_sent;
+            backlog += r.pending_naks() as u64;
+            occupancy += r.window_occupancy();
+            if h.completed_at.is_some() {
+                completed += 1;
+            }
+        }
+        let n = self.hosts.len() - 1;
+        let (prev_t, prev_bytes, prev_naks) = self.prev_sample;
+        let dt = now.saturating_sub(prev_t);
+        let (throughput_mbps, nak_rate_per_sec) = if dt > 0 {
+            (
+                bytes.saturating_sub(prev_bytes) as f64 * 8.0 / dt as f64,
+                naks.saturating_sub(prev_naks) as f64 * 1e6 / dt as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        self.prev_sample = (now, bytes, naks);
+        self.timeseries.push(SimSamplePoint {
+            t_us: now,
+            bytes_received: bytes,
+            throughput_mbps,
+            naks_sent: naks,
+            nak_rate_per_sec,
+            retransmissions: sender.stats.retransmissions,
+            sender_buffered_bytes: sender.buffered_bytes() as u64,
+            rate_bps: sender.rate(),
+            rtt_us: sender.rtt(),
+            recovery_backlog: backlog,
+            window_occupancy: if n > 0 { occupancy / n as f64 } else { 0.0 },
+            completed_receivers: completed,
+        });
+    }
+
+    fn report(mut self) -> SimReport {
+        // Close the telemetry grid with a final sample at the run's last
+        // instant: short runs (finished inside the first interval) still
+        // yield a non-empty series, and the series always reflects the
+        // final state.
+        if self.next_sample_at.is_some() {
+            let now = self.queue.now();
+            if self.timeseries.last().is_none_or(|s| s.t_us < now) {
+                self.take_sample(now);
+            }
+        }
+        let timeseries = self
+            .params
+            .sample_interval_us
+            .map(|_| std::mem::take(&mut self.timeseries));
         let Engine::Sender(sender) = &self.hosts[0].engine else {
             unreachable!()
         };
@@ -913,6 +1022,7 @@ impl Simulation {
             peak_queue_len: self.queue.peak_len(),
             host_ticks: self.hosts.iter().map(|h| h.ticks).collect(),
             receivers,
+            timeseries,
             trace,
         }
     }
@@ -975,6 +1085,60 @@ mod tests {
         // 1% loss forces NAK-driven recoveries.
         assert!(lat.recovery.count > 0);
         assert!(lat.recovery.p99 >= lat.recovery.p50);
+    }
+
+    #[test]
+    fn sixty_four_receiver_sim_emits_a_timeseries() {
+        let mut params = lan_params(64, 10_000_000, 0.005, 300_000, 256 * 1024);
+        params.sample_interval_us = Some(50_000);
+        let report = Simulation::new(params).run();
+        assert!(report.completed, "transfer did not complete");
+        let ts = report.timeseries.as_ref().expect("sampling was armed");
+        assert!(!ts.is_empty(), "timeseries must be non-empty");
+        // The grid is strictly increasing and read-only gauges stay in
+        // range.
+        for w in ts.windows(2) {
+            assert!(w[0].t_us < w[1].t_us, "non-monotonic grid");
+            assert!(
+                w[0].bytes_received <= w[1].bytes_received,
+                "cumulative bytes regressed"
+            );
+            assert!(
+                w[0].naks_sent <= w[1].naks_sent,
+                "cumulative NAKs regressed"
+            );
+        }
+        for s in ts {
+            assert!((0.0..=1.0).contains(&s.window_occupancy), "{s:?}");
+            assert!(s.throughput_mbps >= 0.0);
+            assert!(s.completed_receivers <= 64);
+        }
+        // The series closes on the final state: everything delivered,
+        // all 64 receivers done, recovery backlog drained.
+        let last = ts.last().unwrap();
+        assert_eq!(last.bytes_received, 64 * 300_000);
+        assert_eq!(last.completed_receivers, 64);
+        assert_eq!(last.recovery_backlog, 0);
+        // A mid-flight sample saw the transfer in progress.
+        assert!(
+            ts.iter()
+                .any(|s| s.bytes_received > 0 && s.completed_receivers < 64),
+            "no mid-flight sample captured"
+        );
+    }
+
+    #[test]
+    fn sampling_does_not_change_the_run() {
+        let base = Simulation::new(lan_params(3, 10_000_000, 0.01, 300_000, 128 * 1024)).run();
+        let mut params = lan_params(3, 10_000_000, 0.01, 300_000, 128 * 1024);
+        params.sample_interval_us = Some(10_000);
+        let sampled = Simulation::new(params).run();
+        assert!(base.timeseries.is_none(), "unarmed run must not sample");
+        assert!(sampled.timeseries.is_some());
+        assert_eq!(base.elapsed_us, sampled.elapsed_us);
+        assert_eq!(base.events_popped, sampled.events_popped);
+        assert_eq!(base.sender.naks_received, sampled.sender.naks_received);
+        assert_eq!(base.sender.retransmissions, sampled.sender.retransmissions);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //! analyzer that dies on the one line it doesn't understand is useless
 //! in a post-mortem.
 
+use std::collections::BTreeMap;
+
 use hrmc_core::obs::NakTrigger;
 use hrmc_core::rate::RatePhase;
 use hrmc_core::rxwindow::Region;
-use hrmc_core::{Event, PeerId, SCHEMA_VERSION};
+use hrmc_core::{Event, HistSample, PeerId, TelemetrySample, SCHEMA_VERSION};
 use serde_json::Value;
 
 /// Who emitted a trace line.
@@ -71,6 +73,11 @@ pub struct ParseStats {
     pub headers: u64,
     /// Lines skipped: blank, malformed, or an unknown event name.
     pub skipped: u64,
+    /// Telemetry sample lines seen (the `"telemetry":1` discriminator).
+    /// [`parse_str`] counts and passes over them — they are a parallel
+    /// channel, not protocol events, and not parse failures;
+    /// [`parse_telemetry_str`] decodes them.
+    pub telemetry: u64,
 }
 
 /// Errors that abort ingestion entirely (per-line problems only bump
@@ -260,6 +267,10 @@ pub fn parse_str(input: &str) -> Result<(Vec<TraceEvent>, ParseStats), TraceErro
             stats.schema = Some(schema);
             continue;
         }
+        if get_u64(&obj, "telemetry").is_some() {
+            stats.telemetry += 1;
+            continue;
+        }
         let (Some(t_us), Some(event)) = (get_u64(&obj, "t_us"), parse_event(&obj)) else {
             stats.skipped += 1;
             continue;
@@ -287,6 +298,107 @@ pub fn parse_str(input: &str) -> Result<(Vec<TraceEvent>, ParseStats), TraceErro
 pub fn parse_file(path: &std::path::Path) -> Result<(Vec<TraceEvent>, ParseStats), TraceError> {
     let body = std::fs::read_to_string(path)?;
     parse_str(&body)
+}
+
+/// A JSON object whose values are all unsigned integers, as a map.
+fn get_u64_map(obj: &Value, key: &str) -> Option<BTreeMap<String, u64>> {
+    let Value::Object(m) = obj.get(key)? else {
+        return None;
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in m.iter() {
+        out.insert(k.clone(), v.as_u64()?);
+    }
+    Some(out)
+}
+
+/// Reconstruct a [`TelemetrySample`] from a parsed JSON object — the
+/// inverse of [`TelemetrySample::to_json_line`]. Returns `None` when
+/// the `"telemetry"` discriminator or any section is missing or
+/// malformed.
+pub fn parse_telemetry_sample(obj: &Value) -> Option<TelemetrySample> {
+    get_u64(obj, "telemetry")?;
+    let Value::Object(hist_obj) = obj.get("hists")? else {
+        return None;
+    };
+    let mut hists = BTreeMap::new();
+    for (k, v) in hist_obj.iter() {
+        hists.insert(
+            k.clone(),
+            HistSample {
+                count: get_u64(v, "count")?,
+                delta: get_u64(v, "delta")?,
+                p50: get_u64(v, "p50")?,
+                p90: get_u64(v, "p90")?,
+                p99: get_u64(v, "p99")?,
+                max: get_u64(v, "max")?,
+            },
+        );
+    }
+    Some(TelemetrySample {
+        seq: get_u64(obj, "seq")?,
+        t_us: get_u64(obj, "t_us")?,
+        interval_us: get_u64(obj, "interval_us")?,
+        counters: get_u64_map(obj, "counters")?,
+        totals: get_u64_map(obj, "totals")?,
+        gauges: get_u64_map(obj, "gauges")?,
+        hists,
+    })
+}
+
+/// Extract the telemetry time series from a JSONL stream — the
+/// counterpart of [`parse_str`] for the sampler's `"telemetry":1`
+/// lines. Designed for mixed streams: protocol events and headers are
+/// passed over silently (they are not failures of *this* channel);
+/// blank or malformed lines — including telemetry lines with missing
+/// sections — are counted skipped. Samples are returned in sample-`seq`
+/// order.
+pub fn parse_telemetry_str(input: &str) -> Result<(Vec<TelemetrySample>, ParseStats), TraceError> {
+    let mut samples = Vec::new();
+    let mut stats = ParseStats::default();
+    for line in input.lines() {
+        stats.lines += 1;
+        let line = line.trim();
+        if line.is_empty() {
+            stats.skipped += 1;
+            continue;
+        }
+        let obj = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(_) => {
+                stats.skipped += 1;
+                continue;
+            }
+        };
+        if let Some(schema) = get_u64(&obj, "schema") {
+            if schema > u64::from(SCHEMA_VERSION) {
+                return Err(TraceError::UnsupportedSchema(schema));
+            }
+            stats.headers += 1;
+            stats.schema = Some(schema);
+            continue;
+        }
+        if get_u64(&obj, "telemetry").is_none() {
+            continue;
+        }
+        match parse_telemetry_sample(&obj) {
+            Some(s) => {
+                stats.telemetry += 1;
+                samples.push(s);
+            }
+            None => stats.skipped += 1,
+        }
+    }
+    samples.sort_by_key(|s| s.seq);
+    Ok((samples, stats))
+}
+
+/// [`parse_telemetry_str`] over a file.
+pub fn parse_telemetry_file(
+    path: &std::path::Path,
+) -> Result<(Vec<TelemetrySample>, ParseStats), TraceError> {
+    let body = std::fs::read_to_string(path)?;
+    parse_telemetry_str(&body)
 }
 
 #[cfg(test)]
@@ -349,5 +461,69 @@ mod tests {
         assert_eq!(Source::Host(0).member(), None, "host 0 is the sender");
         assert_eq!(Source::Host(3).member(), Some(2));
         assert_eq!(Source::Label("recv0".into()).member(), None);
+    }
+
+    /// A sampler-produced JSONL stream must round-trip losslessly:
+    /// every field of every sample survives render → parse.
+    #[test]
+    fn telemetry_samples_round_trip_through_jsonl() {
+        use hrmc_core::{MetricsRegistry, Sampler};
+        let mut reg = MetricsRegistry::new();
+        let mut sampler = Sampler::new(16);
+        reg.add("naks_sent", 3);
+        reg.set_gauge("window_bytes", 4096);
+        reg.observe("loop_us", 120);
+        sampler.sample(1_000_000, &reg);
+        reg.add("naks_sent", 4);
+        reg.observe("loop_us", 90);
+        sampler.sample(1_500_000, &reg);
+
+        let jsonl: String = sampler.samples().map(|s| s.to_json_line() + "\n").collect();
+        let (parsed, stats) = parse_telemetry_str(&jsonl).unwrap();
+        assert_eq!(stats.telemetry, 2);
+        assert_eq!(stats.skipped, 0);
+        let originals: Vec<_> = sampler.samples().cloned().collect();
+        assert_eq!(parsed, originals, "lossless round-trip");
+        assert_eq!(parsed[1].counter_delta("naks_sent"), 4);
+        assert_eq!(parsed[1].total("naks_sent"), 7);
+        assert_eq!(parsed[1].gauge("window_bytes"), Some(4096));
+        assert_eq!(parsed[1].hists["loop_us"].count, 2);
+    }
+
+    /// Mixed streams: `parse_str` counts telemetry lines without
+    /// skipping them, and `parse_telemetry_str` ignores event lines.
+    #[test]
+    fn mixed_stream_separates_events_from_telemetry() {
+        use hrmc_core::{MetricsRegistry, Sampler};
+        let mut reg = MetricsRegistry::new();
+        reg.add("data_packets_sent", 1);
+        let mut sampler = Sampler::new(4);
+        sampler.sample(500, &reg);
+        let mixed = format!(
+            "{{\"schema\":1,\"role\":\"sim\"}}\n\
+             {{\"t_us\":5,\"host\":0,\"event\":\"checksum_failed\"}}\n\
+             {}\n",
+            sampler.latest().unwrap().to_json_line()
+        );
+        let (events, stats) = parse_str(&mixed).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.telemetry, 1);
+        assert_eq!(stats.skipped, 0, "telemetry lines are not failures");
+        let (samples, tstats) = parse_telemetry_str(&mixed).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(tstats.telemetry, 1);
+        assert_eq!(tstats.headers, 1);
+        assert_eq!(tstats.skipped, 0, "event lines are not failures here");
+        assert_eq!(samples[0].total("data_packets_sent"), 1);
+    }
+
+    #[test]
+    fn malformed_telemetry_lines_are_counted_skipped() {
+        let input = "{\"telemetry\":1,\"seq\":0}\n\
+                     not json\n";
+        let (samples, stats) = parse_telemetry_str(input).unwrap();
+        assert!(samples.is_empty());
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(stats.telemetry, 0);
     }
 }

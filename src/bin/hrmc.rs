@@ -16,7 +16,7 @@
 //! ```
 
 use std::io::{Read, Write};
-use std::net::{Ipv4Addr, SocketAddrV4};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
 use std::time::Duration;
 
 use hrmc::net::Session;
@@ -36,6 +36,11 @@ struct Opts {
     flight: Option<String>,
     flight_capacity: usize,
     json: bool,
+    telemetry: Option<SocketAddr>,
+    sample_interval_ms: u64,
+    telemetry_jsonl: Option<String>,
+    once: bool,
+    refresh_ms: u64,
 }
 
 impl Default for Opts {
@@ -52,6 +57,11 @@ impl Default for Opts {
             flight: None,
             flight_capacity: 4096,
             json: false,
+            telemetry: None,
+            sample_interval_ms: 500,
+            telemetry_jsonl: None,
+            once: false,
+            refresh_ms: 1000,
         }
     }
 }
@@ -83,6 +93,10 @@ struct Obs {
     flight_path: Option<String>,
     flight_capacity: usize,
     recorders: std::sync::Mutex<Vec<SharedRecorder>>,
+    /// The continuous-telemetry pipeline (`--telemetry <addr>`): a
+    /// sampling thread plus an HTTP endpoint serving `/metrics`
+    /// (Prometheus text) and `/json` — watch it live with `hrmc top`.
+    telemetry: Option<hrmc::net::Telemetry>,
 }
 
 impl Obs {
@@ -98,12 +112,36 @@ impl Obs {
             None => None,
         };
         let metrics = opts.metrics.then(MetricsObserver::new);
+        let telemetry = match opts.telemetry {
+            Some(addr) => {
+                let mut b = hrmc::net::Telemetry::builder()
+                    .listen(addr)
+                    .sample_interval(Duration::from_millis(opts.sample_interval_ms.max(10)));
+                if let Some(path) = &opts.telemetry_jsonl {
+                    b = b
+                        .jsonl_path(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot create telemetry sink {path}: {e}"))?;
+                }
+                let t = b
+                    .start()
+                    .map_err(|e| format!("cannot start telemetry endpoint on {addr}: {e}"))?;
+                if let Some(bound) = t.local_addr() {
+                    eprintln!(
+                        "telemetry: serving /metrics and /json at http://{bound} \
+                         (watch live: hrmc top {bound})"
+                    );
+                }
+                Some(t)
+            }
+            None => None,
+        };
         Ok(Obs {
             log,
             metrics,
             flight_path: opts.flight.clone(),
             flight_capacity: opts.flight_capacity,
             recorders: std::sync::Mutex::new(Vec::new()),
+            telemetry,
         })
     }
 
@@ -124,6 +162,10 @@ impl Obs {
             let rec = SharedRecorder::new(self.flight_capacity).with_label(role);
             self.recorders.lock().unwrap().push(rec.clone());
             stack.push(Box::new(rec));
+            any = true;
+        }
+        if let Some(t) = &self.telemetry {
+            stack.push(t.observer());
             any = true;
         }
         any.then(|| Box::new(stack) as Box<dyn ProtocolObserver>)
@@ -149,6 +191,12 @@ impl Obs {
                 Err(e) => eprintln!("cannot write flight recording {path}: {e}"),
             }
         }
+        if let Some(t) = &self.telemetry {
+            // Capture the final state in the series before the pipeline
+            // is torn down, and push it through any JSONL sink.
+            t.sample_now();
+            t.flush();
+        }
         if let Some(m) = &self.metrics {
             {
                 let reg = m.registry();
@@ -173,7 +221,8 @@ fn usage() -> ! {
                            [--buffer-kb N] [--wait-receivers N] [--fec K]\n  \
          hrmc recv <file>  [--group A.B.C.D:port] [--iface ip] [--buffer-kb N]\n  \
          hrmc selftest     [--group A.B.C.D:port]\n  \
-         hrmc analyze <trace.jsonl> [--json]\n\n\
+         hrmc analyze <trace.jsonl> [--json]\n  \
+         hrmc top <addr | telemetry.jsonl> [--once] [--refresh ms]\n\n\
          Observability (send/recv/selftest):\n  \
          --trace <path>    write every protocol state transition as JSON lines\n                    \
                            (wall-clock µs since bind/join, \"src\" tags the endpoint)\n  \
@@ -181,7 +230,16 @@ fn usage() -> ! {
                            latency histograms) as JSON on exit\n  \
          --flight <path>   bounded flight recorder: keep the last N events per\n                    \
                            endpoint in memory, dump the window on exit\n  \
-         --flight-capacity N  events retained per endpoint (default 4096)\n\n\
+         --flight-capacity N  events retained per endpoint (default 4096)\n  \
+         --telemetry <ip:port>  serve continuous telemetry over HTTP while the\n                    \
+                           transfer runs: /metrics (Prometheus text) and /json;\n                    \
+                           port 0 picks a free port (printed on stderr)\n  \
+         --sample-interval N  telemetry sampling interval in ms (default 500)\n  \
+         --telemetry-jsonl <path>  also stream every telemetry sample to a\n                    \
+                           JSONL file (replay with: hrmc top <path>)\n\n\
+         `top` renders a refreshing terminal dashboard from a live telemetry\n\
+         endpoint (`hrmc top 127.0.0.1:9090`) or summarizes a recorded sample\n\
+         file; --once prints a single frame, --refresh sets the period.\n\n\
          `analyze` reconstructs per-sequence causal lifecycles from any JSONL\n\
          trace this tool or the simulator writes (streamed or flight-recorded)\n\
          and prints loss, recovery-latency, NAK-suppression, flow-control,\n\
@@ -264,6 +322,35 @@ fn parse(args: &[String]) -> (Opts, Vec<String>) {
             }
             "--json" => {
                 opts.json = true;
+            }
+            "--telemetry" => {
+                i += 1;
+                opts.telemetry = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--sample-interval" => {
+                i += 1;
+                opts.sample_interval_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--telemetry-jsonl" => {
+                i += 1;
+                opts.telemetry_jsonl = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--once" => {
+                opts.once = true;
+            }
+            "--refresh" => {
+                i += 1;
+                opts.refresh_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             other if other.starts_with("--") => usage(),
             other => positional.push(other.to_string()),
@@ -432,6 +519,44 @@ fn cmd_analyze(trace: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error
     Ok(())
 }
 
+/// `hrmc top <addr>` — live refreshing dashboard scraped from a
+/// telemetry endpoint's `/json`; `hrmc top <file>` — one-shot summary
+/// of a recorded telemetry JSONL (mixed event/telemetry streams work:
+/// event lines are passed over).
+fn cmd_top(target: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    if let Ok(addr) = target.parse::<SocketAddr>() {
+        loop {
+            let body = hrmc::net::telemetry::scrape(addr, "/json", Duration::from_secs(5))
+                .map_err(|e| format!("cannot scrape {addr}: {e}"))?;
+            let json: serde_json::Value =
+                serde_json::from_str(&body).map_err(|e| format!("bad /json body: {e}"))?;
+            let frame = hrmc::top::render_endpoint_frame(&addr.to_string(), &json);
+            if opts.once {
+                print!("{frame}");
+                return Ok(());
+            }
+            print!("{}{frame}", hrmc::top::CLEAR);
+            std::io::stdout().flush()?;
+            std::thread::sleep(Duration::from_millis(opts.refresh_ms.max(100)));
+        }
+    }
+    let (mut samples, stats) = hrmc_trace::parse_telemetry_file(std::path::Path::new(target))?;
+    if samples.is_empty() {
+        // Not a sampler stream — maybe a simulator timeseries
+        // (`timeline --timeseries`): flat rows, no discriminator.
+        samples = hrmc::top::parse_sim_timeseries(&std::fs::read_to_string(target)?);
+    }
+    if samples.is_empty() {
+        return Err(format!(
+            "{target}: no telemetry samples found ({} lines read; is this an event-only trace?)",
+            stats.lines
+        )
+        .into());
+    }
+    print!("{}", hrmc::top::render_trace(target, &samples));
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -443,6 +568,7 @@ fn main() {
         ("recv", [file]) => cmd_recv(file, &opts),
         ("selftest", []) => cmd_selftest(&opts),
         ("analyze", [trace]) => cmd_analyze(trace, &opts),
+        ("top", [target]) => cmd_top(target, &opts),
         _ => usage(),
     };
     if let Err(e) = result {

@@ -49,6 +49,8 @@
 //! # let _ = rx;
 //! ```
 
+pub mod top;
+
 /// Scenario/application helpers (re-export of `hrmc-app`).
 pub use hrmc_app as app;
 /// Sans-io protocol engines (re-export of `hrmc-core`).
