@@ -19,6 +19,14 @@
 //! gated (CI machines vary); the work counters are exact on a fixed
 //! seed, so any growth is a real scheduler regression, not noise.
 //!
+//! The run also times the sharded membership index directly at 1k / 10k
+//! / 100k members (update / `all_have` / `lacking` in the sender's
+//! MINBUF query mix) under a `membership` key. `--check` gates the
+//! deterministic `members_scanned_per_lacking` counter two ways: against
+//! the committed per-population pin (+10%), and for sub-linear growth
+//! across the 1k → 100k sweep (the 100× population may cost at most
+//! 12.5× the scan work; the shard aggregates hold it near 1×).
+//!
 //! The run also drives a live multi-session reactor micro-benchmark
 //! (4 sender→receiver pairs over loopback multicast on one shared
 //! reactor) and records its batched-syscall efficiency — syscalls per
@@ -32,7 +40,8 @@
 //! unavailable), only the absolute floor applies. Skipped (with a
 //! notice) when this environment forbids multicast.
 
-use hrmc_core::ProtocolConfig;
+use hrmc_core::membership::Membership;
+use hrmc_core::{PeerId, ProtocolConfig};
 use hrmc_net::{McastSocket, Reactor, Session};
 use hrmc_sim::{SimParams, SimReport, Simulation, TopologyBuilder};
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -172,6 +181,95 @@ fn reactor_microbench(pairs: usize, payload: usize) -> Option<ReactorBench> {
     })
 }
 
+/// One membership micro-bench row: per-operation wall time (noisy,
+/// informational) and the deterministic scan-cost counters the `--check`
+/// gate rides on.
+struct MembershipBench {
+    n: usize,
+    update_ns: f64,
+    all_have_ns: f64,
+    lacking_ns: f64,
+    /// Members touched per `lacking` descent — the release gate's probe
+    /// fan-out cost. Deterministic for the fixed workload; flat in `n`
+    /// when the shard aggregates work (only laggard shards are entered).
+    members_scanned_per_lacking: f64,
+    heap_lazy_pops: u64,
+    shards: usize,
+}
+
+/// The protocol-shaped hot loop at population `n`: the group marches its
+/// `next_expected` forward one shard span per round (crossing the u32
+/// wrap mid-march) while one laggard trails a round behind — the MINBUF
+/// regime, where the release gate fails on a small trailing set, `lacking`
+/// names it, the laggard catches up, and the gate passes. The crowd's
+/// shard is skipped by its aggregate bound, so the descent cost tracks
+/// the laggard count, not the population.
+fn membership_microbench(n: usize) -> MembershipBench {
+    const ROUNDS: u32 = 64;
+    const STRIDE: u32 = 64; // one full shard span per round
+    let base: u32 = u32::MAX - ROUNDS * STRIDE / 2; // cross the wrap mid-march
+    let mut m = Membership::new();
+    for p in 0..n {
+        m.add(PeerId(p as u32), base, p as u64);
+    }
+    let mut now = n as u64;
+    let (mut t_update, mut t_all_have, mut t_lacking) = (0u128, 0u128, 0u128);
+    let (mut updates, mut lackings) = (0u64, 0u64);
+    let mut scratch: Vec<PeerId> = Vec::new();
+    for r in 1..=ROUNDS {
+        let front = base.wrapping_add(r * STRIDE);
+        let t0 = Instant::now();
+        for p in 1..n {
+            now += 1;
+            m.update(PeerId(p as u32), front.wrapping_add(1), now);
+            updates += 1;
+        }
+        t_update += t0.elapsed().as_nanos();
+        let t0 = Instant::now();
+        let complete = m.all_have(front);
+        t_all_have += t0.elapsed().as_nanos();
+        assert!(!complete, "laggard must hold the gate");
+        let t0 = Instant::now();
+        m.lacking_into(front, &mut scratch);
+        t_lacking += t0.elapsed().as_nanos();
+        lackings += 1;
+        assert_eq!(scratch.len(), 1, "exactly the laggard lacks");
+        now += 1;
+        m.update(PeerId(0), front.wrapping_add(1), now);
+        updates += 1;
+        let t0 = Instant::now();
+        let complete = m.all_have(front);
+        t_all_have += t0.elapsed().as_nanos();
+        assert!(complete, "caught-up group must release");
+    }
+    let costs = m.costs();
+    MembershipBench {
+        n,
+        update_ns: t_update as f64 / updates as f64,
+        all_have_ns: t_all_have as f64 / (2 * ROUNDS) as f64,
+        lacking_ns: t_lacking as f64 / lackings as f64,
+        members_scanned_per_lacking: costs.members_scanned as f64 / lackings as f64,
+        heap_lazy_pops: costs.heap_lazy_pops,
+        shards: m.shard_count(),
+    }
+}
+
+const MEMBERSHIP_POPULATIONS: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn print_membership_row(b: &MembershipBench) {
+    println!(
+        "bench: membership/{}m  update={:.0} ns  all_have={:.0} ns  lacking={:.0} ns  \
+         scanned/lacking={:.1}  heap_lazy_pops={}  shards={}",
+        b.n,
+        b.update_ns,
+        b.all_have_ns,
+        b.lacking_ns,
+        b.members_scanned_per_lacking,
+        b.heap_lazy_pops,
+        b.shards
+    );
+}
+
 /// Baseline path: the committed `BENCH_sim.json` at the repo root.
 fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json")
@@ -206,6 +304,55 @@ fn check_against_baseline() -> ! {
         );
     }
     println!("bench-check: wall={wall_ms:.1} ms (informational, not gated)");
+    // Membership gate: the release-gate scan cost must stay flat (well
+    // sub-linear) as the population grows 1k -> 100k, and must not grow
+    // past the committed per-population pin by more than 10%. Both
+    // checks ride on the deterministic `members_scanned` counter — wall
+    // times are printed but never gated.
+    let rows: Vec<MembershipBench> = MEMBERSHIP_POPULATIONS
+        .iter()
+        .map(|&n| membership_microbench(n))
+        .collect();
+    for b in &rows {
+        print_membership_row(b);
+        let pinned = baseline
+            .get("membership")
+            .and_then(|v| v.get(&b.n.to_string()))
+            .and_then(|v| v.get("members_scanned_per_lacking"))
+            .and_then(|v| v.as_f64());
+        if let Some(p) = pinned {
+            let limit = p * 1.1 + 0.5;
+            let verdict = if b.members_scanned_per_lacking > limit {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            failed |= b.members_scanned_per_lacking > limit;
+            println!(
+                "bench-check: membership/{}m scanned/lacking={:.1}  baseline={p:.1}  \
+                 limit={limit:.1}  {verdict}",
+                b.n, b.members_scanned_per_lacking
+            );
+        } else {
+            println!(
+                "bench-check: membership/{}m has no committed pin (re-baseline to add one)",
+                b.n
+            );
+        }
+    }
+    let (small, large) = (&rows[0], &rows[rows.len() - 1]);
+    let ratio = large.members_scanned_per_lacking / small.members_scanned_per_lacking.max(1.0);
+    let growth = large.n as f64 / small.n as f64;
+    let sublinear = ratio <= growth / 8.0;
+    failed |= !sublinear;
+    println!(
+        "bench-check: membership scan growth {}m -> {}m = {ratio:.2}x \
+         (population grew {growth:.0}x; limit {:.1}x)  {}",
+        small.n,
+        large.n,
+        growth / 8.0,
+        if sublinear { "ok" } else { "REGRESSED" }
+    );
     match reactor_microbench(4, 150_000) {
         Some(r) => {
             // Tolerance band around the committed reactor baseline:
@@ -280,6 +427,18 @@ fn main() {
         report.events_popped, report.peak_queue_len, ticks_total, report.elapsed_us
     );
 
+    let membership: Vec<MembershipBench> = if smoke {
+        vec![membership_microbench(1_000)]
+    } else {
+        MEMBERSHIP_POPULATIONS
+            .iter()
+            .map(|&n| membership_microbench(n))
+            .collect()
+    };
+    for b in &membership {
+        print_membership_row(b);
+    }
+
     let reactor = reactor_microbench(
         if smoke { 2 } else { 4 },
         if smoke { 30_000 } else { 150_000 },
@@ -301,6 +460,21 @@ fn main() {
     if smoke {
         return; // CI smoke: no baseline file
     }
+    let mut membership_json = serde_json::Map::new();
+    for b in &membership {
+        membership_json.insert(
+            b.n.to_string(),
+            serde_json::json!({
+                "update_ns": b.update_ns,
+                "all_have_ns": b.all_have_ns,
+                "lacking_ns": b.lacking_ns,
+                "members_scanned_per_lacking": b.members_scanned_per_lacking,
+                "heap_lazy_pops": b.heap_lazy_pops,
+                "shards": b.shards,
+            }),
+        );
+    }
+    let membership_json = serde_json::Value::Object(membership_json);
     let out = serde_json::json!({
         "scenario": {
             "receivers": receivers,
@@ -315,6 +489,7 @@ fn main() {
         "engine_ticks": ticks_total,
         "sim_elapsed_us": report.elapsed_us,
         "throughput_mbps": report.throughput_mbps,
+        "membership": membership_json,
         "reactor": reactor.as_ref().map(|r| serde_json::json!({
             "pairs": 4,
             "transfer_bytes": 150_000,

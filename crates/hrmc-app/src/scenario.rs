@@ -53,6 +53,13 @@ pub struct Scenario {
     /// measured RTTs modest (~34 ms at 10 Mbps), as a short device ring
     /// would.
     pub sender_txqueue: usize,
+    /// Router output-queue capacity in packets (both directions). The
+    /// default of 512 models a 1999 switch; large-population sweeps size
+    /// it to the group, because synchronized feedback waves (the JOIN
+    /// burst, aligned periodic-UPDATE timers) arrive as O(receivers)
+    /// packets in one tick and anything shed there turns into retries
+    /// whose stale echoes inflate the sender's RTT estimate.
+    pub router_queue: usize,
     /// RNG seed.
     pub seed: u64,
     /// Simulation horizon in µs.
@@ -91,6 +98,11 @@ pub struct Scenario {
     /// Receivers give up after this many unanswered JOINs (0 = retry
     /// forever).
     pub join_retry_limit: u32,
+    /// Cap on unicast PROBEs per sender tick (0 = probe every eligible
+    /// laggard, the published protocol). Large populations set this to
+    /// pace probe fan-out instead of bursting O(receivers) packets in
+    /// one tick.
+    pub probe_batch_limit: u32,
 }
 
 impl Scenario {
@@ -107,6 +119,7 @@ impl Scenario {
             sink: IoProfile::Memory,
             net: NetKind::Lan { loss: 0.0 },
             sender_txqueue: 30,
+            router_queue: 512,
             seed: 1,
             horizon_us: 1_800 * 1_000_000,
             fec_k: None,
@@ -118,6 +131,7 @@ impl Scenario {
             member_silence_us: 0,
             sender_death_factor: 0,
             join_retry_limit: 0,
+            probe_batch_limit: 0,
         }
     }
 
@@ -155,6 +169,7 @@ impl Scenario {
             sink: IoProfile::Memory,
             net: NetKind::Groups(specs),
             sender_txqueue: 30,
+            router_queue: 512,
             seed: 1,
             horizon_us: 1_800 * 1_000_000,
             fec_k: None,
@@ -166,6 +181,7 @@ impl Scenario {
             member_silence_us: 0,
             sender_death_factor: 0,
             join_retry_limit: 0,
+            probe_batch_limit: 0,
         }
     }
 
@@ -206,6 +222,13 @@ impl Scenario {
     /// Enable SRM-style local recovery (multicast NAKs, peer repairs).
     pub fn with_local_recovery(mut self) -> Scenario {
         self.local_recovery = true;
+        self
+    }
+
+    /// Cap unicast PROBE fan-out at `limit` per sender tick (0 =
+    /// unlimited, the published protocol).
+    pub fn with_probe_batch(mut self, limit: u32) -> Scenario {
+        self.probe_batch_limit = limit;
         self
     }
 
@@ -283,6 +306,7 @@ impl Scenario {
         p.member_silence_us = self.member_silence_us;
         p.sender_death_factor = self.sender_death_factor;
         p.join_retry_limit = self.join_retry_limit;
+        p.probe_batch_limit = self.probe_batch_limit;
         p
     }
 
@@ -290,6 +314,7 @@ impl Scenario {
     pub fn params(&self) -> SimParams {
         let mut builder = TopologyBuilder::new();
         builder.sender_txqueue = self.sender_txqueue;
+        builder.router_queue = self.router_queue;
         let topology = match &self.net {
             NetKind::Lan { loss } => builder.lan(self.receivers, self.bandwidth_bps, *loss),
             NetKind::Groups(specs) => builder.groups(specs, self.bandwidth_bps),

@@ -183,6 +183,13 @@ pub struct ProtocolConfig {
     pub probe_transport: ProbeTransport,
     /// Re-probe interval for an unanswered probe, in RTTs.
     pub probe_retry_rtts: f64,
+    /// Cap on unicast PROBEs emitted per tick. `0` (the default) probes
+    /// every eligible laggard each tick — the published protocol. Above
+    /// the cap, the sender round-robins through the laggard set across
+    /// successive ticks, bounding per-jiffy fan-out at large scale; the
+    /// [`ProbeTransport::MulticastAbove`] decision is judged on the full
+    /// laggard count *before* capping.
+    pub probe_batch_limit: u32,
 
     // ------------------------------------------------------------------
     // RTT estimation
@@ -283,6 +290,7 @@ impl Default for ProtocolConfig {
             probe_policy: ProbePolicy::AtRelease,
             probe_transport: ProbeTransport::Unicast,
             probe_retry_rtts: 2.0,
+            probe_batch_limit: 0,
             initial_rtt: 10 * MS,
             min_rtt: 100,
             join_retry: 200 * MS,

@@ -7,21 +7,83 @@
 //! IP address and the sequence number that the receiver is expecting
 //! next."
 //!
-//! The kernel's linked-list-plus-hash idiom collapses to a single
-//! `HashMap` in Rust; the map owns the per-receiver records and iteration
-//! replaces the list walk. In the original RMC protocol membership is
-//! anonymous — the sender keeps only a count — but the Figure 3(a)
-//! experiment instruments RMC with the same table *without letting it
-//! gate buffer release*, so the table is maintained in both modes and the
+//! The kernel's linked-list-plus-hash idiom collapsed to a single
+//! `HashMap` in the first cut of this crate; that is faithful to the
+//! paper but O(n) for every release-gate check and PROBE-target scan,
+//! which the sender runs several times per jiffy. At the paper's 1–30
+//! receivers that is noise; at the ROADMAP's 10⁵–10⁶ it is the first
+//! scaling wall. This version keeps the flat per-peer record table but
+//! adds a sequence-bucketed index over it:
+//!
+//! * **Shards.** Members are bucketed by the high bits of their
+//!   `next_expected` (`seq >> SHARD_SHIFT`). All members of a shard share
+//!   those high bits exactly, so ordering *within* a shard is plain
+//!   integer order on the low bits — no serial-number arithmetic needed —
+//!   and each shard keeps an exact multiset of its members' low bits in a
+//!   `BTreeMap`, making the shard minimum an O(log) lookup under every
+//!   mutation. Receivers cluster inside the sender's active window, so
+//!   the live shard count stays proportional to the window span (a few
+//!   dozen), not the receiver count.
+//! * **Release-gate heap.** A lazy-deletion min-heap (the same idiom as
+//!   the reactor's deadline heap) over per-shard minima. Every time a
+//!   shard's minimum changes, a fresh entry is pushed; stale entries are
+//!   discarded when they surface at the top. `all_have` and
+//!   `min_next_expected` are therefore heap-peeks — amortized O(log n) —
+//!   instead of full-table walks.
+//! * **Wraparound.** Heap keys must be totally ordered, but serial
+//!   comparison (`seq_lt`) is not a total order over all of `u32`. Keys
+//!   are *virtual sequences*: a `u64` line anchored at the group minimum
+//!   (`vseq(s) = vbase + serial_distance(vbase_seq, s)`), re-anchored at
+//!   the current minimum on every successful peek. All live members sit
+//!   within a serial half-space of the group minimum (they are all inside
+//!   the active window), so every computed key is in range and keys never
+//!   need recomputation — the mapping is a single consistent line.
+//! * **Aggregate bounds.** Each shard carries a conservative lower bound
+//!   on its members' `last_heard` and an upper bound on their
+//!   `probe_failures`. `stale`/`probe_failed` skip shards whose bound
+//!   proves the shard cannot match and re-tighten the bound whenever they
+//!   do descend, so the idle-tick cost is O(shards), not O(members).
+//!
+//! In the original RMC protocol membership is anonymous — the sender
+//! keeps only a count — but the Figure 3(a) experiment instruments RMC
+//! with the same table *without letting it gate buffer release*, so the
+//! table is maintained in both modes and the
 //! [`ReliabilityMode`](crate::config::ReliabilityMode) decides whether the
 //! sender consults it.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use hrmc_wire::{seq_le, Seq};
 
 use crate::time::Micros;
 use crate::PeerId;
+
+/// Shard width exponent: members whose `next_expected` agree on all but
+/// the low `SHARD_SHIFT` bits share a shard (64-sequence buckets). Wide
+/// enough that a congestion-window's worth of receivers spans a handful
+/// of shards; narrow enough that a gate descent touches few non-matching
+/// members.
+const SHARD_SHIFT: u32 = 6;
+
+/// Virtual-sequence origin: far from zero so transient undershoot (a
+/// member joining slightly behind the anchor) stays positive.
+const VBASE_ORIGIN: u64 = 1 << 34;
+
+#[inline]
+fn bucket(seq: Seq) -> u32 {
+    seq >> SHARD_SHIFT
+}
+
+#[inline]
+fn low_bits(seq: Seq) -> u32 {
+    seq & ((1 << SHARD_SHIFT) - 1)
+}
+
+#[inline]
+fn shard_seq(bucket: u32, low: u32) -> Seq {
+    (bucket << SHARD_SHIFT) | low
+}
 
 /// Per-receiver state kept by the sender — deliberately minimal, matching
 /// the paper's two fields plus bookkeeping for probes.
@@ -43,10 +105,70 @@ pub struct Member {
     pub joined_at: Micros,
 }
 
+/// One sequence bucket: the peers whose `next_expected` currently falls in
+/// it, an exact low-bits multiset (first key = exact shard minimum), and
+/// conservative aggregate bounds for the staleness/probe-failure scans.
+#[derive(Debug, Clone)]
+struct Shard {
+    peers: HashSet<PeerId>,
+    /// `low_bits(next_expected)` → member count. Exact; never stale.
+    by_low: BTreeMap<u32, u32>,
+    /// Lower bound on the members' `last_heard` (feedback only moves
+    /// `last_heard` forward, so the bound stays valid and is re-tightened
+    /// on descent).
+    oldest_last_heard: Micros,
+    /// Upper bound on the members' `probe_failures` (feedback resets the
+    /// member counter to zero, leaving the bound stale-high until the
+    /// next descent re-tightens it).
+    max_probe_failures: u32,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            peers: HashSet::new(),
+            by_low: BTreeMap::new(),
+            oldest_last_heard: Micros::MAX,
+            max_probe_failures: 0,
+        }
+    }
+
+    #[inline]
+    fn min_low(&self) -> Option<u32> {
+        self.by_low.keys().next().copied()
+    }
+}
+
+/// Running cost counters for the sharded index: how much work the
+/// release gate and the PROBE/staleness scans actually did. Exposed so
+/// telemetry can show membership pressure (and so the bench can assert
+/// sub-linear growth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MembershipCosts {
+    /// Release-gate (`all_have`) evaluations.
+    pub gate_checks: u64,
+    /// Shards descended into by `lacking`/`stale`/`probe_failed` (shards
+    /// skipped by their aggregate bound are not counted).
+    pub shards_scanned: u64,
+    /// Members touched by those descents.
+    pub members_scanned: u64,
+    /// Stale heap entries discarded by lazy deletion.
+    pub heap_lazy_pops: u64,
+}
+
 /// The sender's membership table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Membership {
     members: HashMap<PeerId, Member>,
+    shards: HashMap<u32, Shard>,
+    /// Lazy-deletion min-heap over `(vseq(shard minimum), bucket)`.
+    /// Invariant: every non-empty shard has at least one entry whose key
+    /// equals the virtual sequence of its *current* minimum.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Virtual-sequence anchor: `vseq(vbase_seq) == vbase`.
+    vbase: u64,
+    vbase_seq: Seq,
+    costs: MembershipCosts,
     /// Total JOINs processed (paper: RMC "approximates the number of
     /// receivers" from joins; kept as a stat in both modes).
     pub total_joins: u64,
@@ -56,10 +178,26 @@ pub struct Membership {
     pub total_ejections: u64,
 }
 
+impl Default for Membership {
+    fn default() -> Self {
+        Membership::new()
+    }
+}
+
 impl Membership {
     /// Empty table.
     pub fn new() -> Membership {
-        Membership::default()
+        Membership {
+            members: HashMap::new(),
+            shards: HashMap::new(),
+            heap: BinaryHeap::new(),
+            vbase: VBASE_ORIGIN,
+            vbase_seq: 0,
+            costs: MembershipCosts::default(),
+            total_joins: 0,
+            total_leaves: 0,
+            total_ejections: 0,
+        }
     }
 
     /// Number of current members.
@@ -72,32 +210,137 @@ impl Membership {
         self.members.is_empty()
     }
 
+    /// Number of live sequence shards (a window-span gauge, not a
+    /// receiver-count gauge).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The running scan-cost counters.
+    pub fn costs(&self) -> MembershipCosts {
+        self.costs
+    }
+
+    /// Map a sequence onto the virtual (non-wrapping) line. Sound while
+    /// `seq` is within a serial half-space of the anchor, which holds for
+    /// every live member because the anchor tracks the group minimum.
+    #[inline]
+    fn vseq(&self, seq: Seq) -> u64 {
+        let delta = seq.wrapping_sub(self.vbase_seq) as i32 as i64;
+        (self.vbase as i64 + delta) as u64
+    }
+
+    /// Insert `peer` (already in `members`) into the shard index.
+    fn shard_insert(&mut self, peer: PeerId, seq: Seq, last_heard: Micros, probe_failures: u32) {
+        let b = bucket(seq);
+        let l = low_bits(seq);
+        let key = self.vseq(seq);
+        let shard = self.shards.entry(b).or_insert_with(Shard::new);
+        shard.peers.insert(peer);
+        let new_min = shard.min_low().is_none_or(|m| l < m);
+        *shard.by_low.entry(l).or_insert(0) += 1;
+        shard.oldest_last_heard = shard.oldest_last_heard.min(last_heard);
+        shard.max_probe_failures = shard.max_probe_failures.max(probe_failures);
+        if new_min {
+            self.heap.push(Reverse((key, b)));
+        }
+    }
+
+    /// Remove `peer` from the shard index position `seq`.
+    fn shard_remove(&mut self, peer: PeerId, seq: Seq) {
+        let b = bucket(seq);
+        let l = low_bits(seq);
+        let Some(shard) = self.shards.get_mut(&b) else {
+            return;
+        };
+        shard.peers.remove(&peer);
+        if let Some(cnt) = shard.by_low.get_mut(&l) {
+            *cnt -= 1;
+            if *cnt == 0 {
+                shard.by_low.remove(&l);
+            }
+        }
+        if shard.peers.is_empty() {
+            // Stale heap entries for the dead bucket are discarded lazily.
+            self.shards.remove(&b);
+        } else if let Some(m) = shard.min_low() {
+            if m > l {
+                // The minimum advanced: restore the heap invariant with a
+                // fresh entry for the new minimum.
+                let key = self.vseq(shard_seq(b, m));
+                self.heap.push(Reverse((key, b)));
+            }
+        }
+    }
+
+    /// The exact group minimum via the lazy heap: discard stale entries
+    /// until the top one matches its shard's current minimum, then
+    /// re-anchor the virtual line there.
+    fn refresh_min(&mut self) -> Option<Seq> {
+        loop {
+            let &Reverse((key, b)) = self.heap.peek()?;
+            let cur = self
+                .shards
+                .get(&b)
+                .and_then(|s| s.min_low())
+                .map(|l| shard_seq(b, l));
+            match cur {
+                Some(seq) if self.vseq(seq) == key => {
+                    self.vbase = key;
+                    self.vbase_seq = seq;
+                    return Some(seq);
+                }
+                _ => {
+                    self.heap.pop();
+                    self.costs.heap_lazy_pops += 1;
+                }
+            }
+        }
+    }
+
     /// Add a member (the sender's `add_member` routine). `next_expected`
     /// is seeded with the sequence number echoed in the JOIN — the first
     /// data packet the receiver saw. Re-joining refreshes `last_heard`
-    /// without regressing `next_expected`.
+    /// without regressing `next_expected`; a re-JOIN is feedback, so it
+    /// also answers any outstanding probe (clearing `last_probed` and the
+    /// consecutive-failure count) — otherwise a rejoining member could
+    /// still be counted toward probe-failure ejection by state from
+    /// before its retry.
     pub fn add(&mut self, peer: PeerId, next_expected: Seq, now: Micros) {
         self.total_joins += 1;
-        self.members
-            .entry(peer)
-            .and_modify(|m| m.last_heard = now)
-            .or_insert(Member {
+        if let Some(m) = self.members.get_mut(&peer) {
+            m.last_heard = now;
+            m.last_probed = None;
+            m.probe_failures = 0;
+            return;
+        }
+        if self.members.is_empty() {
+            // First member: anchor the virtual line at its sequence.
+            self.vbase = VBASE_ORIGIN;
+            self.vbase_seq = next_expected;
+        }
+        self.members.insert(
+            peer,
+            Member {
                 next_expected,
                 last_heard: now,
                 last_probed: None,
                 probe_failures: 0,
                 joined_at: now,
-            });
+            },
+        );
+        self.shard_insert(peer, next_expected, now, 0);
     }
 
     /// Remove a member (the sender's `rm_member` routine). Returns `true`
     /// if the peer was present.
     pub fn remove(&mut self, peer: PeerId) -> bool {
-        let removed = self.members.remove(&peer).is_some();
-        if removed {
-            self.total_leaves += 1;
-        }
-        removed
+        let Some(m) = self.members.remove(&peer) else {
+            return false;
+        };
+        self.shard_remove(peer, m.next_expected);
+        self.total_leaves += 1;
+        true
     }
 
     /// Update a member's next-expected sequence number from feedback (the
@@ -105,13 +348,39 @@ impl Membership {
     /// reordered feedback cannot pull a receiver's confirmed prefix back.
     /// Unknown peers are ignored (feedback can race a LEAVE).
     pub fn update(&mut self, peer: PeerId, next_expected: Seq, now: Micros) {
-        if let Some(m) = self.members.get_mut(&peer) {
-            m.last_heard = now;
-            if hrmc_wire::seq_lt(m.next_expected, next_expected) {
-                m.next_expected = next_expected;
+        let Some(m) = self.members.get_mut(&peer) else {
+            return;
+        };
+        m.last_heard = now;
+        m.last_probed = None; // any feedback satisfies a pending probe
+        m.probe_failures = 0;
+        let old = m.next_expected;
+        if !hrmc_wire::seq_lt(old, next_expected) {
+            return;
+        }
+        m.next_expected = next_expected;
+        let (ob, nb) = (bucket(old), bucket(next_expected));
+        if ob == nb {
+            // Same shard: adjust the low-bits multiset in place. An
+            // advance only ever raises the shard minimum.
+            let (ol, nl) = (low_bits(old), low_bits(next_expected));
+            let shard = self.shards.get_mut(&ob).expect("member shard exists");
+            if let Some(cnt) = shard.by_low.get_mut(&ol) {
+                *cnt -= 1;
+                if *cnt == 0 {
+                    shard.by_low.remove(&ol);
+                }
             }
-            m.last_probed = None; // any feedback satisfies a pending probe
-            m.probe_failures = 0;
+            *shard.by_low.entry(nl).or_insert(0) += 1;
+            if let Some(m) = shard.min_low() {
+                if m > ol {
+                    let key = self.vseq(shard_seq(ob, m));
+                    self.heap.push(Reverse((key, ob)));
+                }
+            }
+        } else {
+            self.shard_remove(peer, old);
+            self.shard_insert(peer, next_expected, now, 0);
         }
     }
 
@@ -122,43 +391,70 @@ impl Membership {
     /// and `min_next_expected` stop consulting them immediately and the
     /// release gate unblocks.
     pub fn eject(&mut self, peer: PeerId) -> bool {
-        let removed = self.members.remove(&peer).is_some();
-        if removed {
-            self.total_ejections += 1;
-        }
-        removed
+        let Some(m) = self.members.remove(&peer) else {
+            return false;
+        };
+        self.shard_remove(peer, m.next_expected);
+        self.total_ejections += 1;
+        true
     }
 
     /// Members from whom nothing has been heard for at least `deadline`
     /// microseconds, sorted for deterministic ejection order. `deadline`
-    /// of zero matches no one (staleness pruning disabled).
-    pub fn stale(&self, now: Micros, deadline: Micros) -> Vec<PeerId> {
+    /// of zero matches no one (staleness pruning disabled). Shards whose
+    /// oldest-feedback bound proves every member recent are skipped
+    /// without touching their members; descended shards get their bound
+    /// re-tightened for free.
+    pub fn stale(&mut self, now: Micros, deadline: Micros) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = Vec::new();
         if deadline == 0 {
-            return Vec::new();
+            return v;
         }
-        let mut v: Vec<PeerId> = self
-            .members
-            .iter()
-            .filter(|(_, m)| now.saturating_sub(m.last_heard) >= deadline)
-            .map(|(p, _)| *p)
-            .collect();
+        for shard in self.shards.values_mut() {
+            if now.saturating_sub(shard.oldest_last_heard) < deadline {
+                continue;
+            }
+            self.costs.shards_scanned += 1;
+            self.costs.members_scanned += shard.peers.len() as u64;
+            let mut oldest = Micros::MAX;
+            for &p in &shard.peers {
+                let m = &self.members[&p];
+                if now.saturating_sub(m.last_heard) >= deadline {
+                    v.push(p);
+                }
+                oldest = oldest.min(m.last_heard);
+            }
+            shard.oldest_last_heard = oldest;
+        }
         v.sort_unstable();
         v
     }
 
     /// Members whose consecutive unanswered-probe count has reached
     /// `limit`, sorted for deterministic ejection order. `limit` of zero
-    /// matches no one (probe-failure ejection disabled).
-    pub fn probe_failed(&self, limit: u32) -> Vec<PeerId> {
+    /// matches no one (probe-failure ejection disabled). Shards whose
+    /// failure-count bound sits below `limit` are skipped whole.
+    pub fn probe_failed(&mut self, limit: u32) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = Vec::new();
         if limit == 0 {
-            return Vec::new();
+            return v;
         }
-        let mut v: Vec<PeerId> = self
-            .members
-            .iter()
-            .filter(|(_, m)| m.probe_failures >= limit)
-            .map(|(p, _)| *p)
-            .collect();
+        for shard in self.shards.values_mut() {
+            if shard.max_probe_failures < limit {
+                continue;
+            }
+            self.costs.shards_scanned += 1;
+            self.costs.members_scanned += shard.peers.len() as u64;
+            let mut max_pf = 0;
+            for &p in &shard.peers {
+                let m = &self.members[&p];
+                if m.probe_failures >= limit {
+                    v.push(p);
+                }
+                max_pf = max_pf.max(m.probe_failures);
+            }
+            shard.max_probe_failures = max_pf;
+        }
         v.sort_unstable();
         v
     }
@@ -178,51 +474,79 @@ impl Membership {
     /// predicate of paper §3 (Probe Messages): "before releasing buffer
     /// space, the sender checks the state of all the receivers with
     /// respect to the sequence number past which it intends to advance
-    /// the window."
+    /// the window." A heap-peek against the group minimum, not a table
+    /// walk.
     ///
     /// With no members the release is trivially safe (there is no one to
     /// owe the data to; matches IP-multicast anonymous semantics before
     /// any JOIN arrives).
-    pub fn all_have(&self, seq: Seq) -> bool {
-        self.members
-            .values()
-            .all(|m| seq_le(seq.wrapping_add(1), m.next_expected))
+    pub fn all_have(&mut self, seq: Seq) -> bool {
+        self.costs.gate_checks += 1;
+        match self.refresh_min() {
+            None => true,
+            Some(min) => seq_le(seq.wrapping_add(1), min),
+        }
     }
 
-    /// The receivers lacking confirmation of `seq`, i.e. the PROBE targets.
-    pub fn lacking(&self, seq: Seq) -> Vec<PeerId> {
-        let mut v: Vec<PeerId> = self
-            .members
-            .iter()
-            .filter(|(_, m)| !seq_le(seq.wrapping_add(1), m.next_expected))
-            .map(|(p, _)| *p)
-            .collect();
-        v.sort_unstable(); // deterministic probe order
+    /// The receivers lacking confirmation of `seq`, i.e. the PROBE
+    /// targets. See [`lacking_into`](Membership::lacking_into).
+    pub fn lacking(&mut self, seq: Seq) -> Vec<PeerId> {
+        let mut v = Vec::new();
+        self.lacking_into(seq, &mut v);
         v
+    }
+
+    /// Collect the receivers lacking confirmation of `seq` into `out`
+    /// (cleared first), sorted for deterministic probe order. The
+    /// allocation-free variant for the sender's tick path: only shards
+    /// whose minimum fails the gate are descended — at most one shard
+    /// straddles the gate; the rest either pass whole (skipped) or lag
+    /// whole (every member is a target).
+    pub fn lacking_into(&mut self, seq: Seq, out: &mut Vec<PeerId>) {
+        out.clear();
+        let gate = seq.wrapping_add(1);
+        match self.refresh_min() {
+            None => return,
+            Some(min) if seq_le(gate, min) => return, // everyone has it
+            Some(_) => {}
+        }
+        for (&b, shard) in self.shards.iter() {
+            let smin = shard_seq(b, shard.min_low().expect("non-empty shard"));
+            if seq_le(gate, smin) {
+                continue; // the whole shard passes the gate
+            }
+            self.costs.shards_scanned += 1;
+            self.costs.members_scanned += shard.peers.len() as u64;
+            for &p in &shard.peers {
+                if !seq_le(gate, self.members[&p].next_expected) {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_unstable(); // deterministic probe order
     }
 
     /// The group-wide minimum next-expected sequence number, or `None`
     /// with no members. Everything before this is confirmed everywhere.
-    pub fn min_next_expected(&self) -> Option<Seq> {
-        self.members
-            .values()
-            .map(|m| m.next_expected)
-            .fold(None, |acc, s| match acc {
-                None => Some(s),
-                Some(cur) if hrmc_wire::seq_lt(s, cur) => Some(s),
-                Some(cur) => Some(cur),
-            })
+    pub fn min_next_expected(&mut self) -> Option<Seq> {
+        self.refresh_min()
     }
 
     /// Record that `peer` was probed at `now`. Probing a peer whose
     /// previous probe is still unanswered counts one probe failure.
     pub fn mark_probed(&mut self, peer: PeerId, now: Micros) {
-        if let Some(m) = self.members.get_mut(&peer) {
-            if m.last_probed.is_some() {
-                m.probe_failures += 1;
+        let Some(m) = self.members.get_mut(&peer) else {
+            return;
+        };
+        if m.last_probed.is_some() {
+            m.probe_failures += 1;
+            let b = bucket(m.next_expected);
+            let pf = m.probe_failures;
+            if let Some(shard) = self.shards.get_mut(&b) {
+                shard.max_probe_failures = shard.max_probe_failures.max(pf);
             }
-            m.last_probed = Some(now);
         }
+        m.last_probed = Some(now);
     }
 }
 
@@ -258,6 +582,24 @@ mod tests {
         m.add(P1, 0, 20); // duplicate JOIN (retry)
         assert_eq!(m.get(P1).unwrap().next_expected, 50);
         assert_eq!(m.get(P1).unwrap().last_heard, 20);
+    }
+
+    #[test]
+    fn rejoin_clears_outstanding_probe_state() {
+        let mut m = Membership::new();
+        m.add(P1, 0, 0);
+        m.mark_probed(P1, 5);
+        m.mark_probed(P1, 10);
+        m.mark_probed(P1, 15);
+        assert_eq!(m.get(P1).unwrap().probe_failures, 2);
+        // A duplicate JOIN is feedback: the receiver is alive, so the
+        // outstanding probe is answered and the failure streak resets —
+        // a re-JOINing member must not inherit a pre-retry ejection
+        // countdown.
+        m.add(P1, 0, 20);
+        assert_eq!(m.get(P1).unwrap().last_probed, None);
+        assert_eq!(m.get(P1).unwrap().probe_failures, 0);
+        assert_eq!(m.probe_failed(2), Vec::<PeerId>::new());
     }
 
     #[test]
@@ -387,5 +729,73 @@ mod tests {
         m.update(P1, base.wrapping_add(3), 1); // confirmed through wrap
         assert!(m.all_have(base.wrapping_add(2)));
         assert!(!m.all_have(base.wrapping_add(3)));
+    }
+
+    #[test]
+    fn gate_is_exact_across_shard_boundaries() {
+        // Members straddling several 64-sequence buckets: the gate must
+        // stay member-exact even when whole shards are skipped or lag.
+        let mut m = Membership::new();
+        for i in 0..10u32 {
+            m.add(PeerId(i), 0, 0);
+            m.update(PeerId(i), i * 50, 1); // buckets 0..=7
+        }
+        assert_eq!(m.min_next_expected(), Some(0));
+        assert!(!m.all_have(0));
+        // Everyone with next_expected <= 200 lacks seq 200: peers 0..=4.
+        assert_eq!(
+            m.lacking(200),
+            (0..5).map(PeerId).collect::<Vec<_>>(),
+            "shard-skipping descent must still be member-exact"
+        );
+        m.update(PeerId(0), 451, 2);
+        assert_eq!(m.min_next_expected(), Some(50));
+        assert!(m.all_have(49));
+        assert!(!m.all_have(50));
+        assert!(m.shard_count() >= 2);
+    }
+
+    #[test]
+    fn wraparound_group_min_advances_through_zero() {
+        // March a small group's minimum across the u32 wrap; the heap's
+        // virtual keys must keep the gate exact the whole way.
+        let mut m = Membership::new();
+        let start = u32::MAX - 300;
+        for i in 0..4u32 {
+            m.add(PeerId(i), start, 0);
+        }
+        let mut now = 1;
+        for step in 1..=40u32 {
+            for i in 0..4u32 {
+                let ne = start.wrapping_add(step * 20 + i);
+                m.update(PeerId(i), ne, now);
+                now += 1;
+            }
+            let min = start.wrapping_add(step * 20);
+            assert_eq!(m.min_next_expected(), Some(min), "step {step}");
+            assert!(m.all_have(min.wrapping_sub(1)));
+            assert!(!m.all_have(min));
+        }
+        assert!(m.costs().gate_checks > 0);
+    }
+
+    #[test]
+    fn scan_costs_skip_clean_shards() {
+        let mut m = Membership::new();
+        for i in 0..100u32 {
+            m.add(PeerId(i), 0, 0);
+            m.update(PeerId(i), 1000, 5);
+        }
+        let before = m.costs();
+        // Nobody is stale and no shard bound can match: zero descents.
+        assert_eq!(m.stale(10, 100), Vec::<PeerId>::new());
+        assert_eq!(m.probe_failed(1), Vec::<PeerId>::new());
+        let after = m.costs();
+        assert_eq!(after.members_scanned, before.members_scanned);
+        // Everyone already has seq 500: the gate answers by heap-peek,
+        // descending into no shard at all.
+        assert!(m.all_have(500));
+        assert_eq!(m.lacking(500), Vec::<PeerId>::new());
+        assert_eq!(m.costs().members_scanned, before.members_scanned);
     }
 }

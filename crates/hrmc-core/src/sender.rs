@@ -93,6 +93,13 @@ pub struct SenderEngine {
     /// Outstanding probe nonces → issue time, for RTT samples on echo.
     probe_nonces: HashMap<u32, Micros>,
     next_nonce: u32,
+    /// Reused PROBE-target buffer: the tick path collects laggards here
+    /// instead of allocating a fresh `Vec` per gate stall.
+    probe_scratch: Vec<PeerId>,
+    /// Round-robin cursor into the sorted laggard list, advanced when
+    /// `probe_batch_limit` caps a tick's unicast fan-out so successive
+    /// ticks sweep the whole set.
+    probe_rr_cursor: usize,
     /// Sequence whose release attempt has been counted (Figure 3 metric
     /// counts each segment's *first* eligibility exactly once).
     release_attempt_counted_through: Option<Seq>,
@@ -153,6 +160,8 @@ impl SenderEngine {
             fec: config.fec.map(|f| FecEncoder::new(f.k)),
             probe_nonces: HashMap::new(),
             next_nonce: 1,
+            probe_scratch: Vec::new(),
+            probe_rr_cursor: 0,
             release_attempt_counted_through: None,
             last_transmitted: None,
             closed: false,
@@ -479,6 +488,7 @@ impl SenderEngine {
 
     /// Run one transmitter tick at `now`. Drivers call this every jiffy.
     pub fn on_tick(&mut self, now: Micros) {
+        let probes_at_entry = self.stats.probes_sent;
         self.rate.on_tick(now, self.rtt.rtt());
         self.note_rate_events(now);
         let allowance = self.rate.budget(now, JIFFY_US);
@@ -580,6 +590,16 @@ impl SenderEngine {
         self.maybe_keepalive(now);
         self.maybe_finish();
         self.prune_nonces(now);
+
+        // Refresh the membership-pressure gauges (all serde-skipped, so
+        // serialized stats and fixture hashes are unaffected).
+        self.stats.probes_last_tick = self.stats.probes_sent - probes_at_entry;
+        let costs = self.membership.costs();
+        self.stats.gate_checks = costs.gate_checks;
+        self.stats.gate_members_scanned = costs.members_scanned;
+        self.stats.membership_heap_pops = costs.heap_lazy_pops;
+        self.stats.membership_size = self.membership.len() as u64;
+        self.stats.membership_shards = self.membership.shard_count() as u64;
     }
 
     /// Failure-domain pass: eject members that stopped answering PROBEs
@@ -712,20 +732,26 @@ impl SenderEngine {
 
     /// Unicast (or multicast, per policy) PROBE packets to the receivers
     /// whose state for `seq` is unknown, rate-limited per receiver.
+    ///
+    /// The laggard set is collected into a reused scratch buffer (no
+    /// per-tick allocation) and, when `probe_batch_limit` is set, unicast
+    /// fan-out is capped per tick with a round-robin cursor so successive
+    /// ticks sweep the whole set instead of bursting one PROBE per
+    /// laggard per jiffy. The multicast-vs-unicast decision is judged on
+    /// the *uncapped* laggard count: demand decides the transport, the
+    /// cap only paces it.
     fn send_probes(&mut self, seq: Seq, now: Micros) {
         let retry = scale(self.rtt.rtt(), self.config.probe_retry_rtts).max(JIFFY_US);
-        let lacking: Vec<PeerId> = self
-            .membership
-            .lacking(seq)
-            .into_iter()
-            .filter(|p| {
-                self.membership
-                    .get(*p)
-                    .and_then(|m| m.last_probed)
-                    .is_none_or(|t| now.saturating_sub(t) >= retry)
-            })
-            .collect();
+        let mut lacking = std::mem::take(&mut self.probe_scratch);
+        self.membership.lacking_into(seq, &mut lacking);
+        lacking.retain(|p| {
+            self.membership
+                .get(*p)
+                .and_then(|m| m.last_probed)
+                .is_none_or(|t| now.saturating_sub(t) >= retry)
+        });
         if lacking.is_empty() {
+            self.probe_scratch = lacking;
             return;
         }
         let multicast = match self.config.probe_transport {
@@ -748,7 +774,15 @@ impl SenderEngine {
             );
             self.push_out(Dest::Multicast, pkt);
         } else {
-            for p in lacking {
+            let total = lacking.len();
+            let limit = self.config.probe_batch_limit as usize;
+            let (start, count) = if limit == 0 || total <= limit {
+                (0, total)
+            } else {
+                (self.probe_rr_cursor % total, limit)
+            };
+            for i in 0..count {
+                let p = lacking[(start + i) % total];
                 let pkt = self.make_probe(seq, now);
                 self.stats.probes_sent += 1;
                 self.membership.mark_probed(p, now);
@@ -762,7 +796,12 @@ impl SenderEngine {
                 );
                 self.push_out(Dest::Unicast(p), pkt);
             }
+            if count < total {
+                self.probe_rr_cursor = (start + count) % total;
+                self.stats.probes_deferred_by_batch += (total - count) as u64;
+            }
         }
+        self.probe_scratch = lacking;
     }
 
     /// Early-probe optimization (paper future-work item 1): probe lacking
@@ -867,6 +906,24 @@ impl SenderEngine {
     /// Read-only view of the membership table (for instrumentation).
     pub fn membership(&self) -> &Membership {
         &self.membership
+    }
+
+    /// Publish membership-pressure gauges into `reg` — the continuous-
+    /// telemetry hook. Drivers call this while gathering a sample so
+    /// `hrmc top` and `/metrics` show group size, shard count, and what
+    /// the release gate's scans actually cost.
+    pub fn publish_metrics(&self, reg: &mut crate::metrics::MetricsRegistry) {
+        let costs = self.membership.costs();
+        reg.set_gauge("membership_size", self.membership.len() as u64);
+        reg.set_gauge("membership_shards", self.membership.shard_count() as u64);
+        reg.set_gauge("membership_gate_checks", costs.gate_checks);
+        reg.set_gauge("membership_gate_members_scanned", costs.members_scanned);
+        reg.set_gauge("membership_heap_lazy_pops", costs.heap_lazy_pops);
+        reg.set_gauge("probes_last_tick", self.stats.probes_last_tick);
+        reg.set_gauge(
+            "probes_deferred_by_batch",
+            self.stats.probes_deferred_by_batch,
+        );
     }
 
     /// Record an incoming datagram discarded for checksum failure. The
@@ -1236,6 +1293,73 @@ mod tests {
             probes.iter().all(|o| o.dest == Dest::Multicast),
             "4 lacking receivers > threshold 2 must multicast the probe"
         );
+    }
+
+    #[test]
+    fn probe_batch_limit_paces_fanout_round_robin() {
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.probe_batch_limit = 2;
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        let peers: Vec<PeerId> = (1..=5u32).map(PeerId).collect();
+        for &p in &peers {
+            join(&mut s, p, 0, 0);
+        }
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        // Drive tick by tick: no tick may exceed the cap, yet the
+        // round-robin cursor must reach every laggard.
+        let mut probed: HashSet<PeerId> = HashSet::new();
+        let mut t = 0;
+        while t <= 400_000 {
+            s.on_tick(t);
+            let probes: Vec<PeerId> = drain(&mut s)
+                .into_iter()
+                .filter(|o| o.packet.header.ptype == PacketType::Probe)
+                .filter_map(|o| match o.dest {
+                    Dest::Unicast(p) => Some(p),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                probes.len() <= 2,
+                "tick at {t} emitted {} probes past the cap",
+                probes.len()
+            );
+            assert_eq!(s.stats.probes_last_tick, probes.len() as u64);
+            probed.extend(probes);
+            t += JIFFY_US;
+        }
+        assert_eq!(
+            probed.len(),
+            peers.len(),
+            "round-robin never reached some laggards: {probed:?}"
+        );
+        assert!(s.stats.probes_deferred_by_batch > 0);
+        assert_eq!(s.stats.segments_released, 0);
+    }
+
+    #[test]
+    fn probe_batch_cap_does_not_defeat_multicast_threshold() {
+        // The multicast decision sees all 4 laggards even though the cap
+        // would allow only one unicast probe per tick: demand picks the
+        // transport, the cap only paces unicast fan-out.
+        let mut cfg = ProtocolConfig::hrmc().with_buffer(64 * 1024);
+        cfg.probe_transport = ProbeTransport::MulticastAbove(2);
+        cfg.probe_batch_limit = 1;
+        let mut s = SenderEngine::new(cfg, 7000, 7001, 0, 0);
+        for p in 1..=4u32 {
+            join(&mut s, PeerId(p), 0, 0);
+        }
+        drain(&mut s);
+        s.submit(&vec![0u8; 1400], 0);
+        let out = run_until(&mut s, 0, 300_000);
+        let probes: Vec<_> = out
+            .iter()
+            .filter(|o| o.packet.header.ptype == PacketType::Probe)
+            .collect();
+        assert!(!probes.is_empty());
+        assert!(probes.iter().all(|o| o.dest == Dest::Multicast));
+        assert_eq!(s.stats.probes_deferred_by_batch, 0);
     }
 
     #[test]

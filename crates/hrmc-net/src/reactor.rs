@@ -99,6 +99,11 @@ pub(crate) trait ReactorSession: Send + Sync {
     /// Per-session traffic totals for telemetry (`id` filled in by the
     /// reactor, which owns the numbering).
     fn health(&self) -> SessionHealth;
+    /// Publish engine-level gauges (e.g. the sender's membership
+    /// pressure) into a metrics registry. Default: none. With several
+    /// publishing sessions on one reactor the last writer wins per
+    /// gauge, matching the common one-sender-per-process deployment.
+    fn publish_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 /// Per-session traffic totals, the raw material for per-session rate
@@ -636,6 +641,16 @@ impl Reactor {
             "reactor_timer_slippage_us",
             &self.core.stats.timer_slippage_us.lock(),
         );
+        // Engine-level gauges from every live session (the sender's
+        // membership-pressure set). Sessions are cloned out of the lock
+        // first: a session's own engine lock is taken inside
+        // `publish_metrics`, and holding the registry lock across it
+        // would order those locks against the reactor thread's.
+        let sessions: Vec<Arc<dyn ReactorSession>> =
+            self.core.sessions.lock().values().cloned().collect();
+        for s in sessions {
+            s.publish_metrics(reg);
+        }
     }
 
     /// Register a session: its sockets go nonblocking and into the epoll

@@ -199,6 +199,10 @@ impl ReactorSession for Inner {
     fn health(&self) -> SessionHealth {
         self.counters.health("sender")
     }
+
+    fn publish_metrics(&self, reg: &mut hrmc_core::metrics::MetricsRegistry) {
+        self.engine.lock().publish_metrics(reg);
+    }
 }
 
 /// Owner handle for a live sending endpoint; dropping it deregisters

@@ -328,3 +328,68 @@ fn deprecated_bind_and_join_still_transfer() {
     assert_eq!(&buf[..n], b"compat shim");
     tx.close_and_wait(Duration::from_secs(30)).expect("close");
 }
+
+/// The sender session's membership-pressure gauges must surface through
+/// the reactor's metrics fan-in (the path the telemetry sampler, the
+/// `/metrics` exposition, and `hrmc top` all read).
+#[test]
+fn membership_gauges_flow_through_reactor_metrics() {
+    if !multicast_available(46170) {
+        eprintln!("skipping: multicast loopback unavailable");
+        return;
+    }
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 88, 19), 46171);
+    // A private reactor so the gauge assertions see only this session.
+    let reactor = hrmc_net::Reactor::new().expect("reactor");
+    let rx = Session::receiver(group)
+        .interface(LO)
+        .config(config())
+        .reactor(reactor.clone())
+        .bind()
+        .expect("join receiver");
+    let tx = Session::sender(group)
+        .interface(LO)
+        .config(config())
+        .reactor(reactor.clone())
+        .bind()
+        .expect("bind sender");
+    let payload = pattern(40_000);
+    let reader = std::thread::spawn(move || {
+        let mut got = 0usize;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match rx.recv(&mut buf, Duration::from_secs(30)) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        got
+    });
+    tx.send(&payload).expect("send");
+    // Gather while the session is still live. The JOIN handshake races
+    // this thread, so poll until the member appears (bounded).
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let reg = loop {
+        let mut reg = hrmc_core::MetricsRegistry::new();
+        reactor.publish_metrics(&mut reg);
+        if reg.gauge("membership_size") == Some(1)
+            && reg.gauge("membership_gate_checks").is_some_and(|c| c > 0)
+        {
+            break reg;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "receiver never appeared in the membership gauges: {:?}",
+            reg.gauge("membership_size")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        reg.gauge("membership_shards").is_some_and(|s| s >= 1),
+        "at least one live shard"
+    );
+    assert!(reg.gauge("probes_last_tick").is_some());
+    tx.close_and_wait(Duration::from_secs(30)).expect("close");
+    assert_eq!(reader.join().expect("reader"), payload.len());
+}

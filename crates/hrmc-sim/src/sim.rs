@@ -21,6 +21,8 @@ use hrmc_wire::Packet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
 
 use crate::apps::{IoProfile, SinkApp, SourceApp};
@@ -140,8 +142,17 @@ pub struct Simulation {
     obs: Option<Arc<Mutex<SharedObs>>>,
     /// Per-host next-tick deadline (absolute, jiffy-grid-aligned), from
     /// the engines' `next_wakeup`; `None` while a host is fully idle.
-    /// Re-derived after every tick and every packet arrival.
+    /// Re-derived after every tick and every packet arrival. This vector
+    /// is the source of truth; `due_heap` is only an index into it.
     due: Vec<Option<u64>>,
+    /// Lazy-deletion min-heap over `(deadline, host)` mirroring `due`:
+    /// every arm pushes an entry, disarms and re-arms leave stale entries
+    /// behind, and stale entries are discarded when they surface at the
+    /// top. Lets a sweep find the hosts that are actually due — and the
+    /// earliest armed deadline — without scanning every host, which is
+    /// what keeps a 100k-receiver sweep from costing 100k comparisons
+    /// per jiffy.
+    due_heap: BinaryHeap<Reverse<(u64, usize)>>,
     done: bool,
     /// Packets severed by scheduled partitions.
     partition_drops: u64,
@@ -217,6 +228,7 @@ impl Simulation {
             queue.schedule(params.faults.churn[idx].at_us, Ev::Churn { idx });
         }
         let due = vec![Some(JIFFY_US); n + 1];
+        let due_heap = (0..=n).map(|h| Reverse((JIFFY_US, h))).collect();
         let rng = SmallRng::seed_from_u64(params.seed);
         let trace = params.trace_bucket_us.map(crate::trace::Trace::new);
         let next_sample_at = params.sample_interval_us.map(|i| i.max(1));
@@ -230,6 +242,7 @@ impl Simulation {
             trace,
             obs: None,
             due,
+            due_heap,
             done: false,
             partition_drops: 0,
             corruption_drops: 0,
@@ -346,14 +359,62 @@ impl Simulation {
     // Hosts
     // ------------------------------------------------------------------
 
+    /// Arm (or re-arm) a host's tick deadline: write the source of truth
+    /// and index the new value in the heap. A re-arm leaves the old heap
+    /// entry behind as garbage; it is discarded when it surfaces.
+    fn set_due(&mut self, host: usize, deadline: Option<u64>) {
+        self.due[host] = deadline;
+        if let Some(d) = deadline {
+            self.due_heap.push(Reverse((d, host)));
+        }
+    }
+
+    /// Pull a host's deadline earlier (never later): used by the wakeup
+    /// paths that need a host serviced by `at` without losing an already
+    /// sooner deadline.
+    fn arm_no_later(&mut self, host: usize, at: u64) {
+        let d = self.due[host].map_or(at, |cur| cur.min(at));
+        self.set_due(host, Some(d));
+    }
+
+    /// Earliest armed host deadline, via the heap: lazy-discard entries
+    /// that no longer match `due` until the top is live. Every armed host
+    /// keeps at least one matching entry (each arm pushes one), so a
+    /// validating top entry is the true minimum.
+    fn earliest_due(&mut self) -> Option<u64> {
+        while let Some(&Reverse((t, host))) = self.due_heap.peek() {
+            if self.due[host] == Some(t) {
+                return Some(t);
+            }
+            self.due_heap.pop();
+        }
+        None
+    }
+
     /// Service every host whose deadline has arrived (in host order, as
     /// the old per-host `Tick` events fired), then schedule the next
     /// sweep: one jiffy ahead while packet events are still in flight
     /// (they can arm hosts between grid points), or — the
     /// activity-proportional jump — straight to the earliest armed host
     /// deadline once the event queue is otherwise empty.
+    ///
+    /// Due hosts come from the deadline heap, not a scan of every host:
+    /// pop everything at or before `now` (stale entries included — the
+    /// `due` check below rejects them, exactly as the old full scan
+    /// did), then service the survivors in host order so the trajectory
+    /// is byte-identical to the scanning scheduler's.
     fn on_sweep(&mut self, now: u64) {
-        for host in 0..self.hosts.len() {
+        let mut ready: Vec<usize> = Vec::new();
+        while let Some(&Reverse((t, host))) = self.due_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.due_heap.pop();
+            ready.push(host);
+        }
+        ready.sort_unstable();
+        ready.dedup();
+        for host in ready {
             if self.due[host].is_some_and(|d| d <= now) {
                 self.due[host] = None;
                 self.tick_host(host, now);
@@ -363,8 +424,8 @@ impl Simulation {
             }
         }
         let next = if self.queue.is_empty() {
-            match self.due.iter().flatten().min() {
-                Some(&d) => d.max(next_grid(now)),
+            match self.earliest_due() {
+                Some(d) => d.max(next_grid(now)),
                 None => return, // fully idle: the run is over
             }
         } else {
@@ -383,8 +444,7 @@ impl Simulation {
                     // Wake the sender so the completion check (and any
                     // ejection logic) sees the change on the next sweep.
                     if host != 0 {
-                        let g = next_grid(now);
-                        self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+                        self.arm_no_later(0, next_grid(now));
                     }
                 }
             }
@@ -393,8 +453,7 @@ impl Simulation {
             ChurnAction::ResumeSender => {
                 if self.hosts[0].paused {
                     self.hosts[0].paused = false;
-                    let g = next_grid(now);
-                    self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+                    self.arm_no_later(0, next_grid(now));
                 }
             }
         }
@@ -420,7 +479,7 @@ impl Simulation {
                 e.set_observer(obs);
             }
         }
-        self.due[host] = Some(next_grid(now));
+        self.set_due(host, Some(next_grid(now)));
     }
 
     /// `true` when a scheduled partition currently severs `receiver`.
@@ -441,7 +500,7 @@ impl Simulation {
         if self.hosts[host].paused {
             // Frozen process: do nothing, but stay armed so the resume
             // action finds a live timer.
-            self.due[host] = Some(next_grid(now));
+            self.set_due(host, Some(next_grid(now)));
             return;
         }
         {
@@ -464,7 +523,7 @@ impl Simulation {
             self.done = true;
             return;
         }
-        self.due[host] = self.next_due(host, now);
+        self.set_due(host, self.next_due(host, now));
     }
 
     /// Pump a receiver's sink; when that completes the stream, arm the
@@ -474,8 +533,7 @@ impl Simulation {
         let was_complete = self.hosts[host].completed_at.is_some();
         self.hosts[host].pump_sink(now);
         if !was_complete && self.hosts[host].completed_at.is_some() {
-            let g = next_grid(now);
-            self.due[0] = Some(self.due[0].map_or(g, |d| d.min(g)));
+            self.arm_no_later(0, next_grid(now));
         }
     }
 
@@ -536,7 +594,7 @@ impl Simulation {
         self.drain_engine(host, now);
         // A packet can arm or disarm any engine timer: re-derive the
         // host's deadline.
-        self.due[host] = self.next_due(host, now);
+        self.set_due(host, self.next_due(host, now));
     }
 
     /// Move every packet the host's engine queued onto the wire: charge
