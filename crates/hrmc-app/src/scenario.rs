@@ -5,8 +5,8 @@
 
 use hrmc_core::{ProtocolConfig, ReliabilityMode};
 use hrmc_sim::{
-    ChurnAction, ChurnEvent, FaultPlan, GroupSpec, IoProfile, LossModel, Partition, SimParams,
-    SimReport, Simulation, TopologyBuilder,
+    ChurnAction, ChurnEvent, FaultPlan, GroupSpec, IoProfile, LinkSchedule, LossModel, Partition,
+    SimParams, SimReport, Simulation, TopologyBuilder,
 };
 
 /// Which network world the scenario runs in.
@@ -87,6 +87,10 @@ pub struct Scenario {
     /// Injected faults: link misbehavior, partitions, host churn. Empty
     /// by default (a fault-free run).
     pub faults: FaultPlan,
+    /// Scheduled link dynamics: capacity collapse/recovery ramps,
+    /// bufferbloat, jitter spikes, asymmetric up-paths, receiver
+    /// migration. Empty by default (a static network).
+    pub links: LinkSchedule,
     /// Eject a member after this many consecutive unanswered PROBEs
     /// (0 = never; the protocol default).
     pub probe_failure_limit: u32,
@@ -127,6 +131,7 @@ impl Scenario {
             cpu_scale: 1.0,
             max_rate_factor: 0.95,
             faults: FaultPlan::default(),
+            links: LinkSchedule::default(),
             probe_failure_limit: 0,
             member_silence_us: 0,
             sender_death_factor: 0,
@@ -177,6 +182,7 @@ impl Scenario {
             cpu_scale: 1.0,
             max_rate_factor: 0.95,
             faults: FaultPlan::default(),
+            links: LinkSchedule::default(),
             probe_failure_limit: 0,
             member_silence_us: 0,
             sender_death_factor: 0,
@@ -235,6 +241,13 @@ impl Scenario {
     /// Install a complete fault plan (link faults, partitions, churn).
     pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
         self.faults = faults;
+        self
+    }
+
+    /// Install a link-dynamics schedule (capacity ramps, bufferbloat,
+    /// jitter spikes, up-path impairment, receiver migration).
+    pub fn with_links(mut self, links: LinkSchedule) -> Scenario {
+        self.links = links;
         self
     }
 
@@ -329,6 +342,7 @@ impl Scenario {
         params.horizon_us = self.horizon_us;
         params.cpu_scale = self.cpu_scale;
         params.faults = self.faults.clone();
+        params.links = self.links.clone();
         params
     }
 

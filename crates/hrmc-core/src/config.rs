@@ -212,6 +212,16 @@ pub struct ProtocolConfig {
     /// [`SessionFailed`](crate::events::ReceiverEvent::SessionFailed).
     /// `0` retries forever (the original behaviour).
     pub join_retry_limit: u32,
+    /// Deterministic jitter fraction applied to each JOIN retry backoff
+    /// step, in `[0, 1]`: the effective delay is the backoff step scaled
+    /// by `1 ± join_jitter`, with the offset hashed from the receiver's
+    /// local port and attempt number. A group of receivers that lost the
+    /// same JOIN_RESPONSE burst (a partition heal, a sender restart)
+    /// would otherwise retry in lock-step and collide again; the hash
+    /// spreads them without drawing from any RNG, so runs stay
+    /// reproducible. `0.0` (the default) keeps the original unjittered
+    /// backoff.
+    pub join_jitter: f64,
 
     // ------------------------------------------------------------------
     // Failure domains (ejection / death detection)
@@ -296,6 +306,7 @@ impl Default for ProtocolConfig {
             join_retry: 200 * MS,
             join_retry_max: 200 * MS,
             join_retry_limit: 0,
+            join_jitter: 0.0,
             probe_failure_limit: 0,
             member_silence_us: 0,
             sender_death_factor: 0,
@@ -342,6 +353,12 @@ impl ProtocolConfig {
         self
     }
 
+    /// Builder-style JOIN-retry jitter setter (fraction in `[0, 1]`).
+    pub fn join_jitter(mut self, jitter: f64) -> Self {
+        self.join_jitter = jitter;
+        self
+    }
+
     /// Builder-style segment size setter.
     pub fn with_segment_size(mut self, bytes: usize) -> Self {
         self.segment_size = bytes;
@@ -380,6 +397,9 @@ impl ProtocolConfig {
         }
         if self.join_retry_max < self.join_retry {
             return Err("join_retry_max must be >= join_retry".into());
+        }
+        if !(0.0..=1.0).contains(&self.join_jitter) {
+            return Err("join_jitter must be within [0, 1]".into());
         }
         if let Some(fec) = &self.fec {
             fec.validate()?;
@@ -456,6 +476,12 @@ mod tests {
 
         let mut c = ProtocolConfig::default();
         c.join_retry_max = c.join_retry - 1;
+        assert!(c.validate().is_err());
+
+        let mut c = ProtocolConfig::default();
+        c.join_jitter = 1.5;
+        assert!(c.validate().is_err());
+        c.join_jitter = -0.1;
         assert!(c.validate().is_err());
     }
 

@@ -90,6 +90,13 @@ pub use time::{Micros, JIFFY_US};
 
 use hrmc_wire::Packet;
 
+/// Largest sequence span one control packet (NAK, NAK_ERR, peer NAK) may
+/// make an engine iterate. The wire `length` field is attacker-
+/// controlled; a forged packet naming a 2^32-sequence range must not buy
+/// four billion loop iterations. Legitimate spans are bounded far below
+/// this by the byte-accounted windows.
+pub const MAX_CONTROL_SPAN: u32 = 1 << 16;
+
 /// Identifies a receiver from the sender's point of view. Drivers map this
 /// to a transport address (a simulator node id or a UDP socket address).
 /// The paper's sender keys its membership structures by the receiver's

@@ -27,12 +27,23 @@ struct NakEntry {
     tries: u8,
 }
 
+/// Hard cap on tracked missing sequence numbers. A hostile KEEPALIVE or
+/// PROBE can advertise a sequence far ahead of the stream; expanding
+/// that span one entry per sequence would let a single datagram pin
+/// gigabytes of pending state. Gaps past the cap are simply not tracked
+/// yet — they re-register as the window advances and earlier entries
+/// are satisfied.
+pub const MAX_PENDING: usize = 1 << 16;
+
 /// Pending-NAK list with suppression.
 #[derive(Debug, Default)]
 pub struct NakManager {
     pending: BTreeMap<u64, NakEntry>,
     /// Total NAK packets requested by this manager (stat).
     pub naks_generated: u64,
+    /// Sequence numbers left untracked because the pending list was at
+    /// [`MAX_PENDING`] (adversarial-input audit trail).
+    pub clamped: u64,
 }
 
 impl NakManager {
@@ -61,7 +72,14 @@ impl NakManager {
     pub fn note_missing(&mut self, ranges: &[(u64, u32)], now: Micros) -> Vec<(u64, u32)> {
         let mut fresh = Vec::new();
         for &(first, count) in ranges {
-            for seq in first..first + count as u64 {
+            let end = first.saturating_add(u64::from(count));
+            for seq in first..end {
+                if self.pending.len() >= MAX_PENDING {
+                    // Everything from here on is untracked; don't walk
+                    // the rest of a possibly enormous span.
+                    self.clamped = self.clamped.saturating_add(end - seq);
+                    break;
+                }
                 if let std::collections::btree_map::Entry::Vacant(e) = self.pending.entry(seq) {
                     e.insert(NakEntry {
                         first_noted: now,
@@ -82,7 +100,12 @@ impl NakManager {
     /// so the registration itself must stay silent).
     pub fn register(&mut self, ranges: &[(u64, u32)], now: Micros) {
         for &(first, count) in ranges {
-            for seq in first..first + count as u64 {
+            let end = first.saturating_add(u64::from(count));
+            for seq in first..end {
+                if self.pending.len() >= MAX_PENDING {
+                    self.clamped = self.clamped.saturating_add(end - seq);
+                    break;
+                }
                 self.pending.entry(seq).or_insert(NakEntry {
                     first_noted: now,
                     last_sent: now,
@@ -132,7 +155,10 @@ impl NakManager {
     /// the NAK manager's contribution to a deadline-driven driver's
     /// `next_wakeup`. `None` when nothing is missing.
     pub fn next_due(&self, suppress: Micros) -> Option<Micros> {
-        self.pending.values().map(|e| e.last_sent + suppress).min()
+        self.pending
+            .values()
+            .map(|e| e.last_sent.saturating_add(suppress))
+            .min()
     }
 
     /// Force-NAK every pending entry at or below `limit` immediately,
@@ -163,7 +189,11 @@ fn coalesce(seqs: &[u64]) -> Vec<(u64, u32)> {
     let mut out: Vec<(u64, u32)> = Vec::new();
     for &s in seqs {
         match out.last_mut() {
-            Some((first, count)) if *first + *count as u64 == s => *count += 1,
+            Some((first, count))
+                if first.checked_add(u64::from(*count)) == Some(s) && *count < u32::MAX =>
+            {
+                *count += 1
+            }
             _ => out.push((s, 1)),
         }
     }
@@ -258,6 +288,29 @@ mod tests {
             coalesce(&[1, 2, 3, 7, 8, 10]),
             vec![(1, 3), (7, 2), (10, 1)]
         );
+    }
+
+    #[test]
+    fn hostile_span_is_clamped_not_expanded() {
+        let mut m = NakManager::new();
+        // One "gap" spanning 2^32 sequences — what a forged KEEPALIVE
+        // advertising a far-future sequence would induce. Must not
+        // allocate billions of entries.
+        let fresh = m.note_missing(&[(0, u32::MAX)], 0);
+        assert_eq!(m.len(), MAX_PENDING);
+        assert!(m.clamped > 0, "clamp never engaged");
+        assert!(!fresh.is_empty(), "the tracked prefix must still NAK");
+        // register() obeys the same cap.
+        let mut r = NakManager::new();
+        r.register(&[(0, u32::MAX)], 0);
+        assert_eq!(r.len(), MAX_PENDING);
+        assert!(r.clamped > 0);
+        // Ranges near the top of the sequence space saturate instead of
+        // wrapping (and expand only to the boundary).
+        let mut w = NakManager::new();
+        let f = w.note_missing(&[(u64::MAX - 10, u32::MAX)], 0);
+        assert_eq!(w.len(), 10);
+        assert_eq!(f, vec![(u64::MAX - 10, 10)]);
     }
 
     #[test]

@@ -410,6 +410,14 @@ impl ReceiverEngine {
         let next = self.window.next_u64();
         let block_start = unwrap_seq(pkt.header.seq, next);
         let k = u64::from(pkt.header.length);
+        // Both fields are attacker-controlled: a forged block position or
+        // width must not fabricate a giant missing span (or overflow).
+        if k > u64::from(crate::MAX_CONTROL_SPAN)
+            || block_start > next.saturating_add(u64::from(crate::MAX_CONTROL_SPAN))
+        {
+            self.stats.malformed_packets += 1;
+            return;
+        }
         let missing = self.window.missing_below(block_start + k);
         let have = |s: u64| !missing.iter().any(|&(f, c)| s >= f && s < f + u64::from(c));
         let recovered = self
@@ -435,7 +443,15 @@ impl ReceiverEngine {
         if !self.window.attached() {
             return; // never heard any data; nothing to confirm or request
         }
-        let useq = unwrap_seq(pkt.header.seq, self.window.next_u64());
+        let next = self.window.next_u64();
+        let useq = unwrap_seq(pkt.header.seq, next);
+        // A forged sequence far ahead of the stream — or "behind" an
+        // early stream position, which unwraps to a huge u64 — would
+        // fabricate an enormous missing range. Drop it.
+        if useq > next.saturating_add(u64::from(crate::MAX_CONTROL_SPAN)) {
+            self.stats.malformed_packets += 1;
+            return;
+        }
         if self.window.has_all_through(useq) {
             // "If so, then it immediately sends an UPDATE packet to the
             // sender" — echoing the probe nonce for the RTT sample.
@@ -443,9 +459,9 @@ impl ReceiverEngine {
         } else {
             // "Otherwise, the receiver generates a NAK message for the
             // needed data" — immediately, bypassing suppression.
-            let missing = self.window.missing_below(useq + 1);
+            let missing = self.window.missing_below(useq.saturating_add(1));
             self.naks.register(&missing, now);
-            let ranges = self.naks.force_below(useq + 1, now);
+            let ranges = self.naks.force_below(useq.saturating_add(1), now);
             self.send_naks(&ranges, now, NakTrigger::Probe);
         }
     }
@@ -457,8 +473,15 @@ impl ReceiverEngine {
         }
         // The keepalive names the last packet transmitted; anything below
         // it that we lack was lost at the tail of a burst (paper §2).
-        let last = unwrap_seq(pkt.header.seq, self.window.next_u64());
-        let missing = self.window.missing_below(last + 1);
+        let next = self.window.next_u64();
+        let last = unwrap_seq(pkt.header.seq, next);
+        // Same plausibility bound as PROBE: a forged far-future (or
+        // wrapped-behind) sequence must not fabricate a giant gap.
+        if last > next.saturating_add(u64::from(crate::MAX_CONTROL_SPAN)) {
+            self.stats.malformed_packets += 1;
+            return;
+        }
+        let missing = self.window.missing_below(last.saturating_add(1));
         let fresh = self.naks.note_missing(&missing, now);
         self.note_suppressed(&missing, &fresh, now);
         self.send_naks(&fresh, now, NakTrigger::Keepalive);
@@ -476,7 +499,14 @@ impl ReceiverEngine {
         // only happen for data released before this receiver's JOIN
         // arrived (the join race — see the sender's NAK handling).
         let first = pkt.header.seq;
+        // Attacker-controlled span: clamp before looping (an honest
+        // NAK_ERR answers one of our own NAK ranges, which the pending
+        // cap already bounds).
         let count = pkt.header.length.max(1);
+        if count > crate::MAX_CONTROL_SPAN {
+            self.stats.malformed_packets += 1;
+        }
+        let count = count.min(crate::MAX_CONTROL_SPAN);
         self.events
             .push_back(ReceiverEvent::DataLost { seq: first, count });
         for i in 0..count {
@@ -502,14 +532,19 @@ impl ReceiverEngine {
             return;
         };
         let first = unwrap_seq(pkt.header.seq, self.window.next_u64());
-        let count = u64::from(pkt.header.length.max(1));
+        // Attacker-controlled span: clamp before looping.
+        let raw = pkt.header.length.max(1);
+        if raw > crate::MAX_CONTROL_SPAN {
+            self.stats.malformed_packets += 1;
+        }
+        let count = u64::from(raw.min(crate::MAX_CONTROL_SPAN));
         // Slot the response by port with half-RTT spacing: a repair from
         // an earlier slot propagates to later-slot holders before their
         // timers fire, so typically one peer answers (SRM-style
         // suppression without per-pair distance estimates).
         let slot = u64::from(self.local_port % 16);
         let fire_at = now + (self.rtt / 2).max(1_000) * (1 + slot);
-        for useq in first..first + count {
+        for useq in first..first.saturating_add(count) {
             if cache.contains_key(&useq) {
                 self.pending_repairs.entry(useq).or_insert(fire_at);
             }
@@ -752,10 +787,11 @@ impl ReceiverEngine {
             self.send_update(0, now);
         }
 
-        // JOIN retry while unconfirmed: exponential backoff, bounded by
-        // the retry budget when one is configured.
+        // JOIN retry while unconfirmed: exponential backoff (with
+        // optional deterministic per-member jitter), bounded by the
+        // retry budget when one is configured.
         if let JoinState::Sent { at, echoed } = self.join {
-            if now.saturating_sub(at) >= self.join_delay {
+            if now.saturating_sub(at) >= self.jittered_join_delay() {
                 if self.config.join_retry_limit != 0
                     && self.join_attempts >= self.config.join_retry_limit
                 {
@@ -809,7 +845,7 @@ impl ReceiverEngine {
             arm(self.updates.next_fire());
         }
         if let JoinState::Sent { at, .. } = self.join {
-            arm(at + self.join_delay);
+            arm(at.saturating_add(self.jittered_join_delay()));
         }
         if let Some(t) = self.death_deadline() {
             arm(t);
@@ -869,6 +905,33 @@ impl ReceiverEngine {
         self.join_attempts += 1;
         let pkt = Packet::control(PacketType::Join, self.local_port, self.group_port, echoed);
         self.push_out(pkt);
+    }
+
+    /// The effective JOIN retry delay: the exponential-backoff base,
+    /// optionally spread by `config.join_jitter`. The spread is a pure
+    /// FNV-1a hash of (local port, attempt number) — deterministic, no
+    /// RNG draws — so a cohort of receivers restarting in lock-step
+    /// (mobile churn, mass re-home after a partition heal) desynchronise
+    /// their retries instead of thundering at the sender together, while
+    /// any single member's schedule stays reproducible.
+    fn jittered_join_delay(&self) -> Micros {
+        if self.config.join_jitter <= 0.0 {
+            return self.join_delay;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .local_port
+            .to_be_bytes()
+            .iter()
+            .chain(self.join_attempts.to_be_bytes().iter())
+        {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Top 53 bits -> uniform fraction in [0, 1); map to [-1, 1).
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let spread = self.config.join_jitter * (2.0 * frac - 1.0);
+        ((self.join_delay as f64 * (1.0 + spread)) as Micros).max(1)
     }
 
     fn send_update(&mut self, nonce: u32, now: Micros) {
@@ -1074,6 +1137,98 @@ mod tests {
         r.handle_packet(&resp, 210_000);
         r.on_tick(600_000);
         assert!(packets_of(&drain(&mut r), PacketType::Join).is_empty());
+    }
+
+    #[test]
+    fn join_jitter_spreads_retries_deterministically() {
+        let cfg = ProtocolConfig::hrmc()
+            .with_buffer(64 * 1024)
+            .join_jitter(0.25);
+        // A cohort of receivers that all heard first data at t=0 would
+        // retry JOIN in lock-step at exactly 200 ms; jitter must spread
+        // them while keeping each member's own schedule reproducible.
+        let mut delays = Vec::new();
+        for port in [8000u16, 8001, 8002, 8003, 8004, 8005, 8006, 8007] {
+            let mut r = ReceiverEngine::new(cfg.clone(), port, 7001, 0);
+            r.handle_packet(&data(0, 100), 0);
+            drain(&mut r);
+            let d = r.jittered_join_delay();
+            // Within ±25% of the 200 ms base, never zero.
+            assert!((150_000..=250_000).contains(&d), "delay {d} out of band");
+            // Deterministic: a twin engine lands on the same delay.
+            let mut twin = ReceiverEngine::new(cfg.clone(), port, 7001, 0);
+            twin.handle_packet(&data(0, 100), 0);
+            drain(&mut twin);
+            assert_eq!(twin.jittered_join_delay(), d);
+            delays.push(d);
+        }
+        let distinct: std::collections::BTreeSet<_> = delays.iter().collect();
+        assert!(
+            distinct.len() >= 6,
+            "jitter failed to spread the cohort: {delays:?}"
+        );
+        // The jittered deadline drives both the retry check and the
+        // wakeup timer, so the two stay consistent.
+        let mut r = ReceiverEngine::new(cfg, 9000, 7001, 0);
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        let d = r.jittered_join_delay();
+        assert_eq!(r.next_wakeup(0), Some(d));
+        r.on_tick(d - 1);
+        assert!(packets_of(&drain(&mut r), PacketType::Join).is_empty());
+        r.on_tick(d);
+        assert_eq!(packets_of(&drain(&mut r), PacketType::Join).len(), 1);
+        // Default config (jitter 0.0) keeps the exact pinned schedule.
+        let mut plain = engine();
+        plain.handle_packet(&data(0, 100), 0);
+        drain(&mut plain);
+        assert_eq!(plain.jittered_join_delay(), 200_000);
+    }
+
+    #[test]
+    fn hostile_control_packets_are_audited_and_dropped() {
+        let mut r = engine();
+        r.handle_packet(&data(0, 100), 0);
+        drain(&mut r);
+        // KEEPALIVE advertising a last-sequence far beyond any plausible
+        // window: dropped and audited, and no giant gap is fabricated.
+        let far = Packet::control(
+            PacketType::Keepalive,
+            7000,
+            7001,
+            crate::MAX_CONTROL_SPAN + 100,
+        );
+        r.handle_packet(&far, 1_000);
+        assert_eq!(r.stats.malformed_packets, 1);
+        assert!(packets_of(&drain(&mut r), PacketType::Nak).is_empty());
+        // A "behind" sequence that sign-extends and wraps to a huge
+        // unwrapped value (the `x + 1` overflow hazard).
+        let wrapped = Packet::control(PacketType::Keepalive, 7000, 7001, u32::MAX);
+        r.handle_packet(&wrapped, 2_000);
+        assert_eq!(r.stats.malformed_packets, 2);
+        // Same forged sequence on a PROBE: audited, and no UPDATE or
+        // NAK storm is provoked.
+        let mut probe = Packet::control(PacketType::Probe, 7000, 7001, u32::MAX);
+        probe.header.length = 77; // nonce
+        r.handle_packet(&probe, 3_000);
+        assert_eq!(r.stats.malformed_packets, 3);
+        assert!(packets_of(&drain(&mut r), PacketType::Update).is_empty());
+        // NAK_ERR spanning 2^32 sequences: span clamped (the test would
+        // hang for minutes if the loop trusted the field). It names a
+        // range past the live stream so the clamped prefix it does mark
+        // lost cannot eat the honest data below.
+        let mut ne = Packet::control(PacketType::NakErr, 7000, 7001, 10_000);
+        ne.header.length = u32::MAX;
+        r.handle_packet(&ne, 4_000);
+        assert_eq!(r.stats.malformed_packets, 4);
+        // After all that abuse the receiver still works: honest data
+        // flows and an honest KEEPALIVE is not flagged.
+        r.handle_packet(&data(1, 100), 5_000);
+        let ok = Packet::control(PacketType::Keepalive, 7000, 7001, 1);
+        r.handle_packet(&ok, 6_000);
+        assert_eq!(r.stats.malformed_packets, 4);
+        assert_eq!(r.stats.data_packets_received, 2);
+        assert!(!r.has_failed());
     }
 
     #[test]

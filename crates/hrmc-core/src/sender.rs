@@ -201,6 +201,19 @@ impl SenderEngine {
         self.rate.rate()
     }
 
+    /// Cumulative rate-halving episodes (congestion responses to NAKs
+    /// and warning rate requests) — the graceful-degradation signal
+    /// hostile-network harnesses assert on.
+    pub fn rate_halvings(&self) -> u64 {
+        self.rate.halvings
+    }
+
+    /// Cumulative urgent stops (URG rate requests that froze forward
+    /// transmission for two RTTs).
+    pub fn urgent_stops(&self) -> u64 {
+        self.rate.urgent_stops
+    }
+
     /// Number of receivers currently in the group.
     pub fn member_count(&self) -> usize {
         self.membership.len()
@@ -335,7 +348,13 @@ impl SenderEngine {
         // the rate-advertisement field (see the Header docs).
         self.membership.update(from, pkt.header.rate_adv, now);
         let first = pkt.header.seq;
+        // The span is attacker-controlled: clamp before looping. Honest
+        // NAK ranges are bounded far below the cap by the send window.
         let count = pkt.header.length.max(1);
+        if count > crate::MAX_CONTROL_SPAN {
+            self.stats.malformed_packets += 1;
+        }
+        let count = count.min(crate::MAX_CONTROL_SPAN);
         // RTT sample only from the *first* NAK for this segment: a repeat
         // NAK measures the age of a still-stuck gap, not a round trip,
         // and absorbing those ages would inflate the estimate without
@@ -1472,6 +1491,34 @@ mod tests {
         s.note_checksum_failure(100);
         s.note_checksum_failure(200);
         assert_eq!(s.stats.checksum_failures, 2);
+    }
+
+    #[test]
+    fn hostile_nak_span_is_clamped_and_counted() {
+        let mut s = engine(ReliabilityMode::Hybrid);
+        join(&mut s, P1, 0, 0);
+        s.submit(&[7u8; 4096], 0);
+        let _ = run_until(&mut s, 0, 50_000);
+        // A forged NAK naming a 2^32-sequence gap: the honest window is
+        // a few segments, so the span must be clamped and audited, and
+        // handling it must not buy the attacker four billion loop turns
+        // (the test would time out if it did).
+        let mut nak = Packet::control(PacketType::Nak, 9, 7000, 0);
+        nak.header.length = u32::MAX;
+        s.handle_packet(&nak, P1, 60_000);
+        assert_eq!(s.stats.malformed_packets, 1);
+        // Retransmissions stay bounded by what the window actually
+        // holds; the forged span buys nothing extra.
+        let retrans_queued = s.retrans_queue.len();
+        assert!(
+            retrans_queued <= s.config.sndbuf_segments(),
+            "forged NAK inflated the retransmission queue: {retrans_queued}"
+        );
+        // An honest in-window NAK is NOT flagged.
+        let mut honest = Packet::control(PacketType::Nak, 9, 7000, 0);
+        honest.header.length = 2;
+        s.handle_packet(&honest, P1, 70_000);
+        assert_eq!(s.stats.malformed_packets, 1);
     }
 
     impl SenderEngine {

@@ -84,6 +84,11 @@ pub struct SenderStats {
     /// (`probe_batch_limit`).
     #[serde(skip)]
     pub probes_deferred_by_batch: u64,
+    /// Incoming packets whose fields failed an adversarial-input sanity
+    /// bound (e.g. a NAK span wider than [`crate::MAX_CONTROL_SPAN`]) and
+    /// were clamped or dropped instead of trusted.
+    #[serde(skip)]
+    pub malformed_packets: u64,
 }
 
 impl SenderStats {
@@ -148,6 +153,12 @@ pub struct ReceiverStats {
     /// Incoming datagrams discarded for checksum failure.
     #[serde(skip)]
     pub checksum_failures: u64,
+    /// Incoming packets whose fields failed an adversarial-input sanity
+    /// bound (e.g. a control sequence outside the plausible window, or a
+    /// span wider than [`crate::MAX_CONTROL_SPAN`]) and were clamped or
+    /// dropped instead of trusted.
+    #[serde(skip)]
+    pub malformed_packets: u64,
 }
 
 impl ReceiverStats {

@@ -18,6 +18,7 @@ fn main() {
         ("fig15", hrmc_experiments::fig15::run),
         ("fig16", hrmc_experiments::fig16::run),
         ("churn", hrmc_experiments::churn::run),
+        ("hostile", hrmc_experiments::hostile::run),
     ] {
         let t = std::time::Instant::now();
         eprintln!("--- {name} ---");

@@ -1,0 +1,12 @@
+//! Runs the hostile-network scenario matrix. See the module docs of
+//! `hrmc_experiments::hostile` for the regimes and the
+//! graceful-degradation invariants each one is held to.
+
+fn main() {
+    let opts = hrmc_experiments::ExpOptions::from_env();
+    eprintln!(
+        "hostile: repeats={} scale_down={}",
+        opts.repeats, opts.scale_down
+    );
+    hrmc_experiments::hostile::run(&opts);
+}

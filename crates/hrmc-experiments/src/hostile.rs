@@ -1,0 +1,369 @@
+//! Hostile-network scenario matrix: the link-dynamics counterpart of
+//! the fault matrix in [`crate::churn`]. One fixed transfer is re-run
+//! under a pinned set of adversarial *network weather* regimes —
+//! capacity collapse and recovery, bufferbloat, jitter storms, an
+//! impaired feedback uplink, receiver migration, and all of it at once
+//! — and every regime is held to three graceful-degradation contracts:
+//!
+//! 1. **No panic, no livelock**: the run terminates and its simulator
+//!    event count stays proportional to the bytes it delivered
+//!    ([`MAX_EVENTS_PER_BYTE`]).
+//! 2. **Degrade**: regimes that squeeze capacity must actually engage
+//!    the control plane (rate halvings, queue overflows) rather than
+//!    sail through on modeling gaps.
+//! 3. **Recover, don't amputate**: jitter- and delay-only episodes
+//!    must complete with zero ejections — latency is not death — and
+//!    healing regimes must still finish the transfer.
+
+use hrmc_app::{mean, Scenario};
+use hrmc_sim::{CharacteristicGroup, GroupSpec, LinkAction, LinkSchedule, SimReport};
+use serde_json::json;
+
+use crate::{ExpOptions, Table, MBPS_10, MB_10};
+
+/// Default receiver population.
+pub const RECEIVERS: usize = 6;
+
+/// Livelock bound: simulator events popped per byte delivered to any
+/// receiver. Healthy runs across the matrix sit near 0.02–0.2
+/// events/byte (a packet costs a handful of hops and a segment is
+/// ~1.4 KB); a control-plane livelock (NAK storm, probe loop) blows
+/// through this by orders of magnitude.
+pub const MAX_EVENTS_PER_BYTE: f64 = 2.0;
+
+/// Collapse-and-heal timing shared by the scenarios that ramp capacity.
+/// The collapse lands early enough that even quick-mode transfers are
+/// mid-flight when the floor drops out.
+const COLLAPSE_AT_US: u64 = 150_000;
+const HEAL_AT_US: u64 = 1_200_000;
+
+fn base(opts: &ExpOptions) -> Scenario {
+    let receivers = opts.receivers.unwrap_or(RECEIVERS);
+    Scenario::lan(receivers, MBPS_10, 256 * 1024, opts.transfer(MB_10)).with_loss(0.01)
+}
+
+fn collapse_schedule() -> LinkSchedule {
+    let mut links = LinkSchedule::default();
+    // The collapsed backhaul also buffers less: squeeze the queue so
+    // the overload is visible as drops, not just delay.
+    links.push(
+        COLLAPSE_AT_US,
+        LinkAction::SetRouterQueue {
+            router: 0,
+            packets: 32,
+        },
+    );
+    links.collapse_recover(
+        0,
+        COLLAPSE_AT_US,
+        HEAL_AT_US,
+        MBPS_10,
+        MBPS_10 / 20,
+        100_000,
+        4,
+    );
+    links.push(
+        HEAL_AT_US + 200_000,
+        LinkAction::SetRouterQueue {
+            router: 0,
+            packets: 512,
+        },
+    );
+    links
+}
+
+fn jitter_schedule() -> LinkSchedule {
+    let mut links = LinkSchedule::default();
+    // Eight 30 ms delay spikes on a 50 µs LAN — three orders of
+    // magnitude of jitter, zero loss.
+    links.jitter_spikes(0, 200_000, 150_000, 8, 50, 30_000);
+    links
+}
+
+fn uplink_schedule() -> LinkSchedule {
+    let mut links = LinkSchedule::default();
+    // Feedback path only: 30% loss and +20 ms on everything the
+    // receivers send upstream, healing after 1.5 s.
+    links.push(
+        100_000,
+        LinkAction::SetUpPath {
+            extra_delay_us: 20_000,
+            loss: 0.30,
+        },
+    );
+    links.push(
+        1_600_000,
+        LinkAction::SetUpPath {
+            extra_delay_us: 0,
+            loss: 0.0,
+        },
+    );
+    links
+}
+
+fn bufferbloat_schedule() -> LinkSchedule {
+    let mut links = LinkSchedule::default();
+    links.bufferbloat(0, 200_000, 4096, MBPS_10 / 5);
+    links
+}
+
+fn migration_scenario(opts: &ExpOptions) -> Scenario {
+    // Two identical edge groups behind a backbone; one receiver per
+    // group so the migration target router exists (router 0 is the
+    // backbone, 1 and 2 the group routers).
+    let specs = vec![
+        GroupSpec {
+            group: CharacteristicGroup::A,
+            receivers: 1,
+        },
+        GroupSpec {
+            group: CharacteristicGroup::A,
+            receivers: 1,
+        },
+    ];
+    let mut links = LinkSchedule::default();
+    links.push(
+        300_000,
+        LinkAction::Migrate {
+            receiver: 0,
+            path: vec![0, 2],
+        },
+    );
+    links.push(
+        900_000,
+        LinkAction::Migrate {
+            receiver: 0,
+            path: vec![0, 1],
+        },
+    );
+    Scenario::groups(specs, MBPS_10, 256 * 1024, opts.transfer(MB_10)).with_links(links)
+}
+
+fn combined_schedule() -> LinkSchedule {
+    let mut links = collapse_schedule();
+    links.jitter_spikes(0, 400_000, 200_000, 5, 50, 20_000);
+    links.push(
+        200_000,
+        LinkAction::SetUpPath {
+            extra_delay_us: 10_000,
+            loss: 0.15,
+        },
+    );
+    links.push(
+        2_000_000,
+        LinkAction::SetUpPath {
+            extra_delay_us: 0,
+            loss: 0.0,
+        },
+    );
+    links
+}
+
+/// The pinned matrix: `(regime label, scenario)` pairs. `baseline`
+/// carries an empty schedule and anchors the degradation comparisons.
+pub fn scenarios(opts: &ExpOptions) -> Vec<(&'static str, Scenario)> {
+    // Jitter-only regimes run with aggressive ejection thresholds so
+    // "latency is not death" is tested against the *paranoid* sender,
+    // not a forgiving one.
+    let mut jitter = base(opts).with_links(jitter_schedule());
+    jitter.probe_failure_limit = 3;
+    jitter.member_silence_us = 3_000_000;
+    vec![
+        ("baseline", base(opts)),
+        (
+            "capacity-collapse",
+            base(opts).with_links(collapse_schedule()),
+        ),
+        ("bufferbloat", base(opts).with_links(bufferbloat_schedule())),
+        ("jitter-spikes", jitter),
+        ("uplink-impair", base(opts).with_links(uplink_schedule())),
+        ("mobile-churn", migration_scenario(opts)),
+        (
+            "hostile-combined",
+            base(opts).with_links(combined_schedule()),
+        ),
+    ]
+}
+
+/// Total bytes delivered to applications across all receivers.
+fn delivered_bytes(r: &SimReport) -> u64 {
+    r.receivers.iter().map(|x| x.bytes).sum()
+}
+
+/// The no-livelock contract: events popped per delivered byte.
+pub fn events_per_byte(r: &SimReport) -> f64 {
+    r.events_popped as f64 / delivered_bytes(r).max(1) as f64
+}
+
+/// Check one regime's graceful-degradation invariants against its
+/// baseline. Panics (with the regime name) on violation — callers are
+/// harnesses and tests.
+pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport]) {
+    for r in runs {
+        assert!(
+            r.completed,
+            "{label}: transfer did not complete within the horizon"
+        );
+        assert!(r.all_intact(), "{label}: delivered bytes were corrupted");
+        let epb = events_per_byte(r);
+        assert!(
+            epb <= MAX_EVENTS_PER_BYTE,
+            "{label}: livelock suspected — {epb:.3} events/byte \
+             (bound {MAX_EVENTS_PER_BYTE})"
+        );
+        assert_eq!(
+            r.false_ejections, 0,
+            "{label}: a member that later proved alive was ejected"
+        );
+    }
+    let mean_elapsed =
+        |rs: &[SimReport]| rs.iter().map(|r| r.elapsed_us).sum::<u64>() / rs.len().max(1) as u64;
+    match label {
+        "baseline" => {
+            for r in runs {
+                assert_eq!(r.link_events_applied, 0, "baseline schedule must be empty");
+            }
+        }
+        "capacity-collapse" => {
+            for r in runs {
+                assert!(
+                    r.rate_halvings >= 1,
+                    "{label}: sender never throttled under collapse"
+                );
+                assert!(
+                    r.router_overflow_drops > 0,
+                    "{label}: collapsed queue never overflowed"
+                );
+            }
+            assert!(
+                mean_elapsed(runs) > mean_elapsed(baseline),
+                "{label}: collapse cost no time at all"
+            );
+        }
+        "bufferbloat" => {
+            for r in runs {
+                assert!(
+                    r.final_rtt_us > baseline.iter().map(|b| b.final_rtt_us).min().unwrap_or(0),
+                    "{label}: standing queue never inflated the RTT estimate"
+                );
+            }
+        }
+        "jitter-spikes" => {
+            for r in runs {
+                assert_eq!(
+                    r.sender.members_ejected, 0,
+                    "{label}: jitter-only episode ejected a member"
+                );
+            }
+        }
+        "uplink-impair" => {
+            for r in runs {
+                assert!(
+                    r.up_loss_drops > 0,
+                    "{label}: impaired uplink dropped nothing"
+                );
+            }
+        }
+        "mobile-churn" => {
+            for r in runs {
+                assert!(
+                    r.migration_drops > 0,
+                    "{label}: migration never stranded an in-flight packet"
+                );
+            }
+        }
+        "hostile-combined" => {
+            for r in runs {
+                assert!(r.rate_halvings >= 1, "{label}: no degradation response");
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run the matrix, assert every invariant, and print/save the results.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let headers = [
+        "regime", "Mbps", "retrans", "halvings", "overflow", "uploss", "migr", "ej", "falseej",
+        "ev/B",
+    ];
+    let mut table = Table::new("hostile-network matrix, 10 Mbps LAN, 1% loss", &headers);
+    let mut series = serde_json::Map::new();
+    let matrix = scenarios(opts);
+    let baseline_runs = opts.run_seeds(&matrix[0].1);
+    for (label, scenario) in &matrix {
+        let runs = if *label == "baseline" {
+            baseline_runs.clone()
+        } else {
+            opts.run_seeds(scenario)
+        };
+        check_invariants(label, &runs, &baseline_runs);
+        let thr: Vec<f64> = runs.iter().map(|r| r.throughput_mbps).collect();
+        let retrans: Vec<f64> = runs
+            .iter()
+            .map(|r| r.sender.retransmissions as f64)
+            .collect();
+        let sum = |f: fn(&SimReport) -> u64| -> u64 { runs.iter().map(f).sum() };
+        let epb: Vec<f64> = runs.iter().map(events_per_byte).collect();
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", mean(&thr)),
+            format!("{:.1}", mean(&retrans)),
+            sum(|r| r.rate_halvings).to_string(),
+            sum(|r| r.router_overflow_drops).to_string(),
+            sum(|r| r.up_loss_drops).to_string(),
+            sum(|r| r.migration_drops).to_string(),
+            sum(|r| r.sender.members_ejected).to_string(),
+            sum(|r| r.false_ejections).to_string(),
+            format!("{:.3}", mean(&epb)),
+        ]);
+        series.insert(
+            label.to_string(),
+            json!({
+                "mbps": mean(&thr),
+                "retransmissions": mean(&retrans),
+                "rate_halvings": sum(|r| r.rate_halvings),
+                "router_overflow_drops": sum(|r| r.router_overflow_drops),
+                "up_loss_drops": sum(|r| r.up_loss_drops),
+                "migration_drops": sum(|r| r.migration_drops),
+                "members_ejected": sum(|r| r.sender.members_ejected),
+                "false_ejections": sum(|r| r.false_ejections),
+                "link_events_applied": sum(|r| r.link_events_applied),
+                "events_per_byte": mean(&epb),
+            }),
+        );
+    }
+    table.print();
+    let value = serde_json::Value::Object(series);
+    opts.save_json("hostile", &value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            repeats: 1,
+            scale_down: 10,
+            out_dir: std::env::temp_dir().join("hrmc-hostile-test"),
+            receivers: Some(4),
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn hostile_matrix_holds_every_invariant() {
+        let opts = quick();
+        let v = run(&opts);
+        // run() already asserts the per-regime invariants; spot-check
+        // that each regime's signature detector actually fired.
+        assert!(v["capacity-collapse"]["rate_halvings"].as_u64().unwrap() >= 1);
+        assert!(v["uplink-impair"]["up_loss_drops"].as_u64().unwrap() > 0);
+        assert!(v["mobile-churn"]["migration_drops"].as_u64().unwrap() > 0);
+        assert_eq!(v["jitter-spikes"]["members_ejected"].as_u64().unwrap(), 0);
+        assert_eq!(v["baseline"]["link_events_applied"].as_u64().unwrap(), 0);
+        assert!(v["hostile-combined"]["events_per_byte"].as_f64().unwrap() <= MAX_EVENTS_PER_BYTE);
+    }
+}

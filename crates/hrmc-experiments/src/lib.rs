@@ -32,6 +32,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig15;
 pub mod fig16;
+pub mod hostile;
 pub mod options;
 pub mod sweep;
 pub mod table;

@@ -1,0 +1,86 @@
+//! Hostile-matrix regression fixtures. Two contracts beyond the unit
+//! suite in `hrmc_experiments::hostile`:
+//!
+//! 1. A link-dynamics run replays byte-for-byte from its seed (same
+//!    serialized report every time), and a scheduled sweep is invariant
+//!    to the `--jobs` worker count — network weather must not leak
+//!    wall-clock nondeterminism into results.
+//! 2. A scenario whose schedule is *empty* serializes identically to
+//!    the plain scenario it was built from: the dynamics layer is
+//!    provably free when unused.
+
+use hrmc_app::Scenario;
+use hrmc_experiments::{hostile, sweep, ExpOptions};
+use hrmc_sim::{LinkAction, LinkSchedule};
+
+fn scheduled_scenario() -> Scenario {
+    let mut links = LinkSchedule::default();
+    links.collapse_recover(0, 200_000, 900_000, 10_000_000, 1_000_000, 100_000, 4);
+    links.push(
+        150_000,
+        LinkAction::SetUpPath {
+            extra_delay_us: 5_000,
+            loss: 0.2,
+        },
+    );
+    Scenario::lan(4, 10_000_000, 256 * 1024, 400_000)
+        .with_loss(0.01)
+        .with_links(links)
+        .with_seed(2)
+}
+
+/// A link-scheduled sweep returns the same bytes at every worker count.
+#[test]
+fn scheduled_sweep_is_jobs_invariant() {
+    let s = scheduled_scenario();
+    let sequential = sweep::run_seeds(&s, 4, 1);
+    for r in &sequential {
+        assert!(r.link_events_applied > 0, "schedule never fired");
+    }
+    for jobs in [2, 4, 8] {
+        let parallel = sweep::run_seeds(&s, 4, jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "link-scheduled sweep diverged at --jobs {jobs}"
+            );
+        }
+    }
+}
+
+/// An empty schedule is byte-free: attaching `LinkSchedule::default()`
+/// changes nothing in the serialized report.
+#[test]
+fn empty_schedule_is_byte_identical_to_none() {
+    let plain = Scenario::lan(4, 10_000_000, 256 * 1024, 400_000)
+        .with_loss(0.01)
+        .with_seed(3);
+    let noop = plain.clone().with_links(LinkSchedule::default());
+    let a = plain.run();
+    let b = noop.run();
+    assert_eq!(a.link_events_applied, 0);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "an empty link schedule perturbed the simulation"
+    );
+}
+
+/// The full matrix honors its invariants at a second seed and
+/// population, not just the unit test's quick() configuration.
+#[test]
+fn matrix_invariants_hold_at_alternate_population() {
+    let opts = ExpOptions {
+        repeats: 1,
+        scale_down: 25,
+        out_dir: std::env::temp_dir().join("hrmc-hostile-matrix-test"),
+        receivers: Some(3),
+        ..ExpOptions::default()
+    };
+    let v = hostile::run(&opts);
+    assert!(v["capacity-collapse"]["rate_halvings"].as_u64().unwrap() >= 1);
+    assert!(v["mobile-churn"]["migration_drops"].as_u64().unwrap() > 0);
+    assert_eq!(v["baseline"]["false_ejections"].as_u64().unwrap(), 0);
+}

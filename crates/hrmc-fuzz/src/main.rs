@@ -1,0 +1,68 @@
+//! CLI driver for the in-tree fuzz harness.
+//!
+//! ```text
+//! hrmc-fuzz <wire|sender|receiver|all> [--iters N] [--seed S]
+//! hrmc-fuzz gen-corpus
+//! ```
+//!
+//! Exit status 0 means every episode completed without a panic; a
+//! crashing episode aborts with a replay line naming the seed.
+
+use hrmc_fuzz::{fuzz_receiver, fuzz_sender, fuzz_wire, write_corpus, FuzzReport};
+
+fn usage() -> ! {
+    eprintln!("usage: hrmc-fuzz <wire|sender|receiver|all|gen-corpus> [--iters N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn print_report(target: &str, r: &FuzzReport) {
+    println!(
+        "{target}: episodes={} decode_ok={} decode_err={} packets_fed={} malformed_flagged={}",
+        r.episodes, r.decode_ok, r.decode_err, r.packets_fed, r.malformed_flagged
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first() else { usage() };
+    let mut iters: u64 = 10_000;
+    let mut seed: u64 = 1;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match target.as_str() {
+        "gen-corpus" => {
+            let n = write_corpus().expect("write corpus");
+            println!("wrote {n} seeds to {}", hrmc_fuzz::corpus_dir().display());
+        }
+        "wire" => print_report("wire", &fuzz_wire(seed, iters)),
+        "sender" => print_report("sender", &fuzz_sender(seed, iters)),
+        "receiver" => print_report("receiver", &fuzz_receiver(seed, iters)),
+        "all" => {
+            // Engine episodes are ~10x heavier than single decodes;
+            // scale them down so `all` stays within one budget knob.
+            print_report("wire", &fuzz_wire(seed, iters));
+            print_report("sender", &fuzz_sender(seed, iters / 10 + 1));
+            print_report("receiver", &fuzz_receiver(seed, iters / 10 + 1));
+        }
+        _ => usage(),
+    }
+}

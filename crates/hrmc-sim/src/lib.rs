@@ -30,6 +30,7 @@
 //!   deterministic under a seed, producing a [`report::SimReport`].
 
 pub mod apps;
+pub mod dynamics;
 pub mod faults;
 pub mod host;
 pub mod loss;
@@ -43,6 +44,7 @@ pub mod topology;
 pub mod trace;
 
 pub use apps::{IoProfile, SinkApp, SourceApp};
+pub use dynamics::{LinkAction, LinkEvent, LinkSchedule};
 pub use faults::{ChurnAction, ChurnEvent, FaultModel, FaultPlan, Partition};
 pub use loss::{LossModel, LossProcess};
 pub use obs::{HostObserver, SharedObs};

@@ -105,6 +105,13 @@ impl LossProcess {
         self.model
     }
 
+    /// Swap the model mid-stream (time-varying link dynamics). Channel
+    /// state carries over: a fade in progress stays a fade under the new
+    /// parameters, and the drop/offer counters keep accumulating.
+    pub fn set_model(&mut self, model: LossModel) {
+        self.model = model;
+    }
+
     /// Decide one packet's fate. `roll_transition` and `roll_loss` are
     /// independent uniform samples in `[0, 1)` from the simulator's
     /// seeded RNG (the process holds no RNG so determinism audits stay
@@ -199,6 +206,119 @@ mod tests {
             ge_pairs > 10 * bern_pairs.max(1),
             "GE pairs {ge_pairs} vs Bernoulli pairs {bern_pairs}"
         );
+    }
+
+    #[test]
+    fn degenerate_transition_probabilities() {
+        // p_good_to_bad = 1.0, p_bad_to_good = 0.0: the very first
+        // packet transitions into the fade and the channel never
+        // recovers — an absorbing outage.
+        let absorbing = LossModel::GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut p = LossProcess::new(absorbing);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(p.drop(rng.gen(), rng.gen()), "absorbing fade must drop");
+        }
+        assert_eq!(p.drops, 10_000);
+        assert!((absorbing.mean_loss() - 1.0).abs() < f64::EPSILON);
+
+        // p_good_to_bad = 0.0: the bad state is unreachable, so loss is
+        // exactly the good-state Bernoulli regardless of loss_bad.
+        let never_bad = LossModel::GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut p = LossProcess::new(never_bad);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(!p.drop(rng.gen(), rng.gen()), "unreachable fade dropped");
+        }
+        assert_eq!(never_bad.mean_loss(), 0.0);
+
+        // Both transitions certain: the chain alternates good→bad→good
+        // every packet; stationary bad-fraction is 1/2.
+        let alternating = LossModel::GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        assert!((alternating.mean_loss() - 0.5).abs() < f64::EPSILON);
+        let mut p = LossProcess::new(alternating);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut drops = 0u64;
+        for _ in 0..10_000 {
+            if p.drop(rng.gen(), rng.gen()) {
+                drops += 1;
+            }
+        }
+        // Deterministic alternation: transition fires every packet, so
+        // each packet lands in the state opposite the previous one.
+        assert_eq!(drops, 5_000, "strict alternation expected");
+    }
+
+    #[test]
+    fn long_burst_mean_loss_stays_accurate() {
+        // Dwell times of ~1000 packets in each state: the empirical mean
+        // converges slowly, so this is where a subtly wrong stationary
+        // formula or state update shows up.
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: 0.001,
+            p_bad_to_good: 0.001,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let expected = model.mean_loss();
+        assert!((expected - 0.5).abs() < f64::EPSILON);
+        let mut p = LossProcess::new(model);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..2_000_000 {
+            p.drop(rng.gen(), rng.gen());
+        }
+        let rate = p.drops as f64 / p.offered as f64;
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "rate = {rate}, expected = {expected}"
+        );
+        // Bursts really are long: mean run length of consecutive drops
+        // must be near the bad-state dwell time (1/p_bad_to_good).
+        let mut q = LossProcess::new(model);
+        let mut rng = SmallRng::seed_from_u64(18);
+        let (mut runs, mut in_run) = (0u64, false);
+        for _ in 0..2_000_000 {
+            let d = q.drop(rng.gen(), rng.gen());
+            if d && !in_run {
+                runs += 1;
+            }
+            in_run = d;
+        }
+        let mean_run = q.drops as f64 / runs.max(1) as f64;
+        assert!((500.0..2_000.0).contains(&mean_run), "mean run {mean_run}");
+    }
+
+    #[test]
+    fn boundary_loss_probabilities_are_exact() {
+        // loss probabilities of exactly 0.0 and 1.0 must behave as
+        // never/always even at the extreme ends of the roll range.
+        let certain = LossModel::GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+            loss_good: 1.0,
+            loss_bad: 0.0,
+        };
+        let mut p = LossProcess::new(certain);
+        // roll_loss just below 1.0 still drops under p = 1.0 ...
+        assert!(p.drop(0.0, 0.999_999_999));
+        let mut q = LossProcess::new(LossModel::Bernoulli(0.0));
+        // ... and a 0.0 roll never drops under p = 0.0.
+        assert!(!q.drop(0.0, 0.0));
     }
 
     #[test]

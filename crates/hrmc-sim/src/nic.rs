@@ -101,6 +101,16 @@ impl Nic {
         self.rx.drops
     }
 
+    /// Replace the receive-side loss model mid-run (time-varying link
+    /// dynamics). The internal [`LossProcess`] caches the model at
+    /// construction, so mutating `params.rx_loss` alone would be a
+    /// silent no-op; this keeps both in sync and preserves the channel
+    /// state and drop/offer counters across the change.
+    pub fn set_rx_loss(&mut self, model: LossModel) {
+        self.params.rx_loss = model;
+        self.rx.set_model(model);
+    }
+
     /// Offer a packet for transmission at time `now`.
     pub fn tx_enqueue(&mut self, transit: Transit, now: u64) -> TxOutcome {
         if self.tx.len() >= self.params.tx_queue_packets {

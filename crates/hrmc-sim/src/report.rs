@@ -68,6 +68,9 @@ pub struct SimSamplePoint {
     pub window_occupancy: f64,
     /// Receivers that have finished absorbing the stream (gauge).
     pub completed_receivers: u64,
+    /// Sender rate-halving episodes so far (cumulative) — the
+    /// degradation signal a hostile-network run is judged by.
+    pub rate_halvings: u64,
 }
 
 /// Complete result of one simulation run.
@@ -110,6 +113,23 @@ pub struct SimReport {
     /// Packets discarded because the destination host was crashed or its
     /// process frozen (churn fault injection).
     pub churn_drops: u64,
+    /// Link-schedule events applied (time-varying link dynamics).
+    pub link_events_applied: u64,
+    /// Down-path packets lost at an off-path router after a receiver
+    /// migrated away mid-flight (mobile churn).
+    pub migration_drops: u64,
+    /// Feedback packets dropped by the asymmetric up-path impairment.
+    pub up_loss_drops: u64,
+    /// Sender rate-halving episodes (congestion responses to NAKs and
+    /// warning rate requests).
+    pub rate_halvings: u64,
+    /// Sender urgent stops (URG rate requests freezing transmission).
+    pub urgent_stops: u64,
+    /// Members ejected without ground-truth justification: the host
+    /// never crashed and no scheduled partition severed it. Jitter-only
+    /// and bufferbloat episodes must keep this at zero (the
+    /// graceful-degradation invariant).
+    pub false_ejections: u64,
     /// The sender's final RTT estimate (µs) — the MINBUF clock base.
     pub final_rtt_us: u64,
     /// The sender's final transmission rate (bytes/s).

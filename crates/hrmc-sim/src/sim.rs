@@ -26,6 +26,7 @@ use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
 
 use crate::apps::{IoProfile, SinkApp, SourceApp};
+use crate::dynamics::{LinkAction, LinkSchedule};
 use crate::faults::{ChurnAction, FaultPlan};
 use crate::host::{Engine, Host};
 use crate::nic::{Nic, TxOutcome};
@@ -78,6 +79,12 @@ pub struct SimParams {
     /// default (empty) plan leaves the run bit-for-bit identical to a
     /// fault-free simulation under the same seed.
     pub faults: FaultPlan,
+    /// Time-varying link dynamics: capacity collapse/recovery,
+    /// bufferbloat, jitter spikes, asymmetric up-paths, receiver
+    /// migration. The default (empty) schedule leaves the run
+    /// bit-for-bit identical to a static-network simulation under the
+    /// same seed.
+    pub links: LinkSchedule,
 }
 
 impl SimParams {
@@ -97,6 +104,7 @@ impl SimParams {
             sample_interval_us: None,
             observe: false,
             faults: FaultPlan::default(),
+            links: LinkSchedule::default(),
         }
     }
 }
@@ -127,6 +135,9 @@ enum Ev {
     /// A scheduled churn action (crash / restart / pause / resume) fires;
     /// the index points into [`FaultPlan::churn`].
     Churn { idx: usize },
+    /// A scheduled link change fires; the index points into
+    /// [`LinkSchedule::events`].
+    LinkChange { idx: usize },
 }
 
 /// One simulation run. Build with [`Simulation::new`], execute with
@@ -164,6 +175,21 @@ pub struct Simulation {
     reorders_injected: u64,
     /// Packets discarded at crashed or frozen hosts.
     churn_drops: u64,
+    /// Link-schedule events applied so far.
+    link_events_applied: u64,
+    /// Down-path packets dropped at an off-path router after a receiver
+    /// migrated away (in-flight packets lost to a handover).
+    migration_drops: u64,
+    /// Feedback packets dropped by the asymmetric up-path impairment.
+    up_loss_drops: u64,
+    /// Current extra one-way delay on feedback packets (µs; schedule-set).
+    up_extra_delay_us: u64,
+    /// Current feedback drop probability (schedule-set; 0.0 means the
+    /// up-path draws nothing from the RNG, preserving fixture replays).
+    up_extra_loss: f64,
+    /// Receiver indices the sender ejected (ground truth for the
+    /// false-ejection audit; drained from the sender's event queue).
+    ejected_receivers: Vec<usize>,
     /// Accumulated sim-time telemetry samples (empty unless
     /// [`SimParams::sample_interval_us`] is set).
     timeseries: Vec<SimSamplePoint>,
@@ -227,6 +253,10 @@ impl Simulation {
         for idx in 0..params.faults.churn.len() {
             queue.schedule(params.faults.churn[idx].at_us, Ev::Churn { idx });
         }
+        // Link dynamics likewise: an empty schedule adds zero events.
+        for idx in 0..params.links.events.len() {
+            queue.schedule(params.links.events[idx].at_us, Ev::LinkChange { idx });
+        }
         let due = vec![Some(JIFFY_US); n + 1];
         let due_heap = (0..=n).map(|h| Reverse((JIFFY_US, h))).collect();
         let rng = SmallRng::seed_from_u64(params.seed);
@@ -249,6 +279,12 @@ impl Simulation {
             duplicates_injected: 0,
             reorders_injected: 0,
             churn_drops: 0,
+            link_events_applied: 0,
+            migration_drops: 0,
+            up_loss_drops: 0,
+            up_extra_delay_us: 0,
+            up_extra_loss: 0.0,
+            ejected_receivers: Vec::new(),
             timeseries: Vec::new(),
             next_sample_at,
             prev_sample: (0, 0, 0),
@@ -352,6 +388,7 @@ impl Simulation {
             Ev::RouterDeq { router } => self.on_router_deq(router, now),
             Ev::Forward { router, transit } => self.on_forward(router, transit, now),
             Ev::Churn { idx } => self.on_churn(idx, now),
+            Ev::LinkChange { idx } => self.on_link_change(idx),
         }
     }
 
@@ -457,6 +494,74 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Apply one scheduled link change. Parameter mutations take effect
+    /// from the next enqueue/dequeue (service times are computed per
+    /// packet); a packet already being serialized finishes at the old
+    /// speed, exactly as a real link change catches a frame in flight.
+    /// Malformed events (out-of-range router/receiver, empty migration
+    /// path) are ignored rather than panicking — the schedule is data,
+    /// often trace-driven, and must never crash the run.
+    fn on_link_change(&mut self, idx: usize) {
+        match &self.params.links.events[idx].action {
+            LinkAction::SetRouterBandwidth {
+                router,
+                bandwidth_bps,
+            } => {
+                if let Some(r) = self.routers.get_mut(*router) {
+                    r.params.bandwidth_bps = *bandwidth_bps;
+                } else {
+                    return;
+                }
+            }
+            LinkAction::SetRouterLoss { router, loss } => {
+                if let Some(r) = self.routers.get_mut(*router) {
+                    r.params.loss = loss.clamp(0.0, 1.0);
+                } else {
+                    return;
+                }
+            }
+            LinkAction::SetRouterDelay { router, delay_us } => {
+                if let Some(r) = self.routers.get_mut(*router) {
+                    r.params.delay_us = *delay_us;
+                } else {
+                    return;
+                }
+            }
+            LinkAction::SetRouterQueue { router, packets } => {
+                if let Some(r) = self.routers.get_mut(*router) {
+                    r.params.queue_packets = (*packets).max(1);
+                } else {
+                    return;
+                }
+            }
+            LinkAction::SetNicRxLoss { receiver, model } => {
+                let (host, model) = (receiver + 1, *model);
+                let Some(nic) = self.nics.get_mut(host) else {
+                    return;
+                };
+                nic.set_rx_loss(model);
+            }
+            LinkAction::SetUpPath {
+                extra_delay_us,
+                loss,
+            } => {
+                self.up_extra_delay_us = *extra_delay_us;
+                self.up_extra_loss = loss.clamp(0.0, 1.0);
+            }
+            LinkAction::Migrate { receiver, path } => {
+                let ok = *receiver < self.params.topology.paths.len()
+                    && !path.is_empty()
+                    && path.iter().all(|&r| r < self.routers.len());
+                if !ok {
+                    return;
+                }
+                let path = path.clone();
+                self.params.topology.paths[*receiver] = path;
+            }
+        }
+        self.link_events_applied += 1;
     }
 
     /// Revive a crashed receiver host with a fresh engine. It re-attaches
@@ -600,6 +705,18 @@ impl Simulation {
     /// Move every packet the host's engine queued onto the wire: charge
     /// the host CPU, then hand to the NIC transmit queue.
     fn drain_engine(&mut self, host: usize, now: u64) {
+        if host == 0 {
+            // Drain the sender's application events (nothing else in the
+            // sim consumes them): record ejections for the report's
+            // false-ejection audit.
+            if let Engine::Sender(e) = &mut self.hosts[0].engine {
+                while let Some(ev) = e.poll_event() {
+                    if let hrmc_core::SenderEvent::MemberEjected(p) = ev {
+                        self.ejected_receivers.push(p.0 as usize);
+                    }
+                }
+            }
+        }
         loop {
             let out = match &mut self.hosts[host].engine {
                 Engine::Sender(e) => e.poll_output(),
@@ -748,7 +865,14 @@ impl Simulation {
                     std::collections::BTreeMap::new();
                 for d in dests {
                     let path = &self.params.topology.paths[d];
-                    debug_assert_eq!(path[hop], router, "routing went off-path");
+                    // A migration can re-home the receiver while this
+                    // packet is mid-path: the old route no longer leads
+                    // anywhere, so the packet is lost at the handover
+                    // (never delivered down a stale tree).
+                    if path.get(hop) != Some(&router) {
+                        self.migration_drops += 1;
+                        continue;
+                    }
                     if hop + 1 < path.len() {
                         by_next.entry(path[hop + 1]).or_default().push(d);
                     } else {
@@ -802,10 +926,17 @@ impl Simulation {
                         self.hosts[0].backlog_drops += 1;
                         return; // feedback implosion sheds load too
                     }
+                    // Asymmetric up-path impairment (schedule-set).
+                    // Gated on a non-zero probability so a static run
+                    // draws nothing extra from the RNG.
+                    if self.up_extra_loss > 0.0 && self.rng.gen::<f64>() < self.up_extra_loss {
+                        self.up_loss_drops += 1;
+                        return;
+                    }
                     let len = transit.pkt.payload.len();
                     let ready = self.hosts[0].charge_cpu(len, now);
                     self.queue.schedule(
-                        ready,
+                        ready + self.up_extra_delay_us,
                         Ev::HostRx {
                             host: 0,
                             from: Some(from),
@@ -996,6 +1127,7 @@ impl Simulation {
             recovery_backlog: backlog,
             window_occupancy: if n > 0 { occupancy / n as f64 } else { 0.0 },
             completed_receivers: completed,
+            rate_halvings: sender.rate_halvings(),
         });
     }
 
@@ -1044,6 +1176,32 @@ impl Simulation {
         } else {
             0.0
         };
+        // False-ejection audit: an ejection is justified only by ground
+        // truth the simulator controls — the host actually crashed (or
+        // crashed and was restarted as a late joiner) or was severed by
+        // a scheduled partition. Anything else (jitter, bufferbloat,
+        // migration) must not cost a member its membership.
+        let mut audited = std::collections::BTreeSet::new();
+        let false_ejections = self
+            .ejected_receivers
+            .iter()
+            .filter(|&&r| {
+                if !audited.insert(r) {
+                    return false; // one verdict per member
+                }
+                let legit_host = self
+                    .hosts
+                    .get(r + 1)
+                    .is_some_and(|h| h.crashed || h.restarted);
+                let partitioned = self
+                    .params
+                    .faults
+                    .partitions
+                    .iter()
+                    .any(|p| p.receivers.contains(&r));
+                !legit_host && !partitioned
+            })
+            .count() as u64;
         let mut trace = self.trace.clone();
         let latency = self.obs.as_ref().map(|shared| {
             let mut s = shared.lock().unwrap();
@@ -1073,6 +1231,12 @@ impl Simulation {
             duplicates_injected: self.duplicates_injected,
             reorders_injected: self.reorders_injected,
             churn_drops: self.churn_drops,
+            link_events_applied: self.link_events_applied,
+            migration_drops: self.migration_drops,
+            up_loss_drops: self.up_loss_drops,
+            rate_halvings: sender.rate_halvings(),
+            urgent_stops: sender.urgent_stops(),
+            false_ejections,
             final_rtt_us: sender.rtt(),
             final_rate_bps: sender.rate(),
             latency,
@@ -1333,5 +1497,203 @@ mod tests {
         assert!(report.sender.release_attempts > 0);
         assert!(report.sender.probes_sent == 0);
         assert!(report.complete_info_ratio <= 1.0);
+    }
+
+    #[test]
+    fn noop_link_event_only_costs_one_pop() {
+        let base = Simulation::new(lan_params(2, 10_000_000, 0.01, 300_000, 128 * 1024)).run();
+        let mut params = lan_params(2, 10_000_000, 0.01, 300_000, 128 * 1024);
+        // Re-set the LAN router's delay to the value it already has: the
+        // event applies (one extra pop) but the trajectory is untouched —
+        // proof that applying a change draws nothing from the RNG.
+        params.links.push(
+            150_000,
+            LinkAction::SetRouterDelay {
+                router: 0,
+                delay_us: 50,
+            },
+        );
+        let dynamic = Simulation::new(params).run();
+        assert_eq!(dynamic.link_events_applied, 1);
+        assert_eq!(base.elapsed_us, dynamic.elapsed_us);
+        assert_eq!(base.sender.naks_received, dynamic.sender.naks_received);
+        assert_eq!(base.sender.retransmissions, dynamic.sender.retransmissions);
+        assert_eq!(base.events_popped + 1, dynamic.events_popped);
+    }
+
+    #[test]
+    fn capacity_collapse_degrades_then_recovers() {
+        let base = Simulation::new(lan_params(2, 10_000_000, 0.0, 2_000_000, 256 * 1024)).run();
+        let mut params = lan_params(2, 10_000_000, 0.0, 2_000_000, 256 * 1024);
+        // Ramp the LAN segment down to 1 Mbit/s mid-transfer, hold, then
+        // heal instantly at 2 s (bandwidth 0 = no serialization delay,
+        // the segment's original speed).
+        params.links.push(
+            200_000,
+            LinkAction::SetRouterQueue {
+                router: 0,
+                packets: 64, // a collapsed backhaul buffers little
+            },
+        );
+        params
+            .links
+            .ramp_bandwidth(0, 200_000, 200_000, 10_000_000, 1_000_000, 4);
+        params.links.push(
+            2_000_000,
+            LinkAction::SetRouterBandwidth {
+                router: 0,
+                bandwidth_bps: 0,
+            },
+        );
+        let report = Simulation::new(params).run();
+        assert!(report.completed, "collapse must degrade, not kill, the run");
+        assert!(report.all_intact());
+        assert_eq!(report.link_events_applied, 6);
+        assert!(
+            report.rate_halvings >= 1,
+            "no congestion response to the collapse"
+        );
+        assert!(
+            report.router_overflow_drops > 0,
+            "collapsed segment never overflowed"
+        );
+        assert!(
+            report.elapsed_us > base.elapsed_us,
+            "collapse did not slow the transfer: {} vs {}",
+            report.elapsed_us,
+            base.elapsed_us
+        );
+    }
+
+    #[test]
+    fn bufferbloat_inflates_rtt_but_completes() {
+        let base = Simulation::new(lan_params(2, 10_000_000, 0.0, 400_000, 256 * 1024)).run();
+        let mut params = lan_params(2, 10_000_000, 0.0, 400_000, 256 * 1024);
+        // Deep queue + slow drain: packets sit instead of dropping and
+        // every RTT sample inflates with standing queue depth.
+        params.links.bufferbloat(0, 100_000, 4096, 2_000_000);
+        let bloated = Simulation::new(params).run();
+        assert!(bloated.completed && bloated.all_intact());
+        assert_eq!(bloated.link_events_applied, 2);
+        assert!(
+            bloated.final_rtt_us > base.final_rtt_us,
+            "bufferbloat did not inflate the RTT estimate: {} vs {}",
+            bloated.final_rtt_us,
+            base.final_rtt_us
+        );
+    }
+
+    #[test]
+    fn jitter_spikes_do_not_eject_members() {
+        let mut params = lan_params(3, 10_000_000, 0.0, 400_000, 256 * 1024);
+        // Arm the failure-domain detectors, then shake the segment:
+        // 5 delay spikes to 30 ms. Pure jitter must never look like a
+        // dead member.
+        params.protocol.probe_failure_limit = 3;
+        params.protocol.member_silence_us = 3_000_000;
+        params
+            .links
+            .jitter_spikes(0, 100_000, 100_000, 5, 50, 30_000);
+        let report = Simulation::new(params).run();
+        assert!(report.completed && report.all_intact());
+        assert_eq!(report.link_events_applied, 10);
+        assert_eq!(
+            report.sender.members_ejected, 0,
+            "jitter-only episode ejected a member"
+        );
+        assert_eq!(report.false_ejections, 0);
+    }
+
+    #[test]
+    fn uppath_impairment_drops_feedback_only() {
+        let mut params = lan_params(2, 10_000_000, 0.01, 400_000, 256 * 1024);
+        params.links.push(
+            50_000,
+            LinkAction::SetUpPath {
+                extra_delay_us: 20_000,
+                loss: 0.3,
+            },
+        );
+        let report = Simulation::new(params).run();
+        assert!(report.completed && report.all_intact());
+        assert!(report.up_loss_drops > 0, "up-path loss never fired");
+    }
+
+    #[test]
+    fn migration_rehomes_receiver_and_drops_in_flight() {
+        use crate::topology::{CharacteristicGroup, GroupSpec};
+        let specs = vec![
+            GroupSpec {
+                group: CharacteristicGroup::A,
+                receivers: 1,
+            },
+            GroupSpec {
+                group: CharacteristicGroup::A,
+                receivers: 1,
+            },
+        ];
+        let topology = TopologyBuilder::new().groups(&specs, 10_000_000);
+        let mut protocol = ProtocolConfig::hrmc().with_buffer(256 * 1024);
+        protocol.max_rate = 2 * 10_000_000 / 8;
+        let mut params = SimParams::new(protocol, topology, 600_000);
+        params.horizon_us = 600 * 1_000_000;
+        // Hand receiver 0 over from its home router (1) to the other
+        // group's router (2) mid-transfer.
+        params.links.push(
+            200_000,
+            LinkAction::Migrate {
+                receiver: 0,
+                path: vec![0, 2],
+            },
+        );
+        let report = Simulation::new(params).run();
+        assert!(report.completed, "handover must not strand the receiver");
+        assert!(report.all_intact());
+        assert_eq!(report.link_events_applied, 1);
+        assert!(
+            report.migration_drops > 0,
+            "no in-flight packet was caught by the handover"
+        );
+    }
+
+    #[test]
+    fn malformed_migration_is_ignored() {
+        let base = Simulation::new(lan_params(2, 10_000_000, 0.01, 300_000, 128 * 1024)).run();
+        let mut params = lan_params(2, 10_000_000, 0.01, 300_000, 128 * 1024);
+        params.links.push(
+            150_000,
+            LinkAction::Migrate {
+                receiver: 0,
+                path: vec![99], // no such router
+            },
+        );
+        let report = Simulation::new(params).run();
+        assert_eq!(report.link_events_applied, 0, "bad event must not apply");
+        assert_eq!(report.elapsed_us, base.elapsed_us);
+        assert_eq!(report.migration_drops, 0);
+    }
+
+    #[test]
+    fn scheduled_run_is_deterministic() {
+        let mk = || {
+            let mut p = lan_params(2, 10_000_000, 0.01, 300_000, 128 * 1024);
+            p.links
+                .collapse_recover(0, 100_000, 600_000, 10_000_000, 1_000_000, 50_000, 3);
+            p.links.push(
+                400_000,
+                LinkAction::SetUpPath {
+                    extra_delay_us: 10_000,
+                    loss: 0.2,
+                },
+            );
+            p
+        };
+        let a = Simulation::new(mk()).run();
+        let b = Simulation::new(mk()).run();
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        assert_eq!(a.events_popped, b.events_popped);
+        assert_eq!(a.up_loss_drops, b.up_loss_drops);
+        assert_eq!(a.sender.retransmissions, b.sender.retransmissions);
+        assert_eq!(a.rate_halvings, b.rate_halvings);
     }
 }

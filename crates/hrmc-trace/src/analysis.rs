@@ -49,6 +49,11 @@ struct MemberState {
     region_since: u64,
     occupancy: RegionOccupancy,
     ejected: bool,
+    /// When the sender ejected this member (µs).
+    ejected_at: Option<u64>,
+    /// Timestamp of the member's most recent event — evidence of life
+    /// for the false-ejection audit.
+    last_activity: u64,
     session_failed: bool,
 }
 
@@ -72,6 +77,8 @@ impl MemberState {
             region_since: now,
             occupancy: RegionOccupancy::default(),
             ejected: false,
+            ejected_at: None,
+            last_activity: now,
             session_failed: false,
         }
     }
@@ -119,7 +126,7 @@ impl Analysis {
         let mut rtt_samples: Vec<(u64, u64)> = Vec::new();
         let mut probe_samples = 0u64;
 
-        let mut ejected_peers: Vec<u32> = Vec::new();
+        let mut ejected_peers: Vec<(u64, u32)> = Vec::new();
         let mut stall_latency = Histogram::new();
 
         for te in events {
@@ -185,7 +192,7 @@ impl Analysis {
                     }
                 }
                 Event::PeerJoined { .. } => {}
-                Event::MemberEjected { peer } => ejected_peers.push(peer.0),
+                Event::MemberEjected { peer } => ejected_peers.push((now, peer.0)),
                 Event::ChecksumFailed => {
                     transfer.checksum_failures += 1;
                     sender_event = false;
@@ -196,6 +203,7 @@ impl Analysis {
                     let m = members
                         .entry(te.source.clone())
                         .or_insert_with(|| MemberState::new(te.source.clone(), now));
+                    m.last_activity = now;
                     match receiver_event {
                         Event::RegionChanged { to, .. } => {
                             m.credit_region(now);
@@ -335,15 +343,17 @@ impl Analysis {
         }
 
         // Member reports.
-        for peer in &ejected_peers {
+        for (at, peer) in &ejected_peers {
             for m in members.values_mut() {
                 if source_is_peer(&m.source, *peer) {
                     m.ejected = true;
+                    m.ejected_at.get_or_insert(*at);
                 }
             }
         }
         let mut suppression = SuppressionReport::default();
         let mut member_reports = Vec::with_capacity(members.len());
+        let mut false_ejections = 0u64;
         for m in members.values_mut() {
             m.credit_region(end_us);
             suppression.losses_observed += m.lost.len() as u64;
@@ -351,6 +361,13 @@ impl Analysis {
             suppression.nak_seqs += m.nak_seqs;
             suppression.suppression_events += m.suppression_events;
             suppression.naks_suppressed += m.naks_suppressed;
+            // A member that kept emitting events after its ejection
+            // timestamp was alive when the sender cut it loose — the
+            // false ejection the jitter invariants guard against.
+            let falsely_ejected = m.ejected_at.is_some_and(|at| m.last_activity > at);
+            if falsely_ejected {
+                false_ejections += 1;
+            }
             member_reports.push(MemberReport {
                 source: m.source.key(),
                 member: m.source.member(),
@@ -368,6 +385,8 @@ impl Analysis {
                 recovery_latency: m.recovery.summary(),
                 regions: m.occupancy.clone(),
                 ejected: m.ejected,
+                ejected_at_us: m.ejected_at,
+                falsely_ejected,
                 session_failed: m.session_failed,
             });
         }
@@ -419,6 +438,7 @@ impl Analysis {
             release,
             rtt,
             members: member_reports,
+            false_ejections,
             lifecycle,
         }
     }
@@ -528,6 +548,33 @@ mod tests {
         assert!(a.members.iter().any(|m| m.source == "host:2" && m.ejected));
         assert_eq!(a.lifecycle.delivered_by_all_live, 1);
         assert!(a.lifecycle.complete);
+        // The corpse stayed silent after its ejection: not a false one.
+        assert_eq!(a.false_ejections, 0);
+        assert!(a.members.iter().all(|m| !m.falsely_ejected));
+    }
+
+    #[test]
+    fn post_ejection_activity_is_a_false_ejection() {
+        let trace = concat!(
+            "{\"t_us\":1,\"host\":0,\"event\":\"data_sent\",\"seq\":0,\"bytes\":10,\"retransmission\":false}\n",
+            "{\"t_us\":2,\"host\":1,\"event\":\"delivered\",\"first\":0,\"count\":1}\n",
+            "{\"t_us\":3,\"host\":0,\"event\":\"member_ejected\",\"member\":0}\n",
+            // Member 0 (host:1) keeps delivering after its ejection —
+            // it was alive all along, merely slow.
+            "{\"t_us\":9,\"host\":1,\"event\":\"delivered\",\"first\":1,\"count\":1}\n",
+        );
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.false_ejections, 1);
+        let m = a.members.iter().find(|m| m.source == "host:1").unwrap();
+        assert!(m.ejected && m.falsely_ejected);
+        assert_eq!(m.ejected_at_us, Some(3));
+        // The rendered report calls it out.
+        let text = a.render_table();
+        assert!(
+            text.contains("FALSE-EJ"),
+            "report must flag false ejections"
+        );
+        assert!(text.contains("ejected while demonstrably alive"));
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub struct MemberReport {
     pub regions: RegionOccupancy,
     /// `true` when the sender ejected this member.
     pub ejected: bool,
+    /// When the ejection happened (µs), if it did.
+    pub ejected_at_us: Option<u64>,
+    /// `true` when the member demonstrably outlived its ejection — it
+    /// kept emitting events after the sender cut it loose. Jitter-only
+    /// episodes must keep this at zero on every member.
+    pub falsely_ejected: bool,
     /// `true` when the member declared terminal session failure.
     pub session_failed: bool,
 }
@@ -242,6 +248,9 @@ pub struct Analysis {
     pub rtt: RttReport,
     /// Per-member attribution, ordered by source key.
     pub members: Vec<MemberReport>,
+    /// Members ejected while demonstrably still alive (degradation
+    /// audit: latency is not death).
+    pub false_ejections: u64,
     /// Sequence end-state audit.
     pub lifecycle: LifecycleReport,
 }
@@ -396,7 +405,9 @@ impl Analysis {
             "state"
         );
         for m in &self.members {
-            let state = if m.ejected {
+            let state = if m.falsely_ejected {
+                "FALSE-EJ"
+            } else if m.ejected {
                 "ejected"
             } else if m.session_failed {
                 "failed"
@@ -420,6 +431,13 @@ impl Analysis {
                     m.regions.warning_entries, m.regions.critical_entries
                 ),
                 state
+            );
+        }
+        if self.false_ejections > 0 {
+            let _ = writeln!(
+                o,
+                "  !! {} member(s) ejected while demonstrably alive",
+                self.false_ejections
             );
         }
 

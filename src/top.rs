@@ -174,7 +174,12 @@ pub fn parse_sim_timeseries(input: &str) -> Vec<TelemetrySample> {
             continue;
         };
         let mut totals = std::collections::BTreeMap::new();
-        for key in ["bytes_received", "naks_sent", "retransmissions"] {
+        for key in [
+            "bytes_received",
+            "naks_sent",
+            "retransmissions",
+            "rate_halvings",
+        ] {
             if let Some(n) = v.get(key).and_then(Value::as_u64) {
                 totals.insert(key.to_string(), n);
             }
@@ -344,18 +349,19 @@ mod tests {
             {\"t_us\":50000,\"bytes_received\":1000,\"throughput_mbps\":0.16,\"naks_sent\":2,\
              \"nak_rate_per_sec\":40.0,\"retransmissions\":1,\"sender_buffered_bytes\":4096,\
              \"rate_bps\":125000,\"rtt_us\":2000,\"recovery_backlog\":3,\
-             \"window_occupancy\":0.25,\"completed_receivers\":0}\n\
+             \"window_occupancy\":0.25,\"completed_receivers\":0,\"rate_halvings\":0}\n\
             not json\n\
             {\"t_us\":100000,\"bytes_received\":3000,\"throughput_mbps\":0.32,\"naks_sent\":2,\
              \"nak_rate_per_sec\":0.0,\"retransmissions\":1,\"sender_buffered_bytes\":0,\
              \"rate_bps\":125000,\"rtt_us\":2100,\"recovery_backlog\":0,\
-             \"window_occupancy\":0.5,\"completed_receivers\":2}\n";
+             \"window_occupancy\":0.5,\"completed_receivers\":2,\"rate_halvings\":3}\n";
         let samples = parse_sim_timeseries(input);
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].total("bytes_received"), 1000);
         assert_eq!(samples[0].interval_us, 0);
         assert_eq!(samples[1].interval_us, 50_000);
         assert_eq!(samples[1].counter_delta("bytes_received"), 2000);
+        assert_eq!(samples[1].counter_delta("rate_halvings"), 3);
         assert_eq!(samples[1].gauge("window_occupancy_pct"), Some(50));
         assert_eq!(samples[1].gauge("completed_receivers"), Some(2));
         let text = render_trace("sim.jsonl", &samples);
