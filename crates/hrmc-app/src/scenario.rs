@@ -3,7 +3,7 @@
 //! I/O — and runs it through the simulator. Every figure harness in
 //! `hrmc-experiments` is a sweep over scenarios.
 
-use hrmc_core::{ProtocolConfig, ReliabilityMode};
+use hrmc_core::{HealthConfig, ProtocolConfig, ReliabilityMode};
 use hrmc_sim::{
     ChurnAction, ChurnEvent, FaultPlan, GroupSpec, IoProfile, LinkSchedule, LossModel, Partition,
     SimParams, SimReport, Simulation, TopologyBuilder,
@@ -107,6 +107,10 @@ pub struct Scenario {
     /// pace probe fan-out instead of bursting O(receivers) packets in
     /// one tick.
     pub probe_batch_limit: u32,
+    /// Arm the online health monitor with this rule set (`None` leaves
+    /// the run bit-identical to an unmonitored one; armed runs add only
+    /// `health_alert` lines and `SimReport.alerts`).
+    pub health: Option<HealthConfig>,
 }
 
 impl Scenario {
@@ -137,6 +141,7 @@ impl Scenario {
             sender_death_factor: 0,
             join_retry_limit: 0,
             probe_batch_limit: 0,
+            health: None,
         }
     }
 
@@ -188,6 +193,7 @@ impl Scenario {
             sender_death_factor: 0,
             join_retry_limit: 0,
             probe_batch_limit: 0,
+            health: None,
         }
     }
 
@@ -248,6 +254,14 @@ impl Scenario {
     /// jitter spikes, up-path impairment, receiver migration).
     pub fn with_links(mut self, links: LinkSchedule) -> Scenario {
         self.links = links;
+        self
+    }
+
+    /// Arm the online health monitor with `cfg` (see
+    /// [`hrmc_core::HealthMonitor`]); disarmed configs are dropped so
+    /// the run keeps the zero-cost no-observer path.
+    pub fn with_health(mut self, cfg: HealthConfig) -> Scenario {
+        self.health = cfg.armed().then_some(cfg);
         self
     }
 
@@ -343,6 +357,7 @@ impl Scenario {
         params.cpu_scale = self.cpu_scale;
         params.faults = self.faults.clone();
         params.links = self.links.clone();
+        params.health = self.health.clone();
         params
     }
 

@@ -1,0 +1,1184 @@
+//! Online protocol health monitoring: a sans-io, bounded-memory
+//! streaming monitor that consumes the [`ProtocolObserver`] event stream
+//! (plus periodic [`TelemetrySample`]s) and evaluates protocol
+//! invariants *while the protocol runs* — NAK storms, window stalls,
+//! livelock, RTT divergence, recovery-backlog growth, imminent and
+//! false member ejections. Each rule emits a structured [`Alert`] with
+//! hysteresis (separate raise/clear thresholds, a sustain requirement
+//! before raising, and a minimum hold before clearing) so alerts never
+//! flap.
+//!
+//! The monitor is a pure observer: it never mutates protocol state, so
+//! an armed monitor cannot perturb trajectories, and a disabled one
+//! ([`HealthConfig::disabled`]) costs one branch per event — the same
+//! zero-cost contract as the rest of the observability layer.
+//!
+//! Memory is bounded by construction: windowed rates live in a fixed
+//! ring of time buckets, ejection tracking in a capped set, and the
+//! alert history in a capped deque. Nothing grows with run length.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::obs::{Event, ProtocolObserver};
+use crate::telemetry::TelemetrySample;
+use crate::time::Micros;
+
+/// Number of time buckets the sliding window is divided into.
+const WINDOW_BUCKETS: usize = 10;
+/// Alert-history ring bound.
+const HISTORY_CAP: usize = 256;
+/// Bound on the tracked set of ejected members (false-ejection rule).
+const EJECTED_CAP: usize = 64;
+/// Minimum windowed NAK count before the NAK-storm ratio is meaningful.
+const NAK_STORM_MIN_NAKS: u64 = 10;
+/// Minimum windowed event count before the livelock ratio is meaningful.
+const LIVELOCK_MIN_EVENTS: u64 = 300;
+
+/// The protocol invariant a rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertRule {
+    /// Windowed NAK packets per delivered segment exceeded the bound —
+    /// the group is spending its feedback budget on loss reports.
+    NakStorm,
+    /// No release/delivery/recovery progress for longer than the bound
+    /// while recovery work is pending — the pipeline is stalled.
+    WindowStall,
+    /// Windowed observer events per delivered segment exceeded the bound
+    /// — the protocol is spinning without making forward progress (the
+    /// same invariant the hostile matrix asserts post-hoc).
+    Livelock,
+    /// The smoothed RTT diverged from its run baseline (rolling minimum)
+    /// by more than the bound, sustained — standing queues are building.
+    RttDivergence,
+    /// The event-derived recovery backlog (NAKed-but-unrecovered
+    /// segments) exceeded the bound, sustained.
+    BacklogGrowth,
+    /// Consecutive unanswered PROBEs approached `probe_failure_limit` —
+    /// a member is about to be ejected.
+    EjectionImminent,
+    /// A member showed activity *after* being ejected — the ejection was
+    /// false (the online form of the post-hoc `hrmc analyze` audit).
+    FalseEjection,
+}
+
+impl AlertRule {
+    /// Every rule, in a stable order.
+    pub const ALL: [AlertRule; 7] = [
+        AlertRule::NakStorm,
+        AlertRule::WindowStall,
+        AlertRule::Livelock,
+        AlertRule::RttDivergence,
+        AlertRule::BacklogGrowth,
+        AlertRule::EjectionImminent,
+        AlertRule::FalseEjection,
+    ];
+
+    /// Stable lower-case name (JSONL `rule` field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertRule::NakStorm => "nak_storm",
+            AlertRule::WindowStall => "window_stall",
+            AlertRule::Livelock => "livelock",
+            AlertRule::RttDivergence => "rtt_divergence",
+            AlertRule::BacklogGrowth => "backlog_growth",
+            AlertRule::EjectionImminent => "ejection_imminent",
+            AlertRule::FalseEjection => "false_ejection",
+        }
+    }
+
+    /// Inverse of [`AlertRule::name`].
+    pub fn from_name(name: &str) -> Option<AlertRule> {
+        AlertRule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// How urgent a raised alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Degradation worth watching.
+    Warning,
+    /// The protocol is failing its contract (stall, livelock, false
+    /// ejection).
+    Critical,
+}
+
+impl Severity {
+    /// Stable lower-case name (JSONL `severity` field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Inverse of [`Severity::name`].
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "warning" => Some(Severity::Warning),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// One alert transition: a rule crossing into (`raised == true`) or out
+/// of (`raised == false`) its alarmed state, with numeric evidence. All
+/// evidence is fixed-point — `value_m`/`limit_m` are the observed value
+/// and the threshold in milli-units of the rule's natural unit (see the
+/// DESIGN.md rule table) — so the alert stays `Copy` and renders without
+/// allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Engine clock at the transition (µs).
+    pub t_us: Micros,
+    /// Which invariant.
+    pub rule: AlertRule,
+    /// Configured severity of the rule.
+    pub severity: Severity,
+    /// `true` = raised, `false` = cleared.
+    pub raised: bool,
+    /// Observed value, milli-units (e.g. 1500 = 1.5 NAKs/delivered).
+    /// For [`AlertRule::FalseEjection`] this is the peer id.
+    pub value_m: u64,
+    /// The raise threshold the value is judged against, milli-units.
+    pub limit_m: u64,
+}
+
+impl Alert {
+    /// The schema event this alert renders as.
+    pub fn to_event(self) -> Event {
+        Event::HealthAlert {
+            rule: self.rule,
+            severity: self.severity,
+            raised: self.raised,
+            value_m: self.value_m,
+            limit_m: self.limit_m,
+        }
+    }
+}
+
+/// Per-rule tuning: thresholds and hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Evaluate this rule at all.
+    pub enabled: bool,
+    /// Severity attached to its alerts.
+    pub severity: Severity,
+    /// Raise once the value reaches this (milli-units) …
+    pub raise_m: u64,
+    /// … and has stayed there for this long (µs).
+    pub sustain_us: u64,
+    /// Clear once the value falls to/below this (milli-units) …
+    pub clear_m: u64,
+    /// … but never sooner than this after raising (µs) — the anti-flap
+    /// hold.
+    pub min_hold_us: u64,
+}
+
+impl RuleConfig {
+    /// A disabled rule (thresholds irrelevant).
+    pub fn off() -> RuleConfig {
+        RuleConfig {
+            enabled: false,
+            severity: Severity::Warning,
+            raise_m: u64::MAX,
+            sustain_us: 0,
+            clear_m: 0,
+            min_hold_us: 0,
+        }
+    }
+}
+
+/// Monitor configuration: the sliding-window geometry plus one
+/// [`RuleConfig`] per rule. [`HealthConfig::default`] arms every rule
+/// with conservative thresholds (tuned so a healthy or merely jittery
+/// run stays silent); [`HealthConfig::disabled`] turns every rule off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Sliding-window span for rate rules (µs).
+    pub window_us: u64,
+    /// Rule-evaluation grid: rules are (re)judged at most this often
+    /// (µs), piggybacked on event arrival — no timer of its own.
+    pub eval_interval_us: u64,
+    /// The protocol's `probe_failure_limit`, for the imminent-ejection
+    /// rule (0 disables that rule regardless of its config).
+    pub probe_failure_limit: u32,
+    /// NAK-storm rule (value: windowed NAKs per delivered segment).
+    pub nak_storm: RuleConfig,
+    /// Window-stall rule (value: µs since last progress, in ms).
+    pub window_stall: RuleConfig,
+    /// Livelock rule (value: windowed events per delivered segment).
+    pub livelock: RuleConfig,
+    /// RTT-divergence rule (value: srtt / rolling-min ratio, evaluated
+    /// only while recovery work is outstanding).
+    pub rtt_divergence: RuleConfig,
+    /// Backlog-growth rule (value: outstanding NAKed segments).
+    pub backlog_growth: RuleConfig,
+    /// Imminent-ejection rule (value: consecutive unanswered PROBEs;
+    /// raise threshold derived from `probe_failure_limit`).
+    pub ejection_imminent: RuleConfig,
+    /// False-ejection rule (event-driven, raises once, never clears).
+    pub false_ejection: RuleConfig,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            window_us: 1_000_000,
+            eval_interval_us: 100_000,
+            probe_failure_limit: 0,
+            nak_storm: RuleConfig {
+                enabled: true,
+                severity: Severity::Warning,
+                raise_m: 1_000, // ≥ 1 NAK per delivered segment
+                sustain_us: 200_000,
+                clear_m: 250,
+                min_hold_us: 500_000,
+            },
+            window_stall: RuleConfig {
+                enabled: true,
+                severity: Severity::Critical,
+                raise_m: 2_000, // 2 s without progress, work pending
+                sustain_us: 0,  // the value *is* a duration
+                clear_m: 500,
+                min_hold_us: 500_000,
+            },
+            livelock: RuleConfig {
+                enabled: true,
+                severity: Severity::Critical,
+                raise_m: 50_000, // ≥ 50 events per delivered segment
+                sustain_us: 300_000,
+                clear_m: 10_000,
+                min_hold_us: 500_000,
+            },
+            rtt_divergence: RuleConfig {
+                enabled: true,
+                severity: Severity::Warning,
+                raise_m: 8_000, // srtt ≥ 8 × its rolling minimum …
+                // … for 2 s: a burst of delay spikes inflates srtt for
+                // about its own duration (latency is not death); only a
+                // standing queue keeps it pinned this long.
+                sustain_us: 2_000_000,
+                clear_m: 3_000,
+                min_hold_us: 1_000_000,
+            },
+            backlog_growth: RuleConfig {
+                enabled: true,
+                severity: Severity::Warning,
+                raise_m: 150_000, // ≥ 150 NAKed-but-unrecovered segments
+                sustain_us: 300_000,
+                clear_m: 30_000,
+                min_hold_us: 500_000,
+            },
+            ejection_imminent: RuleConfig {
+                enabled: true,
+                severity: Severity::Warning,
+                raise_m: 0, // derived from probe_failure_limit
+                sustain_us: 0,
+                clear_m: 0,
+                min_hold_us: 0,
+            },
+            false_ejection: RuleConfig {
+                enabled: true,
+                severity: Severity::Critical,
+                raise_m: 0, // event-driven
+                sustain_us: 0,
+                clear_m: 0,
+                min_hold_us: 0,
+            },
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Every rule off: the provably zero-cost configuration (the
+    /// monitor's event hook reduces to one branch).
+    pub fn disabled() -> HealthConfig {
+        HealthConfig {
+            window_us: 1_000_000,
+            eval_interval_us: 100_000,
+            probe_failure_limit: 0,
+            nak_storm: RuleConfig::off(),
+            window_stall: RuleConfig::off(),
+            livelock: RuleConfig::off(),
+            rtt_divergence: RuleConfig::off(),
+            backlog_growth: RuleConfig::off(),
+            ejection_imminent: RuleConfig::off(),
+            false_ejection: RuleConfig::off(),
+        }
+    }
+
+    /// The config for one rule.
+    pub fn rule(&self, rule: AlertRule) -> &RuleConfig {
+        match rule {
+            AlertRule::NakStorm => &self.nak_storm,
+            AlertRule::WindowStall => &self.window_stall,
+            AlertRule::Livelock => &self.livelock,
+            AlertRule::RttDivergence => &self.rtt_divergence,
+            AlertRule::BacklogGrowth => &self.backlog_growth,
+            AlertRule::EjectionImminent => &self.ejection_imminent,
+            AlertRule::FalseEjection => &self.false_ejection,
+        }
+    }
+
+    /// `true` when at least one rule is enabled.
+    pub fn armed(&self) -> bool {
+        AlertRule::ALL.into_iter().any(|r| self.rule(r).enabled)
+    }
+}
+
+/// One sliding-window time bucket.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    naks: u64,
+    delivered: u64,
+    events: u64,
+}
+
+/// Per-rule hysteresis state.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleState {
+    raised: bool,
+    /// Condition continuously ≥ raise threshold since (for sustain).
+    over_since: Option<u64>,
+    raised_at: u64,
+    last_value_m: u64,
+}
+
+/// The streaming monitor. Feed it events via [`ProtocolObserver`] (or
+/// [`HealthMonitor::on_event_tagged`] when the stream carries member
+/// attribution, as the simulator's does) and optionally
+/// [`TelemetrySample`]s; drain alert transitions with
+/// [`HealthMonitor::take_alerts`].
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    armed: bool,
+    bucket_us: u64,
+    /// Index (now / bucket_us) of the bucket currently written.
+    cur_bucket: u64,
+    buckets: [Bucket; WINDOW_BUCKETS],
+    last_now: u64,
+    next_eval: u64,
+    /// Last time a release/delivery/recovery made forward progress.
+    last_progress: u64,
+    /// Event-derived recovery backlog: gap-triggered NAK spans opened
+    /// minus recovered spans (saturating — FEC can recover un-NAKed
+    /// gaps).
+    backlog: u64,
+    srtt_us: u64,
+    min_rtt_us: u64,
+    /// Consecutive PROBEs without an intervening answer (probe RTT
+    /// sample, UPDATE, or release progress).
+    probe_streak: u32,
+    /// Peers ejected so far (bounded; false-ejection evidence).
+    ejected: Vec<u32>,
+    /// Peer whose post-ejection activity proved an ejection false.
+    false_ejection_peer: Option<u32>,
+    states: [RuleState; AlertRule::ALL.len()],
+    pending: Vec<Alert>,
+    history: VecDeque<Alert>,
+    raised_total: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given configuration.
+    pub fn new(cfg: HealthConfig) -> HealthMonitor {
+        let armed = cfg.armed();
+        let bucket_us = (cfg.window_us / WINDOW_BUCKETS as u64).max(1);
+        HealthMonitor {
+            cfg,
+            armed,
+            bucket_us,
+            cur_bucket: 0,
+            buckets: [Bucket::default(); WINDOW_BUCKETS],
+            last_now: 0,
+            next_eval: 0,
+            last_progress: 0,
+            backlog: 0,
+            srtt_us: 0,
+            min_rtt_us: 0,
+            probe_streak: 0,
+            ejected: Vec::new(),
+            false_ejection_peer: None,
+            states: [RuleState::default(); AlertRule::ALL.len()],
+            pending: Vec::new(),
+            history: VecDeque::new(),
+            raised_total: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// `true` when at least one rule is enabled.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Number of rules currently in the raised state.
+    pub fn active(&self) -> u64 {
+        self.states.iter().filter(|s| s.raised).count() as u64
+    }
+
+    /// Cumulative raise transitions.
+    pub fn raised_total(&self) -> u64 {
+        self.raised_total
+    }
+
+    /// Drain alert transitions emitted since the last call.
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The most recent transitions (bounded ring), oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &Alert> {
+        self.history.iter()
+    }
+
+    /// Rules currently raised, with their latest evidence.
+    pub fn active_alerts(&self) -> Vec<Alert> {
+        AlertRule::ALL
+            .into_iter()
+            .zip(self.states.iter())
+            .filter(|(_, s)| s.raised)
+            .map(|(rule, s)| Alert {
+                t_us: s.raised_at,
+                rule,
+                severity: self.cfg.rule(rule).severity,
+                raised: true,
+                value_m: s.last_value_m,
+                limit_m: self.raise_threshold(rule),
+            })
+            .collect()
+    }
+
+    /// Feed one event, optionally attributed to a group member (the
+    /// simulator tags receiver host `h` as member `h - 1`). Untagged
+    /// streams still evaluate every rule except false-ejection, which
+    /// needs to know *who* spoke.
+    pub fn on_event_tagged(&mut self, now: Micros, ev: &Event, member: Option<u32>) {
+        if !self.armed {
+            return;
+        }
+        self.last_now = self.last_now.max(now);
+        self.advance_window(self.last_now);
+        let b = &mut self.buckets[(self.cur_bucket % WINDOW_BUCKETS as u64) as usize];
+        b.events += 1;
+        match *ev {
+            Event::NakSent { count, trigger, .. } => {
+                b.naks += 1;
+                if trigger == crate::obs::NakTrigger::Gap {
+                    self.backlog = self.backlog.saturating_add(u64::from(count));
+                }
+            }
+            Event::Delivered { count, .. } => {
+                b.delivered += u64::from(count);
+                self.last_progress = self.last_now;
+            }
+            Event::Recovered { count, .. } => {
+                self.backlog = self.backlog.saturating_sub(u64::from(count));
+                self.last_progress = self.last_now;
+            }
+            Event::ReleaseAttempt { released: true, .. } => {
+                // A released buffer is sender-side proof of end-to-end
+                // progress: every receiver holds the segment. It must
+                // count toward the per-delivered denominators, because a
+                // pure sender stream (live `hrmc send`) never carries
+                // `Delivered` events and would otherwise read as a
+                // livelock the moment it pushes >LIVELOCK_MIN_EVENTS
+                // events per window.
+                b.delivered += 1;
+                self.last_progress = self.last_now;
+                self.probe_streak = 0;
+            }
+            Event::RttSample { srtt_us, probe, .. } => {
+                self.srtt_us = srtt_us;
+                if srtt_us > 0 && (self.min_rtt_us == 0 || srtt_us < self.min_rtt_us) {
+                    self.min_rtt_us = srtt_us;
+                }
+                if probe {
+                    self.probe_streak = 0;
+                }
+            }
+            Event::ProbeSent { .. } => {
+                self.probe_streak = self.probe_streak.saturating_add(1);
+            }
+            Event::UpdateSent { .. } => {
+                self.probe_streak = 0;
+            }
+            Event::MemberEjected { peer } => {
+                self.probe_streak = 0;
+                if self.ejected.len() < EJECTED_CAP && !self.ejected.contains(&peer.0) {
+                    self.ejected.push(peer.0);
+                }
+            }
+            Event::HealthAlert { .. } => {
+                // Never feed alerts back into rule evaluation.
+                b.events -= 1;
+            }
+            _ => {}
+        }
+        // Post-ejection activity from a tracked member proves the
+        // ejection false.
+        if self.false_ejection_peer.is_none() {
+            if let Some(m) = member.or_else(|| ev.member().map(|p| p.0)) {
+                if !matches!(*ev, Event::MemberEjected { .. }) && self.ejected.contains(&m) {
+                    self.false_ejection_peer = Some(m);
+                }
+            }
+        }
+        if self.last_now >= self.next_eval {
+            self.eval(self.last_now);
+            self.next_eval = self.last_now + self.cfg.eval_interval_us;
+        }
+    }
+
+    /// Supplement the event stream with a periodic telemetry sample —
+    /// live sessions publish the smoothed RTT as a gauge even between
+    /// observed RTT events. Sample timestamps that run behind the event
+    /// clock are ignored (clock domains may differ).
+    pub fn observe_sample(&mut self, s: &TelemetrySample) {
+        if !self.armed {
+            return;
+        }
+        if let Some(&srtt) = s.gauges.get("srtt_us") {
+            if srtt > 0 {
+                self.srtt_us = srtt;
+                if self.min_rtt_us == 0 || srtt < self.min_rtt_us {
+                    self.min_rtt_us = srtt;
+                }
+            }
+        }
+        if s.t_us > self.last_now {
+            self.last_now = s.t_us;
+            self.advance_window(s.t_us);
+            if s.t_us >= self.next_eval {
+                self.eval(s.t_us);
+                self.next_eval = s.t_us + self.cfg.eval_interval_us;
+            }
+        }
+    }
+
+    /// Rotate the bucket ring forward to cover `now`, zeroing buckets
+    /// that fell out of the window.
+    fn advance_window(&mut self, now: u64) {
+        let target = now / self.bucket_us;
+        if target <= self.cur_bucket {
+            return;
+        }
+        let steps = (target - self.cur_bucket).min(WINDOW_BUCKETS as u64);
+        for i in 1..=steps {
+            let idx = ((self.cur_bucket + i) % WINDOW_BUCKETS as u64) as usize;
+            self.buckets[idx] = Bucket::default();
+        }
+        self.cur_bucket = target;
+    }
+
+    fn window_totals(&self) -> (u64, u64, u64) {
+        let mut naks = 0;
+        let mut delivered = 0;
+        let mut events = 0;
+        for b in &self.buckets {
+            naks += b.naks;
+            delivered += b.delivered;
+            events += b.events;
+        }
+        (naks, delivered, events)
+    }
+
+    /// The raise threshold for a rule (milli-units), resolving the
+    /// derived imminent-ejection threshold.
+    fn raise_threshold(&self, rule: AlertRule) -> u64 {
+        match rule {
+            AlertRule::EjectionImminent => {
+                u64::from(self.cfg.probe_failure_limit.saturating_sub(1)) * 1_000
+            }
+            _ => self.cfg.rule(rule).raise_m,
+        }
+    }
+
+    /// The current value of a rule's watched quantity (milli-units).
+    fn value_m(&self, rule: AlertRule, now: u64) -> u64 {
+        let (naks, delivered, events) = self.window_totals();
+        match rule {
+            AlertRule::NakStorm => {
+                if naks < NAK_STORM_MIN_NAKS {
+                    0
+                } else {
+                    naks * 1_000 / delivered.max(1)
+                }
+            }
+            AlertRule::WindowStall => {
+                if self.backlog == 0 {
+                    0
+                } else {
+                    now.saturating_sub(self.last_progress) / 1_000
+                }
+            }
+            AlertRule::Livelock => {
+                if events < LIVELOCK_MIN_EVENTS {
+                    0
+                } else {
+                    events * 1_000 / delivered.max(1)
+                }
+            }
+            AlertRule::RttDivergence => {
+                // Gated on pending recovery work, like window-stall: an
+                // inflated RTT with nothing to recover is latency, not
+                // degradation (a delay-spiked but lossless link must
+                // stay silent). The rolling minimum never ages, so the
+                // ratio alone would pin high after any transient storm.
+                if self.backlog == 0 || self.min_rtt_us == 0 || self.srtt_us == 0 {
+                    0
+                } else {
+                    self.srtt_us * 1_000 / self.min_rtt_us
+                }
+            }
+            AlertRule::BacklogGrowth => self.backlog * 1_000,
+            AlertRule::EjectionImminent => u64::from(self.probe_streak) * 1_000,
+            AlertRule::FalseEjection => match self.false_ejection_peer {
+                Some(peer) => u64::from(peer).max(1),
+                None => 0,
+            },
+        }
+    }
+
+    /// Judge every enabled rule against its hysteresis state.
+    fn eval(&mut self, now: u64) {
+        for (i, rule) in AlertRule::ALL.into_iter().enumerate() {
+            let rc = *self.cfg.rule(rule);
+            if !rc.enabled {
+                continue;
+            }
+            // Imminent ejection needs a configured limit of ≥ 2 to have
+            // a meaningful "approaching" threshold.
+            if rule == AlertRule::EjectionImminent && self.cfg.probe_failure_limit < 2 {
+                continue;
+            }
+            let value = self.value_m(rule, now);
+            let limit = self.raise_threshold(rule);
+            let st = &mut self.states[i];
+            st.last_value_m = value;
+            if !st.raised {
+                let over = match rule {
+                    // Event-driven rules raise on any nonzero value.
+                    AlertRule::FalseEjection => value > 0,
+                    _ => limit > 0 && value >= limit,
+                };
+                if over {
+                    let since = *st.over_since.get_or_insert(now);
+                    if now.saturating_sub(since) >= rc.sustain_us {
+                        st.raised = true;
+                        st.raised_at = now;
+                        st.over_since = None;
+                        self.raised_total += 1;
+                        let alert = Alert {
+                            t_us: now,
+                            rule,
+                            severity: rc.severity,
+                            raised: true,
+                            value_m: value,
+                            limit_m: limit,
+                        };
+                        self.pending.push(alert);
+                        if self.history.len() == HISTORY_CAP {
+                            self.history.pop_front();
+                        }
+                        self.history.push_back(alert);
+                    }
+                } else {
+                    st.over_since = None;
+                }
+            } else if rule != AlertRule::FalseEjection // sticky: never clears
+                && value <= rc.clear_m
+                && now.saturating_sub(st.raised_at) >= rc.min_hold_us
+            {
+                st.raised = false;
+                st.over_since = None;
+                let alert = Alert {
+                    t_us: now,
+                    rule,
+                    severity: rc.severity,
+                    raised: false,
+                    value_m: value,
+                    limit_m: limit,
+                };
+                self.pending.push(alert);
+                if self.history.len() == HISTORY_CAP {
+                    self.history.pop_front();
+                }
+                self.history.push_back(alert);
+            }
+        }
+    }
+}
+
+impl ProtocolObserver for HealthMonitor {
+    fn on_event(&mut self, now: Micros, ev: &Event) {
+        self.on_event_tagged(now, ev, None);
+    }
+}
+
+/// Clone-able shared handle around a [`HealthMonitor`] — install clones
+/// as observers into several engines and keep one to drain, the same
+/// pattern as [`crate::MetricsObserver`] / [`crate::SharedRecorder`].
+#[derive(Clone)]
+pub struct SharedMonitor {
+    inner: Arc<Mutex<HealthMonitor>>,
+}
+
+impl SharedMonitor {
+    /// A shared monitor with the given configuration.
+    pub fn new(cfg: HealthConfig) -> SharedMonitor {
+        SharedMonitor {
+            inner: Arc::new(Mutex::new(HealthMonitor::new(cfg))),
+        }
+    }
+
+    /// Run `f` against the underlying monitor.
+    pub fn with_monitor<T>(&self, f: impl FnOnce(&mut HealthMonitor) -> T) -> T {
+        f(&mut self.inner.lock().expect("health monitor poisoned"))
+    }
+
+    /// Feed a telemetry sample (see [`HealthMonitor::observe_sample`]).
+    pub fn observe_sample(&self, s: &TelemetrySample) {
+        self.with_monitor(|m| m.observe_sample(s));
+    }
+
+    /// Drain alert transitions emitted since the last call.
+    pub fn take_alerts(&self) -> Vec<Alert> {
+        self.with_monitor(|m| m.take_alerts())
+    }
+
+    /// Number of rules currently raised.
+    pub fn active(&self) -> u64 {
+        self.with_monitor(|m| m.active())
+    }
+
+    /// Cumulative raise transitions.
+    pub fn raised_total(&self) -> u64 {
+        self.with_monitor(|m| m.raised_total())
+    }
+
+    /// Recent transitions plus currently-raised rules, rendered as one
+    /// JSON array (the `/alerts` exposition body — `[]` when healthy).
+    pub fn render_json(&self) -> String {
+        self.with_monitor(|m| {
+            let mut out = String::from("[");
+            for (i, a) in m.history().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&alert_json(a));
+            }
+            out.push(']');
+            out
+        })
+    }
+}
+
+impl ProtocolObserver for SharedMonitor {
+    fn on_event(&mut self, now: Micros, ev: &Event) {
+        self.with_monitor(|m| m.on_event_tagged(now, ev, None));
+    }
+}
+
+/// Render one alert as a flat JSON object (shared by `/alerts`, `/json`
+/// and `SimReport.alerts` consumers).
+pub fn alert_json(a: &Alert) -> String {
+    format!(
+        "{{\"t_us\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"raised\":{},\
+         \"value_m\":{},\"limit_m\":{}}}",
+        a.t_us,
+        a.rule.name(),
+        a.severity.name(),
+        a.raised,
+        a.value_m,
+        a.limit_m
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::NakTrigger;
+    use crate::PeerId;
+
+    fn nak(count: u32) -> Event {
+        Event::NakSent {
+            first: 0,
+            count,
+            trigger: NakTrigger::Gap,
+        }
+    }
+
+    fn delivered(count: u32) -> Event {
+        Event::Delivered { first: 0, count }
+    }
+
+    #[test]
+    fn rule_and_severity_names_round_trip() {
+        for r in AlertRule::ALL {
+            assert_eq!(AlertRule::from_name(r.name()), Some(r));
+        }
+        for s in [Severity::Warning, Severity::Critical] {
+            assert_eq!(Severity::from_name(s.name()), Some(s));
+        }
+        assert_eq!(AlertRule::from_name("nope"), None);
+    }
+
+    #[test]
+    fn disabled_monitor_emits_nothing() {
+        let mut m = HealthMonitor::new(HealthConfig::disabled());
+        assert!(!m.armed());
+        for t in 0..10_000u64 {
+            m.on_event_tagged(t * 1_000, &nak(5), None);
+        }
+        assert!(m.take_alerts().is_empty());
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.raised_total(), 0);
+    }
+
+    #[test]
+    fn nak_storm_raises_after_sustain_and_clears_after_hold() {
+        let mut cfg = HealthConfig::default();
+        cfg.nak_storm.sustain_us = 200_000;
+        cfg.nak_storm.min_hold_us = 500_000;
+        let mut m = HealthMonitor::new(cfg);
+        // A storm: NAKs every ms, nothing delivered.
+        let mut t = 0u64;
+        while t < 150_000 {
+            m.on_event_tagged(t, &nak(1), None);
+            t += 1_000;
+        }
+        assert!(
+            m.take_alerts().is_empty(),
+            "must not raise before the sustain window"
+        );
+        while t < 400_000 {
+            m.on_event_tagged(t, &nak(1), None);
+            t += 1_000;
+        }
+        let raised = m.take_alerts();
+        assert!(
+            raised
+                .iter()
+                .any(|a| a.rule == AlertRule::NakStorm && a.raised),
+            "sustained storm must raise: {raised:?}"
+        );
+        assert!(m.active() >= 1);
+        // Recovery: deliveries resume, NAKs stop; backlog drains.
+        let healed_at = t;
+        while t < healed_at + 2_000_000 {
+            m.on_event_tagged(
+                t,
+                &Event::Recovered {
+                    first: 0,
+                    count: 5,
+                    elapsed_us: 1,
+                },
+                None,
+            );
+            m.on_event_tagged(t, &delivered(5), None);
+            t += 10_000;
+        }
+        let cleared = m.take_alerts();
+        assert!(
+            cleared
+                .iter()
+                .any(|a| a.rule == AlertRule::NakStorm && !a.raised),
+            "healed stream must clear: {cleared:?}"
+        );
+        // Clear must respect the minimum hold.
+        let raise_t = raised
+            .iter()
+            .find(|a| a.rule == AlertRule::NakStorm)
+            .unwrap()
+            .t_us;
+        let clear_t = cleared
+            .iter()
+            .find(|a| a.rule == AlertRule::NakStorm)
+            .unwrap()
+            .t_us;
+        assert!(clear_t - raise_t >= 500_000, "hold violated");
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut cfg = HealthConfig::disabled();
+        cfg.backlog_growth = RuleConfig {
+            enabled: true,
+            severity: Severity::Warning,
+            raise_m: 10_000, // 10 segments
+            sustain_us: 0,
+            clear_m: 2_000,
+            min_hold_us: 1_000_000,
+        };
+        let mut m = HealthMonitor::new(cfg);
+        // Oscillate the backlog across the raise threshold every 200 ms;
+        // with a 1 s hold the alert must not flap.
+        let mut t = 0u64;
+        let mut transitions: Vec<Alert> = Vec::new();
+        for cycle in 0..20u64 {
+            let grow = cycle % 2 == 0;
+            for _ in 0..10 {
+                if grow {
+                    m.on_event_tagged(t, &nak(2), None);
+                } else {
+                    m.on_event_tagged(
+                        t,
+                        &Event::Recovered {
+                            first: 0,
+                            count: 2,
+                            elapsed_us: 1,
+                        },
+                        None,
+                    );
+                }
+                t += 20_000;
+            }
+            transitions.extend(m.take_alerts());
+        }
+        // The 5 Hz oscillation crosses the threshold ~20 times; the 1 s
+        // hold must cap transitions near one raise/clear pair per second.
+        assert!(
+            transitions.len() <= 8,
+            "alert flapped: {} transitions in 4 s",
+            transitions.len()
+        );
+        let mut raised_at = None;
+        for a in &transitions {
+            if a.raised {
+                raised_at = Some(a.t_us);
+            } else {
+                let up = raised_at.expect("clear without raise");
+                assert!(a.t_us - up >= 1_000_000, "hold violated: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_ejection_detected_from_tagged_activity_and_sticky() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        m.on_event_tagged(1_000, &Event::MemberEjected { peer: PeerId(3) }, None);
+        assert!(m.take_alerts().is_empty(), "ejection alone is not false");
+        // Activity from the ejected member after the fact.
+        m.on_event_tagged(200_000, &Event::UpdateSent { nonce: 1 }, Some(3));
+        let alerts = m.take_alerts();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.rule == AlertRule::FalseEjection && a.raised && a.value_m == 3),
+            "{alerts:?}"
+        );
+        // Sticky: quiet time never clears it.
+        for t in 0..50u64 {
+            m.on_event_tagged(300_000 + t * 100_000, &delivered(1), None);
+        }
+        assert!(m
+            .take_alerts()
+            .iter()
+            .all(|a| a.rule != AlertRule::FalseEjection || a.raised));
+        assert!(m
+            .active_alerts()
+            .iter()
+            .any(|a| a.rule == AlertRule::FalseEjection));
+    }
+
+    #[test]
+    fn ejection_imminent_warns_before_limit_and_clears_on_answer() {
+        let cfg = HealthConfig {
+            probe_failure_limit: 3,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        let probe = Event::ProbeSent {
+            seq: 7,
+            multicast: false,
+        };
+        m.on_event_tagged(0, &probe, None);
+        assert!(m.take_alerts().is_empty(), "one probe is fine");
+        m.on_event_tagged(200_000, &probe, None);
+        let alerts = m.take_alerts();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.rule == AlertRule::EjectionImminent && a.raised),
+            "streak of limit-1 must warn: {alerts:?}"
+        );
+        // An answered probe resets the streak and clears.
+        m.on_event_tagged(
+            400_000,
+            &Event::RttSample {
+                sample_us: 1_000,
+                srtt_us: 1_000,
+                probe: true,
+            },
+            None,
+        );
+        m.on_event_tagged(600_000, &delivered(1), None);
+        assert!(m
+            .take_alerts()
+            .iter()
+            .any(|a| a.rule == AlertRule::EjectionImminent && !a.raised));
+    }
+
+    #[test]
+    fn rtt_divergence_needs_sustained_inflation() {
+        let mut cfg = HealthConfig::default();
+        cfg.rtt_divergence.raise_m = 4_000;
+        cfg.rtt_divergence.sustain_us = 600_000;
+        // Keep the stall rule out of the picture: this test leaves a
+        // backlog open (the divergence gate) without ever progressing.
+        cfg.window_stall = RuleConfig::off();
+        let mut m = HealthMonitor::new(cfg);
+        let sample = |srtt_us| Event::RttSample {
+            sample_us: srtt_us,
+            srtt_us,
+            probe: false,
+        };
+        m.on_event_tagged(0, &nak(1), None);
+        m.on_event_tagged(0, &sample(10_000), None);
+        // A short spike (200 ms over threshold) must not raise.
+        m.on_event_tagged(1_000_000, &sample(80_000), None);
+        m.on_event_tagged(1_200_000, &sample(10_000), None);
+        m.on_event_tagged(2_000_000, &sample(10_000), None);
+        assert!(m.take_alerts().is_empty(), "transient spike raised");
+        // Sustained inflation must.
+        for i in 0..12u64 {
+            m.on_event_tagged(3_000_000 + i * 100_000, &sample(90_000), None);
+        }
+        assert!(m
+            .take_alerts()
+            .iter()
+            .any(|a| a.rule == AlertRule::RttDivergence && a.raised));
+    }
+
+    #[test]
+    fn telemetry_sample_feeds_srtt_between_events() {
+        let mut cfg = HealthConfig::default();
+        cfg.rtt_divergence.sustain_us = 0;
+        let mut m = HealthMonitor::new(cfg);
+        m.on_event_tagged(0, &nak(1), None);
+        m.on_event_tagged(
+            0,
+            &Event::RttSample {
+                sample_us: 5_000,
+                srtt_us: 5_000,
+                probe: false,
+            },
+            None,
+        );
+        let mut s = TelemetrySample {
+            seq: 0,
+            t_us: 1_000_000,
+            interval_us: 0,
+            counters: Default::default(),
+            totals: Default::default(),
+            gauges: Default::default(),
+            hists: Default::default(),
+        };
+        s.gauges.insert("srtt_us".to_string(), 60_000);
+        m.observe_sample(&s);
+        assert!(m
+            .take_alerts()
+            .iter()
+            .any(|a| a.rule == AlertRule::RttDivergence && a.raised));
+    }
+
+    #[test]
+    fn shared_monitor_drains_from_clones() {
+        let shared = SharedMonitor::new(HealthConfig::default());
+        let mut obs: Box<dyn ProtocolObserver> = Box::new(shared.clone());
+        for t in 0..600u64 {
+            obs.on_event(t * 1_000, &nak(1));
+        }
+        assert!(shared.raised_total() >= 1);
+        let drained = shared.take_alerts();
+        assert!(!drained.is_empty());
+        assert!(shared.take_alerts().is_empty(), "drain is destructive");
+        let json = shared.render_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule\":\"nak_storm\""), "{json}");
+    }
+
+    #[test]
+    fn alert_json_shape() {
+        let a = Alert {
+            t_us: 42,
+            rule: AlertRule::Livelock,
+            severity: Severity::Critical,
+            raised: true,
+            value_m: 99_000,
+            limit_m: 50_000,
+        };
+        assert_eq!(
+            alert_json(&a),
+            "{\"t_us\":42,\"rule\":\"livelock\",\"severity\":\"critical\",\
+             \"raised\":true,\"value_m\":99000,\"limit_m\":50000}"
+        );
+    }
+
+    #[test]
+    fn window_rotation_forgets_old_counts() {
+        let cfg = HealthConfig {
+            window_us: 1_000_000,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        for t in 0..20u64 {
+            m.on_event_tagged(t * 1_000, &nak(1), None);
+        }
+        let (naks, _, _) = m.window_totals();
+        assert_eq!(naks, 20);
+        // Jump far past the window: everything must age out.
+        m.on_event_tagged(10_000_000, &delivered(1), None);
+        let (naks, _, _) = m.window_totals();
+        assert_eq!(naks, 0, "stale buckets must be zeroed");
+    }
+
+    /// A pure sender stream (live `hrmc send`) carries `DataSent` and
+    /// `ReleaseAttempt` but never `Delivered` — buffer releases must
+    /// count as progress so a healthy high-rate sender is not a
+    /// livelock, while a sender pushing packets with zero releases
+    /// still is.
+    #[test]
+    fn sender_only_stream_livelocks_on_releases_not_event_rate() {
+        let sent = |seq: u64| Event::DataSent {
+            seq: seq as u32,
+            bytes: 1_400,
+            retransmission: false,
+        };
+        let release = |seq: u64| Event::ReleaseAttempt {
+            seq: seq as u32,
+            complete: true,
+            released: true,
+        };
+        // Healthy: 2 000 sends/s with a release every ms.
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        for t in 0..6_000u64 {
+            m.on_event_tagged(t * 500, &sent(t), None);
+            if t % 2 == 0 {
+                m.on_event_tagged(t * 500 + 1, &release(t / 2), None);
+            }
+        }
+        let quiet: Vec<_> = m.history().collect();
+        assert!(
+            quiet.is_empty(),
+            "healthy sender-only stream must stay silent: {quiet:?}"
+        );
+        // Stuck: same event rate, not one buffer ever released.
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        for t in 0..6_000u64 {
+            m.on_event_tagged(t * 500, &sent(t), None);
+        }
+        assert!(
+            m.history()
+                .any(|a| a.rule == AlertRule::Livelock && a.raised),
+            "a release-starved sender is a livelock"
+        );
+    }
+}

@@ -58,6 +58,7 @@
 pub mod config;
 pub mod events;
 pub mod fec;
+pub mod health;
 pub mod keepalive;
 pub mod membership;
 pub mod metrics;
@@ -77,6 +78,9 @@ pub mod update;
 pub use config::{ProbePolicy, ProbeTransport, ProtocolConfig, ReliabilityMode, UpdateMode};
 pub use events::{ReceiverEvent, SenderEvent};
 pub use fec::FecConfig;
+pub use health::{
+    Alert, AlertRule, HealthConfig, HealthMonitor, RuleConfig, Severity, SharedMonitor,
+};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry};
 pub use obs::{
     Event, FlightRecorder, JsonlObserver, MetricsObserver, MultiObserver, NakTrigger,

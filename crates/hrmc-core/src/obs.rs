@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use hrmc_wire::Seq;
 
+use crate::health::{AlertRule, Severity};
 use crate::metrics::MetricsRegistry;
 use crate::rate::RatePhase;
 use crate::rxwindow::Region;
@@ -27,8 +28,9 @@ use crate::PeerId;
 /// Version of the JSONL event schema. Bumped whenever an event's field
 /// set or rendering changes incompatibly; every stream opens with a
 /// header line carrying this number so consumers can refuse traces they
-/// do not understand.
-pub const SCHEMA_VERSION: u32 = 1;
+/// do not understand. v2 added the `health_alert` event (the online
+/// health monitor's alert transitions).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Render the one-line JSONL stream header:
 /// `{"schema":1,"role":"sim"}` or
@@ -223,6 +225,24 @@ pub enum Event {
     },
     /// Terminal failure: sender presumed dead or JOIN budget exhausted.
     SessionFailed,
+
+    // ---- monitor ----
+    /// The online health monitor raised or cleared an invariant alert
+    /// (see [`crate::health`]). Evidence is fixed-point: `value_m` and
+    /// `limit_m` are the observed value and the raise threshold in
+    /// milli-units of the rule's natural unit.
+    HealthAlert {
+        /// Which invariant.
+        rule: AlertRule,
+        /// Configured severity of the rule.
+        severity: Severity,
+        /// `true` = raised, `false` = cleared.
+        raised: bool,
+        /// Observed value, milli-units.
+        value_m: u64,
+        /// Raise threshold, milli-units.
+        limit_m: u64,
+    },
 }
 
 impl Event {
@@ -248,6 +268,7 @@ impl Event {
             Event::Delivered { .. } => "delivered",
             Event::Joined { .. } => "joined",
             Event::SessionFailed => "session_failed",
+            Event::HealthAlert { .. } => "health_alert",
         }
     }
 
@@ -409,6 +430,21 @@ pub fn event_json_with(now: Micros, ev: &Event, extra: &str) -> String {
         }
         Event::Joined { rtt_us } => {
             let _ = write!(s, ",\"rtt_us\":{rtt_us}");
+        }
+        Event::HealthAlert {
+            rule,
+            severity,
+            raised,
+            value_m,
+            limit_m,
+        } => {
+            let _ = write!(
+                s,
+                ",\"rule\":\"{}\",\"severity\":\"{}\",\"raised\":{raised},\
+                 \"value_m\":{value_m},\"limit_m\":{limit_m}",
+                rule.name(),
+                severity.name()
+            );
         }
     }
     s.push('}');
@@ -580,6 +616,13 @@ impl ProtocolObserver for MetricsObserver {
                 reg.observe("join_rtt_us", rtt_us);
             }
             Event::SessionFailed => reg.inc("session_failures"),
+            Event::HealthAlert { raised, .. } => {
+                if raised {
+                    reg.inc("alerts_raised");
+                } else {
+                    reg.inc("alerts_cleared");
+                }
+            }
         }
     }
 }
@@ -866,7 +909,7 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(
             lines[0],
-            "{\"schema\":1,\"role\":\"endpoint\",\"label\":\"sender\"}"
+            "{\"schema\":2,\"role\":\"endpoint\",\"label\":\"sender\"}"
         );
         assert!(lines[1].contains("\"src\":\"sender\""));
         assert!(lines[1].contains("\"rate_bps\":500"));
@@ -875,10 +918,10 @@ mod tests {
 
     #[test]
     fn header_json_shapes() {
-        assert_eq!(header_json("sim", None), "{\"schema\":1,\"role\":\"sim\"}");
+        assert_eq!(header_json("sim", None), "{\"schema\":2,\"role\":\"sim\"}");
         assert_eq!(
             header_json("endpoint", Some("recv0")),
-            "{\"schema\":1,\"role\":\"endpoint\",\"label\":\"recv0\"}"
+            "{\"schema\":2,\"role\":\"endpoint\",\"label\":\"recv0\"}"
         );
     }
 
@@ -932,7 +975,7 @@ mod tests {
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"schema\":1,\"role\":\"flight_recorder\",\"dropped_events\":0}"
+            "{\"schema\":2,\"role\":\"flight_recorder\",\"dropped_events\":0}"
         );
         // The event line is byte-identical to what the sim's streaming
         // log emits for the same event.
@@ -1097,6 +1140,13 @@ mod tests {
                 Event::Delivered { first: 1, count: 1 },
                 Event::Joined { rtt_us: 1 },
                 Event::SessionFailed,
+                Event::HealthAlert {
+                    rule: AlertRule::NakStorm,
+                    severity: Severity::Warning,
+                    raised: true,
+                    value_m: 1,
+                    limit_m: 1,
+                },
             ]
         }
     }

@@ -16,6 +16,7 @@
 //!    healing regimes must still finish the transfer.
 
 use hrmc_app::{mean, Scenario};
+use hrmc_core::{AlertRule, HealthConfig};
 use hrmc_sim::{CharacteristicGroup, GroupSpec, LinkAction, LinkSchedule, SimReport};
 use serde_json::json;
 
@@ -161,6 +162,9 @@ fn combined_schedule() -> LinkSchedule {
 
 /// The pinned matrix: `(regime label, scenario)` pairs. `baseline`
 /// carries an empty schedule and anchors the degradation comparisons.
+/// Every regime runs with the online health monitor armed at default
+/// thresholds — the matrix doubles as the monitor's calibration
+/// fixture (quiet regimes must stay silent, violent ones must alert).
 pub fn scenarios(opts: &ExpOptions) -> Vec<(&'static str, Scenario)> {
     // Jitter-only regimes run with aggressive ejection thresholds so
     // "latency is not death" is tested against the *paranoid* sender,
@@ -168,7 +172,7 @@ pub fn scenarios(opts: &ExpOptions) -> Vec<(&'static str, Scenario)> {
     let mut jitter = base(opts).with_links(jitter_schedule());
     jitter.probe_failure_limit = 3;
     jitter.member_silence_us = 3_000_000;
-    vec![
+    let matrix = vec![
         ("baseline", base(opts)),
         (
             "capacity-collapse",
@@ -182,7 +186,17 @@ pub fn scenarios(opts: &ExpOptions) -> Vec<(&'static str, Scenario)> {
             "hostile-combined",
             base(opts).with_links(combined_schedule()),
         ),
-    ]
+    ];
+    matrix
+        .into_iter()
+        .map(|(label, s)| {
+            let cfg = HealthConfig {
+                probe_failure_limit: s.probe_failure_limit,
+                ..HealthConfig::default()
+            };
+            (label, s.with_health(cfg))
+        })
+        .collect()
 }
 
 /// Total bytes delivered to applications across all receivers.
@@ -215,6 +229,14 @@ pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport])
             r.false_ejections, 0,
             "{label}: a member that later proved alive was ejected"
         );
+        // The online monitor's false-ejection verdict must agree with
+        // the ground-truth audit above.
+        assert_eq!(
+            r.alerts_raised("false_ejection"),
+            0,
+            "{label}: the online monitor flagged a false ejection the \
+             ground truth does not corroborate"
+        );
     }
     let mean_elapsed =
         |rs: &[SimReport]| rs.iter().map(|r| r.elapsed_us).sum::<u64>() / rs.len().max(1) as u64;
@@ -222,6 +244,11 @@ pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport])
         "baseline" => {
             for r in runs {
                 assert_eq!(r.link_events_applied, 0, "baseline schedule must be empty");
+                assert!(
+                    r.alerts.is_empty(),
+                    "{label}: a healthy run raised alerts: {:?}",
+                    r.alerts
+                );
             }
         }
         "capacity-collapse" => {
@@ -233,6 +260,19 @@ pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport])
                 assert!(
                     r.router_overflow_drops > 0,
                     "{label}: collapsed queue never overflowed"
+                );
+                let raised = r.alerts_raised("nak_storm") + r.alerts_raised("backlog_growth");
+                let cleared = r.alerts_cleared("nak_storm") + r.alerts_cleared("backlog_growth");
+                assert!(
+                    raised >= 1,
+                    "{label}: the monitor slept through the collapse \
+                     (no nak_storm/backlog_growth alert)"
+                );
+                assert!(
+                    cleared >= 1,
+                    "{label}: no alert cleared after the heal \
+                     (alerts: {:?})",
+                    r.alerts
                 );
             }
             assert!(
@@ -253,6 +293,12 @@ pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport])
                 assert_eq!(
                     r.sender.members_ejected, 0,
                     "{label}: jitter-only episode ejected a member"
+                );
+                assert!(
+                    r.alerts.is_empty(),
+                    "{label}: delay-only jitter must not alarm the \
+                     monitor (latency is not death): {:?}",
+                    r.alerts
                 );
             }
         }
@@ -285,10 +331,11 @@ pub fn check_invariants(label: &str, runs: &[SimReport], baseline: &[SimReport])
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
     let headers = [
         "regime", "Mbps", "retrans", "halvings", "overflow", "uploss", "migr", "ej", "falseej",
-        "ev/B",
+        "alerts", "ev/B",
     ];
     let mut table = Table::new("hostile-network matrix, 10 Mbps LAN, 1% loss", &headers);
     let mut series = serde_json::Map::new();
+    let mut alert_series = serde_json::Map::new();
     let matrix = scenarios(opts);
     let baseline_runs = opts.run_seeds(&matrix[0].1);
     for (label, scenario) in &matrix {
@@ -305,6 +352,7 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
             .collect();
         let sum = |f: fn(&SimReport) -> u64| -> u64 { runs.iter().map(f).sum() };
         let epb: Vec<f64> = runs.iter().map(events_per_byte).collect();
+        let alert_transitions: u64 = runs.iter().map(|r| r.alerts.len() as u64).sum();
         table.row(vec![
             label.to_string(),
             format!("{:.2}", mean(&thr)),
@@ -315,8 +363,31 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
             sum(|r| r.migration_drops).to_string(),
             sum(|r| r.sender.members_ejected).to_string(),
             sum(|r| r.false_ejections).to_string(),
+            alert_transitions.to_string(),
             format!("{:.3}", mean(&epb)),
         ]);
+        // Per-rule alert fixture: the expected online-monitor verdict
+        // for each regime, saved alongside the degradation series so CI
+        // archives what "healthy monitoring" looks like.
+        let mut by_rule = serde_json::Map::new();
+        for rule in AlertRule::ALL {
+            let name = rule.name();
+            let raised: u64 = runs.iter().map(|r| r.alerts_raised(name)).sum();
+            let cleared: u64 = runs.iter().map(|r| r.alerts_cleared(name)).sum();
+            if raised + cleared > 0 {
+                by_rule.insert(
+                    name.to_string(),
+                    json!({"raised": raised, "cleared": cleared}),
+                );
+            }
+        }
+        alert_series.insert(
+            label.to_string(),
+            json!({
+                "transitions": alert_transitions,
+                "by_rule": serde_json::Value::Object(by_rule),
+            }),
+        );
         series.insert(
             label.to_string(),
             json!({
@@ -330,12 +401,14 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
                 "false_ejections": sum(|r| r.false_ejections),
                 "link_events_applied": sum(|r| r.link_events_applied),
                 "events_per_byte": mean(&epb),
+                "alert_transitions": alert_transitions,
             }),
         );
     }
     table.print();
     let value = serde_json::Value::Object(series);
     opts.save_json("hostile", &value);
+    opts.save_json("alerts", &serde_json::Value::Object(alert_series));
     value
 }
 
@@ -365,5 +438,23 @@ mod tests {
         assert_eq!(v["jitter-spikes"]["members_ejected"].as_u64().unwrap(), 0);
         assert_eq!(v["baseline"]["link_events_applied"].as_u64().unwrap(), 0);
         assert!(v["hostile-combined"]["events_per_byte"].as_f64().unwrap() <= MAX_EVENTS_PER_BYTE);
+        // The online-monitor fixture: quiet regimes silent, the
+        // collapse loud, and the alert artifact on disk for CI.
+        assert_eq!(v["baseline"]["alert_transitions"].as_u64().unwrap(), 0);
+        assert_eq!(v["jitter-spikes"]["alert_transitions"].as_u64().unwrap(), 0);
+        assert!(
+            v["capacity-collapse"]["alert_transitions"]
+                .as_u64()
+                .unwrap()
+                >= 2
+        );
+        let alerts = std::fs::read_to_string(opts.out_dir.join("alerts.json")).unwrap();
+        let alerts: serde_json::Value = serde_json::from_str(&alerts).unwrap();
+        assert!(
+            alerts["capacity-collapse"]["by_rule"]
+                .as_object()
+                .is_some_and(|m| !m.is_empty()),
+            "{alerts:?}"
+        );
     }
 }

@@ -83,10 +83,12 @@ fn churn_partition_run_replays_byte_identically() {
 }
 
 /// Fingerprints captured when the fault layer landed, recaptured once
-/// when the JSONL schema header + `member` field landed (event-schema
-/// 1). Any drift means a fault-injected run is no longer replayable
-/// from its seed.
-const FIXTURE_LOG_FNV: u64 = 0x7b82_b8b5_200d_465f;
+/// when the JSONL schema header + `member` field landed
+/// (event-schema 1) and once for the event-schema 2 header digit — the
+/// only byte that changed; `elapsed_us` is pinned across both. Any
+/// drift means a fault-injected run is no longer replayable from its
+/// seed.
+const FIXTURE_LOG_FNV: u64 = 0x28a6_467d_7072_7066;
 const FIXTURE_ELAPSED_US: u64 = 6_891_606;
 
 /// A faulted sweep returns the same bytes at every worker count.

@@ -122,6 +122,21 @@ pub struct SessionHealth {
     pub bytes_rx: u64,
     /// Payload bytes staged for transmission.
     pub bytes_tx: u64,
+    /// Sender rate-halving episodes — the congestion-response count a
+    /// degrading network shows first (0 for receivers).
+    pub rate_halvings: u64,
+    /// Sender urgent stops (0 for receivers).
+    pub urgent_stops: u64,
+    /// Members this sender ejected (0 for receivers).
+    pub members_ejected: u64,
+    /// Structurally invalid packets the engine rejected.
+    pub malformed_packets: u64,
+    /// Datagrams discarded for checksum failure.
+    pub checksum_failures: u64,
+    /// Receive-window overflow drops (0 for senders).
+    pub overflow_drops: u64,
+    /// `true` when the session declared terminal failure.
+    pub session_failed: bool,
 }
 
 /// Atomic traffic counters each session embeds; the reactor thread
@@ -154,6 +169,7 @@ impl SessionCounters {
             packets_tx: self.packets_tx.load(Ordering::Relaxed),
             bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
             bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            ..SessionHealth::default()
         }
     }
 }
@@ -648,6 +664,27 @@ impl Reactor {
         // would order those locks against the reactor thread's.
         let sessions: Vec<Arc<dyn ReactorSession>> =
             self.core.sessions.lock().values().cloned().collect();
+        let mut agg = SessionHealth::default();
+        let mut failed = 0u64;
+        for s in &sessions {
+            let h = s.health();
+            agg.rate_halvings += h.rate_halvings;
+            agg.urgent_stops += h.urgent_stops;
+            agg.members_ejected += h.members_ejected;
+            agg.malformed_packets += h.malformed_packets;
+            agg.checksum_failures += h.checksum_failures;
+            agg.overflow_drops += h.overflow_drops;
+            failed += u64::from(h.session_failed);
+        }
+        // Degradation counters summed over live sessions: the live-wire
+        // equivalents of the hostile matrix's SimReport columns.
+        reg.set_gauge("sessions_rate_halvings", agg.rate_halvings);
+        reg.set_gauge("sessions_urgent_stops", agg.urgent_stops);
+        reg.set_gauge("sessions_members_ejected", agg.members_ejected);
+        reg.set_gauge("sessions_malformed_packets", agg.malformed_packets);
+        reg.set_gauge("sessions_checksum_failures", agg.checksum_failures);
+        reg.set_gauge("sessions_overflow_drops", agg.overflow_drops);
+        reg.set_gauge("sessions_failed", failed);
         for s in sessions {
             s.publish_metrics(reg);
         }

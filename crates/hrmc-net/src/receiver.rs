@@ -239,7 +239,25 @@ impl ReactorSession for Inner {
     }
 
     fn health(&self) -> SessionHealth {
-        self.counters.health("receiver")
+        let mut h = self.counters.health("receiver");
+        let engine = self.engine.lock();
+        h.malformed_packets = engine.stats.malformed_packets;
+        h.checksum_failures = engine.stats.checksum_failures;
+        h.overflow_drops = engine.stats.overflow_drops;
+        h.session_failed = engine.has_failed();
+        h
+    }
+
+    fn publish_metrics(&self, reg: &mut hrmc_core::metrics::MetricsRegistry) {
+        // The receiver's window pressure, the live counterpart of the
+        // sim's occupancy gauge. Last writer wins across sessions,
+        // matching the sender's convention above.
+        let engine = self.engine.lock();
+        reg.set_gauge(
+            "receiver_window_occupancy_permille",
+            (engine.window_occupancy() * 1000.0) as u64,
+        );
+        reg.set_gauge("receiver_pending_naks", engine.pending_naks() as u64);
     }
 }
 

@@ -197,7 +197,14 @@ impl ReactorSession for Inner {
     }
 
     fn health(&self) -> SessionHealth {
-        self.counters.health("sender")
+        let mut h = self.counters.health("sender");
+        let engine = self.engine.lock();
+        h.rate_halvings = engine.rate_halvings();
+        h.urgent_stops = engine.urgent_stops();
+        h.members_ejected = engine.stats.members_ejected;
+        h.malformed_packets = engine.stats.malformed_packets;
+        h.checksum_failures = engine.stats.checksum_failures;
+        h
     }
 
     fn publish_metrics(&self, reg: &mut hrmc_core::metrics::MetricsRegistry) {

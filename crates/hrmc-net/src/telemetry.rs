@@ -14,9 +14,10 @@
 //!    series of [`TelemetrySample`]s (see [`hrmc_core::telemetry`]),
 //!    optionally streaming each sample as a JSONL line;
 //! 3. an optional TCP listener serving the Prometheus text exposition
-//!    format on `/metrics` and the latest sample plus per-session
-//!    health on `/json` — a tiny blocking HTTP/1.0 responder, no
-//!    dependencies, pointable at any scraper or at `hrmc top`.
+//!    format on `/metrics`, the latest sample plus per-session health
+//!    on `/json`, and the online health monitor's alert history on
+//!    `/alerts` — a tiny blocking HTTP/1.0 responder, no dependencies,
+//!    pointable at any scraper or at `hrmc top`.
 //!
 //! Everything stops and joins when the [`Telemetry`] handle drops.
 
@@ -28,7 +29,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hrmc_core::{MetricsObserver, MetricsRegistry, ProtocolObserver, Sampler, TelemetrySample};
+use hrmc_core::{
+    HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, ProtocolObserver, Sampler,
+    SharedMonitor, TelemetrySample,
+};
 use parking_lot::Mutex;
 
 use crate::reactor::Reactor;
@@ -40,6 +44,7 @@ pub struct TelemetryBuilder {
     listen: Option<SocketAddr>,
     sink: Option<Box<dyn Write + Send>>,
     reactor: Option<Reactor>,
+    health: Option<HealthConfig>,
 }
 
 impl TelemetryBuilder {
@@ -83,6 +88,16 @@ impl TelemetryBuilder {
         self
     }
 
+    /// Arm the online [`hrmc_core::HealthMonitor`] with this rule set.
+    /// Session observers obtained from [`Telemetry::observer`] then fan
+    /// into the monitor as well, each sample is fed to it, and alert
+    /// transitions surface as `hrmc_alerts_*` metrics, on the `/alerts`
+    /// route, and inside `/json`.
+    pub fn health(mut self, cfg: HealthConfig) -> Self {
+        self.health = Some(cfg);
+        self
+    }
+
     /// Start the sampling thread (and the listener, if configured).
     pub fn start(self) -> std::io::Result<Telemetry> {
         let mut sampler = Sampler::new(self.ring);
@@ -93,6 +108,10 @@ impl TelemetryBuilder {
             obs: MetricsObserver::new(),
             sampler: Mutex::new(sampler),
             reactor: self.reactor.unwrap_or_else(Reactor::global),
+            monitor: self
+                .health
+                .filter(HealthConfig::armed)
+                .map(SharedMonitor::new),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         });
@@ -150,24 +169,59 @@ struct Shared {
     obs: MetricsObserver,
     sampler: Mutex<Sampler>,
     reactor: Reactor,
+    /// The armed online health monitor, when the builder asked for one.
+    monitor: Option<SharedMonitor>,
     epoch: Instant,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     /// One full snapshot: protocol metrics + reactor health, in a form
-    /// every renderer shares.
+    /// every renderer shares. Alert and sampling-loss gauges are set on
+    /// the local snapshot (never on the live registry), so the picture
+    /// is consistent without nesting locks.
     fn gather(&self) -> MetricsRegistry {
         let mut reg = self.obs.snapshot();
         self.reactor.publish_metrics(&mut reg);
+        if let Some(mon) = &self.monitor {
+            reg.set_gauge("alerts_active", mon.active());
+        }
+        let dropped = self.sampler.lock().overwritten();
+        reg.set_gauge("telemetry_samples_dropped", dropped);
         reg
     }
 
-    /// Take one sample now.
+    /// Take one sample now, feeding it (and any alert transitions it
+    /// triggers) through the monitor.
     fn collect(&self) {
         let reg = self.gather();
         let now_us = self.epoch.elapsed().as_micros() as u64;
         self.sampler.lock().sample(now_us, &reg);
+        if let Some(mon) = &self.monitor {
+            if let Some(sample) = self.sampler.lock().latest().cloned() {
+                mon.observe_sample(&sample);
+            }
+            // Alert transitions flow through a registry observer so the
+            // `hrmc_alerts_raised_total` / `_cleared_total` counters and
+            // any JSONL sink see the same `health_alert` events the sim
+            // path writes.
+            let alerts = mon.take_alerts();
+            if !alerts.is_empty() {
+                let mut obs = self.obs.clone();
+                for a in &alerts {
+                    obs.on_event(a.t_us, &a.to_event());
+                }
+            }
+        }
+    }
+
+    /// The `/alerts` body: the monitor's retained alert history as a
+    /// JSON array, `[]` when no monitor is armed.
+    fn alerts_json(&self) -> String {
+        match &self.monitor {
+            Some(mon) => mon.render_json(),
+            None => "[]".to_string(),
+        }
     }
 
     /// The `/json` body: latest sample, per-session health, derived
@@ -195,9 +249,10 @@ impl Shared {
                 h.id, h.role, h.packets_rx, h.packets_tx, h.bytes_rx, h.bytes_tx
             );
         }
+        let _ = write!(out, "],\"alerts\":{}", self.alerts_json());
         let _ = write!(
             out,
-            "],\"reactor\":{{\"sessions\":{},\"syscalls_per_packet\":{:.4},\
+            ",\"reactor\":{{\"sessions\":{},\"syscalls_per_packet\":{:.4},\
              \"loop_p99_us\":{},\"timer_slippage_p99_us\":{},\"idle_cap_ms\":{}}}}}",
             st.sessions,
             st.syscalls_per_packet(),
@@ -226,13 +281,29 @@ impl Telemetry {
             listen: None,
             sink: None,
             reactor: None,
+            health: None,
         }
     }
 
     /// A protocol observer feeding this pipeline's registry; attach one
     /// per session ([`crate::SenderBuilder::telemetry`] does this).
+    /// With a health monitor armed, the observer fans into it too, so
+    /// session events drive the online invariant rules.
     pub fn observer(&self) -> Box<dyn ProtocolObserver> {
-        Box::new(self.shared.obs.clone())
+        match &self.shared.monitor {
+            Some(mon) => Box::new(
+                MultiObserver::new()
+                    .with(Box::new(self.shared.obs.clone()))
+                    .with(Box::new(mon.clone())),
+            ),
+            None => Box::new(self.shared.obs.clone()),
+        }
+    }
+
+    /// The alert history as a JSON array — what an `/alerts` scrape
+    /// returns. `[]` when no monitor is armed or nothing fired.
+    pub fn alerts_json(&self) -> String {
+        self.shared.alerts_json()
     }
 
     /// The listener's bound address, if one was configured.
@@ -348,6 +419,7 @@ fn handle(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
             shared.gather().render_prometheus(),
         ),
         "/json" => ("200 OK", "application/json", shared.json_body()),
+        "/alerts" => ("200 OK", "application/json", shared.alerts_json()),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     let header = format!(
@@ -427,9 +499,62 @@ mod tests {
         );
         let json = scrape(addr, "/json", timeout).expect("scrape /json");
         assert!(json.contains("\"sample\":{\"telemetry\":1,"), "{json}");
+        assert!(json.contains("\"alerts\":[]"), "{json}");
         assert!(json.contains("\"reactor\":{"), "{json}");
+        let alerts = scrape(addr, "/alerts", timeout).expect("scrape /alerts");
+        assert_eq!(alerts, "[]", "healthy endpoint must report no alerts");
         let err = scrape(addr, "/nope", timeout).expect_err("404");
         assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn armed_monitor_surfaces_alerts_on_every_route() {
+        let reactor = Reactor::new().expect("reactor");
+        let t = Telemetry::builder()
+            .listen(loopback_any())
+            .sample_interval(Duration::from_secs(3600)) // manual sampling only
+            .reactor(reactor)
+            .health(hrmc_core::HealthConfig::default())
+            .start()
+            .expect("telemetry");
+        let addr = t.local_addr().expect("bound");
+        let timeout = Duration::from_secs(5);
+        // Quiet monitor: all routes present, nothing raised.
+        assert_eq!(scrape(addr, "/alerts", timeout).expect("alerts"), "[]");
+        let metrics = scrape(addr, "/metrics", timeout).expect("metrics");
+        assert!(metrics.contains("hrmc_alerts_active 0"), "{metrics}");
+        assert!(
+            metrics.contains("hrmc_telemetry_samples_dropped 0"),
+            "{metrics}"
+        );
+        // Drive a NAK storm through a session-style observer; the fanned
+        // observer must feed the monitor, and the next collect() must
+        // publish the raised alert everywhere. Two gap-NAKs per 100 ms
+        // with zero deliveries trips the storm rule (and only it) well
+        // past its sustain window.
+        let mut obs = t.observer();
+        for i in 0u64..=10 {
+            for j in 0..2 {
+                obs.on_event(
+                    i * 100_000,
+                    &hrmc_core::Event::NakSent {
+                        first: i * 2 + j,
+                        count: 1,
+                        trigger: hrmc_core::NakTrigger::Gap,
+                    },
+                );
+            }
+        }
+        t.sample_now();
+        let alerts = scrape(addr, "/alerts", timeout).expect("alerts");
+        assert!(alerts.contains("\"rule\":\"nak_storm\""), "{alerts}");
+        assert!(alerts.contains("\"raised\":true"), "{alerts}");
+        assert_eq!(alerts, t.alerts_json());
+        let metrics = scrape(addr, "/metrics", timeout).expect("metrics");
+        assert!(metrics.contains("hrmc_alerts_active 1"), "{metrics}");
+        assert!(metrics.contains("hrmc_alerts_raised_total 1"), "{metrics}");
+        let json = scrape(addr, "/json", timeout).expect("json");
+        assert!(json.contains("\"alerts\":[{\"t_us\":"), "{json}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use dynamics::{LinkAction, LinkEvent, LinkSchedule};
 pub use faults::{ChurnAction, ChurnEvent, FaultModel, FaultPlan, Partition};
 pub use loss::{LossModel, LossProcess};
 pub use obs::{HostObserver, SharedObs};
-pub use report::{LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
+pub use report::{AlertRecord, LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
 pub use sim::{SimParams, Simulation};
 pub use topology::{CharacteristicGroup, GroupSpec, Topology, TopologyBuilder};
 pub use trace::{Trace, TraceBucket};

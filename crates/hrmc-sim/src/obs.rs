@@ -18,8 +18,10 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use hrmc_core::obs::{event_json_with, header_json};
-use hrmc_core::{Event, Histogram, Micros, ProtocolObserver, SharedRecorder};
+use hrmc_core::obs::{event_json, event_json_with, header_json};
+use hrmc_core::{
+    Event, HealthConfig, HealthMonitor, Histogram, Micros, ProtocolObserver, SharedRecorder,
+};
 
 /// Collector shared by every host's [`HostObserver`].
 pub struct SharedObs {
@@ -34,6 +36,11 @@ pub struct SharedObs {
     log: Option<Box<dyn Write + Send>>,
     /// Optional bounded flight recorder fed alongside the sink.
     recorder: Option<SharedRecorder>,
+    /// Optional online health monitor fed the tagged event stream.
+    /// Alert transitions it emits are mirrored to the sink and recorder
+    /// as host-less `health_alert` lines and retained in its history for
+    /// [`crate::report::SimReport::alerts`].
+    monitor: Option<HealthMonitor>,
 }
 
 impl SharedObs {
@@ -45,6 +52,7 @@ impl SharedObs {
             recovery: Histogram::new(),
             log: None,
             recorder: None,
+            monitor: None,
         }
     }
 
@@ -63,6 +71,17 @@ impl SharedObs {
     /// overwrites it.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    /// Arm an online [`HealthMonitor`] over the pooled event stream.
+    pub fn set_monitor(&mut self, cfg: HealthConfig) {
+        self.monitor = Some(HealthMonitor::new(cfg));
+    }
+
+    /// The armed monitor, if any (its history carries every alert
+    /// transition of the run).
+    pub fn monitor(&self) -> Option<&HealthMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Flush the JSONL sink, if any.
@@ -117,6 +136,7 @@ impl ProtocolObserver for HostObserver {
             }
             _ => {}
         }
+        let s: &mut SharedObs = &mut s;
         if let Some(rec) = s.recorder.as_ref() {
             rec.record_tagged(now, ev, Some(self.host as u32));
         }
@@ -125,6 +145,24 @@ impl ProtocolObserver for HostObserver {
             let line = event_json_with(now, ev, &extra);
             let _ = w.write_all(line.as_bytes());
             let _ = w.write_all(b"\n");
+        }
+        if let Some(mon) = s.monitor.as_mut() {
+            // Receiver host h is member h−1 under the sim convention;
+            // sender events carry peer ids in their payloads where they
+            // matter (member ejection).
+            let member = (self.host > 0).then(|| self.host as u32 - 1);
+            mon.on_event_tagged(now, ev, member);
+            for a in mon.take_alerts() {
+                let alert_ev = a.to_event();
+                if let Some(rec) = s.recorder.as_ref() {
+                    rec.record_tagged(a.t_us, &alert_ev, None);
+                }
+                if let Some(w) = s.log.as_mut() {
+                    let line = event_json(a.t_us, &alert_ev);
+                    let _ = w.write_all(line.as_bytes());
+                    let _ = w.write_all(b"\n");
+                }
+            }
         }
     }
 }
@@ -206,7 +244,7 @@ mod tests {
         r.on_event(42, &Event::Delivered { first: 0, count: 1 });
         let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[0], "{\"schema\":1,\"role\":\"sim\"}");
+        assert_eq!(lines[0], "{\"schema\":2,\"role\":\"sim\"}");
         assert_eq!(
             lines[1],
             "{\"t_us\":42,\"host\":3,\"event\":\"delivered\",\"first\":0,\"count\":1}"

@@ -73,6 +73,28 @@ pub struct SimSamplePoint {
     pub rate_halvings: u64,
 }
 
+/// One alert transition the online [`hrmc_core::HealthMonitor`] emitted
+/// during the run (present when
+/// [`SimParams::health`](crate::sim::SimParams::health) armed it).
+/// Rule and severity are carried as their wire names (`nak_storm`,
+/// `warning`, …) so the report serializes without pulling enum types
+/// through serde.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlertRecord {
+    /// Simulation time of the transition (µs).
+    pub t_us: u64,
+    /// Rule name (see [`hrmc_core::AlertRule::name`]).
+    pub rule: &'static str,
+    /// Severity name (see [`hrmc_core::Severity::name`]).
+    pub severity: &'static str,
+    /// `true` for a raise, `false` for a clear.
+    pub raised: bool,
+    /// Observed value in milli-units at the transition.
+    pub value_m: u64,
+    /// The threshold it crossed, milli-units.
+    pub limit_m: u64,
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct SimReport {
@@ -152,6 +174,10 @@ pub struct SimReport {
     /// instant, so an armed run yields a non-empty series even when it
     /// finishes inside the first interval.
     pub timeseries: Option<Vec<SimSamplePoint>>,
+    /// Online health-monitor transitions, in time order (empty unless
+    /// [`SimParams::health`](crate::sim::SimParams::health) armed the
+    /// monitor).
+    pub alerts: Vec<AlertRecord>,
     /// Bucketed activity timeline, when tracing was enabled.
     #[serde(skip)]
     pub trace: Option<crate::trace::Trace>,
@@ -179,5 +205,22 @@ impl SimReport {
     /// Number of receivers that declared a terminal session failure.
     pub fn failed_receivers(&self) -> usize {
         self.receivers.iter().filter(|r| r.failed).count()
+    }
+
+    /// Raise transitions of `rule` (by wire name) the online monitor
+    /// emitted during the run.
+    pub fn alerts_raised(&self, rule: &str) -> u64 {
+        self.alerts
+            .iter()
+            .filter(|a| a.raised && a.rule == rule)
+            .count() as u64
+    }
+
+    /// Clear transitions of `rule` (by wire name).
+    pub fn alerts_cleared(&self, rule: &str) -> u64 {
+        self.alerts
+            .iter()
+            .filter(|a| !a.raised && a.rule == rule)
+            .count() as u64
     }
 }

@@ -32,7 +32,7 @@ use crate::host::{Engine, Host};
 use crate::nic::{Nic, TxOutcome};
 use crate::obs::{HostObserver, SharedObs};
 use crate::queue::EventQueue;
-use crate::report::{LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
+use crate::report::{AlertRecord, LatencyReport, ReceiverReport, SimReport, SimSamplePoint};
 use crate::router::{EnqueueOutcome, Route, Router, Transit};
 use crate::topology::Topology;
 
@@ -75,6 +75,13 @@ pub struct SimParams {
     /// [`SimReport::latency`] (and merged into the trace, when both are
     /// on).
     pub observe: bool,
+    /// Arm the online [`hrmc_core::HealthMonitor`] over the pooled event
+    /// stream with this rule set (implies observation). Alert
+    /// transitions land in [`SimReport::alerts`] and, when an event log
+    /// or flight recorder is attached, as host-less `health_alert`
+    /// lines. `None` (the default) leaves the run bit-for-bit identical
+    /// to an unmonitored one.
+    pub health: Option<hrmc_core::HealthConfig>,
     /// Injected faults: link misbehavior, partitions, host churn. The
     /// default (empty) plan leaves the run bit-for-bit identical to a
     /// fault-free simulation under the same seed.
@@ -103,6 +110,7 @@ impl SimParams {
             trace_bucket_us: None,
             sample_interval_us: None,
             observe: false,
+            health: None,
             faults: FaultPlan::default(),
             links: LinkSchedule::default(),
         }
@@ -289,18 +297,26 @@ impl Simulation {
             next_sample_at,
             prev_sample: (0, 0, 0),
         };
-        if sim.params.observe {
+        if sim.params.observe || sim.params.health.as_ref().is_some_and(|h| h.armed()) {
             sim.install_observers();
         }
         sim
     }
 
     /// Install a [`HostObserver`] into every engine, all feeding one
-    /// shared collector. Idempotent.
+    /// shared collector (with the online health monitor armed when
+    /// [`SimParams::health`] asks for it). Idempotent.
     fn install_observers(&mut self) {
+        let health = self.params.health.clone().filter(|h| h.armed());
         let shared = self
             .obs
-            .get_or_insert_with(|| Arc::new(Mutex::new(SharedObs::new())))
+            .get_or_insert_with(|| {
+                let mut obs = SharedObs::new();
+                if let Some(cfg) = health {
+                    obs.set_monitor(cfg);
+                }
+                Arc::new(Mutex::new(obs))
+            })
             .clone();
         for (host, h) in self.hosts.iter_mut().enumerate() {
             let obs = Box::new(HostObserver::new(host, shared.clone()));
@@ -1203,6 +1219,25 @@ impl Simulation {
             })
             .count() as u64;
         let mut trace = self.trace.clone();
+        let alerts: Vec<AlertRecord> = self
+            .obs
+            .as_ref()
+            .and_then(|shared| {
+                let s = shared.lock().unwrap();
+                s.monitor().map(|m| {
+                    m.history()
+                        .map(|a| AlertRecord {
+                            t_us: a.t_us,
+                            rule: a.rule.name(),
+                            severity: a.severity.name(),
+                            raised: a.raised,
+                            value_m: a.value_m,
+                            limit_m: a.limit_m,
+                        })
+                        .collect()
+                })
+            })
+            .unwrap_or_default();
         let latency = self.obs.as_ref().map(|shared| {
             let mut s = shared.lock().unwrap();
             s.flush();
@@ -1245,6 +1280,7 @@ impl Simulation {
             host_ticks: self.hosts.iter().map(|h| h.ticks).collect(),
             receivers,
             timeseries,
+            alerts,
             trace,
         }
     }
@@ -1397,7 +1433,7 @@ mod tests {
         let mut lines = log.lines();
         assert_eq!(
             lines.next(),
-            Some("{\"schema\":1,\"role\":\"sim\"}"),
+            Some("{\"schema\":2,\"role\":\"sim\"}"),
             "the stream must open with the schema header"
         );
         for line in lines {
@@ -1410,6 +1446,59 @@ mod tests {
         assert!(log.contains("\"event\":\"peer_joined\""));
         assert!(log.contains("\"event\":\"data_sent\""));
         assert!(log.contains("\"event\":\"delivered\""));
+    }
+
+    /// Arming the online health monitor must be pure observation: the
+    /// protocol event stream (and thus the trajectory) is byte-identical
+    /// to an unmonitored run — the monitored log only gains host-less
+    /// `health_alert` lines, and a disabled rule set gains nothing.
+    #[test]
+    fn armed_health_monitor_does_not_perturb_the_trajectory() {
+        use std::sync::{Arc as A, Mutex as M};
+        struct Tee(A<M<Vec<u8>>>);
+        impl std::io::Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let run = |health: Option<hrmc_core::HealthConfig>| {
+            let buf = A::new(M::new(Vec::new()));
+            let mut params = lan_params(2, 10_000_000, 0.01, 200_000, 128 * 1024);
+            params.health = health;
+            let mut sim = Simulation::new(params);
+            sim.set_event_log(Box::new(Tee(buf.clone())));
+            let report = sim.run();
+            assert!(report.completed);
+            let log = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+            (log, report)
+        };
+        let (base_log, base) = run(None);
+        let (disabled_log, _) = run(Some(hrmc_core::HealthConfig::disabled()));
+        assert_eq!(base_log, disabled_log, "disabled rule set must be free");
+
+        let (armed_log, armed) = run(Some(hrmc_core::HealthConfig::default()));
+        let protocol_lines: Vec<&str> = armed_log
+            .lines()
+            .filter(|l| !l.contains("\"event\":\"health_alert\""))
+            .collect();
+        assert_eq!(
+            base_log.lines().collect::<Vec<_>>(),
+            protocol_lines,
+            "monitor must not change the protocol trajectory"
+        );
+        // Every alert line is host-less, and the report mirrors the log.
+        let alert_lines = armed_log
+            .lines()
+            .filter(|l| l.contains("\"event\":\"health_alert\""))
+            .inspect(|l| assert!(!l.contains("\"host\":"), "alert lines are host-less: {l}"))
+            .count();
+        assert_eq!(armed.alerts.len(), alert_lines);
+        assert_eq!(base.elapsed_us, armed.elapsed_us);
+        assert_eq!(base.sender.retransmissions, armed.sender.retransmissions);
     }
 
     #[test]

@@ -94,9 +94,10 @@ fn representative_lossy_run_matches_prescheduler_fixture() {
     assert_eq!(log.iter().filter(|&&b| b == b'\n').count(), 1_942);
     assert_eq!(
         fnv1a(&log),
-        0x1814_4f48_0873_ef56,
+        0x8c34_f207_0126_a09b,
         "JSONL event log diverged from the pinned fixture (captured at \
-         event-schema 1: header line + member field)"
+         event-schema 2: header line + member field; the v1→v2 bump \
+         changed only the header's schema digit)"
     );
 }
 

@@ -16,8 +16,8 @@ use hrmc_core::{Event, Histogram};
 
 use crate::parse::{parse_file, parse_str, ParseStats, Source, TraceError, TraceEvent};
 use crate::report::{
-    Analysis, FlowReport, LifecycleReport, MemberReport, PhaseSpan, RegionOccupancy, ReleaseReport,
-    RttReport, SuppressionReport, TransferReport,
+    AlertAuditReport, Analysis, FlowReport, LifecycleReport, MemberReport, PhaseSpan,
+    RegionOccupancy, ReleaseReport, RttReport, SuppressionReport, TransferReport,
 };
 
 /// Sender-side lifecycle state of one sequence number.
@@ -128,6 +128,7 @@ impl Analysis {
 
         let mut ejected_peers: Vec<(u64, u32)> = Vec::new();
         let mut stall_latency = Histogram::new();
+        let mut alerts = AlertAuditReport::default();
 
         for te in events {
             let now = te.t_us;
@@ -193,6 +194,20 @@ impl Analysis {
                 }
                 Event::PeerJoined { .. } => {}
                 Event::MemberEjected { peer } => ejected_peers.push((now, peer.0)),
+                // Online monitor transitions: side-channel evidence, not
+                // protocol activity — they never open the sender span and
+                // never count as member life signs.
+                Event::HealthAlert { rule, raised, .. } => {
+                    sender_event = false;
+                    if *raised {
+                        alerts.raised += 1;
+                        if *rule == hrmc_core::health::AlertRule::FalseEjection {
+                            alerts.false_ejection_alerts += 1;
+                        }
+                    } else {
+                        alerts.cleared += 1;
+                    }
+                }
                 Event::ChecksumFailed => {
                     transfer.checksum_failures += 1;
                     sender_event = false;
@@ -427,6 +442,14 @@ impl Analysis {
         }
         lifecycle.complete = lifecycle.incomplete == 0;
 
+        // Cross-check the online monitor against this audit. An alert
+        // line proves the monitor was armed; only then is silence about
+        // a real false ejection a miss.
+        let monitor_armed = parse.alerts > 0;
+        alerts.alert_miss =
+            monitor_armed && false_ejections > 0 && alerts.false_ejection_alerts == 0;
+        alerts.alert_spurious = alerts.false_ejection_alerts > 0 && false_ejections == 0;
+
         Analysis {
             parse,
             events: events.len() as u64,
@@ -439,6 +462,7 @@ impl Analysis {
             rtt,
             members: member_reports,
             false_ejections,
+            alerts,
             lifecycle,
         }
     }
@@ -575,6 +599,68 @@ mod tests {
             "report must flag false ejections"
         );
         assert!(text.contains("ejected while demonstrably alive"));
+    }
+
+    #[test]
+    fn online_false_ejection_alert_agreeing_with_audit_is_clean() {
+        let trace = concat!(
+            "{\"schema\":2,\"role\":\"sim\"}\n",
+            "{\"t_us\":1,\"host\":0,\"event\":\"data_sent\",\"seq\":0,\"bytes\":10,\"retransmission\":false}\n",
+            "{\"t_us\":3,\"host\":0,\"event\":\"member_ejected\",\"member\":0}\n",
+            "{\"t_us\":9,\"host\":1,\"event\":\"delivered\",\"first\":0,\"count\":1}\n",
+            "{\"t_us\":10,\"event\":\"health_alert\",\"rule\":\"false_ejection\",\"severity\":\"critical\",\"raised\":true,\"value_m\":0,\"limit_m\":0}\n",
+        );
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.false_ejections, 1);
+        assert_eq!(a.alerts.raised, 1);
+        assert_eq!(a.alerts.false_ejection_alerts, 1);
+        assert!(!a.alerts.alert_miss);
+        assert!(!a.alerts.alert_spurious);
+        let text = a.render_table();
+        assert!(text.contains("online alerts agree"));
+    }
+
+    #[test]
+    fn armed_monitor_missing_a_false_ejection_is_alert_miss() {
+        // The monitor was demonstrably armed (a nak_storm alert fired)
+        // yet never flagged the false ejection the audit reconstructs.
+        let trace = concat!(
+            "{\"schema\":2,\"role\":\"sim\"}\n",
+            "{\"t_us\":1,\"host\":0,\"event\":\"data_sent\",\"seq\":0,\"bytes\":10,\"retransmission\":false}\n",
+            "{\"t_us\":2,\"event\":\"health_alert\",\"rule\":\"nak_storm\",\"severity\":\"warning\",\"raised\":true,\"value_m\":2000,\"limit_m\":1000}\n",
+            "{\"t_us\":3,\"host\":0,\"event\":\"member_ejected\",\"member\":0}\n",
+            "{\"t_us\":9,\"host\":1,\"event\":\"delivered\",\"first\":0,\"count\":1}\n",
+        );
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.false_ejections, 1);
+        assert!(a.alerts.alert_miss);
+        assert!(!a.alerts.alert_spurious);
+        assert!(a.render_table().contains("ALERT-MISS"));
+    }
+
+    #[test]
+    fn uncorroborated_false_ejection_alert_is_alert_spurious() {
+        // Member 0 went silent after its ejection — the audit sees a
+        // clean ejection, so the online false-ejection alert is noise.
+        let trace = concat!(
+            "{\"schema\":2,\"role\":\"sim\"}\n",
+            "{\"t_us\":1,\"host\":0,\"event\":\"data_sent\",\"seq\":0,\"bytes\":10,\"retransmission\":false}\n",
+            "{\"t_us\":2,\"host\":1,\"event\":\"delivered\",\"first\":0,\"count\":1}\n",
+            "{\"t_us\":3,\"host\":0,\"event\":\"member_ejected\",\"member\":0}\n",
+            "{\"t_us\":4,\"event\":\"health_alert\",\"rule\":\"false_ejection\",\"severity\":\"critical\",\"raised\":true,\"value_m\":0,\"limit_m\":0}\n",
+        );
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.false_ejections, 0);
+        assert!(!a.alerts.alert_miss);
+        assert!(a.alerts.alert_spurious);
+        assert!(a.render_table().contains("ALERT-SPURIOUS"));
+    }
+
+    #[test]
+    fn alert_free_trace_reports_no_monitor_verdict() {
+        let a = analyze_str(synthetic()).unwrap();
+        assert_eq!(a.alerts, Default::default());
+        assert!(!a.render_table().contains("health alerts"));
     }
 
     #[test]

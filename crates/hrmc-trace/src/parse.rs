@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use hrmc_core::health::{AlertRule, Severity};
 use hrmc_core::obs::NakTrigger;
 use hrmc_core::rate::RatePhase;
 use hrmc_core::rxwindow::Region;
@@ -78,6 +79,10 @@ pub struct ParseStats {
     /// channel, not protocol events, and not parse failures;
     /// [`parse_telemetry_str`] decodes them.
     pub telemetry: u64,
+    /// Health-alert lines seen (`"event":"health_alert"`, schema v2) —
+    /// the online monitor's transitions, counted separately so an
+    /// analysis can tell whether the monitor was armed at all.
+    pub alerts: u64,
 }
 
 /// Errors that abort ingestion entirely (per-line problems only bump
@@ -233,6 +238,13 @@ pub fn parse_event(obj: &Value) -> Option<Event> {
             rtt_us: get_u64(obj, "rtt_us")?,
         },
         "session_failed" => Event::SessionFailed,
+        "health_alert" => Event::HealthAlert {
+            rule: AlertRule::from_name(get_str(obj, "rule")?)?,
+            severity: Severity::from_name(get_str(obj, "severity")?)?,
+            raised: get_bool(obj, "raised")?,
+            value_m: get_u64(obj, "value_m")?,
+            limit_m: get_u64(obj, "limit_m")?,
+        },
         _ => return None,
     })
 }
@@ -275,6 +287,9 @@ pub fn parse_str(input: &str) -> Result<(Vec<TraceEvent>, ParseStats), TraceErro
             stats.skipped += 1;
             continue;
         };
+        if matches!(event, Event::HealthAlert { .. }) {
+            stats.alerts += 1;
+        }
         let source = if let Some(h) = get_u32(&obj, "host") {
             Source::Host(h)
         } else if let Some(l) = get_str(&obj, "src") {
@@ -515,6 +530,46 @@ mod tests {
         assert_eq!(tstats.headers, 1);
         assert_eq!(tstats.skipped, 0, "event lines are not failures here");
         assert_eq!(samples[0].total("data_packets_sent"), 1);
+    }
+
+    /// Alert lines (schema v2) round-trip losslessly through a mixed
+    /// stream and are counted by [`ParseStats::alerts`].
+    #[test]
+    fn alert_lines_round_trip_in_mixed_streams() {
+        use hrmc_core::obs::event_json;
+        let alert = Event::HealthAlert {
+            rule: AlertRule::BacklogGrowth,
+            severity: Severity::Warning,
+            raised: true,
+            value_m: 180_500,
+            limit_m: 150_000,
+        };
+        let cleared = Event::HealthAlert {
+            rule: AlertRule::BacklogGrowth,
+            severity: Severity::Warning,
+            raised: false,
+            value_m: 12_000,
+            limit_m: 150_000,
+        };
+        let mixed = format!(
+            "{{\"schema\":2,\"role\":\"sim\"}}\n\
+             {{\"t_us\":5,\"host\":0,\"event\":\"data_sent\",\"seq\":0,\"bytes\":10,\
+             \"retransmission\":false}}\n\
+             {}\n\
+             {}\n",
+            event_json(7, &alert),
+            event_json(900_007, &cleared),
+        );
+        let (events, stats) = parse_str(&mixed).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(stats.alerts, 2);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.schema, Some(2));
+        assert_eq!(events[1].event, alert, "lossless round-trip");
+        assert_eq!(events[2].event, cleared);
+        assert_eq!(events[1].source, Source::Anonymous);
+        // Re-render: byte-identical to the original line.
+        assert_eq!(event_json(7, &events[1].event), event_json(7, &alert));
     }
 
     #[test]

@@ -205,6 +205,26 @@ pub struct MemberReport {
     pub session_failed: bool,
 }
 
+/// Cross-check of the online health monitor (schema v2 `health_alert`
+/// lines) against this post-hoc audit. Only meaningful when the trace
+/// carries at least one alert line — an alert-free trace cannot
+/// distinguish "monitor disarmed" from "monitor silent".
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct AlertAuditReport {
+    /// Alert transitions raised online.
+    pub raised: u64,
+    /// Alert transitions cleared online.
+    pub cleared: u64,
+    /// Raised `false_ejection` alerts among them.
+    pub false_ejection_alerts: u64,
+    /// The audit found false ejections the armed monitor never flagged
+    /// (`ALERT-MISS`).
+    pub alert_miss: bool,
+    /// The monitor flagged a false ejection the audit does not
+    /// corroborate (`ALERT-SPURIOUS`).
+    pub alert_spurious: bool,
+}
+
 /// End-state audit of every sequence ever sent.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct LifecycleReport {
@@ -251,6 +271,8 @@ pub struct Analysis {
     /// Members ejected while demonstrably still alive (degradation
     /// audit: latency is not death).
     pub false_ejections: u64,
+    /// Online-alert cross-check against this audit.
+    pub alerts: AlertAuditReport,
     /// Sequence end-state audit.
     pub lifecycle: LifecycleReport,
 }
@@ -439,6 +461,33 @@ impl Analysis {
                 "  !! {} member(s) ejected while demonstrably alive",
                 self.false_ejections
             );
+        }
+
+        if self.parse.alerts > 0 {
+            let al = &self.alerts;
+            let _ = writeln!(o, "\nhealth alerts (online monitor)");
+            let _ = writeln!(
+                o,
+                "  {} alert line(s): {} raised, {} cleared ({} false-ejection)",
+                self.parse.alerts, al.raised, al.cleared, al.false_ejection_alerts
+            );
+            if al.alert_miss {
+                let _ = writeln!(
+                    o,
+                    "  !! ALERT-MISS: audit found {} false ejection(s) the armed monitor never flagged",
+                    self.false_ejections
+                );
+            }
+            if al.alert_spurious {
+                let _ = writeln!(
+                    o,
+                    "  !! ALERT-SPURIOUS: monitor raised {} false-ejection alert(s) the audit does not corroborate",
+                    al.false_ejection_alerts
+                );
+            }
+            if !al.alert_miss && !al.alert_spurious {
+                let _ = writeln!(o, "  online alerts agree with the post-hoc audit");
+            }
         }
 
         let l = &self.lifecycle;

@@ -62,7 +62,7 @@ fn run_log(params: SimParams) -> String {
 fn determinism_fixture_analysis_is_exact() {
     let a = analyze_str(&run_log(representative_params())).unwrap();
 
-    assert_eq!(a.parse.schema, Some(1));
+    assert_eq!(a.parse.schema, Some(2));
     assert_eq!(a.parse.headers, 1);
     assert_eq!(a.parse.skipped, 0);
     assert_eq!(a.events, 1_941);

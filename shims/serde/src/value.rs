@@ -244,6 +244,14 @@ impl Value {
         }
     }
 
+    /// The boolean if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// `true` if this is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)

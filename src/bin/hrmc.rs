@@ -39,6 +39,7 @@ struct Opts {
     telemetry: Option<SocketAddr>,
     sample_interval_ms: u64,
     telemetry_jsonl: Option<String>,
+    health: bool,
     once: bool,
     refresh_ms: u64,
 }
@@ -60,6 +61,7 @@ impl Default for Opts {
             telemetry: None,
             sample_interval_ms: 500,
             telemetry_jsonl: None,
+            health: false,
             once: false,
             refresh_ms: 1000,
         }
@@ -112,11 +114,19 @@ impl Obs {
             None => None,
         };
         let metrics = opts.metrics.then(MetricsObserver::new);
+        if opts.health && opts.telemetry.is_none() {
+            return Err("--health requires --telemetry (the monitor rides the \
+                        telemetry pipeline)"
+                .into());
+        }
         let telemetry = match opts.telemetry {
             Some(addr) => {
                 let mut b = hrmc::net::Telemetry::builder()
                     .listen(addr)
                     .sample_interval(Duration::from_millis(opts.sample_interval_ms.max(10)));
+                if opts.health {
+                    b = b.health(hrmc::HealthConfig::default());
+                }
                 if let Some(path) = &opts.telemetry_jsonl {
                     b = b
                         .jsonl_path(std::path::Path::new(path))
@@ -127,8 +137,9 @@ impl Obs {
                     .map_err(|e| format!("cannot start telemetry endpoint on {addr}: {e}"))?;
                 if let Some(bound) = t.local_addr() {
                     eprintln!(
-                        "telemetry: serving /metrics and /json at http://{bound} \
-                         (watch live: hrmc top {bound})"
+                        "telemetry: serving /metrics{} and /json at http://{bound} \
+                         (watch live: hrmc top {bound})",
+                        if opts.health { ", /alerts" } else { "" }
                     );
                 }
                 Some(t)
@@ -236,10 +247,15 @@ fn usage() -> ! {
                            port 0 picks a free port (printed on stderr)\n  \
          --sample-interval N  telemetry sampling interval in ms (default 500)\n  \
          --telemetry-jsonl <path>  also stream every telemetry sample to a\n                    \
-                           JSONL file (replay with: hrmc top <path>)\n\n\
+                           JSONL file (replay with: hrmc top <path>)\n  \
+         --health          arm the online protocol health monitor (needs\n                    \
+                           --telemetry): streaming invariant checks raise\n                    \
+                           structured alerts on /alerts, in /json, and as\n                    \
+                           hrmc_alerts_* metrics on /metrics\n\n\
          `top` renders a refreshing terminal dashboard from a live telemetry\n\
          endpoint (`hrmc top 127.0.0.1:9090`) or summarizes a recorded sample\n\
-         file; --once prints a single frame, --refresh sets the period.\n\n\
+         file; --once prints a single frame, --refresh sets the period. With\n\
+         --health armed on the scraped endpoint, frames include an alerts pane.\n\n\
          `analyze` reconstructs per-sequence causal lifecycles from any JSONL\n\
          trace this tool or the simulator writes (streamed or flight-recorded)\n\
          and prints loss, recovery-latency, NAK-suppression, flow-control,\n\
@@ -341,6 +357,9 @@ fn parse(args: &[String]) -> (Opts, Vec<String>) {
             "--telemetry-jsonl" => {
                 i += 1;
                 opts.telemetry_jsonl = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--health" => {
+                opts.health = true;
             }
             "--once" => {
                 opts.once = true;

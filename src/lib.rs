@@ -62,9 +62,10 @@ pub use hrmc_sim as sim;
 /// Wire format (re-export of `hrmc-wire`).
 pub use hrmc_wire as wire;
 
-pub use hrmc_core::{Dest, PeerId, ProtocolConfig, ReceiverEngine, ReliabilityMode, SenderEngine};
 pub use hrmc_core::{
-    Event, FlightRecorder, Histogram, HistogramSummary, JsonlObserver, MetricsObserver,
-    MetricsRegistry, MultiObserver, ProtocolObserver, SharedRecorder,
+    Alert, AlertRule, Event, FlightRecorder, HealthConfig, HealthMonitor, Histogram,
+    HistogramSummary, JsonlObserver, MetricsObserver, MetricsRegistry, MultiObserver,
+    ProtocolObserver, Severity, SharedRecorder,
 };
+pub use hrmc_core::{Dest, PeerId, ProtocolConfig, ReceiverEngine, ReliabilityMode, SenderEngine};
 pub use hrmc_wire::{Packet, PacketType};

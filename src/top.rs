@@ -43,6 +43,43 @@ fn downsample(vals: &[u64], width: usize) -> Vec<u64> {
     out
 }
 
+/// The alerts pane: the `/alerts`-shaped transition history (also
+/// embedded in `/json` under `"alerts"`) as a summary line plus the
+/// most recent transitions, newest last. Raised entries are flagged
+/// `!!`; a rule is *active* when its latest transition is a raise.
+fn render_alerts(out: &mut String, alerts: &[Value]) {
+    let mut last_state: std::collections::BTreeMap<&str, bool> = Default::default();
+    for a in alerts {
+        if let (Some(rule), Some(raised)) = (
+            a.get("rule").and_then(Value::as_str),
+            a.get("raised").and_then(Value::as_bool),
+        ) {
+            last_state.insert(rule, raised);
+        }
+    }
+    let active = last_state.values().filter(|&&raised| raised).count();
+    let _ = writeln!(
+        out,
+        "alerts  {active} active, {} transition(s)",
+        alerts.len()
+    );
+    let skip = alerts.len().saturating_sub(8);
+    for a in &alerts[skip..] {
+        let raised = a.get("raised").and_then(Value::as_bool).unwrap_or(false);
+        let _ = writeln!(
+            out,
+            "  {} {:<8} {:<17} {:<7} t +{:.1}s  value {}m  limit {}m",
+            if raised { "!!" } else { "  " },
+            a.get("severity").and_then(Value::as_str).unwrap_or("?"),
+            a.get("rule").and_then(Value::as_str).unwrap_or("?"),
+            if raised { "RAISED" } else { "cleared" },
+            a.get("t_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6,
+            a.get("value_m").and_then(Value::as_u64).unwrap_or(0),
+            a.get("limit_m").and_then(Value::as_u64).unwrap_or(0),
+        );
+    }
+}
+
 fn fmt_rate(v: f64) -> String {
     if v >= 100.0 {
         format!("{v:.0}")
@@ -138,6 +175,12 @@ pub fn render_endpoint_frame(endpoint: &str, body: &Value) -> String {
                     sess.get("bytes_tx").and_then(Value::as_u64).unwrap_or(0),
                 );
             }
+        }
+    }
+    if let Some(alerts) = body.get("alerts").and_then(Value::as_array) {
+        if !alerts.is_empty() {
+            out.push('\n');
+            render_alerts(&mut out, alerts);
         }
     }
     out.push('\n');
@@ -334,6 +377,62 @@ mod tests {
         assert!(frame.contains("data_packets_sent"));
         assert!(frame.contains("100")); // 50 Δ / 0.5 s = 100/s
         assert!(frame.contains("reactor_loop_us"));
+    }
+
+    #[test]
+    fn downsample_handles_single_sample_and_empty_series() {
+        assert_eq!(downsample(&[5], 32), vec![5]);
+        assert_eq!(downsample(&[5], 1), vec![5]);
+        assert_eq!(downsample(&[5], 0), vec![5]);
+        assert_eq!(downsample(&[], 32), Vec::<u64>::new());
+        assert_eq!(sparkline(&[5]), "█");
+        let one = sample(0, 250_000, 0, 40);
+        let text = render_trace("one.jsonl", &[one]);
+        assert!(text.contains("1 samples"), "{text}");
+        assert!(text.contains("sample #0"), "{text}");
+    }
+
+    #[test]
+    fn endpoint_frame_renders_alerts_pane() {
+        let body: Value = serde_json::from_str(
+            "{\"sample\":null,\"sessions\":[],\"alerts\":[\
+             {\"t_us\":600000,\"rule\":\"nak_storm\",\"severity\":\"warning\",\
+              \"raised\":true,\"value_m\":22000,\"limit_m\":1000},\
+             {\"t_us\":2100000,\"rule\":\"window_stall\",\"severity\":\"critical\",\
+              \"raised\":true,\"value_m\":2500,\"limit_m\":2000},\
+             {\"t_us\":3200000,\"rule\":\"nak_storm\",\"severity\":\"warning\",\
+              \"raised\":false,\"value_m\":200,\"limit_m\":1000}]}",
+        )
+        .unwrap();
+        let frame = render_endpoint_frame("127.0.0.1:9000", &body);
+        assert!(
+            frame.contains("alerts  1 active, 3 transition(s)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("!! warning  nak_storm         RAISED"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("!! critical window_stall      RAISED"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("   warning  nak_storm         cleared"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("t +0.6s  value 22000m  limit 1000m"),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn healthy_alerts_section_renders_no_pane() {
+        let body: Value = serde_json::from_str("{\"sample\":null,\"alerts\":[]}").unwrap();
+        let frame = render_endpoint_frame("x", &body);
+        assert!(!frame.contains("alerts "), "{frame}");
+        assert!(frame.contains("(no sample yet)"));
     }
 
     #[test]
