@@ -28,6 +28,8 @@
 //! [`Reactor::global`].
 
 pub mod clock;
+pub mod datapath;
+pub mod pool;
 pub mod reactor;
 pub mod receiver;
 pub mod sender;
@@ -37,6 +39,8 @@ pub mod socket;
 pub mod telemetry;
 
 pub use clock::DriverClock;
+pub use datapath::DatapathKind;
+pub use pool::ReactorPool;
 pub use reactor::{Reactor, ReactorConfig, ReactorStats, SessionHealth};
 pub use receiver::{HrmcReceiver, ReceiverHandle};
 pub use sender::{HrmcSender, SenderHandle};

@@ -42,13 +42,14 @@ use std::time::{Duration, Instant};
 use hrmc_core::{Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 
+use crate::datapath::{make_datapath, Datapath, DatapathKind};
 use crate::socket::{McastSocket, RxBatch, TX_SLOTS};
 use crate::NetError;
 
 /// Sockets per session the token scheme supports (receiver = 2).
 const MAX_ROLES: u64 = 2;
-/// Epoll token of the kick eventfd.
-const KICK_TOKEN: u64 = u64::MAX;
+/// Readiness token of the kick eventfd (any backend).
+pub(crate) const KICK_TOKEN: u64 = u64::MAX;
 /// Attempts beyond the first before a transient `sendmmsg` error drops
 /// the remaining batch (mirrors the single-send retry budget).
 const TX_RETRIES: u32 = 4;
@@ -56,17 +57,28 @@ const TX_RETRIES: u32 = 4;
 /// Tunables for a reactor instance.
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
-    /// Longest uninterrupted `epoll_wait` when no deadline is armed (and
-    /// the cap applied to armed deadlines, so a session registered while
-    /// the loop sleeps is noticed within this bound even if its kick is
-    /// somehow lost). Smaller values trade idle CPU for responsiveness.
+    /// Longest uninterrupted readiness wait when no deadline is armed
+    /// (and the cap applied to armed deadlines, so a session registered
+    /// while the loop sleeps is noticed within this bound even if its
+    /// kick is somehow lost). Smaller values trade idle CPU for
+    /// responsiveness.
     pub idle_deadline_cap: Duration,
+    /// Which syscall backend drives the sockets. [`DatapathKind::Uring`]
+    /// falls back to epoll when the build or kernel lacks io_uring
+    /// support — [`ReactorStats::backend`] reports what actually runs.
+    pub datapath: DatapathKind,
+    /// Reactor threads a [`crate::ReactorPool`] built from this config
+    /// runs (sessions are hash-assigned per shard). A plain [`Reactor`]
+    /// ignores this and always runs one thread.
+    pub shards: usize,
 }
 
 impl Default for ReactorConfig {
     fn default() -> ReactorConfig {
         ReactorConfig {
             idle_deadline_cap: Duration::from_millis(100),
+            datapath: DatapathKind::Epoll,
+            shards: 1,
         }
     }
 }
@@ -178,13 +190,16 @@ impl SessionCounters {
 // Batched I/O scratch state (one per reactor thread)
 // ---------------------------------------------------------------------
 
-/// Reusable I/O scratch owned by the reactor thread: the `recvmmsg`
-/// buffer pool and the `sendmmsg` staging area, shared by every session
-/// so buffers are allocated once per reactor, not per session.
+/// Reusable I/O scratch owned by the reactor thread: the RX buffer
+/// pool, the TX staging area, and the [`Datapath`] backend everything
+/// crosses the kernel through — shared by every session so buffers are
+/// allocated once per reactor, not per session.
 pub(crate) struct IoBatch {
     /// RX buffer pool; sessions read decoded datagrams from here.
     pub(crate) rx: RxBatch,
-    /// Encoded-packet staging for the next `sendmmsg`.
+    /// The syscall backend (epoll+mmsg or io_uring rings).
+    pub(crate) dp: Box<dyn Datapath>,
+    /// Encoded-packet staging for the next TX submit.
     tx_bufs: Vec<Vec<u8>>,
     tx_dsts: Vec<SocketAddr>,
     tx_len: usize,
@@ -192,9 +207,10 @@ pub(crate) struct IoBatch {
 }
 
 impl IoBatch {
-    fn new(stats: Arc<StatsCells>) -> IoBatch {
+    fn new(stats: Arc<StatsCells>, dp: Box<dyn Datapath>) -> IoBatch {
         IoBatch {
             rx: RxBatch::new(),
+            dp,
             tx_bufs: Vec::new(),
             tx_dsts: Vec::new(),
             tx_len: 0,
@@ -202,11 +218,11 @@ impl IoBatch {
         }
     }
 
-    /// One `recvmmsg` into the pool; records batch-size stats.
+    /// One backend drain into the pool; records batch-size stats. (The
+    /// backend counts its own syscalls; this layer counts packets.)
     pub(crate) fn recv(&mut self, sock: &McastSocket) -> io::Result<usize> {
-        let n = self.rx.recv(sock)?;
+        let n = self.dp.recv_batch(sock, &mut self.rx)?;
         let s = &self.stats;
-        s.recvmmsg_calls.fetch_add(1, Ordering::Relaxed);
         s.packets_rx.fetch_add(n as u64, Ordering::Relaxed);
         s.rx_batches.lock().record(n as u64);
         Ok(n)
@@ -238,23 +254,25 @@ impl IoBatch {
         }
     }
 
-    /// Flush every staged packet out `sock` in `sendmmsg` batches,
+    /// Flush every staged packet out `sock` in backend batches,
     /// retrying transient kernel pressure (`EAGAIN`/`EINTR`/`ENOBUFS`)
     /// with the same short doubling backoff the single-send path used. A
     /// persistently failing datagram is dropped (the protocol's NAK path
-    /// recovers it) without sacrificing the rest of the batch.
+    /// recovers it) without sacrificing the rest of the batch. Each
+    /// attempt — success or transient failure — is a real kernel
+    /// crossing, counted by the backend itself.
     pub(crate) fn flush_tx(&mut self, sock: &McastSocket) {
         let mut off = 0;
         let mut attempt = 0;
         let mut backoff = Duration::from_micros(200);
         while off < self.tx_len {
-            match sock.send_batch(
+            match self.dp.send_batch(
+                sock,
                 &self.tx_bufs[off..self.tx_len],
                 &self.tx_dsts[off..self.tx_len],
             ) {
                 Ok(n) => {
                     let s = &self.stats;
-                    s.sendmmsg_calls.fetch_add(1, Ordering::Relaxed);
                     s.packets_tx.fetch_add(n as u64, Ordering::Relaxed);
                     s.tx_batches.lock().record(n as u64);
                     off += n.max(1);
@@ -325,30 +343,35 @@ const EHOSTUNREACH: i32 = 113;
 // Stats
 // ---------------------------------------------------------------------
 
+/// The reactor's shared counter cells. Backends hold an `Arc` and bump
+/// the syscall counters (`recvmmsg_calls`/`sendmmsg_calls` for epoll,
+/// `uring_enters` for io_uring, `tx_retries`/`tx_drops` for deferred
+/// completion failures); the reactor side owns the rest.
 #[derive(Default)]
-struct StatsCells {
-    sessions_hwm: AtomicU64,
-    epoll_wakeups: AtomicU64,
-    timer_fires: AtomicU64,
-    kicks: AtomicU64,
-    recvmmsg_calls: AtomicU64,
-    sendmmsg_calls: AtomicU64,
-    packets_rx: AtomicU64,
-    packets_tx: AtomicU64,
-    tx_retries: AtomicU64,
-    tx_drops: AtomicU64,
+pub(crate) struct StatsCells {
+    pub(crate) sessions_hwm: AtomicU64,
+    pub(crate) epoll_wakeups: AtomicU64,
+    pub(crate) timer_fires: AtomicU64,
+    pub(crate) kicks: AtomicU64,
+    pub(crate) recvmmsg_calls: AtomicU64,
+    pub(crate) sendmmsg_calls: AtomicU64,
+    pub(crate) uring_enters: AtomicU64,
+    pub(crate) packets_rx: AtomicU64,
+    pub(crate) packets_tx: AtomicU64,
+    pub(crate) tx_retries: AtomicU64,
+    pub(crate) tx_drops: AtomicU64,
     /// Raw timer-heap length (includes lazily-deleted stale entries).
-    timer_heap_len: AtomicU64,
+    pub(crate) timer_heap_len: AtomicU64,
     /// Sessions with a live armed deadline (the authoritative map).
-    timers_armed: AtomicU64,
-    rx_batches: Mutex<Histogram>,
-    tx_batches: Mutex<Histogram>,
+    pub(crate) timers_armed: AtomicU64,
+    pub(crate) rx_batches: Mutex<Histogram>,
+    pub(crate) tx_batches: Mutex<Histogram>,
     /// Busy time per loop iteration (µs): deadline service + dispatch,
-    /// excluding the `epoll_wait` sleep itself.
-    loop_us: Mutex<Histogram>,
+    /// excluding the readiness-wait sleep itself.
+    pub(crate) loop_us: Mutex<Histogram>,
     /// Timer slippage (µs): how late each deadline fired (fired-at minus
     /// deadline) — the loop's scheduling health under load.
-    timer_slippage_us: Mutex<Histogram>,
+    pub(crate) timer_slippage_us: Mutex<Histogram>,
 }
 
 /// Point-in-time snapshot of a reactor's gauges: how many sessions it
@@ -356,20 +379,28 @@ struct StatsCells {
 /// payoff — how many packets each `recvmmsg`/`sendmmsg` syscall moved.
 #[derive(Debug, Clone, Default)]
 pub struct ReactorStats {
+    /// The syscall backend actually driving this reactor: `"epoll"` or
+    /// `"uring"` (after any runtime fallback).
+    pub backend: &'static str,
     /// Sessions currently registered.
     pub sessions: usize,
     /// Most sessions ever registered at once.
     pub sessions_hwm: u64,
-    /// `epoll_wait` returns (the loop's wakeup count).
+    /// Readiness-wait returns (the loop's wakeup count; named for the
+    /// epoll backend, counted identically under io_uring).
     pub epoll_wakeups: u64,
     /// Engine deadlines serviced from the timer heap.
     pub timer_fires: u64,
     /// Deadline re-folds requested by application threads.
     pub kicks: u64,
-    /// `recvmmsg` syscalls issued.
+    /// `recvmmsg` syscalls issued (epoll backend).
     pub recvmmsg_calls: u64,
-    /// `sendmmsg` syscalls issued.
+    /// `sendmmsg` syscalls issued (epoll backend; every attempt counts,
+    /// including transiently failing ones that were retried).
     pub sendmmsg_calls: u64,
+    /// `io_uring_enter` syscalls issued (uring backend) — the ring
+    /// replaces the wait+drain+flush syscall train with one enter.
+    pub uring_enters: u64,
     /// Datagrams received.
     pub packets_rx: u64,
     /// Datagrams sent.
@@ -406,7 +437,7 @@ impl ReactorStats {
     /// divide-by-`max(1)` form quietly reported the raw syscall count
     /// in that state.
     pub fn syscalls_per_packet(&self) -> f64 {
-        let syscalls = self.recvmmsg_calls + self.sendmmsg_calls;
+        let syscalls = self.recvmmsg_calls + self.sendmmsg_calls + self.uring_enters;
         let packets = self.packets_rx + self.packets_tx;
         if packets == 0 {
             return 0.0;
@@ -419,12 +450,32 @@ impl ReactorStats {
 // Reactor
 // ---------------------------------------------------------------------
 
+/// A socket-set change an application thread asks the reactor thread to
+/// apply. The datapath object lives on the reactor thread only (io_uring
+/// submission queues are single-producer), so registration and
+/// deregistration are queued here and drained at the top of each loop
+/// iteration — the kick eventfd bounds the latency.
+enum DpCmd {
+    /// Watch the sockets of session `id` (already in the sessions map).
+    Register { id: u64 },
+    /// Stop watching `fd`. The owning session's Arc rides along so a
+    /// backend with in-flight kernel operations can keep the fd alive
+    /// until they drain.
+    Deregister {
+        fd: i32,
+        keepalive: Arc<dyn ReactorSession>,
+    },
+}
+
 struct Core {
-    epfd: i32,
     wakefd: i32,
+    /// Backend actually running (after any io_uring→epoll fallback);
+    /// resolved before the reactor thread spawns.
+    backend: &'static str,
     config: ReactorConfig,
     sessions: Mutex<HashMap<u64, Arc<dyn ReactorSession>>>,
     dirty: Mutex<Vec<u64>>,
+    dp_cmds: Mutex<Vec<DpCmd>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     stats: Arc<StatsCells>,
@@ -439,10 +490,16 @@ impl Core {
 
     fn deregister(&self, id: u64, session: &dyn ReactorSession) {
         let removed = self.sessions.lock().remove(&id);
-        if removed.is_some() {
+        if let Some(owner) = removed {
+            let mut cmds = self.dp_cmds.lock();
             for sock in session.sockets() {
-                let _ = self.epoll_ctl(libc::EPOLL_CTL_DEL, sock.raw_fd(), 0);
+                cmds.push(DpCmd::Deregister {
+                    fd: sock.raw_fd(),
+                    keepalive: Arc::clone(&owner),
+                });
             }
+            drop(cmds);
+            self.wake();
         }
     }
 
@@ -451,24 +508,11 @@ impl Core {
         self.wake();
     }
 
-    /// Ring the eventfd so `epoll_wait` returns.
+    /// Ring the eventfd so the reactor's readiness wait returns.
     fn wake(&self) {
         let one: u64 = 1;
         unsafe {
             libc::write(self.wakefd, &one as *const u64 as *const libc::c_void, 8);
-        }
-    }
-
-    fn epoll_ctl(&self, op: i32, fd: i32, token: u64) -> io::Result<()> {
-        let mut ev = libc::epoll_event {
-            events: libc::EPOLLIN,
-            u64: token,
-        };
-        let rc = unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) };
-        if rc < 0 {
-            Err(io::Error::last_os_error())
-        } else {
-            Ok(())
         }
     }
 }
@@ -477,7 +521,6 @@ impl Drop for Core {
     fn drop(&mut self) {
         unsafe {
             libc::close(self.wakefd);
-            libc::close(self.epfd);
         }
     }
 }
@@ -517,34 +560,40 @@ impl Reactor {
         Reactor::with_config(ReactorConfig::default())
     }
 
-    /// Spawn a dedicated reactor with explicit tunables.
+    /// Spawn a dedicated reactor with explicit tunables. The datapath
+    /// backend is probed here, before the thread starts: an io_uring
+    /// request on a kernel (or build) without support falls back to
+    /// epoll, and [`Reactor::stats`] reports the backend that actually
+    /// runs.
     pub fn with_config(config: ReactorConfig) -> io::Result<Reactor> {
-        let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
-        if epfd < 0 {
-            return Err(io::Error::last_os_error());
-        }
         let wakefd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
         if wakefd < 0 {
-            let e = io::Error::last_os_error();
-            unsafe { libc::close(epfd) };
-            return Err(e);
+            return Err(io::Error::last_os_error());
         }
+        let stats = Arc::new(StatsCells::default());
+        let dp = match make_datapath(config.datapath, wakefd, Arc::clone(&stats)) {
+            Ok(dp) => dp,
+            Err(e) => {
+                unsafe { libc::close(wakefd) };
+                return Err(e);
+            }
+        };
         let core = Arc::new(Core {
-            epfd,
             wakefd,
+            backend: dp.backend(),
             config,
             sessions: Mutex::new(HashMap::new()),
             dirty: Mutex::new(Vec::new()),
+            dp_cmds: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            stats: Arc::new(StatsCells::default()),
+            stats,
         });
-        core.epoll_ctl(libc::EPOLL_CTL_ADD, wakefd, KICK_TOKEN)?;
         let thread = {
             let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name("hrmc-reactor".into())
-                .spawn(move || run(&core))?
+                .spawn(move || run(&core, dp))?
         };
         Ok(Reactor {
             _guard: Arc::new(ThreadGuard {
@@ -583,6 +632,7 @@ impl Reactor {
         let loop_us = s.loop_us.lock();
         let slip = s.timer_slippage_us.lock();
         ReactorStats {
+            backend: self.core.backend,
             sessions: self.session_count(),
             sessions_hwm: s.sessions_hwm.load(Ordering::Relaxed),
             epoll_wakeups: s.epoll_wakeups.load(Ordering::Relaxed),
@@ -590,6 +640,7 @@ impl Reactor {
             kicks: s.kicks.load(Ordering::Relaxed),
             recvmmsg_calls: s.recvmmsg_calls.load(Ordering::Relaxed),
             sendmmsg_calls: s.sendmmsg_calls.load(Ordering::Relaxed),
+            uring_enters: s.uring_enters.load(Ordering::Relaxed),
             packets_rx: s.packets_rx.load(Ordering::Relaxed),
             packets_tx: s.packets_tx.load(Ordering::Relaxed),
             tx_retries: s.tx_retries.load(Ordering::Relaxed),
@@ -635,21 +686,9 @@ impl Reactor {
     /// histograms replaced), so a telemetry sampler can call it on
     /// every sampling interval without double-counting.
     pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
-        let st = self.stats();
-        reg.set_gauge("reactor_sessions", st.sessions as u64);
-        reg.set_gauge("reactor_sessions_hwm", st.sessions_hwm);
-        reg.set_gauge("reactor_epoll_wakeups", st.epoll_wakeups);
-        reg.set_gauge("reactor_timer_fires", st.timer_fires);
-        reg.set_gauge("reactor_kicks", st.kicks);
-        reg.set_gauge("reactor_recvmmsg_calls", st.recvmmsg_calls);
-        reg.set_gauge("reactor_sendmmsg_calls", st.sendmmsg_calls);
-        reg.set_gauge("reactor_packets_rx", st.packets_rx);
-        reg.set_gauge("reactor_packets_tx", st.packets_tx);
-        reg.set_gauge("reactor_tx_retries", st.tx_retries);
-        reg.set_gauge("reactor_tx_drops", st.tx_drops);
-        reg.set_gauge("reactor_timer_heap_len", st.timer_heap_len);
-        reg.set_gauge("reactor_timers_armed", st.timers_armed);
-        reg.set_gauge("reactor_idle_cap_ms", st.idle_cap_ms);
+        // A single reactor is one shard; `ReactorPool::publish_metrics`
+        // uses the same helpers with its aggregate and width.
+        publish_reactor_gauges(reg, &self.stats(), 1);
         reg.set_histogram("reactor_rx_batch", &self.core.stats.rx_batches.lock());
         reg.set_histogram("reactor_tx_batch", &self.core.stats.tx_batches.lock());
         reg.set_histogram("reactor_loop_us", &self.core.stats.loop_us.lock());
@@ -657,45 +696,34 @@ impl Reactor {
             "reactor_timer_slippage_us",
             &self.core.stats.timer_slippage_us.lock(),
         );
-        // Engine-level gauges from every live session (the sender's
-        // membership-pressure set). Sessions are cloned out of the lock
-        // first: a session's own engine lock is taken inside
-        // `publish_metrics`, and holding the registry lock across it
-        // would order those locks against the reactor thread's.
-        let sessions: Vec<Arc<dyn ReactorSession>> =
-            self.core.sessions.lock().values().cloned().collect();
-        let mut agg = SessionHealth::default();
-        let mut failed = 0u64;
-        for s in &sessions {
-            let h = s.health();
-            agg.rate_halvings += h.rate_halvings;
-            agg.urgent_stops += h.urgent_stops;
-            agg.members_ejected += h.members_ejected;
-            agg.malformed_packets += h.malformed_packets;
-            agg.checksum_failures += h.checksum_failures;
-            agg.overflow_drops += h.overflow_drops;
-            failed += u64::from(h.session_failed);
-        }
-        // Degradation counters summed over live sessions: the live-wire
-        // equivalents of the hostile matrix's SimReport columns.
-        reg.set_gauge("sessions_rate_halvings", agg.rate_halvings);
-        reg.set_gauge("sessions_urgent_stops", agg.urgent_stops);
-        reg.set_gauge("sessions_members_ejected", agg.members_ejected);
-        reg.set_gauge("sessions_malformed_packets", agg.malformed_packets);
-        reg.set_gauge("sessions_checksum_failures", agg.checksum_failures);
-        reg.set_gauge("sessions_overflow_drops", agg.overflow_drops);
-        reg.set_gauge("sessions_failed", failed);
-        for s in sessions {
-            s.publish_metrics(reg);
-        }
+        publish_session_gauges(reg, &self.sessions_snapshot());
     }
 
-    /// Register a session: its sockets go nonblocking and into the epoll
-    /// set, and its first deadline is folded into the timer heap.
-    /// Returns the session id and the [`ReactorRef`] the handle drives
-    /// kicks and deregistration through — deliberately *not* a full
+    /// Clone out the live session list. Sessions are cloned out of the
+    /// lock first: a session's own engine lock is taken inside
+    /// `publish_metrics`, and holding the registry lock across it would
+    /// order those locks against the reactor thread's.
+    pub(crate) fn sessions_snapshot(&self) -> Vec<Arc<dyn ReactorSession>> {
+        self.core.sessions.lock().values().cloned().collect()
+    }
+
+    /// The shared counter cells (for [`crate::ReactorPool`]'s
+    /// cross-shard histogram merges).
+    pub(crate) fn stats_cells(&self) -> Arc<StatsCells> {
+        Arc::clone(&self.core.stats)
+    }
+
+    /// Register a session: its sockets are queued for the reactor
+    /// thread's datapath (nonblocking first, for the epoll backend —
+    /// io_uring keeps them blocking, since a nonblocking fd makes
+    /// `RECVMSG` complete `-EAGAIN` instead of arming an internal poll)
+    /// and its first deadline is folded into the timer heap. Returns
+    /// the session id and the [`ReactorRef`] the handle drives kicks
+    /// and deregistration through — deliberately *not* a full
     /// [`Reactor`], so live sessions do not keep the reactor thread
-    /// alive past the last user-held handle.
+    /// alive past the last user-held handle. A socket the datapath
+    /// cannot watch surfaces asynchronously via
+    /// [`ReactorSession::on_fatal`].
     pub(crate) fn register(
         &self,
         session: Arc<dyn ReactorSession>,
@@ -704,30 +732,25 @@ impl Reactor {
             return Err(NetError::ReactorClosed);
         }
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
-        let sockets = session.sockets();
-        assert!(
-            sockets.len() as u64 <= MAX_ROLES,
-            "too many session sockets"
-        );
         {
-            let mut map = self.core.sessions.lock();
-            for (role, sock) in sockets.iter().enumerate() {
-                sock.set_nonblocking(true).map_err(NetError::Io)?;
-                if let Err(e) = self.core.epoll_ctl(
-                    libc::EPOLL_CTL_ADD,
-                    sock.raw_fd(),
-                    id * MAX_ROLES + role as u64,
-                ) {
-                    for prior in &sockets[..role] {
-                        let _ = self.core.epoll_ctl(libc::EPOLL_CTL_DEL, prior.raw_fd(), 0);
-                    }
-                    return Err(NetError::Io(e));
+            let sockets = session.sockets();
+            assert!(
+                sockets.len() as u64 <= MAX_ROLES,
+                "too many session sockets"
+            );
+            if self.core.backend == "epoll" {
+                for sock in &sockets {
+                    sock.set_nonblocking(true).map_err(NetError::Io)?;
                 }
             }
+        }
+        {
+            let mut map = self.core.sessions.lock();
             map.insert(id, session);
             let n = map.len() as u64;
             self.core.stats.sessions_hwm.fetch_max(n, Ordering::Relaxed);
         }
+        self.core.dp_cmds.lock().push(DpCmd::Register { id });
         self.core.kick(id);
         Ok((
             id,
@@ -772,6 +795,63 @@ impl std::fmt::Debug for Reactor {
     }
 }
 
+/// Set the `reactor_*` gauges from a stats snapshot (a single reactor's
+/// or a pool aggregate). Backend identity is a numeric gauge — the
+/// exposition formats carry no strings: 0 = epoll, 1 = uring.
+pub(crate) fn publish_reactor_gauges(reg: &mut MetricsRegistry, st: &ReactorStats, shards: u64) {
+    reg.set_gauge("datapath_backend", u64::from(st.backend == "uring"));
+    reg.set_gauge("reactor_shards", shards);
+    reg.set_gauge("reactor_sessions", st.sessions as u64);
+    reg.set_gauge("reactor_sessions_hwm", st.sessions_hwm);
+    reg.set_gauge("reactor_epoll_wakeups", st.epoll_wakeups);
+    reg.set_gauge("reactor_timer_fires", st.timer_fires);
+    reg.set_gauge("reactor_kicks", st.kicks);
+    reg.set_gauge("reactor_recvmmsg_calls", st.recvmmsg_calls);
+    reg.set_gauge("reactor_sendmmsg_calls", st.sendmmsg_calls);
+    reg.set_gauge("reactor_uring_enters", st.uring_enters);
+    reg.set_gauge("reactor_packets_rx", st.packets_rx);
+    reg.set_gauge("reactor_packets_tx", st.packets_tx);
+    reg.set_gauge("reactor_tx_retries", st.tx_retries);
+    reg.set_gauge("reactor_tx_drops", st.tx_drops);
+    reg.set_gauge("reactor_timer_heap_len", st.timer_heap_len);
+    reg.set_gauge("reactor_timers_armed", st.timers_armed);
+    reg.set_gauge("reactor_idle_cap_ms", st.idle_cap_ms);
+}
+
+/// Sum engine-level degradation counters over `sessions` and let each
+/// session publish its own gauges. With several publishing sessions the
+/// last writer wins per gauge, matching the common one-sender-per-
+/// process deployment.
+pub(crate) fn publish_session_gauges(
+    reg: &mut MetricsRegistry,
+    sessions: &[Arc<dyn ReactorSession>],
+) {
+    let mut agg = SessionHealth::default();
+    let mut failed = 0u64;
+    for s in sessions {
+        let h = s.health();
+        agg.rate_halvings += h.rate_halvings;
+        agg.urgent_stops += h.urgent_stops;
+        agg.members_ejected += h.members_ejected;
+        agg.malformed_packets += h.malformed_packets;
+        agg.checksum_failures += h.checksum_failures;
+        agg.overflow_drops += h.overflow_drops;
+        failed += u64::from(h.session_failed);
+    }
+    // Degradation counters summed over live sessions: the live-wire
+    // equivalents of the hostile matrix's SimReport columns.
+    reg.set_gauge("sessions_rate_halvings", agg.rate_halvings);
+    reg.set_gauge("sessions_urgent_stops", agg.urgent_stops);
+    reg.set_gauge("sessions_members_ejected", agg.members_ejected);
+    reg.set_gauge("sessions_malformed_packets", agg.malformed_packets);
+    reg.set_gauge("sessions_checksum_failures", agg.checksum_failures);
+    reg.set_gauge("sessions_overflow_drops", agg.overflow_drops);
+    reg.set_gauge("sessions_failed", failed);
+    for s in sessions {
+        s.publish_metrics(reg);
+    }
+}
+
 // ---------------------------------------------------------------------
 // The event loop
 // ---------------------------------------------------------------------
@@ -794,15 +874,55 @@ fn fold_deadline(
     }
 }
 
-fn run(core: &Arc<Core>) {
-    let mut io = IoBatch::new(Arc::clone(&core.stats));
+/// Apply queued socket-set changes on the reactor thread (the only
+/// thread allowed to touch the datapath). A registration the backend
+/// refuses fails the session asynchronously, mirroring what a fatal
+/// socket error during dispatch does.
+fn drain_dp_cmds(core: &Arc<Core>, io: &mut IoBatch, deadlines: &mut HashMap<u64, Instant>) {
+    let cmds = std::mem::take(&mut *core.dp_cmds.lock());
+    for cmd in cmds {
+        match cmd {
+            DpCmd::Register { id } => {
+                let Some(session) = core.session(id) else {
+                    continue; // deregistered before the loop saw it
+                };
+                let mut err = None;
+                {
+                    let sockets = session.sockets();
+                    for (role, sock) in sockets.iter().enumerate() {
+                        if let Err(e) = io.dp.register(sock.raw_fd(), id * MAX_ROLES + role as u64)
+                        {
+                            for prior in &sockets[..role] {
+                                io.dp.deregister(prior.raw_fd(), Arc::clone(&session));
+                            }
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = err {
+                    core.sessions.lock().remove(&id);
+                    deadlines.remove(&id);
+                    session.on_fatal(Fatal::Io(e));
+                }
+            }
+            DpCmd::Deregister { fd, keepalive } => io.dp.deregister(fd, keepalive),
+        }
+    }
+}
+
+fn run(core: &Arc<Core>, dp: Box<dyn Datapath>) {
+    let mut io = IoBatch::new(Arc::clone(&core.stats), dp);
     let mut deadlines: HashMap<u64, Instant> = HashMap::new();
     let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    let mut events = [libc::epoll_event { events: 0, u64: 0 }; 64];
+    let mut ready: Vec<u64> = Vec::with_capacity(64);
 
     let idle_cap = core.config.idle_deadline_cap;
 
     while !core.shutdown.load(Ordering::SeqCst) {
+        // 0. Apply queued registrations/deregistrations.
+        drain_dp_cmds(core, &mut io, &mut deadlines);
+
         // 1. Service every due deadline.
         let now = Instant::now();
         while let Some(&Reverse((t, id))) = heap.peek() {
@@ -846,16 +966,7 @@ fn run(core: &Arc<Core>) {
                 .div_ceil(1000) as i32,
             None => idle_cap.as_millis() as i32,
         };
-        let n = unsafe {
-            libc::epoll_wait(
-                core.epfd,
-                events.as_mut_ptr(),
-                events.len() as i32,
-                timeout_ms,
-            )
-        };
-        if n < 0 {
-            let e = io::Error::last_os_error();
+        if let Err(e) = io.dp.wait(timeout_ms, &mut ready) {
             if e.kind() == io::ErrorKind::Interrupted {
                 continue;
             }
@@ -865,8 +976,7 @@ fn run(core: &Arc<Core>) {
         let dispatch_start = Instant::now();
 
         // 3. Dispatch readiness.
-        for ev in &events[..n as usize] {
-            let token = ev.u64;
+        for &token in &ready {
             if token == KICK_TOKEN {
                 let mut drained: u64 = 0;
                 unsafe {
@@ -904,7 +1014,7 @@ fn run(core: &Arc<Core>) {
                     // surface the failure to the application.
                     core.sessions.lock().remove(&id);
                     for sock in session.sockets() {
-                        let _ = core.epoll_ctl(libc::EPOLL_CTL_DEL, sock.raw_fd(), 0);
+                        io.dp.deregister(sock.raw_fd(), Arc::clone(&session));
                     }
                     deadlines.remove(&id);
                     session.on_fatal(Fatal::Io(e));
@@ -985,6 +1095,152 @@ mod tests {
         assert!(ReactorStats::default().syscalls_per_packet() < 1e-9);
     }
 
+    /// A scripted datapath: counts `send_batch` invocations and plays
+    /// back a canned verdict per call — the trait seam that lets the
+    /// retry loop be tested without provoking real kernel pressure.
+    struct ScriptedDatapath {
+        calls: Arc<AtomicU64>,
+        verdicts: Mutex<std::collections::VecDeque<Result<usize, io::ErrorKind>>>,
+    }
+
+    impl Datapath for ScriptedDatapath {
+        fn backend(&self) -> &'static str {
+            "scripted"
+        }
+        fn register(&mut self, _fd: i32, _token: u64) -> io::Result<()> {
+            Ok(())
+        }
+        fn deregister(&mut self, _fd: i32, _keepalive: Arc<dyn ReactorSession>) {}
+        fn wait(&mut self, _timeout_ms: i32, ready: &mut Vec<u64>) -> io::Result<()> {
+            ready.clear();
+            Ok(())
+        }
+        fn recv_batch(&mut self, _sock: &McastSocket, _rx: &mut RxBatch) -> io::Result<usize> {
+            Err(io::Error::from(io::ErrorKind::WouldBlock))
+        }
+        fn send_batch(
+            &mut self,
+            _sock: &McastSocket,
+            bufs: &[Vec<u8>],
+            _dsts: &[SocketAddr],
+        ) -> io::Result<usize> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            match self.verdicts.lock().pop_front() {
+                Some(Ok(n)) => Ok(n.min(bufs.len())),
+                Some(Err(kind)) => Err(io::Error::from(kind)),
+                None => Ok(bufs.len()),
+            }
+        }
+    }
+
+    fn loopback_sender() -> McastSocket {
+        let group = std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(239, 255, 87, 1), 47001);
+        McastSocket::sender(group, std::net::Ipv4Addr::LOCALHOST).expect("socket")
+    }
+
+    /// Transient send failures re-invoke the backend — one `send_batch`
+    /// call per attempt, so a backend that counts per invocation (epoll
+    /// does) reports every real kernel crossing, not just the winners.
+    #[test]
+    fn flush_tx_reinvokes_backend_once_per_attempt() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut verdicts = std::collections::VecDeque::new();
+        verdicts.push_back(Err(io::ErrorKind::WouldBlock));
+        verdicts.push_back(Err(io::ErrorKind::Interrupted));
+        verdicts.push_back(Ok(3));
+        let stats = Arc::new(StatsCells::default());
+        let mut io = IoBatch::new(
+            Arc::clone(&stats),
+            Box::new(ScriptedDatapath {
+                calls: Arc::clone(&calls),
+                verdicts: Mutex::new(verdicts),
+            }),
+        );
+        let sock = loopback_sender();
+        let dst = SocketAddr::V4(std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::LOCALHOST,
+            47002,
+        ));
+        for _ in 0..3 {
+            io.stage().extend_from_slice(b"payload");
+            io.commit(dst, &sock);
+        }
+        io.flush_tx(&sock);
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "one call per attempt");
+        assert_eq!(stats.tx_retries.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.packets_tx.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.tx_drops.load(Ordering::Relaxed), 0);
+    }
+
+    /// A persistently failing head datagram is dropped, the rest of the
+    /// batch still goes out, and every attempt was a counted call.
+    #[test]
+    fn flush_tx_drops_poisoned_head_after_retry_budget() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut verdicts = std::collections::VecDeque::new();
+        for _ in 0..TX_RETRIES {
+            verdicts.push_back(Err(io::ErrorKind::WouldBlock));
+        }
+        // Budget spent: the next failure (transient or not) drops the head.
+        verdicts.push_back(Err(io::ErrorKind::WouldBlock));
+        verdicts.push_back(Ok(1)); // the surviving tail
+        let stats = Arc::new(StatsCells::default());
+        let mut io = IoBatch::new(
+            Arc::clone(&stats),
+            Box::new(ScriptedDatapath {
+                calls: Arc::clone(&calls),
+                verdicts: Mutex::new(verdicts),
+            }),
+        );
+        let sock = loopback_sender();
+        let dst = SocketAddr::V4(std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::LOCALHOST,
+            47003,
+        ));
+        for _ in 0..2 {
+            io.stage().extend_from_slice(b"payload");
+            io.commit(dst, &sock);
+        }
+        io.flush_tx(&sock);
+        assert_eq!(calls.load(Ordering::Relaxed), TX_RETRIES as u64 + 2);
+        assert_eq!(stats.tx_retries.load(Ordering::Relaxed), TX_RETRIES as u64);
+        assert_eq!(stats.tx_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.packets_tx.load(Ordering::Relaxed), 1);
+    }
+
+    /// The epoll backend counts the syscall *before* the verdict: a
+    /// failing `sendmmsg` (here: destination port 0, `EINVAL`) is still
+    /// a kernel crossing and must show up in `sendmmsg_calls` — the
+    /// under-count that skewed `syscalls_per_packet` on lossy paths.
+    #[test]
+    fn epoll_backend_counts_failed_send_attempts() {
+        let wakefd = unsafe { libc::eventfd(0, libc::EFD_NONBLOCK | libc::EFD_CLOEXEC) };
+        assert!(wakefd >= 0);
+        let stats = Arc::new(StatsCells::default());
+        let mut dp = crate::datapath::EpollDatapath::new(wakefd, Arc::clone(&stats)).expect("dp");
+        let sock = loopback_sender();
+        let good = SocketAddr::V4(std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::LOCALHOST,
+            47004,
+        ));
+        let bad = SocketAddr::V4(std::net::SocketAddrV4::new(
+            std::net::Ipv4Addr::LOCALHOST,
+            0,
+        ));
+        dp.send_batch(&sock, &[b"ok".to_vec()], &[good])
+            .expect("send");
+        assert_eq!(stats.sendmmsg_calls.load(Ordering::Relaxed), 1);
+        let err = dp.send_batch(&sock, &[b"x".to_vec()], &[bad]);
+        assert!(err.is_err(), "port 0 must fail");
+        assert_eq!(
+            stats.sendmmsg_calls.load(Ordering::Relaxed),
+            2,
+            "failed attempt is still a syscall"
+        );
+        drop(dp);
+        unsafe { libc::close(wakefd) };
+    }
+
     #[test]
     fn syscalls_per_packet_is_zero_before_any_packet_moves() {
         // An idle reactor polls (recvmmsg returning WouldBlock still
@@ -1004,6 +1260,7 @@ mod tests {
     fn idle_cap_is_configurable_and_exported() {
         let r = Reactor::with_config(ReactorConfig {
             idle_deadline_cap: Duration::from_millis(25),
+            ..ReactorConfig::default()
         })
         .expect("reactor");
         assert_eq!(r.config().idle_deadline_cap, Duration::from_millis(25));

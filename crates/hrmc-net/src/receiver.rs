@@ -273,8 +273,8 @@ pub struct ReceiverHandle {
 /// Join `group` and register the session with `reactor`. The observer
 /// is installed on the engine *before* the session becomes reachable
 /// from the reactor thread, so no early packet or tick can slip by
-/// unobserved (the race the deprecated post-join
-/// [`ReceiverHandle::set_observer`] cannot avoid).
+/// unobserved (the race the removed post-join `set_observer` shim
+/// could not avoid).
 pub(crate) fn join_with(
     group: SocketAddrV4,
     interface: Ipv4Addr,
@@ -389,27 +389,6 @@ impl ReceiverHandle {
     /// ([`crate::ReceiverBuilder::flight_recorder`]), if any.
     pub fn flight_recorder(&self) -> Option<&hrmc_core::SharedRecorder> {
         self.flight.as_ref()
-    }
-
-    /// Install a [`hrmc_core::ProtocolObserver`] on the engine,
-    /// replacing any observer installed at build time.
-    #[deprecated(
-        note = "pass the observer to `Session::receiver(..).observer(..)` — installing it \
-                post-join races the reactor and misses the session's first events"
-    )]
-    pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
-        self.inner.engine.lock().set_observer(observer);
-    }
-
-    /// Attach a bounded flight recorder and return the shared handle.
-    #[deprecated(
-        note = "use `Session::receiver(..).flight_recorder(capacity)` — attaching it \
-                post-join races the reactor and misses the session's first events"
-    )]
-    pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
-        let rec = hrmc_core::SharedRecorder::new(capacity).with_label("recv");
-        self.inner.engine.lock().set_observer(Box::new(rec.clone()));
-        rec
     }
 
     /// The socket error that terminally failed the session, if that is

@@ -224,8 +224,8 @@ pub struct SenderHandle {
 /// Bind a sender and register it with `reactor`. The observer is
 /// installed on the engine *before* the session becomes reachable from
 /// the reactor thread, so no early packet or tick can slip by
-/// unobserved (the race the deprecated post-bind
-/// [`SenderHandle::set_observer`] cannot avoid).
+/// unobserved (the race the removed post-bind `set_observer` shim
+/// could not avoid).
 pub(crate) fn bind_with(
     group: SocketAddrV4,
     interface: Ipv4Addr,
@@ -358,27 +358,6 @@ impl SenderHandle {
     /// ([`crate::SenderBuilder::flight_recorder`]), if any.
     pub fn flight_recorder(&self) -> Option<&hrmc_core::SharedRecorder> {
         self.flight.as_ref()
-    }
-
-    /// Install a [`hrmc_core::ProtocolObserver`] on the engine,
-    /// replacing any observer installed at build time.
-    #[deprecated(
-        note = "pass the observer to `Session::sender(..).observer(..)` — installing it \
-                post-bind races the reactor and misses the session's first events"
-    )]
-    pub fn set_observer(&self, observer: Box<dyn hrmc_core::ProtocolObserver>) {
-        self.inner.engine.lock().set_observer(observer);
-    }
-
-    /// Attach a bounded flight recorder and return the shared handle.
-    #[deprecated(
-        note = "use `Session::sender(..).flight_recorder(capacity)` — attaching it \
-                post-bind races the reactor and misses the session's first events"
-    )]
-    pub fn attach_flight_recorder(&self, capacity: usize) -> hrmc_core::SharedRecorder {
-        let rec = hrmc_core::SharedRecorder::new(capacity).with_label("sender");
-        self.inner.engine.lock().set_observer(Box::new(rec.clone()));
-        rec
     }
 
     /// The socket error that terminally failed the session, if that is

@@ -35,6 +35,7 @@ use hrmc_core::{
 };
 use parking_lot::Mutex;
 
+use crate::pool::ReactorPool;
 use crate::reactor::Reactor;
 
 /// Configures and starts a [`Telemetry`] pipeline.
@@ -43,7 +44,7 @@ pub struct TelemetryBuilder {
     ring: usize,
     listen: Option<SocketAddr>,
     sink: Option<Box<dyn Write + Send>>,
-    reactor: Option<Reactor>,
+    pool: Option<ReactorPool>,
     health: Option<HealthConfig>,
 }
 
@@ -84,7 +85,16 @@ impl TelemetryBuilder {
 
     /// Which reactor's health to publish (default: [`Reactor::global`]).
     pub fn reactor(mut self, reactor: Reactor) -> Self {
-        self.reactor = Some(reactor);
+        self.pool = Some(reactor.into());
+        self
+    }
+
+    /// Publish a whole [`ReactorPool`]'s health instead: counters
+    /// summed and histograms merged across shards, per-session health
+    /// ids tagged with their shard, and the pool width reported as
+    /// `hrmc_reactor_shards` / the `"shards"` key of `/json`.
+    pub fn reactor_pool(mut self, pool: &ReactorPool) -> Self {
+        self.pool = Some(pool.clone());
         self
     }
 
@@ -107,7 +117,7 @@ impl TelemetryBuilder {
         let shared = Arc::new(Shared {
             obs: MetricsObserver::new(),
             sampler: Mutex::new(sampler),
-            reactor: self.reactor.unwrap_or_else(Reactor::global),
+            pool: self.pool.unwrap_or_else(|| Reactor::global().into()),
             monitor: self
                 .health
                 .filter(HealthConfig::armed)
@@ -168,7 +178,9 @@ struct Shared {
     /// sessions install.
     obs: MetricsObserver,
     sampler: Mutex<Sampler>,
-    reactor: Reactor,
+    /// The reactor(s) whose health this pipeline publishes — a single
+    /// reactor is just a pool of one.
+    pool: ReactorPool,
     /// The armed online health monitor, when the builder asked for one.
     monitor: Option<SharedMonitor>,
     epoch: Instant,
@@ -182,7 +194,7 @@ impl Shared {
     /// is consistent without nesting locks.
     fn gather(&self) -> MetricsRegistry {
         let mut reg = self.obs.snapshot();
-        self.reactor.publish_metrics(&mut reg);
+        self.pool.publish_metrics(&mut reg);
         if let Some(mon) = &self.monitor {
             reg.set_gauge("alerts_active", mon.active());
         }
@@ -235,10 +247,10 @@ impl Shared {
             .latest()
             .map(|s| s.to_json_line())
             .unwrap_or_else(|| "null".to_string());
-        let st = self.reactor.stats();
+        let st = self.pool.aggregate();
         let mut out = String::with_capacity(512 + sample.len());
         let _ = write!(out, "{{\"sample\":{sample},\"sessions\":[");
-        for (i, h) in self.reactor.session_health().iter().enumerate() {
+        for (i, h) in self.pool.session_health().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -252,8 +264,11 @@ impl Shared {
         let _ = write!(out, "],\"alerts\":{}", self.alerts_json());
         let _ = write!(
             out,
-            ",\"reactor\":{{\"sessions\":{},\"syscalls_per_packet\":{:.4},\
+            ",\"reactor\":{{\"backend\":\"{}\",\"shards\":{},\"sessions\":{},\
+             \"syscalls_per_packet\":{:.4},\
              \"loop_p99_us\":{},\"timer_slippage_p99_us\":{},\"idle_cap_ms\":{}}}}}",
+            st.backend,
+            self.pool.shards(),
             st.sessions,
             st.syscalls_per_packet(),
             st.loop_p99_us,
@@ -280,7 +295,7 @@ impl Telemetry {
             ring: 720,
             listen: None,
             sink: None,
-            reactor: None,
+            pool: None,
             health: None,
         }
     }

@@ -42,6 +42,8 @@ struct Opts {
     health: bool,
     once: bool,
     refresh_ms: u64,
+    datapath: hrmc::net::DatapathKind,
+    reactor_threads: usize,
 }
 
 impl Default for Opts {
@@ -64,6 +66,8 @@ impl Default for Opts {
             health: false,
             once: false,
             refresh_ms: 1000,
+            datapath: hrmc::net::DatapathKind::Epoll,
+            reactor_threads: 1,
         }
     }
 }
@@ -99,6 +103,9 @@ struct Obs {
     /// sampling thread plus an HTTP endpoint serving `/metrics`
     /// (Prometheus text) and `/json` — watch it live with `hrmc top`.
     telemetry: Option<hrmc::net::Telemetry>,
+    /// The reactor pool behind `--datapath` / `--reactor-threads`;
+    /// `None` means every session rides the default global reactor.
+    pool: Option<hrmc::net::ReactorPool>,
 }
 
 impl Obs {
@@ -114,6 +121,20 @@ impl Obs {
             None => None,
         };
         let metrics = opts.metrics.then(MetricsObserver::new);
+        let pool = if opts.reactor_threads > 1 || opts.datapath != hrmc::net::DatapathKind::Epoll {
+            let pool = hrmc::net::ReactorPool::shared(opts.reactor_threads, opts.datapath)
+                .map_err(|e| format!("cannot start the reactor pool: {e}"))?;
+            // The probe may have fallen back (kernel without io_uring):
+            // report what actually runs, not what was asked for.
+            eprintln!(
+                "datapath: {} backend, {} reactor thread(s)",
+                pool.aggregate().backend,
+                pool.shards()
+            );
+            Some(pool)
+        } else {
+            None
+        };
         if opts.health && opts.telemetry.is_none() {
             return Err("--health requires --telemetry (the monitor rides the \
                         telemetry pipeline)"
@@ -124,6 +145,9 @@ impl Obs {
                 let mut b = hrmc::net::Telemetry::builder()
                     .listen(addr)
                     .sample_interval(Duration::from_millis(opts.sample_interval_ms.max(10)));
+                if let Some(pool) = &pool {
+                    b = b.reactor_pool(pool);
+                }
                 if opts.health {
                     b = b.health(hrmc::HealthConfig::default());
                 }
@@ -153,6 +177,7 @@ impl Obs {
             flight_capacity: opts.flight_capacity,
             recorders: std::sync::Mutex::new(Vec::new()),
             telemetry,
+            pool,
         })
     }
 
@@ -215,10 +240,13 @@ impl Obs {
                 for rec in recorders.iter() {
                     rec.with_recorder(|r| r.publish_metrics(&mut reg));
                 }
-                // Every CLI session runs on the global reactor: its
-                // sessions/wakeups/batched-syscall gauges belong in the
-                // same report.
-                hrmc::net::Reactor::global().publish_metrics(&mut reg);
+                // The CLI's sessions all ride one reactor (or pool):
+                // its sessions/wakeups/batched-syscall gauges belong in
+                // the same report.
+                match &self.pool {
+                    Some(pool) => pool.publish_metrics(&mut reg),
+                    None => hrmc::net::Reactor::global().publish_metrics(&mut reg),
+                }
             }
             println!("{}", m.snapshot().render_json());
         }
@@ -251,7 +279,13 @@ fn usage() -> ! {
          --health          arm the online protocol health monitor (needs\n                    \
                            --telemetry): streaming invariant checks raise\n                    \
                            structured alerts on /alerts, in /json, and as\n                    \
-                           hrmc_alerts_* metrics on /metrics\n\n\
+                           hrmc_alerts_* metrics on /metrics\n  \
+         --datapath <epoll|uring>  reactor I/O backend (default epoll); uring\n                    \
+                           needs a kernel with io_uring and a build with\n                    \
+                           --features uring, else it falls back to epoll\n                    \
+                           (the chosen backend is printed on stderr)\n  \
+         --reactor-threads N  shard sessions across N reactor threads\n                    \
+                           (default 1); telemetry aggregates all shards\n\n\
          `top` renders a refreshing terminal dashboard from a live telemetry\n\
          endpoint (`hrmc top 127.0.0.1:9090`) or summarizes a recorded sample\n\
          file; --once prints a single frame, --refresh sets the period. With\n\
@@ -361,6 +395,21 @@ fn parse(args: &[String]) -> (Opts, Vec<String>) {
             "--health" => {
                 opts.health = true;
             }
+            "--datapath" => {
+                i += 1;
+                opts.datapath = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--reactor-threads" => {
+                i += 1;
+                opts.reactor_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--once" => {
                 opts.once = true;
             }
@@ -395,6 +444,9 @@ fn cmd_send(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut b = Session::sender(opts.group)
         .interface(opts.iface)
         .config(config(opts));
+    if let Some(pool) = &obs.pool {
+        b = b.reactor_pool(pool);
+    }
     if let Some(o) = obs.for_role("sender") {
         b = b.observer(o);
     }
@@ -446,6 +498,9 @@ fn cmd_recv(file: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut b = Session::receiver(opts.group)
         .interface(opts.iface)
         .config(config(opts));
+    if let Some(pool) = &obs.pool {
+        b = b.reactor_pool(pool);
+    }
     if let Some(o) = obs.for_role("recv") {
         b = b.observer(o);
     }
@@ -487,6 +542,9 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
             let mut b = Session::receiver(opts.group)
                 .interface(opts.iface)
                 .config(cfg.clone());
+            if let Some(pool) = &obs.pool {
+                b = b.reactor_pool(pool);
+            }
             if let Some(o) = obs.for_role(&format!("recv{i}")) {
                 b = b.observer(o);
             }
@@ -496,6 +554,9 @@ fn cmd_selftest(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     let mut b = Session::sender(opts.group)
         .interface(opts.iface)
         .config(cfg);
+    if let Some(pool) = &obs.pool {
+        b = b.reactor_pool(pool);
+    }
     if let Some(o) = obs.for_role("sender") {
         b = b.observer(o);
     }

@@ -141,9 +141,13 @@ pub fn render_endpoint_frame(endpoint: &str, body: &Value) -> String {
     let mut out = String::with_capacity(1024);
     let _ = writeln!(out, "hrmc top — {endpoint}\n");
     if let Some(r) = body.get("reactor") {
+        // Endpoints predating the pluggable datapath omit backend and
+        // shards; render the single-reactor epoll shape they had.
         let _ = writeln!(
             out,
-            "reactor  sessions {}  syscalls/pkt {}  loop p99 {}µs  timer slip p99 {}µs  idle cap {}ms",
+            "reactor  backend {} ×{}  sessions {}  syscalls/pkt {}  loop p99 {}µs  timer slip p99 {}µs  idle cap {}ms",
+            r.get("backend").and_then(Value::as_str).unwrap_or("epoll"),
+            r.get("shards").and_then(Value::as_u64).unwrap_or(1),
             r.get("sessions").and_then(Value::as_u64).unwrap_or(0),
             r.get("syscalls_per_packet")
                 .and_then(Value::as_f64)
@@ -363,12 +367,14 @@ mod tests {
              \"p99\":63,\"max\":60}}},\
              \"sessions\":[{\"id\":1,\"role\":\"sender\",\"packets_rx\":7,\"packets_tx\":150,\
              \"bytes_rx\":700,\"bytes_tx\":210000}],\
-             \"reactor\":{\"sessions\":1,\"syscalls_per_packet\":0.1441,\"loop_p99_us\":63,\
+             \"reactor\":{\"backend\":\"uring\",\"shards\":4,\"sessions\":1,\
+             \"syscalls_per_packet\":0.1441,\"loop_p99_us\":63,\
              \"timer_slippage_p99_us\":127,\"idle_cap_ms\":100}}",
         )
         .unwrap();
         let frame = render_endpoint_frame("127.0.0.1:9000", &body);
         assert!(frame.contains("hrmc top — 127.0.0.1:9000"));
+        assert!(frame.contains("backend uring ×4"));
         assert!(frame.contains("syscalls/pkt 0.1441"));
         assert!(frame.contains("loop p99 63µs"));
         assert!(frame.contains("sender"));
@@ -433,6 +439,17 @@ mod tests {
         let frame = render_endpoint_frame("x", &body);
         assert!(!frame.contains("alerts "), "{frame}");
         assert!(frame.contains("(no sample yet)"));
+    }
+
+    #[test]
+    fn endpoint_frame_defaults_backend_for_old_recordings() {
+        let body: Value = serde_json::from_str(
+            "{\"sample\":null,\"reactor\":{\"sessions\":2,\"syscalls_per_packet\":0.2,\
+             \"loop_p99_us\":1,\"timer_slippage_p99_us\":2,\"idle_cap_ms\":100}}",
+        )
+        .unwrap();
+        let frame = render_endpoint_frame("x", &body);
+        assert!(frame.contains("backend epoll ×1"), "{frame}");
     }
 
     #[test]
